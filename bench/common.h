@@ -1,0 +1,51 @@
+// Shared scaffolding for the figure benches: build the paper-scale synthetic
+// OWA workload once per binary and expose the pieces every figure needs.
+//
+// Scale control: set AUTOSENS_BENCH_SCALE=tiny|small|medium|full in the
+// environment (default: medium — 60 days, 800 users, ~3.5M actions).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "simulate/generator.h"
+#include "simulate/presets.h"
+#include "telemetry/validate.h"
+
+namespace autosens::bench {
+
+inline simulate::Scale bench_scale() {
+  const char* env = std::getenv("AUTOSENS_BENCH_SCALE");
+  const std::string_view value = env ? env : "medium";
+  if (value == "tiny") return simulate::Scale::kTiny;
+  if (value == "small") return simulate::Scale::kSmall;
+  if (value == "full") return simulate::Scale::kFull;
+  return simulate::Scale::kMedium;
+}
+
+struct BenchWorkload {
+  simulate::WorkloadConfig config;
+  telemetry::Dataset dataset;  ///< Validated (scrubbed) telemetry.
+  std::size_t raw_records = 0;
+};
+
+inline BenchWorkload make_paper_workload(std::uint64_t seed = 42) {
+  BenchWorkload workload;
+  workload.config = simulate::paper_config(bench_scale(), seed);
+  simulate::WorkloadGenerator generator(workload.config);
+  std::cerr << "[bench] generating synthetic OWA workload ("
+            << workload.config.population.user_count << " users, "
+            << (workload.config.end_ms - workload.config.begin_ms) /
+                   telemetry::kMillisPerDay
+            << " days)..." << std::flush;
+  auto generated = generator.generate();
+  workload.raw_records = generated.accepted;
+  auto validated = telemetry::validate(generated.dataset);
+  std::cerr << " " << validated.dataset.size() << " actions after scrub\n";
+  workload.dataset = std::move(validated.dataset);
+  return workload;
+}
+
+}  // namespace autosens::bench

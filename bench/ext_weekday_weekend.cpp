@@ -1,0 +1,69 @@
+// Extension experiment (paper §2.4.1 names day-of-week as a confounder but
+// does not evaluate it): weekday vs weekend.
+//
+//   1. The weekday/weekend activity factor β recovers the planted weekend
+//      damping, and is flat across latency (like α in Fig 8).
+//   2. Weekday and weekend preference curves coincide when the planted
+//      preference is day-independent — the natural-experiment estimate is
+//      invariant to pure activity-level changes.
+#include <iostream>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/confounder_dow.h"
+#include "report/ascii_chart.h"
+#include "report/compare.h"
+#include "report/table.h"
+#include "telemetry/filter.h"
+
+int main() {
+  using namespace autosens;
+  const auto workload = bench::make_paper_workload();
+  const auto slice = workload.dataset.filtered(
+      telemetry::by_action(telemetry::ActionType::kSelectMail));
+
+  core::AutoSensOptions options;
+  const auto activity = core::day_class_activity(slice, options);
+
+  std::cout << "Extension — weekday vs weekend (SelectMail)\n\n";
+  report::Table table({"class", "records", "activity factor"});
+  table.add_row({"weekday", std::to_string(activity.weekday_records), "1.000 (ref)"});
+  table.add_row({"weekend", std::to_string(activity.weekend_records),
+                 report::Table::num(activity.beta_weekend)});
+  table.print(std::cout);
+  std::cout << '\n';
+
+  const auto curves = core::preference_by_day_class(slice, options);
+  report::Table pref_table({"latency (ms)", "weekday NLP", "weekend NLP"});
+  for (const double latency : {300.0, 500.0, 750.0, 1000.0, 1500.0}) {
+    std::vector<std::string> row = {report::Table::num(latency, 0)};
+    for (const auto& curve : curves) {
+      row.push_back(curve.preference.covers(latency)
+                        ? report::Table::num(curve.preference.at(latency))
+                        : "-");
+    }
+    while (row.size() < 3) row.push_back("-");
+    pref_table.add_row(std::move(row));
+  }
+  pref_table.print(std::cout);
+  std::cout << '\n';
+
+  report::Comparison comparison("Extension: day-of-week factor and invariance");
+  // β pools whole days, so at a fixed latency bin the hour-of-day mix can
+  // differ between the ~17 weekend and ~43 weekday realizations of the
+  // latency process; with a 10x diurnal activity swing that leaves ~±0.1 of
+  // irreducible variance in β at this scale.
+  comparison.check_value("beta(weekend) matches planted weekend factor",
+                         workload.config.weekend_factor, activity.beta_weekend, 0.12);
+  if (curves.size() == 2) {
+    for (const double latency : {500.0, 1000.0}) {
+      if (curves[0].preference.covers(latency) && curves[1].preference.covers(latency)) {
+        comparison.check_value(
+            "weekday == weekend NLP @ " + report::Table::num(latency, 0),
+            curves[0].preference.at(latency), curves[1].preference.at(latency), 0.07);
+      }
+    }
+  }
+  comparison.print(std::cout);
+  return 0;
+}

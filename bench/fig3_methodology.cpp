@@ -1,0 +1,107 @@
+// Figure 3 (paper §2.2–2.3): the AutoSens methodology end to end on one
+// slice — (a) the nearest-sample construction of the unbiased distribution,
+// (b) the biased (B) and unbiased (U) PDFs, and (c) the B/U latency
+// preference, raw and Savitzky–Golay smoothed.
+//
+// Reproduction contract: B visibly leans toward lower latency than U, the
+// raw ratio is noisy, and the smoothed ratio is a clean decreasing curve.
+#include <iostream>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/biased.h"
+#include "core/pipeline.h"
+#include "stats/sampling.h"
+#include "report/ascii_chart.h"
+#include "report/compare.h"
+#include "report/table.h"
+#include "telemetry/filter.h"
+
+int main() {
+  using namespace autosens;
+  const auto workload = bench::make_paper_workload();
+  const auto slice = workload.dataset.filtered(telemetry::all_of(
+      {telemetry::by_action(telemetry::ActionType::kSelectMail),
+       telemetry::by_user_class(telemetry::UserClass::kBusiness)}));
+
+  core::AutoSensOptions options;
+  const auto analysis = core::analyze_detailed(slice, options);
+  const auto& pref = analysis.preference;
+
+  // (a) Illustrate the nearest-sample draw on a small window.
+  std::cout << "Figure 3(a) — nearest-sample construction of U\n";
+  {
+    const auto times = slice.times();
+    const auto latencies = slice.latencies();
+    stats::Random random(3);
+    const std::int64_t t0 = slice.begin_time();
+    const auto draws = stats::nearest_sample_draws(
+        times, t0, t0 + telemetry::kMillisPerMinute * 30, 5, random);
+    report::Table table({"random-draw #", "selected sample time (s)", "latency (ms)"});
+    for (std::size_t i = 0; i < draws.size(); ++i) {
+      table.add_row({std::to_string(i + 1),
+                     report::Table::num(static_cast<double>(times[draws[i]] - t0) / 1000.0, 1),
+                     report::Table::num(latencies[draws[i]], 1)});
+    }
+    table.print(std::cout);
+  }
+
+  // (b) The B and U PDFs.
+  const auto b_pdf = analysis.biased.pdf();
+  const auto u_pdf = analysis.unbiased.pdf();
+  std::vector<report::Series> pdf_chart(2);
+  pdf_chart[0].name = "B (biased)";
+  pdf_chart[1].name = "U (unbiased)";
+  for (std::size_t i = pref.support_begin; i < pref.support_end; i += 2) {
+    pdf_chart[0].x.push_back(pref.latency_ms[i]);
+    pdf_chart[0].y.push_back(b_pdf[i]);
+    pdf_chart[1].x.push_back(pref.latency_ms[i]);
+    pdf_chart[1].y.push_back(u_pdf[i]);
+  }
+  std::cout << "\nFigure 3(b) — biased vs unbiased latency PDFs\n";
+  report::ChartOptions pdf_options;
+  pdf_options.x_label = "latency (ms)";
+  pdf_options.y_label = "density";
+  render_chart(std::cout, pdf_chart, pdf_options);
+
+  // (c) Raw vs smoothed preference.
+  std::vector<report::Series> ratio_chart(2);
+  ratio_chart[0].name = "raw B/U";
+  ratio_chart[1].name = "smoothed";
+  for (std::size_t i = pref.support_begin; i < pref.support_end; i += 2) {
+    if (pref.valid[i]) {
+      ratio_chart[0].x.push_back(pref.latency_ms[i]);
+      ratio_chart[0].y.push_back(pref.raw_ratio[i]);
+    }
+    ratio_chart[1].x.push_back(pref.latency_ms[i]);
+    ratio_chart[1].y.push_back(pref.smoothed[i]);
+  }
+  std::cout << "\nFigure 3(c) — latency preference B/U, raw and SG-smoothed\n";
+  report::ChartOptions ratio_options;
+  ratio_options.x_label = "latency (ms)";
+  ratio_options.y_label = "preference";
+  render_chart(std::cout, ratio_chart, ratio_options);
+  std::cout << '\n';
+
+  // Quantitative shape checks.
+  report::Comparison comparison("Fig 3: methodology structure");
+  // B leans low: its mean latency is below U's.
+  comparison.check_value("mean(B) / mean(U) < 1", 0.93,
+                         analysis.biased.mean() / analysis.unbiased.mean(), 0.06);
+  // Smoothing matters: residual raw-vs-smoothed scatter is nonzero.
+  double scatter = 0.0;
+  std::size_t bins = 0;
+  for (std::size_t i = pref.support_begin; i < pref.support_end; ++i) {
+    if (!pref.valid[i]) continue;
+    const double d = pref.raw_ratio[i] - pref.smoothed[i];
+    scatter += d * d;
+    ++bins;
+  }
+  scatter = bins > 0 ? scatter / static_cast<double>(bins) : 0.0;
+  comparison.check_value("raw ratio is noisy (bin-level MSE > 0.001)", 1.0,
+                         scatter > 0.001 ? 1.0 : 0.0, 0.0);
+  // The smoothed, normalized curve decreases from the reference onward.
+  comparison.check_value("preference at 1000ms < 1", 0.75, pref.at(1000.0), 0.13);
+  comparison.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 6 (paper §3.4): conditioning to speed. Consumer users are grouped
+// into quartiles by their per-user median latency (Q1 = fastest); the paper
+// finds sensitivity decreases progressively from Q1 to Q4 — users accustomed
+// to low latency react more strongly to it.
+#include <iostream>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/slices.h"
+#include "report/ascii_chart.h"
+#include "report/compare.h"
+#include "report/csvout.h"
+#include "report/table.h"
+#include "simulate/presets.h"
+#include "telemetry/filter.h"
+
+int main() {
+  using namespace autosens;
+  const auto workload = bench::make_paper_workload();
+
+  // Paper: consumer users; quartiles computed over that population's
+  // per-user medians.
+  const auto consumers = workload.dataset.filtered(
+      telemetry::by_user_class(telemetry::UserClass::kConsumer));
+  core::AutoSensOptions options;
+  const auto curves = core::preference_by_quartile(consumers, consumers, options,
+                                                   telemetry::ActionType::kSelectMail);
+
+  std::cout << "Figure 6 — SelectMail preference by per-user median-latency quartile "
+               "(consumers, ref 300 ms)\n\n";
+  report::Table table({"latency (ms)", "Q1 (fastest)", "Q2", "Q3", "Q4 (slowest)"});
+  for (const double latency : {300.0, 500.0, 750.0, 1000.0, 1500.0}) {
+    std::vector<std::string> row = {report::Table::num(latency, 0)};
+    for (const auto& curve : curves) {
+      row.push_back(curve.result.covers(latency) ? report::Table::num(curve.result.at(latency))
+                                                 : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+
+  std::vector<report::Series> chart;
+  for (const auto& curve : curves) chart.push_back(report::to_series(curve));
+  report::ChartOptions chart_options;
+  chart_options.x_label = "latency (ms)";
+  chart_options.y_label = "normalized latency preference";
+  render_chart(std::cout, chart, chart_options);
+  std::cout << '\n';
+
+  report::Comparison comparison("Fig 6: sensitivity decreases Q1 -> Q4");
+  const double latency = 900.0;
+  for (int q = 0; q < 4; ++q) {
+    const auto planted = simulate::expected_quartile_curve(
+        workload.config, telemetry::ActionType::kSelectMail,
+        telemetry::UserClass::kConsumer, q, options.reference_latency_ms);
+    comparison.check(curves[static_cast<std::size_t>(q)].result, latency, planted(latency),
+                     0.09);
+  }
+  // Monotone ordering at the probe latency.
+  for (int q = 0; q + 1 < 4; ++q) {
+    const auto& lo = curves[static_cast<std::size_t>(q)].result;
+    const auto& hi = curves[static_cast<std::size_t>(q + 1)].result;
+    comparison.check_value("Q" + std::to_string(q + 1) + " < Q" + std::to_string(q + 2), 1.0,
+                           lo.covers(latency) && hi.covers(latency) &&
+                                   lo.at(latency) < hi.at(latency)
+                               ? 1.0
+                               : 0.0,
+                           0.0);
+  }
+  comparison.print(std::cout);
+
+  report::write_preference_csv_file("fig6_conditioning.csv", curves);
+  std::cout << "series written to fig6_conditioning.csv\n";
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Microbenchmarks (google-benchmark) of the library's hot kernels:
+// histogram fill, Savitzky–Golay smoothing, Voronoi weights, nearest-sample
+// draws, the telemetry codecs, the workload generator, and the end-to-end
+// analysis pipeline.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "simulate/generator.h"
+#include "simulate/presets.h"
+#include "stats/histogram.h"
+#include "stats/rng.h"
+#include "stats/sampling.h"
+#include "stats/savitzky_golay.h"
+#include "telemetry/binlog.h"
+#include "telemetry/filter.h"
+#include "telemetry/validate.h"
+
+namespace {
+
+using namespace autosens;
+
+std::vector<double> random_values(std::size_t n, std::uint64_t seed) {
+  stats::Random random(seed);
+  std::vector<double> values(n);
+  for (auto& v : values) v = random.lognormal(5.8, 0.5);
+  return values;
+}
+
+std::vector<std::int64_t> random_times(std::size_t n, std::uint64_t seed) {
+  stats::Random random(seed);
+  std::vector<std::int64_t> times(n);
+  std::int64_t t = 0;
+  for (auto& v : times) {
+    t += static_cast<std::int64_t>(random.exponential(0.02)) + 1;
+    v = t;
+  }
+  return times;
+}
+
+void BM_HistogramFill(benchmark::State& state) {
+  const auto values = random_values(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    stats::Histogram h(0.0, 10.0, 300);
+    h.add_all(values);
+    benchmark::DoNotOptimize(h.total_weight());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HistogramFill)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_SavitzkyGolay(benchmark::State& state) {
+  const auto signal = random_values(static_cast<std::size_t>(state.range(0)), 2);
+  const stats::SavitzkyGolay filter({.window = 101, .degree = 3});
+  for (auto _ : state) {
+    auto smoothed = filter.smooth(signal);
+    benchmark::DoNotOptimize(smoothed.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SavitzkyGolay)->Arg(300)->Arg(3'000)->Arg(30'000);
+
+void BM_VoronoiWeights(benchmark::State& state) {
+  const auto times = random_times(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto weights = stats::voronoi_weights(times, 0, times.back() + 10);
+    benchmark::DoNotOptimize(weights.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_VoronoiWeights)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_NearestSampleDraws(benchmark::State& state) {
+  const auto times = random_times(100'000, 4);
+  stats::Random random(5);
+  for (auto _ : state) {
+    auto draws = stats::nearest_sample_draws(times, 0, times.back() + 10,
+                                             static_cast<std::size_t>(state.range(0)), random);
+    benchmark::DoNotOptimize(draws.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NearestSampleDraws)->Arg(10'000)->Arg(100'000);
+
+void BM_BinlogEncode(benchmark::State& state) {
+  auto config = simulate::paper_config(simulate::Scale::kTiny, 6);
+  const auto dataset = simulate::WorkloadGenerator(config).generate().dataset;
+  for (auto _ : state) {
+    std::ostringstream out;
+    telemetry::write_binlog(out, dataset);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dataset.size()));
+}
+BENCHMARK(BM_BinlogEncode);
+
+void BM_BinlogDecode(benchmark::State& state) {
+  auto config = simulate::paper_config(simulate::Scale::kTiny, 7);
+  const auto dataset = simulate::WorkloadGenerator(config).generate().dataset;
+  std::ostringstream out;
+  telemetry::write_binlog(out, dataset);
+  const std::string bytes = out.str();
+  for (auto _ : state) {
+    std::istringstream in(bytes);
+    auto decoded = telemetry::read_binlog(in);
+    benchmark::DoNotOptimize(decoded.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dataset.size()));
+}
+BENCHMARK(BM_BinlogDecode);
+
+void BM_WorkloadGenerator(benchmark::State& state) {
+  const auto config = simulate::paper_config(simulate::Scale::kTiny, 8);
+  std::size_t records = 0;
+  for (auto _ : state) {
+    simulate::WorkloadGenerator generator(config);
+    auto result = generator.generate();
+    records = result.accepted;
+    benchmark::DoNotOptimize(result.dataset.records().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_WorkloadGenerator);
+
+void BM_EndToEndAnalysis(benchmark::State& state) {
+  auto config = simulate::paper_config(simulate::Scale::kTiny, 9);
+  auto generated = simulate::WorkloadGenerator(config).generate();
+  const auto slice = telemetry::validate(generated.dataset)
+                         .dataset.filtered(telemetry::by_action(
+                             telemetry::ActionType::kSelectMail));
+  const core::AutoSensOptions options;
+  for (auto _ : state) {
+    auto result = core::analyze(slice, options);
+    benchmark::DoNotOptimize(result.normalized.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(slice.size()));
+}
+BENCHMARK(BM_EndToEndAnalysis);
+
+}  // namespace

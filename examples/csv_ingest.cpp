@@ -1,0 +1,70 @@
+// Telemetry ingestion round trip: export a workload to CSV (the
+// interoperable format), re-ingest it, scrub it, and run AutoSens — the
+// workflow a downstream user with their own service logs would follow.
+// Also converts to the compact binary log and reports the size ratio.
+//
+// Usage:
+//   csv_ingest [output_directory]
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "report/table.h"
+#include "simulate/generator.h"
+#include "simulate/presets.h"
+#include "telemetry/binlog.h"
+#include "telemetry/csv.h"
+#include "telemetry/filter.h"
+#include "telemetry/validate.h"
+
+int main(int argc, char** argv) {
+  using namespace autosens;
+  const std::filesystem::path dir = argc > 1 ? argv[1] : std::filesystem::temp_directory_path();
+  const auto csv_path = (dir / "autosens_telemetry.csv").string();
+  const auto bin_path = (dir / "autosens_telemetry.bin").string();
+
+  // 1. Produce a telemetry file, as a real service's log exporter would.
+  std::cout << "generating workload and exporting to " << csv_path << "\n";
+  auto generated =
+      simulate::WorkloadGenerator(simulate::paper_config(simulate::Scale::kTiny, 23))
+          .generate();
+  telemetry::write_csv_file(csv_path, generated.dataset);
+  telemetry::write_binlog_file(bin_path, generated.dataset);
+
+  const auto csv_size = std::filesystem::file_size(csv_path);
+  const auto bin_size = std::filesystem::file_size(bin_path);
+  std::cout << "csv: " << csv_size << " bytes, binlog: " << bin_size << " bytes ("
+            << report::Table::num(static_cast<double>(csv_size) /
+                                      static_cast<double>(bin_size),
+                                  1)
+            << "x smaller)\n\n";
+
+  // 2. Ingest, reporting malformed rows instead of silently dropping them.
+  auto read = telemetry::read_csv_file(csv_path);
+  if (!read.errors.empty()) {
+    std::cout << read.errors.size() << " malformed rows:\n";
+    for (const auto& error : read.errors) {
+      std::cout << "  line " << error.line << ": " << error.message << "\n";
+    }
+  }
+
+  // 3. Scrub and analyze.
+  const auto validated = telemetry::validate(read.dataset);
+  std::cout << validated.report.summary() << "\n\n";
+  const auto slice = validated.dataset.filtered(
+      telemetry::by_action(telemetry::ActionType::kSelectMail));
+
+  core::AutoSensOptions options;
+  const auto result = core::analyze(slice, options);
+  report::Table table({"latency (ms)", "normalized latency preference"});
+  for (const double latency : {300.0, 500.0, 750.0, 1000.0}) {
+    table.add_row({report::Table::num(latency, 0),
+                   result.covers(latency) ? report::Table::num(result.at(latency)) : "-"});
+  }
+  table.print(std::cout);
+
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(bin_path);
+  return 0;
+}

@@ -1,0 +1,23 @@
+#include "core/biased.h"
+
+namespace autosens::core {
+
+stats::Histogram make_latency_histogram(const AutoSensOptions& options) {
+  return stats::Histogram::covering(0.0, options.max_latency_ms, options.bin_width_ms);
+}
+
+stats::Histogram biased_histogram(std::span<const double> latencies,
+                                  const AutoSensOptions& options) {
+  auto histogram = make_latency_histogram(options);
+  histogram.add_all(latencies);
+  return histogram;
+}
+
+stats::Histogram biased_histogram(const telemetry::Dataset& dataset,
+                                  const AutoSensOptions& options) {
+  auto histogram = make_latency_histogram(options);
+  for (const auto& record : dataset.records()) histogram.add(record.latency_ms);
+  return histogram;
+}
+
+}  // namespace autosens::core

@@ -1,0 +1,99 @@
+#include "core/confidence.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/pipeline.h"
+#include "stats/descriptive.h"
+#include "telemetry/clock.h"
+
+namespace autosens::core {
+
+telemetry::Dataset day_block_resample(const telemetry::Dataset& dataset,
+                                      stats::Random& random) {
+  if (dataset.empty()) throw std::invalid_argument("day_block_resample: empty dataset");
+  const auto records = dataset.records();
+
+  // Index record ranges per day (records are time-sorted).
+  struct DayRange {
+    std::int64_t day = 0;
+    std::size_t first = 0;
+    std::size_t last = 0;
+  };
+  std::vector<DayRange> days;
+  std::size_t i = 0;
+  while (i < records.size()) {
+    const std::int64_t day = telemetry::day_index(records[i].time_ms);
+    std::size_t j = i;
+    while (j < records.size() && telemetry::day_index(records[j].time_ms) == day) ++j;
+    days.push_back({day, i, j});
+    i = j;
+  }
+
+  telemetry::Dataset resampled;
+  resampled.reserve(records.size());
+  for (std::size_t slot = 0; slot < days.size(); ++slot) {
+    const auto& source = days[random.uniform_index(days.size())];
+    const std::int64_t day_shift =
+        (static_cast<std::int64_t>(slot) - source.day) * telemetry::kMillisPerDay;
+    for (std::size_t k = source.first; k < source.last; ++k) {
+      auto record = records[k];
+      record.time_ms += day_shift;  // keeps time-of-day, moves the day
+      resampled.add(record);
+    }
+  }
+  resampled.sort_by_time();
+  return resampled;
+}
+
+PreferenceWithConfidence analyze_with_confidence(const telemetry::Dataset& dataset,
+                                                 const AutoSensOptions& options,
+                                                 std::vector<double> probe_latencies,
+                                                 const ConfidenceOptions& confidence,
+                                                 stats::Random& random) {
+  if (confidence.replicates == 0) {
+    throw std::invalid_argument("analyze_with_confidence: replicates must be nonzero");
+  }
+  if (!(confidence.confidence > 0.0 && confidence.confidence < 1.0)) {
+    throw std::invalid_argument("analyze_with_confidence: confidence must be in (0,1)");
+  }
+
+  PreferenceWithConfidence result;
+  result.point = analyze(dataset, options);
+  result.probe_latency_ms = std::move(probe_latencies);
+
+  std::vector<std::vector<double>> draws(result.probe_latency_ms.size());
+  for (std::size_t r = 0; r < confidence.replicates; ++r) {
+    const auto resampled = day_block_resample(dataset, random);
+    try {
+      const auto curve = analyze(resampled, options);
+      ++result.usable_replicates;
+      for (std::size_t p = 0; p < result.probe_latency_ms.size(); ++p) {
+        if (curve.covers(result.probe_latency_ms[p])) {
+          draws[p].push_back(curve.at(result.probe_latency_ms[p]));
+        }
+      }
+    } catch (const std::invalid_argument&) {
+      // Degenerate resample (e.g. reference latency unsupported): skip.
+    }
+  }
+
+  result.intervals.resize(result.probe_latency_ms.size());
+  const double alpha = 1.0 - confidence.confidence;
+  for (std::size_t p = 0; p < draws.size(); ++p) {
+    if (draws[p].size() < 2) {
+      // No usable replicates at this probe: degenerate interval around the
+      // point estimate (callers can detect lo == hi).
+      const double point = result.point.covers(result.probe_latency_ms[p])
+                               ? result.point.at(result.probe_latency_ms[p])
+                               : 0.0;
+      result.intervals[p] = {point, point};
+      continue;
+    }
+    result.intervals[p] = {stats::quantile(draws[p], alpha / 2.0),
+                           stats::quantile(draws[p], 1.0 - alpha / 2.0)};
+  }
+  return result;
+}
+
+}  // namespace autosens::core

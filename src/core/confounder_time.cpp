@@ -1,0 +1,284 @@
+#include "core/confounder_time.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "stats/sampling.h"
+
+namespace autosens::core {
+namespace {
+
+/// Guards for per-bin temporal rates inside α estimation.
+constexpr double kMinTimeFraction = 1e-3;   ///< f_T(L) below this is unusable.
+constexpr double kMinReferenceCount = 10.0; ///< Reference bins need real mass.
+constexpr double kAlphaFloor = 0.02;        ///< Clamp so 1/α cannot explode.
+
+struct SlotData {
+  stats::Histogram counts;     ///< c_T per α-bin, pooled across days.
+  stats::Histogram fractions;  ///< Unbiased mass per α-bin (time-weighted).
+  std::size_t records = 0;
+  double total_time = 0.0;     ///< Milliseconds of data in this class.
+};
+
+/// Mean of rate_s / rate_r over latency bins where both are defined.
+/// Rates are per unit time: c(L) / (f(L) * total_time).
+/// Returns NaN if no bin qualifies.
+double pair_alpha(const SlotData& slot, const SlotData& reference) {
+  const double slot_mass = slot.fractions.total_weight();
+  const double ref_mass = reference.fractions.total_weight();
+  if (slot_mass <= 0.0 || ref_mass <= 0.0 || slot.total_time <= 0.0 ||
+      reference.total_time <= 0.0) {
+    return std::nan("");
+  }
+  double sum = 0.0;
+  std::size_t bins = 0;
+  for (std::size_t i = 0; i < slot.counts.size(); ++i) {
+    const double f_s = slot.fractions.count(i) / slot_mass;
+    const double f_r = reference.fractions.count(i) / ref_mass;
+    const double c_r = reference.counts.count(i);
+    if (f_s < kMinTimeFraction || f_r < kMinTimeFraction || c_r < kMinReferenceCount) {
+      continue;
+    }
+    const double rate_s = slot.counts.count(i) / (f_s * slot.total_time);
+    const double rate_r = c_r / (f_r * reference.total_time);
+    sum += rate_s / rate_r;
+    ++bins;
+  }
+  return bins > 0 ? sum / static_cast<double>(bins) : std::nan("");
+}
+
+/// Daily windows of time-of-day class `slot` clipped to [begin, end).
+std::vector<TimeWindow> class_windows(int slot, std::int64_t slot_ms, std::int64_t begin,
+                                      std::int64_t end) {
+  std::vector<TimeWindow> windows;
+  for (std::int64_t day = telemetry::day_index(begin);
+       day * telemetry::kMillisPerDay < end; ++day) {
+    TimeWindow w{.begin_ms = day * telemetry::kMillisPerDay + slot * slot_ms,
+                 .end_ms = day * telemetry::kMillisPerDay + (slot + 1) * slot_ms};
+    w.begin_ms = std::max(w.begin_ms, begin);
+    w.end_ms = std::min(w.end_ms, end);
+    if (w.end_ms > w.begin_ms) windows.push_back(w);
+  }
+  return windows;
+}
+
+}  // namespace
+
+TimeNormalizer::TimeNormalizer(const telemetry::Dataset& dataset,
+                               const AutoSensOptions& options)
+    : options_(options) {
+  if (dataset.empty()) throw std::invalid_argument("TimeNormalizer: empty dataset");
+  if (!dataset.is_sorted()) throw std::invalid_argument("TimeNormalizer: dataset not sorted");
+  if (options_.alpha_slot_ms <= 0 ||
+      telemetry::kMillisPerDay % options_.alpha_slot_ms != 0) {
+    throw std::invalid_argument("TimeNormalizer: alpha_slot_ms must evenly divide a day");
+  }
+  const int class_count =
+      static_cast<int>(telemetry::kMillisPerDay / options_.alpha_slot_ms);
+
+  const std::int64_t data_begin = dataset.begin_time();
+  const std::int64_t data_end = dataset.end_time();
+  const auto times = dataset.times();
+  const auto latencies = dataset.latencies();
+
+  // Build per-class counts and unbiased time fractions, pooled across days.
+  std::vector<SlotData> data;
+  data.reserve(static_cast<std::size_t>(class_count));
+  for (int k = 0; k < class_count; ++k) {
+    const auto windows = class_windows(k, options_.alpha_slot_ms, data_begin, data_end);
+    SlotData sd{.counts = stats::Histogram::covering(0.0, options_.max_latency_ms,
+                                                     options_.alpha_bin_width_ms),
+                .fractions = unbiased_histogram_over_windows(times, latencies, windows,
+                                                             options_.alpha_bin_width_ms,
+                                                             options_.max_latency_ms),
+                .records = 0,
+                .total_time = 0.0};
+    for (const auto& w : windows) sd.total_time += static_cast<double>(w.length());
+    data.push_back(std::move(sd));
+  }
+  for (const auto& record : dataset.records()) {
+    const auto k = static_cast<std::size_t>(
+        ((record.time_ms % telemetry::kMillisPerDay) + telemetry::kMillisPerDay) %
+        telemetry::kMillisPerDay / options_.alpha_slot_ms);
+    data[k].counts.add(record.latency_ms);
+    ++data[k].records;
+  }
+
+  // Reference slots: the busiest classes with enough data (the paper picks
+  // multiple references in turn and averages).
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t k = 0; k < data.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return data[a].records > data[b].records;
+  });
+  std::vector<std::size_t> references;
+  for (const std::size_t idx : order) {
+    if (references.size() >= options_.alpha_reference_slots) break;
+    if (data[idx].records >= options_.alpha_min_slot_records) references.push_back(idx);
+  }
+  if (references.empty()) references.push_back(order.front());
+
+  // Mean reference temporal rate, for the fallback α of sparse classes.
+  double reference_rate = 0.0;
+  for (const std::size_t r : references) {
+    reference_rate += data[r].total_time > 0.0
+                          ? static_cast<double>(data[r].records) / data[r].total_time
+                          : 0.0;
+  }
+  reference_rate /= static_cast<double>(references.size());
+
+  slots_.reserve(data.size());
+  for (int k = 0; k < class_count; ++k) {
+    const auto& sd = data[static_cast<std::size_t>(k)];
+    SlotStat stat{.slot = k,
+                  .records = sd.records,
+                  .total_time_ms = sd.total_time,
+                  .alpha = 1.0,
+                  .alpha_from_fallback = false};
+    double sum = 0.0;
+    std::size_t used = 0;
+    for (const std::size_t r : references) {
+      const double a = pair_alpha(sd, data[r]);
+      if (std::isfinite(a) && a > 0.0) {
+        sum += a;
+        ++used;
+      }
+    }
+    if (used > 0) {
+      stat.alpha = std::max(sum / static_cast<double>(used), kAlphaFloor);
+    } else {
+      // Sparse class: fall back to the overall temporal rate ratio.
+      const double rate =
+          sd.total_time > 0.0 ? static_cast<double>(sd.records) / sd.total_time : 0.0;
+      stat.alpha = std::max(rate / reference_rate, kAlphaFloor);
+      stat.alpha_from_fallback = true;
+    }
+    slots_.push_back(stat);
+  }
+}
+
+double TimeNormalizer::alpha_at(std::int64_t time_ms) const noexcept {
+  const auto k = static_cast<std::size_t>(
+      ((time_ms % telemetry::kMillisPerDay) + telemetry::kMillisPerDay) %
+      telemetry::kMillisPerDay / options_.alpha_slot_ms);
+  return k < slots_.size() ? slots_[k].alpha : 1.0;
+}
+
+stats::Histogram TimeNormalizer::normalized_biased(const telemetry::Dataset& dataset) const {
+  auto histogram =
+      stats::Histogram::covering(0.0, options_.max_latency_ms, options_.bin_width_ms);
+  for (const auto& record : dataset.records()) {
+    histogram.add(record.latency_ms, 1.0 / alpha_at(record.time_ms));
+  }
+  return histogram;
+}
+
+std::vector<TimeWindow> period_windows(const telemetry::Dataset& dataset,
+                                       telemetry::DayPeriod period) {
+  // Hour offsets of each period within a day; evening wraps past midnight.
+  constexpr std::array<std::pair<int, int>, telemetry::kDayPeriodCount> kHours = {
+      {{8, 14}, {14, 20}, {20, 26}, {2, 8}}};
+  const auto [from, to] = kHours[static_cast<std::size_t>(period)];
+  const std::int64_t begin = dataset.begin_time();
+  const std::int64_t end = dataset.end_time();
+  std::vector<TimeWindow> windows;
+  for (std::int64_t day = telemetry::day_index(begin) - 1;
+       day * telemetry::kMillisPerDay < end; ++day) {
+    TimeWindow w{.begin_ms = day * telemetry::kMillisPerDay + from * telemetry::kMillisPerHour,
+                 .end_ms = day * telemetry::kMillisPerDay + to * telemetry::kMillisPerHour};
+    w.begin_ms = std::max(w.begin_ms, begin);
+    w.end_ms = std::min(w.end_ms, end);
+    if (w.end_ms > w.begin_ms) windows.push_back(w);
+  }
+  return windows;
+}
+
+std::array<PeriodAlpha, telemetry::kDayPeriodCount> alpha_by_period(
+    const telemetry::Dataset& dataset, const AutoSensOptions& options,
+    telemetry::DayPeriod reference) {
+  if (dataset.empty()) throw std::invalid_argument("alpha_by_period: empty dataset");
+  const auto times = dataset.times();
+  const auto latencies = dataset.latencies();
+
+  std::vector<SlotData> data;
+  data.reserve(telemetry::kDayPeriodCount);
+  for (int p = 0; p < telemetry::kDayPeriodCount; ++p) {
+    const auto period = static_cast<telemetry::DayPeriod>(p);
+    const auto windows = period_windows(dataset, period);
+    SlotData pd{.counts = stats::Histogram::covering(0.0, options.max_latency_ms,
+                                                     options.alpha_bin_width_ms),
+                .fractions = unbiased_histogram_over_windows(times, latencies, windows,
+                                                             options.alpha_bin_width_ms,
+                                                             options.max_latency_ms),
+                .records = 0,
+                .total_time = 0.0};
+    for (const auto& w : windows) pd.total_time += static_cast<double>(w.length());
+    for (const auto& r : dataset.records()) {
+      if (telemetry::day_period(r.time_ms) == period) {
+        pd.counts.add(r.latency_ms);
+        ++pd.records;
+      }
+    }
+    data.push_back(std::move(pd));
+  }
+
+  const auto& ref = data[static_cast<std::size_t>(reference)];
+  const double ref_mass = ref.fractions.total_weight();
+  std::array<PeriodAlpha, telemetry::kDayPeriodCount> out;
+  for (int p = 0; p < telemetry::kDayPeriodCount; ++p) {
+    auto& pa = out[static_cast<std::size_t>(p)];
+    const auto& pd = data[static_cast<std::size_t>(p)];
+    pa.period = static_cast<telemetry::DayPeriod>(p);
+    pa.records = pd.records;
+    const std::size_t bins = pd.counts.size();
+    pa.latency_ms.resize(bins);
+    pa.alpha.assign(bins, 0.0);
+    pa.valid.assign(bins, 0);
+    const double period_mass = pd.fractions.total_weight();
+    double sum = 0.0;
+    std::size_t used = 0;
+    for (std::size_t i = 0; i < bins; ++i) {
+      pa.latency_ms[i] = pd.counts.bin_center(i);
+      if (period_mass <= 0.0 || ref_mass <= 0.0) continue;
+      const double f_p = pd.fractions.count(i) / period_mass;
+      const double f_r = ref.fractions.count(i) / ref_mass;
+      const double c_r = ref.counts.count(i);
+      if (f_p < kMinTimeFraction || f_r < kMinTimeFraction || c_r < kMinReferenceCount) {
+        continue;
+      }
+      const double rate_p = pd.counts.count(i) / (f_p * pd.total_time);
+      const double rate_r = c_r / (f_r * ref.total_time);
+      pa.alpha[i] = rate_p / rate_r;
+      pa.valid[i] = 1;
+      sum += pa.alpha[i];
+      ++used;
+    }
+    pa.mean_alpha = used > 0 ? sum / static_cast<double>(used) : 0.0;
+  }
+  return out;
+}
+
+TwoSlotExample normalize_two_slot_example(double day_count_low, double day_count_high,
+                                          double day_frac_low, double day_frac_high,
+                                          double night_count_low, double night_count_high,
+                                          double night_frac_low, double night_frac_high) {
+  TwoSlotExample out;
+  // Naive pooling (what ignoring the confounder would conclude).
+  out.naive_low = (day_count_low + night_count_low) / (day_frac_low + night_frac_low);
+  out.naive_high = (day_count_high + night_count_high) / (day_frac_high + night_frac_high);
+  // α per latency bin with "day" as reference, then averaged (§2.4.1).
+  out.alpha_low = (night_count_low / night_frac_low) / (day_count_low / day_frac_low);
+  out.alpha_high = (night_count_high / night_frac_high) / (day_count_high / day_frac_high);
+  out.alpha = 0.5 * (out.alpha_low + out.alpha_high);
+  // Normalized night counts and the pooled activity estimate.
+  out.normalized_low = night_count_low / out.alpha;
+  out.normalized_high = night_count_high / out.alpha;
+  out.activity_low = (day_count_low + out.normalized_low) / (day_frac_low + night_frac_low);
+  out.activity_high =
+      (day_count_high + out.normalized_high) / (day_frac_high + night_frac_high);
+  return out;
+}
+
+}  // namespace autosens::core

@@ -1,0 +1,61 @@
+// Precondition checks for natural experiments (§2.1): users can only act on
+// latency if it is predictable, i.e. temporally local. Two prongs:
+//   1. the von Neumann MSD/MAD ratio of the latency series of user actions,
+//      compared against a randomly shuffled series (≈ its value under
+//      exchangeability) and a fully sorted series (≈ 0) — paper Fig 1;
+//   2. the correlation between per-window sample density and per-window mean
+//      latency — negative when low-latency periods cluster with high
+//      activity — paper Fig 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+#include "stats/timeseries.h"
+#include "telemetry/clock.h"
+#include "telemetry/dataset.h"
+
+namespace autosens::core {
+
+struct LocalityReport {
+  double msd_mad_actual = 0.0;    ///< Ratio on the observed series.
+  double msd_mad_shuffled = 0.0;  ///< Mean ratio over random shuffles.
+  double msd_mad_sorted = 0.0;    ///< Ratio on the latency-sorted series.
+  /// Pearson correlation of per-window action count vs mean latency,
+  /// over windows with at least `min_window_samples` samples.
+  double density_latency_correlation = 0.0;
+  /// The same correlation after dividing each window's count and latency by
+  /// its hour-of-day mean. The raw correlation superimposes two effects of
+  /// opposite sign — the diurnal confounder (busy hours are slow AND active,
+  /// pushing positive) and the preference effect (transient slow spells have
+  /// fewer actions, pushing negative); detrending by hour-of-day isolates
+  /// the second, which is the locality signal the paper's Fig 2 shows.
+  double detrended_density_latency_correlation = 0.0;
+  std::size_t samples = 0;
+  std::size_t windows_used = 0;
+};
+
+struct LocalityOptions {
+  std::int64_t window_ms = telemetry::kMillisPerMinute;  ///< Paper: 1 minute.
+  std::size_t shuffles = 5;
+  std::size_t min_window_samples = 1;
+};
+
+/// Analyze temporal locality of the latency series of a (sorted) dataset.
+/// Throws std::invalid_argument on an empty dataset.
+LocalityReport analyze_locality(const telemetry::Dataset& dataset,
+                                const LocalityOptions& options, stats::Random& random);
+
+/// The normalized activity/latency time series of Fig 2: per-window action
+/// counts and mean latencies, both min-max normalized to [0, 1].
+struct ActivityLatencySeries {
+  std::vector<std::int64_t> window_begin_ms;
+  std::vector<double> activity;  ///< Normalized action rate.
+  std::vector<double> latency;   ///< Normalized mean latency (0 = window empty).
+};
+
+ActivityLatencySeries activity_latency_series(const telemetry::Dataset& dataset,
+                                              std::int64_t window_ms);
+
+}  // namespace autosens::core

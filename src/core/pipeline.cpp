@@ -1,0 +1,64 @@
+#include "core/pipeline.h"
+
+#include <stdexcept>
+
+#include "core/biased.h"
+
+namespace autosens::core {
+
+AnalysisResult analyze_detailed(const telemetry::Dataset& dataset,
+                                const AutoSensOptions& options) {
+  if (dataset.empty()) throw std::invalid_argument("analyze: empty dataset");
+
+  stats::Histogram biased = make_latency_histogram(options);
+  std::vector<SlotStat> slots;
+  if (options.normalize_time_confounder) {
+    const TimeNormalizer normalizer(dataset, options);
+    biased = normalizer.normalized_biased(dataset);
+    slots = normalizer.slots();
+  } else {
+    biased = biased_histogram(dataset, options);
+  }
+
+  stats::Histogram unbiased = unbiased_histogram(dataset, options);
+  auto preference = compute_preference(biased, unbiased, options);
+  // The α-normalization rescales weights; report the actual record count.
+  preference.biased_samples = dataset.size();
+  return AnalysisResult{.preference = std::move(preference),
+                        .biased = std::move(biased),
+                        .unbiased = std::move(unbiased),
+                        .slots = std::move(slots)};
+}
+
+PreferenceResult analyze(const telemetry::Dataset& dataset, const AutoSensOptions& options) {
+  return analyze_detailed(dataset, options).preference;
+}
+
+AnalysisResult analyze_over_windows(const telemetry::Dataset& dataset,
+                                    std::span<const TimeWindow> windows,
+                                    const AutoSensOptions& options) {
+  if (dataset.empty()) throw std::invalid_argument("analyze_over_windows: empty dataset");
+  if (windows.empty()) throw std::invalid_argument("analyze_over_windows: no windows");
+
+  stats::Histogram biased = make_latency_histogram(options);
+  std::vector<SlotStat> slots;
+  if (options.normalize_time_confounder) {
+    const TimeNormalizer normalizer(dataset, options);
+    biased = normalizer.normalized_biased(dataset);
+    slots = normalizer.slots();
+  } else {
+    biased = biased_histogram(dataset, options);
+  }
+
+  stats::Histogram unbiased = unbiased_histogram_over_windows(
+      dataset.times(), dataset.latencies(), windows, options.bin_width_ms,
+      options.max_latency_ms);
+  auto preference = compute_preference(biased, unbiased, options);
+  preference.biased_samples = dataset.size();
+  return AnalysisResult{.preference = std::move(preference),
+                        .biased = std::move(biased),
+                        .unbiased = std::move(unbiased),
+                        .slots = std::move(slots)};
+}
+
+}  // namespace autosens::core

@@ -1,0 +1,42 @@
+// The end-to-end AutoSens pipeline: dataset → (α-normalized) biased
+// distribution + unbiased distribution → smoothed, normalized latency
+// preference. This is the primary entry point of the library.
+#pragma once
+
+#include <vector>
+
+#include "core/confounder_time.h"
+#include "core/options.h"
+#include "core/preference.h"
+#include "core/unbiased.h"
+#include "stats/histogram.h"
+#include "telemetry/dataset.h"
+
+namespace autosens::core {
+
+/// Everything one analysis produces; `preference` is the headline result.
+struct AnalysisResult {
+  PreferenceResult preference;
+  stats::Histogram biased;    ///< α-normalized when enabled in options.
+  stats::Histogram unbiased;
+  std::vector<SlotStat> slots;  ///< Empty when normalization is disabled.
+};
+
+/// Run AutoSens on a sorted, scrubbed dataset whose observation window is
+/// the dataset's own [begin, end) range. Throws std::invalid_argument on
+/// empty input or an unsupported reference latency.
+AnalysisResult analyze_detailed(const telemetry::Dataset& dataset,
+                                const AutoSensOptions& options);
+
+/// Convenience: just the preference curve.
+PreferenceResult analyze(const telemetry::Dataset& dataset, const AutoSensOptions& options);
+
+/// Run AutoSens on a dataset observed only during `windows` (sorted,
+/// disjoint) — e.g. the daily 6-hour chunks of a time-of-day slice (§3.6).
+/// The unbiased distribution is estimated within each window to avoid the
+/// huge artificial Voronoi cells a gap would create.
+AnalysisResult analyze_over_windows(const telemetry::Dataset& dataset,
+                                    std::span<const TimeWindow> windows,
+                                    const AutoSensOptions& options);
+
+}  // namespace autosens::core

@@ -1,0 +1,58 @@
+// Scalar summaries of a preference curve, plus a cheap pre-analysis
+// screening test. Service owners rarely consume a whole curve; they ask
+// "how sensitive is this action, in one number?" and "is it worth running
+// the full analysis on this slice at all?".
+#pragma once
+
+#include <string_view>
+
+#include "core/options.h"
+#include "core/preference.h"
+#include "stats/histogram.h"
+#include "telemetry/dataset.h"
+
+namespace autosens::core {
+
+/// Qualitative sensitivity classes, thresholded on the 1-second drop.
+enum class SensitivityClass {
+  kInsensitive,  ///< < 5 % drop at 1 s vs the reference.
+  kModerate,     ///< 5–15 %.
+  kHigh,         ///< > 15 %.
+};
+
+std::string_view to_string(SensitivityClass c) noexcept;
+
+/// One-number views of a preference curve.
+struct SensitivitySummary {
+  double drop_at_500ms = 0.0;   ///< 1 - NLP(500), 0 when unsupported.
+  double drop_at_1000ms = 0.0;
+  double drop_at_2000ms = 0.0;
+  /// Mean d(NLP)/d(latency) over [reference, 1500 ms], per 100 ms — the
+  /// "latency elasticity" of this activity (negative = activity falls).
+  double slope_per_100ms = 0.0;
+  /// Latency at which NLP first falls below 0.8 (0 if it never does within
+  /// the supported range).
+  double latency_at_nlp_08 = 0.0;
+  SensitivityClass classification = SensitivityClass::kInsensitive;
+};
+
+/// Summarize a computed preference curve. Unsupported probes yield zeros.
+SensitivitySummary summarize(const PreferenceResult& preference);
+
+/// Cheap screening: distribution distances between B and U without the
+/// smoothing/normalization machinery. A slice whose biased and unbiased
+/// distributions are statistically indistinguishable cannot yield a
+/// meaningful preference curve.
+struct ScreeningReport {
+  double total_variation = 0.0;
+  double kolmogorov_smirnov = 0.0;
+  double mean_shift_ms = 0.0;  ///< mean(B) - mean(U); negative = leans fast.
+  bool worth_analyzing = false;
+};
+
+/// Runs the B/U estimation only (honoring options.unbiased_method) and
+/// compares. `min_distance` is the TV-distance threshold for the verdict.
+ScreeningReport screen(const telemetry::Dataset& dataset, const AutoSensOptions& options,
+                       double min_distance = 0.01);
+
+}  // namespace autosens::core

@@ -1,0 +1,111 @@
+#include "core/slices.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace autosens::core {
+namespace {
+
+using telemetry::ActionType;
+using telemetry::Dataset;
+using telemetry::UserClass;
+
+/// Run `analyze` on a slice, skipping slices that cannot support a curve.
+void try_add(std::vector<NamedPreference>& out, std::string name, const Dataset& slice,
+             const AutoSensOptions& options) {
+  if (slice.empty()) return;
+  try {
+    auto result = analyze(slice, options);
+    out.push_back({std::move(name), std::move(result), slice.size()});
+  } catch (const std::invalid_argument&) {
+    // Not enough support for this slice; callers see it as absent.
+  }
+}
+
+}  // namespace
+
+std::vector<NamedPreference> preference_by_action(const Dataset& dataset,
+                                                  const AutoSensOptions& options,
+                                                  std::optional<UserClass> user_class) {
+  std::vector<NamedPreference> out;
+  for (const auto type : {ActionType::kSelectMail, ActionType::kSwitchFolder,
+                          ActionType::kSearch, ActionType::kComposeSend}) {
+    auto predicate = telemetry::by_action(type);
+    if (user_class) {
+      predicate = telemetry::all_of({predicate, telemetry::by_user_class(*user_class)});
+    }
+    try_add(out, std::string(telemetry::to_string(type)), dataset.filtered(predicate),
+            options);
+  }
+  return out;
+}
+
+std::vector<NamedPreference> preference_by_user_class(const Dataset& dataset,
+                                                      const AutoSensOptions& options,
+                                                      ActionType action) {
+  std::vector<NamedPreference> out;
+  for (const auto user_class : {UserClass::kBusiness, UserClass::kConsumer}) {
+    const auto slice = dataset.filtered(telemetry::all_of(
+        {telemetry::by_action(action), telemetry::by_user_class(user_class)}));
+    try_add(out, std::string(telemetry::to_string(user_class)), slice, options);
+  }
+  return out;
+}
+
+std::vector<NamedPreference> preference_by_quartile(const Dataset& dataset,
+                                                    const Dataset& quartile_basis,
+                                                    const AutoSensOptions& options,
+                                                    ActionType action,
+                                                    std::optional<UserClass> user_class) {
+  const telemetry::UserQuartiles quartiles(quartile_basis);
+  std::vector<NamedPreference> out;
+  for (int q = 0; q < telemetry::UserQuartiles::kQuartileCount; ++q) {
+    auto predicate =
+        telemetry::all_of({telemetry::by_action(action), quartiles.in_quartile(q)});
+    if (user_class) {
+      predicate = telemetry::all_of({predicate, telemetry::by_user_class(*user_class)});
+    }
+    try_add(out, "Q" + std::to_string(q + 1), dataset.filtered(predicate), options);
+  }
+  return out;
+}
+
+std::vector<NamedPreference> preference_by_period(const Dataset& dataset,
+                                                  const AutoSensOptions& options,
+                                                  ActionType action,
+                                                  UserClass user_class) {
+  std::vector<NamedPreference> out;
+  for (int p = 0; p < telemetry::kDayPeriodCount; ++p) {
+    const auto period = static_cast<telemetry::DayPeriod>(p);
+    const auto slice = dataset.filtered(telemetry::all_of(
+        {telemetry::by_action(action), telemetry::by_user_class(user_class),
+         telemetry::by_period(period)}));
+    if (slice.empty()) continue;
+    const auto windows = period_windows(slice, period);
+    try {
+      auto result = analyze_over_windows(slice, windows, options);
+      out.push_back({std::string(telemetry::to_string(period)),
+                     std::move(result.preference), slice.size()});
+    } catch (const std::invalid_argument&) {
+      // Slice too thin; skip.
+    }
+  }
+  return out;
+}
+
+std::vector<NamedPreference> preference_by_month(const Dataset& dataset,
+                                                 const AutoSensOptions& options,
+                                                 ActionType action) {
+  std::vector<NamedPreference> out;
+  if (dataset.empty()) return out;
+  const std::int64_t first_month = telemetry::month_index(dataset.begin_time());
+  const std::int64_t last_month = telemetry::month_index(dataset.end_time() - 1);
+  for (std::int64_t m = first_month; m <= last_month; ++m) {
+    const auto slice = dataset.filtered(
+        telemetry::all_of({telemetry::by_action(action), telemetry::by_month(m)}));
+    try_add(out, "Month" + std::to_string(m + 1), slice, options);
+  }
+  return out;
+}
+
+}  // namespace autosens::core

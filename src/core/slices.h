@@ -1,0 +1,57 @@
+// The evaluation slices of the paper, packaged: per action type (§3.2),
+// business vs consumer (§3.3), conditioning-to-speed quartiles (§3.4),
+// time-of-day periods (§3.6), and months (§3.7). Each returns named
+// preference curves ready for reporting.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/pipeline.h"
+#include "telemetry/dataset.h"
+#include "telemetry/filter.h"
+
+namespace autosens::core {
+
+struct NamedPreference {
+  std::string name;
+  PreferenceResult result;
+  std::size_t records = 0;
+};
+
+/// One curve per action type (SelectMail, SwitchFolder, Search, ComposeSend),
+/// optionally restricted to one user class. Slices whose analysis fails
+/// (e.g. too little data) are skipped.
+std::vector<NamedPreference> preference_by_action(
+    const telemetry::Dataset& dataset, const AutoSensOptions& options,
+    std::optional<telemetry::UserClass> user_class = std::nullopt);
+
+/// Business vs consumer for one action type (paper: SelectMail).
+std::vector<NamedPreference> preference_by_user_class(const telemetry::Dataset& dataset,
+                                                      const AutoSensOptions& options,
+                                                      telemetry::ActionType action);
+
+/// Q1..Q4 by per-user median latency. Quartiles are computed over
+/// `quartile_basis` (typically the full scrubbed dataset, so a user's
+/// cohort does not depend on the action slice), then the analysis runs on
+/// `dataset` filtered per quartile + action (+ optional class).
+std::vector<NamedPreference> preference_by_quartile(
+    const telemetry::Dataset& dataset, const telemetry::Dataset& quartile_basis,
+    const AutoSensOptions& options, telemetry::ActionType action,
+    std::optional<telemetry::UserClass> user_class = std::nullopt);
+
+/// The four 6-hour day periods for one action type and class. Uses
+/// window-restricted unbiased estimation (analyze_over_windows).
+std::vector<NamedPreference> preference_by_period(const telemetry::Dataset& dataset,
+                                                  const AutoSensOptions& options,
+                                                  telemetry::ActionType action,
+                                                  telemetry::UserClass user_class);
+
+/// One curve per 30-day month present in the data, for one action type.
+std::vector<NamedPreference> preference_by_month(const telemetry::Dataset& dataset,
+                                                 const AutoSensOptions& options,
+                                                 telemetry::ActionType action);
+
+}  // namespace autosens::core

@@ -1,0 +1,70 @@
+// Streaming AutoSens: a running normalized-latency-preference estimate over
+// an unbounded, chronological record stream — what a production monitor
+// ingesting a live collector feed needs (the batch pipeline requires the
+// whole dataset in memory).
+//
+// Approximations relative to the batch path, both one-sided and small:
+//   * U weighting is hold-last instead of nearest-sample: sample i owns the
+//     interval [t_i, t_{i+1}) rather than the Voronoi cell around t_i —
+//     the same time-weighting shifted by half a gap. For gap distributions
+//     symmetric in time (ours are), the binned U is statistically identical.
+//   * α uses the same time-of-day-class machinery as the batch
+//     TimeNormalizer, recomputed at snapshot time from streaming per-class
+//     accumulators, so snapshots converge to the batch estimate.
+// Memory is O(bins): independent of how many records have been fed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/options.h"
+#include "core/preference.h"
+#include "stats/histogram.h"
+#include "telemetry/record.h"
+
+namespace autosens::core {
+
+class StreamingAutoSens {
+ public:
+  /// Validates options eagerly (geometry, smoothing, α slots).
+  explicit StreamingAutoSens(AutoSensOptions options);
+
+  /// Feed one record. Records must arrive in non-decreasing time order
+  /// (throws std::invalid_argument otherwise — feed from a collector or a
+  /// sorted log). Error-status records are counted but excluded, matching
+  /// telemetry::validate's default policy.
+  void feed(const telemetry::ActionRecord& record);
+
+  std::size_t records_seen() const noexcept { return seen_; }
+  std::size_t records_used() const noexcept { return used_; }
+
+  /// Compute the preference curve from everything fed so far. Requires
+  /// enough supported data, like the batch path (throws otherwise). The
+  /// stream can continue to be fed after a snapshot.
+  PreferenceResult snapshot() const;
+
+  /// The current α estimate per time-of-day class (diagnostics).
+  std::vector<double> alpha_by_class() const;
+
+ private:
+  struct ClassState {
+    stats::Histogram counts_fine;   ///< B counts, analysis bins.
+    stats::Histogram counts_alpha;  ///< B counts, α bins.
+    stats::Histogram time_alpha;    ///< Time at latency, α bins (ms).
+    double total_time_ms = 0.0;
+    std::size_t records = 0;
+  };
+
+  std::size_t class_of(std::int64_t time_ms) const noexcept;
+  std::vector<double> compute_alpha() const;
+
+  AutoSensOptions options_;
+  std::vector<ClassState> classes_;
+  stats::Histogram unbiased_time_;  ///< Global U: time-weighted, analysis bins.
+  std::optional<telemetry::ActionRecord> previous_;
+  std::size_t seen_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace autosens::core

@@ -1,0 +1,80 @@
+#include "core/unbiased.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/biased.h"
+#include "stats/sampling.h"
+
+namespace autosens::core {
+
+stats::Histogram unbiased_histogram_mc(std::span<const std::int64_t> times,
+                                       std::span<const double> latencies,
+                                       TimeWindow window, const AutoSensOptions& options,
+                                       stats::Random& random) {
+  if (times.size() != latencies.size()) {
+    throw std::invalid_argument("unbiased_histogram_mc: size mismatch");
+  }
+  auto histogram = make_latency_histogram(options);
+  const auto draws = stats::nearest_sample_draws(times, window.begin_ms, window.end_ms,
+                                                 options.unbiased_draws, random);
+  for (const std::size_t idx : draws) histogram.add(latencies[idx]);
+  return histogram;
+}
+
+stats::Histogram unbiased_histogram_voronoi(std::span<const std::int64_t> times,
+                                            std::span<const double> latencies,
+                                            TimeWindow window,
+                                            const AutoSensOptions& options) {
+  if (times.size() != latencies.size()) {
+    throw std::invalid_argument("unbiased_histogram_voronoi: size mismatch");
+  }
+  auto histogram = make_latency_histogram(options);
+  const auto weights = stats::voronoi_weights(times, window.begin_ms, window.end_ms);
+  for (std::size_t i = 0; i < times.size(); ++i) histogram.add(latencies[i], weights[i]);
+  return histogram;
+}
+
+stats::Histogram unbiased_histogram_over_windows(std::span<const std::int64_t> times,
+                                                 std::span<const double> latencies,
+                                                 std::span<const TimeWindow> windows,
+                                                 double bin_width_ms, double max_latency_ms) {
+  if (times.size() != latencies.size()) {
+    throw std::invalid_argument("unbiased_histogram_over_windows: size mismatch");
+  }
+  auto histogram = stats::Histogram::covering(0.0, max_latency_ms, bin_width_ms);
+  for (const auto& window : windows) {
+    if (!(window.end_ms > window.begin_ms)) {
+      throw std::invalid_argument("unbiased_histogram_over_windows: empty window");
+    }
+    // Samples inside this window only.
+    const auto first = std::lower_bound(times.begin(), times.end(), window.begin_ms);
+    const auto last = std::lower_bound(times.begin(), times.end(), window.end_ms);
+    const auto lo = static_cast<std::size_t>(first - times.begin());
+    const auto count = static_cast<std::size_t>(last - first);
+    if (count == 0) continue;
+    const auto weights =
+        stats::voronoi_weights(times.subspan(lo, count), window.begin_ms, window.end_ms);
+    // Weight by window duration so pooled U is time-weighted across windows.
+    const double duration = static_cast<double>(window.length());
+    for (std::size_t i = 0; i < count; ++i) {
+      histogram.add(latencies[lo + i], weights[i] * duration);
+    }
+  }
+  return histogram;
+}
+
+stats::Histogram unbiased_histogram(const telemetry::Dataset& dataset,
+                                    const AutoSensOptions& options) {
+  if (dataset.empty()) throw std::invalid_argument("unbiased_histogram: empty dataset");
+  const auto times = dataset.times();
+  const auto latencies = dataset.latencies();
+  const TimeWindow window{.begin_ms = dataset.begin_time(), .end_ms = dataset.end_time()};
+  if (options.unbiased_method == UnbiasedMethod::kMonteCarlo) {
+    stats::Random random(options.seed);
+    return unbiased_histogram_mc(times, latencies, window, options, random);
+  }
+  return unbiased_histogram_voronoi(times, latencies, window, options);
+}
+
+}  // namespace autosens::core

@@ -1,0 +1,55 @@
+// The unbiased latency distribution U (§2.2): the latency the service would
+// have delivered at times unrelated to user activity. Estimated from the
+// biased samples themselves by nearest-in-time sampling at uniformly random
+// times — either literally (Monte Carlo, as in the paper) or via the exact
+// Voronoi-cell expectation of that procedure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/options.h"
+#include "stats/histogram.h"
+#include "stats/rng.h"
+#include "telemetry/dataset.h"
+
+namespace autosens::core {
+
+/// A half-open time window [begin_ms, end_ms).
+struct TimeWindow {
+  std::int64_t begin_ms = 0;
+  std::int64_t end_ms = 0;
+  std::int64_t length() const noexcept { return end_ms - begin_ms; }
+};
+
+/// U over one window via the paper's Monte-Carlo procedure. `times` sorted
+/// ascending, aligned with `latencies`; only samples' nearest-relation to
+/// random times in the window matters, so samples may lie outside it.
+stats::Histogram unbiased_histogram_mc(std::span<const std::int64_t> times,
+                                       std::span<const double> latencies,
+                                       TimeWindow window, const AutoSensOptions& options,
+                                       stats::Random& random);
+
+/// U over one window via exact Voronoi weights (deterministic).
+stats::Histogram unbiased_histogram_voronoi(std::span<const std::int64_t> times,
+                                            std::span<const double> latencies,
+                                            TimeWindow window,
+                                            const AutoSensOptions& options);
+
+/// U pooled over several disjoint windows, each weighted by its duration
+/// and estimated from only the samples inside it (used for per-period and
+/// per-slot distributions, §2.4.1 / §3.6). Windows must be sorted and
+/// non-overlapping; windows without samples contribute nothing.
+/// `bin_width_ms` lets callers pick the α-estimation bin width.
+stats::Histogram unbiased_histogram_over_windows(std::span<const std::int64_t> times,
+                                                 std::span<const double> latencies,
+                                                 std::span<const TimeWindow> windows,
+                                                 double bin_width_ms, double max_latency_ms);
+
+/// Dataset-level convenience over the dataset's own [begin, end) window,
+/// honoring options.unbiased_method.
+stats::Histogram unbiased_histogram(const telemetry::Dataset& dataset,
+                                    const AutoSensOptions& options);
+
+}  // namespace autosens::core

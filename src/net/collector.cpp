@@ -1,0 +1,140 @@
+#include "net/collector.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <array>
+#include <cerrno>
+#include <utility>
+#include <vector>
+
+#include "net/wire.h"
+#include "telemetry/binlog.h"
+
+namespace autosens::net {
+
+struct Collector::Connection {
+  Socket socket;
+  FrameDecoder decoder;
+  bool saw_goodbye = false;
+};
+
+Collector::Collector(std::uint16_t port) { listener_ = listen_tcp(port, port_); }
+
+std::size_t Collector::drain_frames(Connection& connection) {
+  std::size_t goodbyes = 0;
+  while (auto frame = connection.decoder.next()) {
+    ++stats_.frames;
+    switch (frame->type) {
+      case FrameType::kData: {
+        const auto records = telemetry::codec::decode_batch(frame->payload);
+        stats_.records += records.size();
+        for (const auto& r : records) dataset_.add(r);
+        break;
+      }
+      case FrameType::kFlush:
+        ++stats_.flushes;
+        break;
+      case FrameType::kGoodbye:
+        connection.saw_goodbye = true;
+        ++goodbyes;
+        break;
+    }
+  }
+  return goodbyes;
+}
+
+bool Collector::serve_until_goodbye(std::size_t expected_goodbyes, int timeout_ms) {
+  std::vector<Connection> connections;
+  std::size_t goodbyes = 0;
+
+  while (goodbyes < expected_goodbyes) {
+    std::vector<pollfd> fds;
+    fds.reserve(connections.size() + 1);
+    fds.push_back({.fd = listener_.fd(), .events = POLLIN, .revents = 0});
+    for (const auto& connection : connections) {
+      fds.push_back({.fd = connection.socket.fd(), .events = POLLIN, .revents = 0});
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError("poll()", errno);
+    }
+    if (ready == 0) return false;  // idle timeout
+
+    // New connection?
+    if (fds[0].revents & POLLIN) {
+      const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+      if (fd >= 0) {
+        connections.push_back({Socket(fd), FrameDecoder{}, false});
+        ++stats_.connections;
+      } else if (errno != EINTR && errno != EAGAIN) {
+        throw SocketError("accept()", errno);
+      }
+    }
+
+    // Data on existing connections. Iterate over the snapshot taken before
+    // the accept; indices into `fds` are connection index + 1.
+    std::vector<std::size_t> to_close;
+    const std::size_t polled = fds.size() - 1;
+    for (std::size_t i = 0; i < polled; ++i) {
+      if (!(fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      auto& connection = connections[i];
+      std::array<std::uint8_t, 16384> buffer;
+      const ssize_t n = ::recv(connection.socket.fd(), buffer.data(), buffer.size(), 0);
+      if (n > 0) {
+        connection.decoder.feed(
+            std::span<const std::uint8_t>(buffer.data(), static_cast<std::size_t>(n)));
+        try {
+          goodbyes += drain_frames(connection);
+        } catch (const std::runtime_error&) {
+          // Malformed stream: drop the connection, keep decoded records.
+          ++stats_.dropped_connections;
+          to_close.push_back(i);
+          continue;
+        }
+        if (connection.saw_goodbye) to_close.push_back(i);
+      } else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
+        // Peer closed (with or without goodbye) or hard error.
+        if (n < 0) ++stats_.dropped_connections;
+        to_close.push_back(i);
+      }
+    }
+    // Close back-to-front so indices stay valid.
+    for (auto it = to_close.rbegin(); it != to_close.rend(); ++it) {
+      connections.erase(connections.begin() + static_cast<std::ptrdiff_t>(*it));
+    }
+  }
+  return true;
+}
+
+telemetry::Dataset Collector::take_dataset() {
+  dataset_.sort_by_time();
+  return std::exchange(dataset_, telemetry::Dataset{});
+}
+
+CollectorThread::CollectorThread(std::size_t expected_goodbyes, std::uint16_t port)
+    : collector_(port), port_(collector_.port()) {
+  thread_ = std::thread([this, expected_goodbyes] {
+    collector_.serve_until_goodbye(expected_goodbyes, /*timeout_ms=*/30'000);
+    done_.store(true, std::memory_order_release);
+  });
+}
+
+CollectorThread::~CollectorThread() {
+  if (thread_.joinable()) thread_.join();
+}
+
+telemetry::Dataset CollectorThread::join() {
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lock(mutex_);
+  return collector_.take_dataset();
+}
+
+CollectorStats CollectorThread::stats() const {
+  std::lock_guard lock(mutex_);
+  return collector_.stats();
+}
+
+}  // namespace autosens::net

@@ -1,0 +1,86 @@
+// Telemetry collector: the "server side" of the paper's measurement path.
+// Accepts loopback TCP connections from emitters, decodes record frames, and
+// accumulates them into a Dataset (the analysis input). Single-threaded,
+// poll()-driven; runs either inline (serve_until_goodbye) or on a background
+// thread via CollectorThread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+#include "telemetry/dataset.h"
+
+namespace autosens::net {
+
+/// Collection statistics.
+struct CollectorStats {
+  std::size_t connections = 0;
+  std::size_t frames = 0;
+  std::size_t records = 0;
+  std::size_t flushes = 0;
+  std::size_t dropped_connections = 0;  ///< Closed on protocol/transport error.
+};
+
+/// Synchronous collector over an already-listening socket. Serves any number
+/// of concurrent emitter connections with a single poll() loop — reads may
+/// interleave arbitrarily across clients; frames are reassembled per
+/// connection (wire::FrameDecoder).
+class Collector {
+ public:
+  /// Binds 127.0.0.1:port (0 = ephemeral).
+  explicit Collector(std::uint16_t port = 0);
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Serve until `expected_goodbyes` clients have sent kGoodbye, or until
+  /// `timeout_ms` elapses with no socket activity at all (whichever first).
+  /// Returns true if all goodbyes arrived. Malformed or error-ing
+  /// connections are dropped (their already-decoded records are kept) and
+  /// counted in stats().dropped_connections.
+  bool serve_until_goodbye(std::size_t expected_goodbyes, int timeout_ms = 5000);
+
+  const telemetry::Dataset& dataset() const noexcept { return dataset_; }
+  telemetry::Dataset take_dataset();
+  const CollectorStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Connection;
+
+  /// Drain complete frames from one connection; returns the number of
+  /// goodbye frames seen (0 or 1).
+  std::size_t drain_frames(Connection& connection);
+
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  telemetry::Dataset dataset_;
+  CollectorStats stats_;
+};
+
+/// Runs a Collector on a background thread; join() returns the dataset.
+class CollectorThread {
+ public:
+  explicit CollectorThread(std::size_t expected_goodbyes, std::uint16_t port = 0);
+  ~CollectorThread();
+
+  CollectorThread(const CollectorThread&) = delete;
+  CollectorThread& operator=(const CollectorThread&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Wait for the collector to finish and take its dataset + stats.
+  telemetry::Dataset join();
+  CollectorStats stats() const;
+
+ private:
+  Collector collector_;
+  std::uint16_t port_;
+  std::thread thread_;
+  std::atomic<bool> done_{false};
+  mutable std::mutex mutex_;
+};
+
+}  // namespace autosens::net

@@ -1,0 +1,56 @@
+#include "net/emitter.h"
+
+#include <stdexcept>
+
+#include "net/wire.h"
+
+namespace autosens::net {
+
+Emitter::Emitter(std::uint16_t port, EmitterOptions options)
+    : socket_(connect_tcp(port)), options_(options) {
+  if (options_.batch_size == 0) {
+    throw std::invalid_argument("Emitter: batch_size must be nonzero");
+  }
+  pending_.reserve(options_.batch_size);
+}
+
+Emitter::~Emitter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; an unreachable collector at teardown is
+    // not recoverable here.
+  }
+}
+
+void Emitter::record(const telemetry::ActionRecord& record) {
+  if (closed_) throw std::logic_error("Emitter::record: emitter already closed");
+  pending_.push_back(record);
+  if (pending_.size() >= options_.batch_size) send_pending();
+}
+
+void Emitter::send_pending() {
+  if (pending_.empty()) return;
+  send_records(socket_, pending_);
+  sent_records_ += pending_.size();
+  ++sent_frames_;
+  pending_.clear();
+}
+
+void Emitter::flush() {
+  if (closed_) throw std::logic_error("Emitter::flush: emitter already closed");
+  send_pending();
+  send_frame(socket_, Frame{.type = FrameType::kFlush, .payload = {}});
+  ++sent_frames_;
+}
+
+void Emitter::close() {
+  if (closed_) return;
+  send_pending();
+  send_frame(socket_, Frame{.type = FrameType::kGoodbye, .payload = {}});
+  ++sent_frames_;
+  closed_ = true;
+  socket_.close();
+}
+
+}  // namespace autosens::net

@@ -1,0 +1,50 @@
+// Telemetry emitter: the "client side" of the measurement path. Buffers
+// ActionRecords and ships them to a Collector in batched frames, mirroring
+// how a web client batches beacons back to the service (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/socket.h"
+#include "telemetry/record.h"
+
+namespace autosens::net {
+
+struct EmitterOptions {
+  std::size_t batch_size = 1024;  ///< Records per data frame.
+};
+
+class Emitter {
+ public:
+  /// Connects to a collector on 127.0.0.1:port.
+  explicit Emitter(std::uint16_t port, EmitterOptions options = {});
+  ~Emitter();
+
+  Emitter(const Emitter&) = delete;
+  Emitter& operator=(const Emitter&) = delete;
+
+  /// Buffer one record; sends a frame when the batch fills.
+  void record(const telemetry::ActionRecord& record);
+
+  /// Send any buffered records immediately, followed by a flush marker.
+  void flush();
+
+  /// Flush and send goodbye; further record() calls throw. Idempotent.
+  void close();
+
+  std::size_t sent_records() const noexcept { return sent_records_; }
+  std::size_t sent_frames() const noexcept { return sent_frames_; }
+
+ private:
+  void send_pending();
+
+  Socket socket_;
+  EmitterOptions options_;
+  std::vector<telemetry::ActionRecord> pending_;
+  std::size_t sent_records_ = 0;
+  std::size_t sent_frames_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace autosens::net

@@ -1,0 +1,136 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace autosens::net {
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+int Socket::release() noexcept { return std::exchange(fd_, -1); }
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+SocketError::SocketError(std::string what, int saved_errno)
+    : message_(std::move(what)), errno_(saved_errno) {
+  message_ += ": ";
+  message_ += std::strerror(saved_errno);
+}
+
+Socket listen_tcp(std::uint16_t port, std::uint16_t& bound_port, int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw SocketError("socket()", errno);
+
+  const int enable = 1;
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable) < 0) {
+    throw SocketError("setsockopt(SO_REUSEADDR)", errno);
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    throw SocketError("bind()", errno);
+  }
+  if (::listen(sock.fd(), backlog) < 0) throw SocketError("listen()", errno);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    throw SocketError("getsockname()", errno);
+  }
+  bound_port = ntohs(bound.sin_port);
+  return sock;
+}
+
+Socket connect_tcp(std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw SocketError("socket()", errno);
+
+  const int enable = 1;
+  // Telemetry batches are small; disable Nagle so latency samples flush.
+  if (::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable) < 0) {
+    throw SocketError("setsockopt(TCP_NODELAY)", errno);
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    throw SocketError("connect()", errno);
+  }
+  return sock;
+}
+
+std::optional<Socket> accept_with_timeout(const Socket& listener, int timeout_ms) {
+  pollfd pfd{.fd = listener.fd(), .events = POLLIN, .revents = 0};
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError("poll()", errno);
+    }
+    if (ready == 0) return std::nullopt;
+    break;
+  }
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) throw SocketError("accept()", errno);
+  return Socket(fd);
+}
+
+void write_all(const Socket& socket, std::span<const std::uint8_t> data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(socket.fd(), data.data() + written, data.size() - written,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError("send()", errno);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+bool read_exact(const Socket& socket, std::span<std::uint8_t> data) {
+  std::size_t got = 0;
+  while (got < data.size()) {
+    const ssize_t n = ::recv(socket.fd(), data.data() + got, data.size() - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError("recv()", errno);
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF at a message boundary
+      throw SocketError("recv(): unexpected EOF mid-message", ECONNRESET);
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace autosens::net

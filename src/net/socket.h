@@ -1,0 +1,68 @@
+// RAII socket primitives for the telemetry collection pipeline. The paper's
+// latency is measured at the client and conveyed to the server where it is
+// logged (§3.1); `collector` and `emitter` reproduce that path over loopback
+// TCP. This header provides the owning fd wrapper and the small set of TCP
+// operations they need — nothing more.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace autosens::net {
+
+/// Owning file-descriptor handle. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  /// Release ownership without closing.
+  int release() noexcept;
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Thrown by socket operations on unrecoverable errors; carries errno text.
+class SocketError : public std::exception {
+ public:
+  SocketError(std::string what, int saved_errno);
+  const char* what() const noexcept override { return message_.c_str(); }
+  int saved_errno() const noexcept { return errno_; }
+
+ private:
+  std::string message_;
+  int errno_;
+};
+
+/// Create a TCP listener bound to 127.0.0.1:port (port 0 = ephemeral).
+/// Returns the socket; the bound port is written to `bound_port`.
+Socket listen_tcp(std::uint16_t port, std::uint16_t& bound_port, int backlog = 16);
+
+/// Blocking connect to 127.0.0.1:port.
+Socket connect_tcp(std::uint16_t port);
+
+/// Accept one connection, waiting up to timeout_ms (-1 = forever).
+/// Returns nullopt on timeout.
+std::optional<Socket> accept_with_timeout(const Socket& listener, int timeout_ms);
+
+/// Write the whole buffer, retrying on partial writes / EINTR.
+/// Throws SocketError on failure (including peer reset).
+void write_all(const Socket& socket, std::span<const std::uint8_t> data);
+
+/// Read exactly data.size() bytes. Returns false on clean EOF at a message
+/// boundary (no bytes read); throws SocketError on mid-message EOF or error.
+bool read_exact(const Socket& socket, std::span<std::uint8_t> data);
+
+}  // namespace autosens::net

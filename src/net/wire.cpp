@@ -1,0 +1,105 @@
+#include "net/wire.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "telemetry/binlog.h"
+
+namespace autosens::net {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  out.push_back(static_cast<std::uint8_t>(value));
+  out.push_back(static_cast<std::uint8_t>(value >> 8));
+  out.push_back(static_cast<std::uint8_t>(value >> 16));
+  out.push_back(static_cast<std::uint8_t>(value >> 24));
+}
+
+std::uint32_t read_u32(std::span<const std::uint8_t, 4> bytes) {
+  return static_cast<std::uint32_t>(bytes[0]) | (static_cast<std::uint32_t>(bytes[1]) << 8) |
+         (static_cast<std::uint32_t>(bytes[2]) << 16) |
+         (static_cast<std::uint32_t>(bytes[3]) << 24);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  std::vector<std::uint8_t> out;
+  out.reserve(frame.payload.size() + 9);
+  out.push_back(static_cast<std::uint8_t>(frame.type));
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+  put_u32(out, telemetry::codec::crc32(frame.payload));
+  return out;
+}
+
+void send_frame(const Socket& socket, const Frame& frame) {
+  const auto bytes = encode_frame(frame);
+  write_all(socket, bytes);
+}
+
+void send_records(const Socket& socket, std::span<const telemetry::ActionRecord> records) {
+  Frame frame{.type = FrameType::kData, .payload = telemetry::codec::encode_batch(records)};
+  send_frame(socket, frame);
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  // Compact occasionally so the buffer does not grow without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 5) return std::nullopt;
+  const std::uint8_t raw_type = buffer_[consumed_];
+  if (raw_type < 1 || raw_type > 3) {
+    throw std::runtime_error("FrameDecoder: unknown frame type");
+  }
+  const std::uint32_t len = read_u32(
+      std::span<const std::uint8_t, 4>(buffer_.data() + consumed_ + 1, 4));
+  if (len > max_payload_) throw std::runtime_error("FrameDecoder: payload exceeds limit");
+  const std::size_t total = 5 + static_cast<std::size_t>(len) + 4;
+  if (available < total) return std::nullopt;
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  frame.payload.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 5),
+                       buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 5 + len));
+  const std::uint32_t crc = read_u32(
+      std::span<const std::uint8_t, 4>(buffer_.data() + consumed_ + 5 + len, 4));
+  if (crc != telemetry::codec::crc32(frame.payload)) {
+    throw std::runtime_error("FrameDecoder: crc mismatch");
+  }
+  consumed_ += total;
+  return frame;
+}
+
+std::optional<Frame> recv_frame(const Socket& socket, std::size_t max_payload) {
+  std::array<std::uint8_t, 5> header{};
+  if (!read_exact(socket, header)) return std::nullopt;
+  const auto raw_type = header[0];
+  if (raw_type < 1 || raw_type > 3) {
+    throw std::runtime_error("recv_frame: unknown frame type");
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(raw_type);
+  const std::uint32_t len = read_u32(std::span<const std::uint8_t, 4>(header.data() + 1, 4));
+  if (len > max_payload) throw std::runtime_error("recv_frame: payload exceeds limit");
+  frame.payload.resize(len);
+  if (len > 0 && !read_exact(socket, frame.payload)) {
+    throw std::runtime_error("recv_frame: truncated payload");
+  }
+  std::array<std::uint8_t, 4> crc_bytes{};
+  if (!read_exact(socket, crc_bytes)) throw std::runtime_error("recv_frame: truncated crc");
+  const std::uint32_t crc = read_u32(std::span<const std::uint8_t, 4>(crc_bytes));
+  if (crc != telemetry::codec::crc32(frame.payload)) {
+    throw std::runtime_error("recv_frame: crc mismatch");
+  }
+  return frame;
+}
+
+}  // namespace autosens::net

@@ -1,0 +1,70 @@
+// Wire protocol for the telemetry pipeline: length-prefixed, CRC-checked
+// frames carrying batches of ActionRecords (the same batch payload format as
+// the binary log, so collector output and on-disk logs are interchangeable).
+//
+// Frame layout (little-endian):
+//   u8  type        (kData = 1, kFlush = 2, kGoodbye = 3)
+//   u32 payload_len
+//   payload (payload_len bytes; empty for kFlush / kGoodbye)
+//   u32 crc32(payload)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/socket.h"
+#include "telemetry/record.h"
+
+namespace autosens::net {
+
+enum class FrameType : std::uint8_t {
+  kData = 1,     ///< Payload is an encoded record batch.
+  kFlush = 2,    ///< Sender requests durability point (no payload).
+  kGoodbye = 3,  ///< Orderly end of stream (no payload).
+};
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serialize a frame (computes the CRC).
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Write one frame to the socket.
+void send_frame(const Socket& socket, const Frame& frame);
+
+/// Convenience: encode records into a kData frame and send.
+void send_records(const Socket& socket, std::span<const telemetry::ActionRecord> records);
+
+/// Read one frame. Returns std::nullopt on clean EOF before a frame starts.
+/// Throws std::runtime_error on CRC mismatch / malformed frame, SocketError
+/// on transport errors. `max_payload` bounds memory against corrupt lengths.
+std::optional<Frame> recv_frame(const Socket& socket, std::size_t max_payload = 16 << 20);
+
+/// Incremental frame decoder for non-blocking IO: feed() whatever bytes
+/// arrived, then drain complete frames with next(). Used by the concurrent
+/// collector, where a read may deliver half a frame or three of them.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = 16 << 20) : max_payload_(max_payload) {}
+
+  /// Append received bytes to the internal buffer.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Extract the next complete frame, if any. Throws std::runtime_error on
+  /// malformed input (unknown type, oversized payload, CRC mismatch).
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by a complete frame.
+  std::size_t pending_bytes() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  ///< Prefix of buffer_ already decoded.
+};
+
+}  // namespace autosens::net

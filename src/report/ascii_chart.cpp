@@ -1,0 +1,103 @@
+#include "report/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace autosens::report {
+namespace {
+
+constexpr const char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@', '%', '&'};
+
+struct Extent {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void add(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool valid() const { return lo <= hi; }
+  double span() const { return hi > lo ? hi - lo : 1.0; }
+};
+
+std::string format_tick(double v) {
+  std::ostringstream out;
+  if (std::abs(v) >= 100.0 || v == std::floor(v)) {
+    out << std::fixed << std::setprecision(0) << v;
+  } else {
+    out << std::fixed << std::setprecision(2) << v;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+void render_chart(std::ostream& out, std::span<const Series> series,
+                  const ChartOptions& options) {
+  Extent xs;
+  Extent ys;
+  for (const auto& s : series) {
+    if (s.x.size() < 2 || s.x.size() != s.y.size()) continue;
+    for (const double v : s.x) xs.add(v);
+    for (const double v : s.y) ys.add(v);
+  }
+  if (!xs.valid() || !ys.valid()) {
+    out << "(chart: no drawable series)\n";
+    return;
+  }
+
+  const int width = std::max(options.width, 10);
+  const int height = std::max(options.height, 4);
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+
+  std::size_t glyph_index = 0;
+  for (const auto& s : series) {
+    if (s.x.size() < 2 || s.x.size() != s.y.size()) continue;
+    const char glyph = kGlyphs[glyph_index % sizeof kGlyphs];
+    ++glyph_index;
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const int col = static_cast<int>((s.x[i] - xs.lo) / xs.span() * (width - 1) + 0.5);
+      const int row =
+          height - 1 - static_cast<int>((s.y[i] - ys.lo) / ys.span() * (height - 1) + 0.5);
+      if (col < 0 || col >= width || row < 0 || row >= height) continue;
+      auto& cell = grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+      // First series wins on collisions unless the cell is empty.
+      if (cell == ' ') cell = glyph;
+    }
+  }
+
+  if (!options.title.empty()) out << options.title << '\n';
+  const std::string y_hi = format_tick(ys.hi);
+  const std::string y_lo = format_tick(ys.lo);
+  const std::size_t margin = std::max(y_hi.size(), y_lo.size()) + 1;
+  for (int r = 0; r < height; ++r) {
+    std::string label(margin, ' ');
+    if (r == 0) label = y_hi + std::string(margin - y_hi.size(), ' ');
+    if (r == height - 1) label = y_lo + std::string(margin - y_lo.size(), ' ');
+    out << label << '|' << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(margin, ' ') << '+' << std::string(static_cast<std::size_t>(width), '-')
+      << '\n';
+  const std::string x_lo = format_tick(xs.lo);
+  const std::string x_hi = format_tick(xs.hi);
+  out << std::string(margin + 1, ' ') << x_lo
+      << std::string(static_cast<std::size_t>(std::max<int>(
+                         1, width - static_cast<int>(x_lo.size() + x_hi.size()))),
+                     ' ')
+      << x_hi << "  (" << options.x_label << ")\n";
+
+  out << "legend:";
+  glyph_index = 0;
+  for (const auto& s : series) {
+    if (s.x.size() < 2 || s.x.size() != s.y.size()) continue;
+    out << "  [" << kGlyphs[glyph_index % sizeof kGlyphs] << "] " << s.name;
+    ++glyph_index;
+  }
+  out << "   y: " << options.y_label << '\n';
+}
+
+}  // namespace autosens::report

@@ -1,0 +1,33 @@
+// Terminal line charts: multiple named series over a shared x-axis, rendered
+// into a fixed character grid. Used by the benches to draw the paper's
+// figures directly in the console output.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace autosens::report {
+
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct ChartOptions {
+  int width = 78;    ///< Plot area columns.
+  int height = 20;   ///< Plot area rows.
+  std::string x_label = "x";
+  std::string y_label = "y";
+  std::string title;
+};
+
+/// Render the series into `out`. Each series is drawn with its own glyph
+/// ('*', '+', 'o', 'x', ...); a legend maps glyphs to names. Series with
+/// fewer than 2 points are skipped.
+void render_chart(std::ostream& out, std::span<const Series> series,
+                  const ChartOptions& options);
+
+}  // namespace autosens::report

@@ -1,0 +1,59 @@
+#include "report/compare.h"
+
+#include <ostream>
+
+#include "report/table.h"
+
+namespace autosens::report {
+
+void Comparison::check(const core::PreferenceResult& curve, double latency_ms,
+                       double expected, double tolerance) {
+  Row row;
+  row.label = Table::num(latency_ms, 0) + " ms";
+  row.check.latency_ms = latency_ms;
+  row.check.expected = expected;
+  row.check.tolerance = tolerance;
+  if (curve.covers(latency_ms)) {
+    row.check.measured = curve.at(latency_ms);
+  } else {
+    row.supported = false;
+  }
+  rows_.push_back(std::move(row));
+}
+
+void Comparison::check_value(const std::string& label, double expected, double measured,
+                             double tolerance) {
+  Row row;
+  row.label = label;
+  row.check.expected = expected;
+  row.check.measured = measured;
+  row.check.tolerance = tolerance;
+  rows_.push_back(std::move(row));
+}
+
+bool Comparison::all_within() const noexcept { return failures() == 0; }
+
+std::size_t Comparison::failures() const noexcept {
+  std::size_t count = 0;
+  for (const auto& row : rows_) {
+    if (!row.supported || !row.check.within()) ++count;
+  }
+  return count;
+}
+
+void Comparison::print(std::ostream& out) const {
+  out << "== " << title_ << " ==\n";
+  Table table({"anchor", "paper/planted", "measured", "|delta|", "tol", "ok"});
+  for (const auto& row : rows_) {
+    const double delta = row.check.measured - row.check.expected;
+    table.add_row({row.label, Table::num(row.check.expected),
+                   row.supported ? Table::num(row.check.measured) : "unsupported",
+                   row.supported ? Table::num(delta < 0 ? -delta : delta) : "-",
+                   Table::num(row.check.tolerance),
+                   row.supported && row.check.within() ? "yes" : "NO"});
+  }
+  table.print(out);
+  out << (all_within() ? "[SHAPE OK]" : "[SHAPE DEVIATION]") << " " << title_ << "\n\n";
+}
+
+}  // namespace autosens::report

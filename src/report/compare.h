@@ -1,0 +1,54 @@
+// Paper-vs-measured comparison: every figure bench declares the values the
+// paper reports (or the planted ground truth) at anchor latencies, and this
+// module prints the side-by-side rows and checks tolerances. The benches'
+// success criterion is *shape* agreement, per the reproduction contract.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/preference.h"
+
+namespace autosens::report {
+
+struct AnchorCheck {
+  double latency_ms = 0.0;
+  double expected = 0.0;   ///< Paper-reported or planted value.
+  double measured = 0.0;
+  double tolerance = 0.0;
+  bool within() const noexcept {
+    const double delta = measured - expected;
+    return (delta < 0 ? -delta : delta) <= tolerance;
+  }
+};
+
+class Comparison {
+ public:
+  explicit Comparison(std::string title) : title_(std::move(title)) {}
+
+  /// Record one anchor: measured is read from the curve (interpolated).
+  /// Anchors outside the curve's support are recorded as failed.
+  void check(const core::PreferenceResult& curve, double latency_ms, double expected,
+             double tolerance);
+  /// Record an externally computed scalar.
+  void check_value(const std::string& label, double expected, double measured,
+                   double tolerance);
+
+  bool all_within() const noexcept;
+  std::size_t failures() const noexcept;
+
+  /// Print "paper vs measured" rows with pass/fail marks.
+  void print(std::ostream& out) const;
+
+ private:
+  struct Row {
+    std::string label;
+    AnchorCheck check;
+    bool supported = true;
+  };
+  std::string title_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace autosens::report

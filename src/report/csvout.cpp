@@ -1,0 +1,53 @@
+#include "report/csvout.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace autosens::report {
+
+void write_preference_csv(std::ostream& out, std::span<const core::NamedPreference> curves) {
+  out << "series,latency_ms,normalized_preference\n";
+  for (const auto& curve : curves) {
+    const auto& r = curve.result;
+    for (std::size_t i = r.support_begin; i < r.support_end; ++i) {
+      out << curve.name << ',' << r.latency_ms[i] << ',' << r.normalized[i] << '\n';
+    }
+  }
+}
+
+void write_preference_csv_file(const std::string& path,
+                               std::span<const core::NamedPreference> curves) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_preference_csv_file: cannot open " + path);
+  write_preference_csv(out, curves);
+}
+
+void write_series_csv(std::ostream& out, std::span<const Series> series) {
+  out << "series,x,y\n";
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      out << s.name << ',' << s.x[i] << ',' << s.y[i] << '\n';
+    }
+  }
+}
+
+void write_series_csv_file(const std::string& path, std::span<const Series> series) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_series_csv_file: cannot open " + path);
+  write_series_csv(out, series);
+}
+
+Series to_series(const core::NamedPreference& curve, std::size_t stride) {
+  if (stride == 0) throw std::invalid_argument("to_series: zero stride");
+  Series series;
+  series.name = curve.name;
+  const auto& r = curve.result;
+  for (std::size_t i = r.support_begin; i < r.support_end; i += stride) {
+    series.x.push_back(r.latency_ms[i]);
+    series.y.push_back(r.normalized[i]);
+  }
+  return series;
+}
+
+}  // namespace autosens::report

@@ -1,0 +1,29 @@
+// CSV export of analysis results, so figures can be re-plotted with external
+// tools. One file per figure: a long-format table (series, x, y).
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "core/preference.h"
+#include "core/slices.h"
+#include "report/ascii_chart.h"
+
+namespace autosens::report {
+
+/// Write named preference curves as long-format CSV:
+/// series,latency_ms,normalized_preference
+void write_preference_csv(std::ostream& out, std::span<const core::NamedPreference> curves);
+void write_preference_csv_file(const std::string& path,
+                               std::span<const core::NamedPreference> curves);
+
+/// Write generic chart series as long-format CSV: series,x,y
+void write_series_csv(std::ostream& out, std::span<const Series> series);
+void write_series_csv_file(const std::string& path, std::span<const Series> series);
+
+/// Downsample a preference curve to a plottable Series (every `stride` bins
+/// of the supported range).
+Series to_series(const core::NamedPreference& curve, std::size_t stride = 5);
+
+}  // namespace autosens::report

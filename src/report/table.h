@@ -1,0 +1,30 @@
+// Aligned plain-text tables for bench and example output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace autosens::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add a row; it must have as many cells as there are headers
+  /// (std::invalid_argument otherwise).
+  void add_row(std::vector<std::string> cells);
+
+  /// Number formatting helper: fixed decimals.
+  static std::string num(double value, int decimals = 3);
+
+  /// Render with column alignment and a header underline.
+  void print(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace autosens::report

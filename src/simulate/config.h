@@ -1,0 +1,42 @@
+// All simulator knobs in one value struct. Defaults model an OWA-like
+// service; presets.h derives the exact configurations used by the paper
+// benches.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "simulate/diurnal.h"
+#include "simulate/latency_process.h"
+#include "simulate/population.h"
+#include "simulate/preference.h"
+#include "telemetry/clock.h"
+
+namespace autosens::simulate {
+
+struct WorkloadConfig {
+  /// Observation window, epoch ms. Day 0 starts at t = 0 (midnight local).
+  std::int64_t begin_ms = 0;
+  std::int64_t end_ms = 14 * telemetry::kMillisPerDay;
+
+  PopulationOptions population{};
+  LatencyProcessOptions latency{};
+  PreferenceModel::Options preference{};
+
+  DiurnalCurve activity_curve = default_activity_curve();
+  double weekend_factor = 0.75;  ///< Activity multiplier on Sat/Sun.
+
+  /// Per-user-per-day *candidate* action rate per type, before thinning by
+  /// activity and preference (index by ActionType). The realized accepted
+  /// rate is roughly 40–50 % of this with the default curves.
+  std::array<double, telemetry::kActionTypeCount> actions_per_user_day = {40.0, 15.0, 8.0,
+                                                                          10.0, 5.0};
+
+  /// Fraction of accepted actions logged with an error status (these are
+  /// scrubbed by telemetry::validate, as in the paper §3.1).
+  double error_rate = 0.01;
+
+  std::uint64_t seed = 42;
+};
+
+}  // namespace autosens::simulate

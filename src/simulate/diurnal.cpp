@@ -1,0 +1,66 @@
+#include "simulate/diurnal.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "telemetry/clock.h"
+
+namespace autosens::simulate {
+
+double DiurnalCurve::at_hour(double hour) const noexcept {
+  // Interpolate between hour centers h + 0.5, wrapping at midnight.
+  double shifted = hour - 0.5;
+  if (shifted < 0.0) shifted += 24.0;
+  const int lo = static_cast<int>(shifted) % 24;
+  const int hi = (lo + 1) % 24;
+  const double frac = shifted - std::floor(shifted);
+  return values_[static_cast<std::size_t>(lo)] * (1.0 - frac) +
+         values_[static_cast<std::size_t>(hi)] * frac;
+}
+
+double DiurnalCurve::at_time(std::int64_t time_ms) const noexcept {
+  const std::int64_t ms_of_day =
+      ((time_ms % telemetry::kMillisPerDay) + telemetry::kMillisPerDay) %
+      telemetry::kMillisPerDay;
+  return at_hour(static_cast<double>(ms_of_day) / static_cast<double>(telemetry::kMillisPerHour));
+}
+
+double DiurnalCurve::max_value() const noexcept {
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double DiurnalCurve::min_value() const noexcept {
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double DiurnalCurve::mean_over_hours(int from_hour, int to_hour) const noexcept {
+  double sum = 0.0;
+  int count = 0;
+  int h = from_hour;
+  do {
+    sum += values_[static_cast<std::size_t>(h % 24)];
+    ++count;
+    h = (h + 1) % 24;
+  } while (h != to_hour % 24);
+  return count > 0 ? sum / count : 0.0;
+}
+
+DiurnalCurve default_activity_curve() noexcept {
+  return DiurnalCurve({0.35, 0.25, 0.18, 0.12, 0.10, 0.12, 0.25, 0.45,
+                       0.75, 0.92, 1.00, 0.98, 0.85, 0.90, 0.95, 0.92,
+                       0.85, 0.75, 0.62, 0.55, 0.50, 0.48, 0.45, 0.40});
+}
+
+DiurnalCurve default_load_curve() noexcept {
+  return DiurnalCurve({-0.05, -0.07, -0.09, -0.10, -0.10, -0.08, -0.04, 0.00,
+                       0.06, 0.10, 0.14, 0.15, 0.12, 0.12, 0.13, 0.12,
+                       0.10, 0.08, 0.05, 0.02, 0.00, -0.01, -0.03, -0.04});
+}
+
+double weekend_multiplier(std::int64_t time_ms, double weekend_factor) noexcept {
+  const int dow = telemetry::day_of_week(time_ms);
+  // day_of_week 0 = Thursday, so 2 = Saturday and 3 = Sunday.
+  return (dow == 2 || dow == 3) ? weekend_factor : 1.0;
+}
+
+}  // namespace autosens::simulate

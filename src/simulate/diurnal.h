@@ -1,0 +1,48 @@
+// Diurnal (time-of-day) curves: the simulator's model of how user activity
+// and service load vary over the day. These two curves are the *time
+// confounder* of paper §2.4.1 — activity and latency both peak during
+// business hours, so a naive pooled analysis conflates "users act less at
+// night" with "users act less at high latency".
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace autosens::simulate {
+
+/// A 24-point curve over hour-of-day, linearly interpolated between hour
+/// centers (h + 0.5) with wraparound at midnight.
+class DiurnalCurve {
+ public:
+  explicit DiurnalCurve(std::array<double, 24> hourly_values) noexcept
+      : values_(hourly_values) {}
+
+  /// Value at a fractional hour in [0, 24).
+  double at_hour(double hour) const noexcept;
+  /// Value at an epoch-ms timestamp.
+  double at_time(std::int64_t time_ms) const noexcept;
+
+  double max_value() const noexcept;
+  double min_value() const noexcept;
+  /// Mean of the curve over an hour-of-day interval [from_hour, to_hour)
+  /// (wrapping), sampled per hour center. Used for planted-α ground truth.
+  double mean_over_hours(int from_hour, int to_hour) const noexcept;
+
+  const std::array<double, 24>& hourly() const noexcept { return values_; }
+
+ private:
+  std::array<double, 24> values_;
+};
+
+/// Default activity curve: business-hours peak, deep night trough.
+DiurnalCurve default_activity_curve() noexcept;
+
+/// Default load curve, in *log-latency units* added to the environment:
+/// positive during busy hours (higher latency), negative at night.
+DiurnalCurve default_load_curve() noexcept;
+
+/// Weekend activity damping: multiplier applied on Saturdays and Sundays.
+/// Epoch day 0 (1970-01-01) is a Thursday, so Saturday = day_of_week 2.
+double weekend_multiplier(std::int64_t time_ms, double weekend_factor) noexcept;
+
+}  // namespace autosens::simulate

@@ -1,0 +1,86 @@
+#include "simulate/generator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autosens::simulate {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
+    : config_(config), master_(config.seed), preference_(config.preference) {
+  if (!(config_.end_ms > config_.begin_ms)) {
+    throw std::invalid_argument("WorkloadGenerator: empty time range");
+  }
+  if (config_.error_rate < 0.0 || config_.error_rate >= 1.0) {
+    throw std::invalid_argument("WorkloadGenerator: error_rate outside [0,1)");
+  }
+  auto env_random = master_.split();
+  environment_ = std::make_unique<LatencyEnvironment>(config_.latency, config_.begin_ms,
+                                                      config_.end_ms, env_random);
+  auto pop_random = master_.split();
+  population_ = std::make_unique<Population>(config_.population, pop_random);
+}
+
+GeneratorResult WorkloadGenerator::generate() {
+  GeneratorResult result;
+  const double activity_max = config_.activity_curve.max_value();
+  const double pref_max = preference_.max_preference();
+  if (!(activity_max > 0.0)) {
+    throw std::invalid_argument("WorkloadGenerator: activity curve must be positive somewhere");
+  }
+
+  const double span_ms = static_cast<double>(config_.end_ms - config_.begin_ms);
+  // Rough capacity estimate to avoid repeated reallocation.
+  double daily_rate = 0.0;
+  for (const double r : config_.actions_per_user_day) daily_rate += r;
+  const double expected =
+      daily_rate * static_cast<double>(population_->size()) * span_ms /
+      static_cast<double>(telemetry::kMillisPerDay) * 0.6;
+  result.dataset.reserve(static_cast<std::size_t>(expected));
+
+  for (const auto& user : population_->users()) {
+    auto user_random = master_.split();
+    for (int type_idx = 0; type_idx < telemetry::kActionTypeCount; ++type_idx) {
+      const auto type = static_cast<telemetry::ActionType>(type_idx);
+      const double per_day = config_.actions_per_user_day[static_cast<std::size_t>(type_idx)];
+      if (per_day <= 0.0) continue;
+      // Candidate (super-process) rate per ms, high enough to dominate the
+      // modulated rate everywhere; thinning keeps exactly the right fraction.
+      const double candidate_rate = per_day * user.activity_scale * activity_max * pref_max /
+                                    static_cast<double>(telemetry::kMillisPerDay);
+      double t = static_cast<double>(config_.begin_ms);
+      for (;;) {
+        t += user_random.exponential(candidate_rate);
+        if (t >= static_cast<double>(config_.end_ms)) break;
+        const auto time_ms = static_cast<std::int64_t>(t);
+        ++result.candidates;
+
+        const double activity = config_.activity_curve.at_time(time_ms) *
+                                weekend_multiplier(time_ms, config_.weekend_factor);
+        const double predictable =
+            environment_->predictable_latency(time_ms, type, user.latency_offset);
+        const double pref =
+            preference_.preference(type, user.user_class, user.speed_percentile,
+                                   telemetry::day_period(time_ms), predictable);
+        const double accept_prob = (activity / activity_max) * (pref / pref_max);
+        if (!user_random.bernoulli(accept_prob)) continue;
+
+        telemetry::ActionRecord record;
+        record.time_ms = time_ms;
+        record.user_id = user.id;
+        record.action = type;
+        record.user_class = user.user_class;
+        record.latency_ms =
+            environment_->sample_latency(time_ms, type, user.latency_offset, user_random);
+        record.status = user_random.bernoulli(config_.error_rate)
+                            ? telemetry::ActionStatus::kError
+                            : telemetry::ActionStatus::kSuccess;
+        result.dataset.add(record);
+      }
+    }
+  }
+  result.dataset.sort_by_time();
+  result.accepted = result.dataset.size();
+  return result;
+}
+
+}  // namespace autosens::simulate

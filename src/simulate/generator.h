@@ -1,0 +1,44 @@
+// The workload generator: turns a WorkloadConfig into a telemetry Dataset by
+// simulating every user's action stream as an inhomogeneous Poisson process,
+// thinned by (a) the diurnal activity curve — the time confounder — and
+// (b) the planted latency-preference evaluated at the *predictable* latency
+// of the current environment. Accepted actions are logged with the measured
+// latency (predictable part × unpredictable lognormal noise), reproducing
+// the natural-experiment structure AutoSens exploits.
+#pragma once
+
+#include <memory>
+
+#include "simulate/config.h"
+#include "telemetry/dataset.h"
+
+namespace autosens::simulate {
+
+struct GeneratorResult {
+  telemetry::Dataset dataset;      ///< Time-sorted accepted actions.
+  std::size_t candidates = 0;      ///< Thinning candidates evaluated.
+  std::size_t accepted = 0;        ///< Records produced (== dataset.size()).
+};
+
+class WorkloadGenerator {
+ public:
+  /// Builds the latency environment and population from config.seed.
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  /// Run the simulation. Deterministic for a fixed config (including seed).
+  GeneratorResult generate();
+
+  const WorkloadConfig& config() const noexcept { return config_; }
+  const Population& population() const noexcept { return *population_; }
+  const LatencyEnvironment& environment() const noexcept { return *environment_; }
+  const PreferenceModel& preference() const noexcept { return preference_; }
+
+ private:
+  WorkloadConfig config_;
+  stats::Random master_;
+  std::unique_ptr<LatencyEnvironment> environment_;
+  std::unique_ptr<Population> population_;
+  PreferenceModel preference_;
+};
+
+}  // namespace autosens::simulate

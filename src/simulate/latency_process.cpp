@@ -1,0 +1,86 @@
+#include "simulate/latency_process.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "telemetry/clock.h"
+
+namespace autosens::simulate {
+
+LatencyEnvironment::LatencyEnvironment(LatencyProcessOptions options, std::int64_t begin_ms,
+                                       std::int64_t end_ms, stats::Random& random)
+    : options_(options), begin_ms_(begin_ms), end_ms_(end_ms) {
+  if (!(end_ms > begin_ms)) throw std::invalid_argument("LatencyEnvironment: empty range");
+  if (!(options_.ar_sigma >= 0.0) || !(options_.correlation_minutes > 0.0) ||
+      !(options_.grid_step_minutes > 0.0) || !(options_.noise_sigma >= 0.0)) {
+    throw std::invalid_argument("LatencyEnvironment: invalid process parameters");
+  }
+  for (const double base : options_.base_ms) {
+    if (!(base > 0.0)) throw std::invalid_argument("LatencyEnvironment: base_ms must be positive");
+  }
+  for (std::size_t i = 0; i < options_.incidents.size(); ++i) {
+    const auto& incident = options_.incidents[i];
+    if (!(incident.end_ms > incident.begin_ms)) {
+      throw std::invalid_argument("LatencyEnvironment: empty incident window");
+    }
+    if (i > 0 && incident.begin_ms < options_.incidents[i - 1].end_ms) {
+      throw std::invalid_argument(
+          "LatencyEnvironment: incidents must be sorted and non-overlapping");
+    }
+  }
+  grid_step_ms_ =
+      static_cast<std::int64_t>(options_.grid_step_minutes * telemetry::kMillisPerMinute);
+  const auto points =
+      static_cast<std::size_t>((end_ms - begin_ms) / grid_step_ms_) + 2;
+  grid_.reserve(points);
+  // Stationary AR(1): x_{k+1} = rho x_k + sqrt(1 - rho^2) sigma eta_k.
+  const double rho = std::exp(-options_.grid_step_minutes / options_.correlation_minutes);
+  const double innovation = options_.ar_sigma * std::sqrt(1.0 - rho * rho);
+  double x = random.normal(0.0, options_.ar_sigma);
+  for (std::size_t i = 0; i < points; ++i) {
+    grid_.push_back(x);
+    x = rho * x + innovation * random.normal();
+  }
+}
+
+double LatencyEnvironment::ar_component(std::int64_t time_ms) const noexcept {
+  if (time_ms <= begin_ms_) return grid_.front();
+  const std::int64_t offset = time_ms - begin_ms_;
+  const auto idx = static_cast<std::size_t>(offset / grid_step_ms_);
+  if (idx + 1 >= grid_.size()) return grid_.back();
+  const double frac = static_cast<double>(offset % grid_step_ms_) /
+                      static_cast<double>(grid_step_ms_);
+  return grid_[idx] * (1.0 - frac) + grid_[idx + 1] * frac;
+}
+
+double LatencyEnvironment::incident_shift(std::int64_t time_ms) const noexcept {
+  // Incidents are sorted and non-overlapping; find the last starting <= t.
+  const auto it = std::upper_bound(
+      options_.incidents.begin(), options_.incidents.end(), time_ms,
+      [](std::int64_t t, const LatencyIncident& inc) { return t < inc.begin_ms; });
+  if (it == options_.incidents.begin()) return 0.0;
+  const auto& incident = *(it - 1);
+  return time_ms < incident.end_ms ? incident.log_shift : 0.0;
+}
+
+double LatencyEnvironment::predictable_latency(std::int64_t time_ms,
+                                               telemetry::ActionType type,
+                                               double user_offset) const noexcept {
+  const double log_latency = std::log(options_.base_ms[static_cast<std::size_t>(type)]) +
+                             options_.load_curve.at_time(time_ms) + ar_component(time_ms) +
+                             incident_shift(time_ms) + user_offset;
+  // E[exp(eps)] correction so this is the conditional mean of the sample.
+  return std::exp(log_latency + 0.5 * options_.noise_sigma * options_.noise_sigma);
+}
+
+double LatencyEnvironment::sample_latency(std::int64_t time_ms, telemetry::ActionType type,
+                                          double user_offset,
+                                          stats::Random& random) const noexcept {
+  const double log_latency = std::log(options_.base_ms[static_cast<std::size_t>(type)]) +
+                             options_.load_curve.at_time(time_ms) + ar_component(time_ms) +
+                             incident_shift(time_ms) + user_offset;
+  return std::exp(log_latency + options_.noise_sigma * random.normal());
+}
+
+}  // namespace autosens::simulate

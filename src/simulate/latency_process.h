@@ -1,0 +1,90 @@
+// The latency environment: what latency the service *would* deliver at any
+// instant, independent of whether anyone acts. This is exactly the quantity
+// whose distribution AutoSens calls "unbiased" (U, §2.2).
+//
+// Model, in log space:
+//   log L(t, user, type) = log base[type] + load(t) + x(t) + user_offset + ε
+// where
+//   - base[type] is the per-action-type median latency,
+//   - load(t) is the diurnal load curve (the time confounder),
+//   - x(t) is a slowly varying AR(1) process (autocorrelation time
+//     `correlation_minutes`) — this is the *temporal locality* that makes
+//     the latency preference actionable (paper §2.1, Fig 1),
+//   - user_offset is the per-user network-quality shift, and
+//   - ε ~ N(0, noise_sigma) is the per-action unpredictable part.
+// Users can react only to the predictable component (everything but ε):
+// `predictable_latency` is what feeds the planted preference function, and
+// `sample_latency` adds ε to produce the logged measurement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simulate/diurnal.h"
+#include "stats/rng.h"
+#include "telemetry/record.h"
+
+namespace autosens::simulate {
+
+/// A service incident: a window during which the whole latency environment
+/// shifts (in log units; 0.7 ≈ 2x latency). Used for failure injection:
+/// AutoSens must stay robust when the trace contains outage episodes.
+struct LatencyIncident {
+  std::int64_t begin_ms = 0;
+  std::int64_t end_ms = 0;
+  double log_shift = 0.7;
+};
+
+struct LatencyProcessOptions {
+  /// Median latency per action type, ms (index by ActionType).
+  std::array<double, telemetry::kActionTypeCount> base_ms = {350.0, 300.0, 500.0, 250.0,
+                                                             300.0};
+  DiurnalCurve load_curve = default_load_curve();
+  /// The environment must dominate per-user and per-action variation for the
+  /// population-level B/U ratio to recover the planted preference sharply;
+  /// see DESIGN.md ("heterogeneity attenuation").
+  double ar_sigma = 0.60;            ///< Stationary stddev of x(t), log units.
+  double correlation_minutes = 30.0; ///< AR(1) autocorrelation time constant.
+  double grid_step_minutes = 1.0;    ///< Discretization of x(t).
+  double noise_sigma = 0.12;         ///< Per-action unpredictable noise ε.
+  /// Injected incidents (may be empty; must be sorted and non-overlapping).
+  std::vector<LatencyIncident> incidents;
+};
+
+class LatencyEnvironment {
+ public:
+  /// Builds the x(t) grid over [begin_ms, end_ms). Throws on empty range or
+  /// non-positive parameters.
+  LatencyEnvironment(LatencyProcessOptions options, std::int64_t begin_ms,
+                     std::int64_t end_ms, stats::Random& random);
+
+  /// The slowly varying AR(1) component at time t (linear interpolation on
+  /// the grid; clamped at the ends).
+  double ar_component(std::int64_t time_ms) const noexcept;
+
+  /// Log-latency shift contributed by an active incident at time t (0 when
+  /// no incident covers t).
+  double incident_shift(std::int64_t time_ms) const noexcept;
+
+  /// Predictable (user-perceivable) latency in ms: everything except ε,
+  /// with the lognormal mean correction so it matches E[L | environment].
+  double predictable_latency(std::int64_t time_ms, telemetry::ActionType type,
+                             double user_offset) const noexcept;
+
+  /// One measured latency sample: predictable part × lognormal noise.
+  double sample_latency(std::int64_t time_ms, telemetry::ActionType type,
+                        double user_offset, stats::Random& random) const noexcept;
+
+  const LatencyProcessOptions& options() const noexcept { return options_; }
+  std::int64_t begin_ms() const noexcept { return begin_ms_; }
+  std::int64_t end_ms() const noexcept { return end_ms_; }
+
+ private:
+  LatencyProcessOptions options_;
+  std::int64_t begin_ms_;
+  std::int64_t end_ms_;
+  std::int64_t grid_step_ms_;
+  std::vector<double> grid_;  ///< x(t) samples every grid_step_ms_.
+};
+
+}  // namespace autosens::simulate

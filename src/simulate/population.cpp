@@ -1,0 +1,52 @@
+#include "simulate/population.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace autosens::simulate {
+
+Population::Population(PopulationOptions options, stats::Random& random)
+    : options_(options) {
+  if (options_.user_count == 0) throw std::invalid_argument("Population: need users");
+  if (options_.business_fraction < 0.0 || options_.business_fraction > 1.0) {
+    throw std::invalid_argument("Population: business_fraction outside [0,1]");
+  }
+  users_.resize(options_.user_count);
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    auto& user = users_[i];
+    // Ids are arbitrary but stable; offset by a constant so id 0 never
+    // appears (it reads as "missing" in logs).
+    user.id = 1000 + i;
+    user.user_class = random.bernoulli(options_.business_fraction)
+                          ? telemetry::UserClass::kBusiness
+                          : telemetry::UserClass::kConsumer;
+    user.latency_offset = random.normal(0.0, options_.offset_sigma);
+    user.activity_scale = random.lognormal(0.0, options_.activity_lognormal_sigma);
+  }
+  // Speed percentile = rank of latency_offset (0 = fastest). Ranks are exact
+  // so the planted conditioning effect maps cleanly onto quartiles.
+  std::vector<std::size_t> order(users_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return users_[a].latency_offset < users_[b].latency_offset;
+  });
+  const double denom = users_.size() > 1 ? static_cast<double>(users_.size() - 1) : 1.0;
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    users_[order[rank]].speed_percentile = static_cast<double>(rank) / denom;
+  }
+}
+
+double Population::mean_percentile(telemetry::UserClass user_class) const noexcept {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& user : users_) {
+    if (user.user_class == user_class) {
+      sum += user.speed_percentile;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.5;
+}
+
+}  // namespace autosens::simulate

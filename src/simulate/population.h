@@ -1,0 +1,48 @@
+// The simulated user population: each user has an anonymized id, a
+// subscription class (business / consumer, §3.3), a per-user log-latency
+// offset (their network quality — the basis of the conditioning-to-speed
+// analysis, §3.4), and a relative activity level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+#include "telemetry/record.h"
+
+namespace autosens::simulate {
+
+struct SimUser {
+  std::uint64_t id = 0;
+  telemetry::UserClass user_class = telemetry::UserClass::kConsumer;
+  double latency_offset = 0.0;    ///< Log-latency shift (network quality).
+  double speed_percentile = 0.5;  ///< Rank of the offset in [0,1]; 0 = fastest.
+  double activity_scale = 1.0;    ///< Per-user base rate multiplier.
+};
+
+struct PopulationOptions {
+  std::size_t user_count = 2000;
+  double business_fraction = 0.5;
+  double offset_sigma = 0.10;       ///< Stddev of per-user log-latency offset.
+  double activity_lognormal_sigma = 0.50;  ///< Heterogeneous user activity.
+};
+
+class Population {
+ public:
+  /// Throws std::invalid_argument on zero users or out-of-range fractions.
+  Population(PopulationOptions options, stats::Random& random);
+
+  const std::vector<SimUser>& users() const noexcept { return users_; }
+  std::size_t size() const noexcept { return users_.size(); }
+  const PopulationOptions& options() const noexcept { return options_; }
+
+  /// Mean speed percentile of users in a class (≈ 0.5 by construction, but
+  /// computed exactly for expected-curve calculations).
+  double mean_percentile(telemetry::UserClass user_class) const noexcept;
+
+ private:
+  PopulationOptions options_;
+  std::vector<SimUser> users_;
+};
+
+}  // namespace autosens::simulate

@@ -1,0 +1,111 @@
+#include "simulate/preference.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autosens::simulate {
+namespace {
+
+using stats::CurvePoint;
+using stats::PiecewiseLinearCurve;
+using telemetry::ActionType;
+
+/// Anchors follow the values the paper reports for business users in Fig 4
+/// (SelectMail: 0.88 / 0.68 / 0.61 at 500 / 1000 / 1500 ms, flattening toward
+/// ~0.57 past 2000 ms, consistent with §3.5's 0.59 at 2000 ms).
+PiecewiseLinearCurve select_mail_curve() {
+  return PiecewiseLinearCurve({{0.0, 1.06},
+                               {100.0, 1.05},
+                               {200.0, 1.03},
+                               {300.0, 1.00},
+                               {500.0, 0.88},
+                               {750.0, 0.77},
+                               {1000.0, 0.68},
+                               {1250.0, 0.64},
+                               {1500.0, 0.61},
+                               {2000.0, 0.59},
+                               {3000.0, 0.57},
+                               {5000.0, 0.55}});
+}
+
+PiecewiseLinearCurve switch_folder_curve() {
+  return PiecewiseLinearCurve({{0.0, 1.05},
+                               {200.0, 1.02},
+                               {300.0, 1.00},
+                               {500.0, 0.90},
+                               {750.0, 0.80},
+                               {1000.0, 0.73},
+                               {1500.0, 0.66},
+                               {2000.0, 0.63},
+                               {3000.0, 0.61},
+                               {5000.0, 0.59}});
+}
+
+PiecewiseLinearCurve search_curve() {
+  return PiecewiseLinearCurve({{0.0, 1.02},
+                               {300.0, 1.00},
+                               {500.0, 0.965},
+                               {1000.0, 0.895},
+                               {1500.0, 0.855},
+                               {2000.0, 0.83},
+                               {3000.0, 0.80},
+                               {5000.0, 0.77}});
+}
+
+PiecewiseLinearCurve compose_send_curve() {
+  // Asynchronous in the UI (paper §3.2): essentially flat.
+  return PiecewiseLinearCurve({{0.0, 1.005}, {300.0, 1.00}, {2000.0, 0.99}, {5000.0, 0.98}});
+}
+
+PiecewiseLinearCurve other_curve() {
+  return PiecewiseLinearCurve({{0.0, 1.03}, {300.0, 1.00}, {1000.0, 0.85}, {5000.0, 0.75}});
+}
+
+}  // namespace
+
+PreferenceModel::PreferenceModel(Options options)
+    : options_(options),
+      base_{select_mail_curve(), switch_folder_curve(), search_curve(), compose_send_curve(),
+            other_curve()} {
+  // preference() is 1 - s*(1 - base); its maximum over all arguments is
+  // reached at the largest base value with the largest drop scale when
+  // base > 1 (scaling amplifies excursions above 1 too).
+  double max_base = 0.0;
+  for (const auto& curve : base_) {
+    for (const auto& anchor : curve.anchors()) max_base = std::max(max_base, anchor.y);
+  }
+  const double max_scale =
+      std::max(1.0, options_.consumer_drop_scale) *
+      std::max(options_.user_drop_at_fastest, options_.user_drop_at_slowest) *
+      std::max({options_.period_drop_scale[0], options_.period_drop_scale[1],
+                options_.period_drop_scale[2], options_.period_drop_scale[3]});
+  max_preference_ = 1.0 + max_scale * std::max(0.0, max_base - 1.0);
+}
+
+double PreferenceModel::user_drop_scale(double speed_percentile) const noexcept {
+  const double p = std::clamp(speed_percentile, 0.0, 1.0);
+  return options_.user_drop_at_fastest +
+         (options_.user_drop_at_slowest - options_.user_drop_at_fastest) * p;
+}
+
+double PreferenceModel::preference(telemetry::ActionType type, telemetry::UserClass user_class,
+                                   double speed_percentile, telemetry::DayPeriod period,
+                                   double predictable_latency_ms) const noexcept {
+  const double base = base_curve(type)(predictable_latency_ms);
+  const double scale = class_drop_scale(user_class) * user_drop_scale(speed_percentile) *
+                       period_drop_scale(period);
+  const double pref = 1.0 - scale * (1.0 - base);
+  return std::clamp(pref, 0.02, max_preference_);
+}
+
+stats::PiecewiseLinearCurve PreferenceModel::expected_curve(telemetry::ActionType type,
+                                                            telemetry::UserClass user_class,
+                                                            double mean_percentile,
+                                                            double period_scale,
+                                                            double ref_ms) const {
+  const double scale =
+      class_drop_scale(user_class) * user_drop_scale(mean_percentile) * period_scale;
+  return base_curve(type).with_drop_scaled(scale).normalized_at(ref_ms);
+}
+
+}  // namespace autosens::simulate

@@ -1,0 +1,92 @@
+// Planted ground-truth latency preference. The simulator thins each user's
+// action stream by these curves; AutoSens must then *recover* them. Anchor
+// values are taken from the numbers the paper reports, so every figure bench
+// has a quantitative target.
+//
+// The preference of a specific (action, user-class) pair is a base curve;
+// per-user conditioning (paper §3.4) and time-of-day effects (§3.6) scale the
+// curve's *drop from 1.0*:  pref = 1 - s_user * s_period * (1 - base(L)).
+#pragma once
+
+#include <array>
+
+#include "stats/piecewise.h"
+#include "telemetry/clock.h"
+#include "telemetry/record.h"
+
+namespace autosens::simulate {
+
+/// Base preference curves per (action type, user class), each normalized to
+/// 1.0 at the paper's 300 ms reference.
+class PreferenceModel {
+ public:
+  struct Options {
+    /// Multiplier on the drop for consumer users relative to business
+    /// (paper Fig 5: consumers are more tolerant). 1.0 = same as business.
+    double consumer_drop_scale = 0.65;
+    /// Drop multipliers for the four 6-h day periods (paper Fig 7:
+    /// daytime steeper). Indexed by telemetry::DayPeriod. The defaults are
+    /// chosen so the *simple* (time-weighted) mean is 1.0: AutoSens's
+    /// α-normalization weights time-of-day slots equally per unit time, so a
+    /// pooled-over-hours analysis then recovers the base curves' anchor
+    /// values directly.
+    std::array<double, telemetry::kDayPeriodCount> period_drop_scale = {1.20, 1.08, 0.90,
+                                                                        0.82};
+    /// Per-user conditioning (paper Fig 6): the drop multiplier is an
+    /// affine function of the user's speed percentile p in [0,1]
+    /// (p = 0 fastest): s_user = user_drop_at_fastest
+    ///                          + (user_drop_at_slowest - user_drop_at_fastest) * p.
+    /// The default midpoint is 1.0, so a population-pooled analysis again
+    /// sees the base curves unchanged.
+    double user_drop_at_fastest = 1.30;
+    double user_drop_at_slowest = 0.70;
+  };
+
+  PreferenceModel() : PreferenceModel(Options{}) {}
+  explicit PreferenceModel(Options options);
+
+  /// The base curve (business-class) for an action type.
+  const stats::PiecewiseLinearCurve& base_curve(telemetry::ActionType type) const noexcept {
+    return base_[static_cast<std::size_t>(type)];
+  }
+
+  /// Drop multiplier for a user class.
+  double class_drop_scale(telemetry::UserClass user_class) const noexcept {
+    return user_class == telemetry::UserClass::kBusiness ? 1.0
+                                                         : options_.consumer_drop_scale;
+  }
+  double period_drop_scale(telemetry::DayPeriod period) const noexcept {
+    return options_.period_drop_scale[static_cast<std::size_t>(period)];
+  }
+  double user_drop_scale(double speed_percentile) const noexcept;
+
+  /// Full planted preference for one candidate action: base curve evaluated
+  /// at the predictable latency, with all drop scalings applied. Clamped to
+  /// a small positive floor so acceptance probabilities stay valid.
+  double preference(telemetry::ActionType type, telemetry::UserClass user_class,
+                    double speed_percentile, telemetry::DayPeriod period,
+                    double predictable_latency_ms) const noexcept;
+
+  /// Upper bound of `preference` over its arguments (for thinning).
+  double max_preference() const noexcept { return max_preference_; }
+
+  /// The *expected measured* curve for a slice, normalized at `ref_ms`:
+  /// what AutoSens should recover for records filtered to (type, class) with
+  /// an average user percentile `mean_percentile` and drop scale averaged
+  /// over the mix of periods weighted by activity. `period_scale` lets
+  /// callers pass the effective period multiplier (1.0 pooled ≈ activity-
+  /// weighted mean; or a specific period's multiplier for Fig 7 slices).
+  stats::PiecewiseLinearCurve expected_curve(telemetry::ActionType type,
+                                             telemetry::UserClass user_class,
+                                             double mean_percentile, double period_scale,
+                                             double ref_ms) const;
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  Options options_;
+  std::array<stats::PiecewiseLinearCurve, telemetry::kActionTypeCount> base_;
+  double max_preference_ = 1.0;
+};
+
+}  // namespace autosens::simulate

@@ -1,0 +1,70 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace autosens::stats {
+namespace {
+
+void check_params(std::size_t replicates, double confidence) {
+  if (replicates == 0) throw std::invalid_argument("bootstrap: replicates must be nonzero");
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument("bootstrap: confidence must be in (0,1)");
+  }
+}
+
+Interval percentile_interval(std::vector<double>& draws, double confidence) {
+  const double alpha = 1.0 - confidence;
+  return Interval{.lo = quantile(draws, alpha / 2.0), .hi = quantile(draws, 1.0 - alpha / 2.0)};
+}
+
+}  // namespace
+
+Interval bootstrap_interval(std::span<const double> sample,
+                            const std::function<double(std::span<const double>)>& statistic,
+                            std::size_t replicates, double confidence, Random& random) {
+  if (sample.empty()) throw std::invalid_argument("bootstrap_interval: empty sample");
+  check_params(replicates, confidence);
+  std::vector<double> resample(sample.size());
+  std::vector<double> draws;
+  draws.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (auto& v : resample) {
+      v = sample[static_cast<std::size_t>(random.uniform_index(sample.size()))];
+    }
+    draws.push_back(statistic(resample));
+  }
+  return percentile_interval(draws, confidence);
+}
+
+std::vector<Interval> bootstrap_curve_interval(
+    std::size_t sample_size,
+    const std::function<std::vector<double>(std::span<const std::size_t>)>& statistic,
+    std::size_t replicates, double confidence, Random& random) {
+  if (sample_size == 0) throw std::invalid_argument("bootstrap_curve_interval: empty sample");
+  check_params(replicates, confidence);
+  std::vector<std::size_t> indices(sample_size);
+  std::vector<std::vector<double>> curves;
+  curves.reserve(replicates);
+  for (std::size_t r = 0; r < replicates; ++r) {
+    for (auto& idx : indices) {
+      idx = static_cast<std::size_t>(random.uniform_index(sample_size));
+    }
+    curves.push_back(statistic(indices));
+    if (curves.back().size() != curves.front().size()) {
+      throw std::runtime_error("bootstrap_curve_interval: statistic returned varying lengths");
+    }
+  }
+  const std::size_t points = curves.front().size();
+  std::vector<Interval> out(points);
+  std::vector<double> column(replicates);
+  for (std::size_t p = 0; p < points; ++p) {
+    for (std::size_t r = 0; r < replicates; ++r) column[r] = curves[r][p];
+    out[p] = percentile_interval(column, confidence);
+  }
+  return out;
+}
+
+}  // namespace autosens::stats

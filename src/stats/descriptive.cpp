@@ -1,0 +1,115 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autosens::stats {
+
+void RunningStats::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean_successive_difference(std::span<const double> values) noexcept {
+  if (values.size() < 2) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+    sum += std::abs(values[i + 1] - values[i]);
+  }
+  return sum / static_cast<double>(values.size() - 1);
+}
+
+double mean_absolute_difference(std::span<const double> values) {
+  const std::size_t n = values.size();
+  if (n < 2) return 0.0;
+  // With x sorted ascending: sum_{i<j} (x_j - x_i) = sum_i (2i - n + 1) x_i.
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sum += (2.0 * static_cast<double>(i) - static_cast<double>(n) + 1.0) * sorted[i];
+  }
+  const double pairs = 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  return sum / pairs;
+}
+
+double msd_mad_ratio(std::span<const double> values) {
+  const double mad = mean_absolute_difference(values);
+  if (mad <= 0.0) return 0.0;
+  return mean_successive_difference(values) / mad;
+}
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lower = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lower);
+  if (lower + 1 >= sorted.size()) return sorted.back();
+  return sorted[lower] * (1.0 - frac) + sorted[lower + 1] * frac;
+}
+
+double median(std::span<const double> values) { return quantile(values, 0.5); }
+
+double autocorrelation(std::span<const double> values, std::size_t lag) {
+  const std::size_t n = values.size();
+  if (lag >= n) return 0.0;
+  RunningStats stats;
+  for (const double v : values) stats.add(v);
+  const double mean = stats.mean();
+  double denom = 0.0;
+  for (const double v : values) denom += (v - mean) * (v - mean);
+  if (denom <= 0.0) return 0.0;
+  double numer = 0.0;
+  for (std::size_t i = 0; i + lag < n; ++i) {
+    numer += (values[i] - mean) * (values[i + lag] - mean);
+  }
+  return numer / denom;
+}
+
+std::vector<double> minmax_normalize(std::span<const double> values) {
+  std::vector<double> out(values.begin(), values.end());
+  if (out.empty()) return out;
+  const auto [lo_it, hi_it] = std::minmax_element(out.begin(), out.end());
+  const double lo = *lo_it;
+  const double range = *hi_it - lo;
+  for (double& v : out) v = range > 0.0 ? (v - lo) / range : 0.0;
+  return out;
+}
+
+}  // namespace autosens::stats

@@ -1,0 +1,62 @@
+// Descriptive statistics: running moments (Welford), quantiles, and the
+// von Neumann mean-successive-difference test the paper uses (Fig 1) to show
+// that latency has temporal locality.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace autosens::stats {
+
+/// Numerically stable running mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample mean of |x[i+1] - x[i]| — "mean successive difference" (MSD).
+/// Returns 0 for fewer than two samples.
+double mean_successive_difference(std::span<const double> values) noexcept;
+
+/// Mean absolute difference over all unordered pairs (MAD), the
+/// normalizer in the paper's MSD/MAD ratio. Computed in O(n log n) via the
+/// sorted-order identity. Returns 0 for fewer than two samples.
+double mean_absolute_difference(std::span<const double> values);
+
+/// MSD/MAD ratio (paper Fig 1). ~1 for an exchangeable (shuffled) series,
+/// much smaller when nearby samples are similar (temporal locality), and
+/// ~2/n for a sorted series. Returns 0 when MAD is 0 (constant series).
+double msd_mad_ratio(std::span<const double> values);
+
+/// Quantile of a sample using linear interpolation between order statistics
+/// (type-7, the numpy/R default). q in [0,1]. Throws on empty input or
+/// out-of-range q. Copies and sorts internally.
+double quantile(std::span<const double> values, double q);
+
+/// Median (quantile 0.5).
+double median(std::span<const double> values);
+
+/// Lag-k sample autocorrelation. Returns 0 if variance is 0 or k >= n.
+double autocorrelation(std::span<const double> values, std::size_t lag);
+
+/// Min-max normalize into [0, 1] (constant input maps to all zeros).
+std::vector<double> minmax_normalize(std::span<const double> values);
+
+}  // namespace autosens::stats

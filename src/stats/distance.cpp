@@ -1,0 +1,57 @@
+#include "stats/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autosens::stats {
+namespace {
+
+void check_compatible(const Histogram& p, const Histogram& q) {
+  if (p.size() != q.size() || p.bin_width() != q.bin_width() || p.lo() != q.lo()) {
+    throw std::invalid_argument("distance: histogram geometry mismatch");
+  }
+  if (p.total_weight() <= 0.0 || q.total_weight() <= 0.0) {
+    throw std::invalid_argument("distance: empty histogram");
+  }
+}
+
+}  // namespace
+
+double total_variation_distance(const Histogram& p, const Histogram& q) {
+  check_compatible(p, q);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    sum += std::abs(p.count(i) / p.total_weight() - q.count(i) / q.total_weight());
+  }
+  return 0.5 * sum;
+}
+
+double hellinger_distance(const Histogram& p, const Histogram& q) {
+  check_compatible(p, q);
+  double bc = 0.0;  // Bhattacharyya coefficient
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    bc += std::sqrt(p.count(i) / p.total_weight() * q.count(i) / q.total_weight());
+  }
+  return std::sqrt(std::max(0.0, 1.0 - bc));
+}
+
+double ks_statistic(const Histogram& p, const Histogram& q) {
+  check_compatible(p, q);
+  double cp = 0.0;
+  double cq = 0.0;
+  double max_gap = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    cp += p.count(i) / p.total_weight();
+    cq += q.count(i) / q.total_weight();
+    max_gap = std::max(max_gap, std::abs(cp - cq));
+  }
+  return max_gap;
+}
+
+double mean_shift(const Histogram& p, const Histogram& q) {
+  check_compatible(p, q);
+  return p.mean() - q.mean();
+}
+
+}  // namespace autosens::stats

@@ -1,0 +1,116 @@
+#include "stats/linalg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autosens::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("Matrix: zero dimension");
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("Matrix::multiply: shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double lhs = at(r, k);
+      if (lhs == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) out.at(r, c) += lhs * other.at(k, c);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> vec) const {
+  if (cols_ != vec.size()) throw std::invalid_argument("Matrix::multiply: vector size mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += at(r, c) * vec[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+std::vector<double> cholesky_solve(const Matrix& a, std::span<const double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("cholesky_solve: shape mismatch");
+  }
+  // Lower-triangular factor L with A = L L^T.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (sum <= 0.0) throw std::runtime_error("cholesky_solve: matrix not positive definite");
+        l.at(i, i) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+  // Forward substitution: L y = b.
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l.at(i, k) * y[k];
+    y[i] = sum / l.at(i, i);
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l.at(k, ii) * x[k];
+    x[ii] = sum / l.at(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> polyfit(std::span<const double> x, std::span<const double> y,
+                            std::size_t degree) {
+  if (x.size() != y.size()) throw std::invalid_argument("polyfit: size mismatch");
+  const std::size_t terms = degree + 1;
+  if (x.size() < terms) throw std::invalid_argument("polyfit: not enough points");
+  // Normal equations on the Vandermonde design matrix. Inputs here are SG
+  // window offsets (small integers), so conditioning is not a concern.
+  Matrix ata(terms, terms);
+  std::vector<double> atb(terms, 0.0);
+  std::vector<double> powers(2 * degree + 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double p = 1.0;
+    for (std::size_t k = 0; k < powers.size(); ++k) {
+      powers[k] += p;
+      p *= x[i];
+    }
+    p = 1.0;
+    for (std::size_t k = 0; k < terms; ++k) {
+      atb[k] += p * y[i];
+      p *= x[i];
+    }
+  }
+  // powers[k] now holds sum_i x_i^k.
+  for (std::size_t r = 0; r < terms; ++r) {
+    for (std::size_t c = 0; c < terms; ++c) ata.at(r, c) = powers[r + c];
+  }
+  return cholesky_solve(ata, atb);
+}
+
+double polyval(std::span<const double> coeffs, double x) noexcept {
+  double result = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) result = result * x + coeffs[i];
+  return result;
+}
+
+}  // namespace autosens::stats

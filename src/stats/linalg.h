@@ -1,0 +1,47 @@
+// Small dense linear algebra: just enough for least-squares polynomial fits,
+// which back the Savitzky–Golay filter and its edge handling. Not a general
+// matrix library — sizes here are (degree+1) x (degree+1), i.e. tiny.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace autosens::stats {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const noexcept { return data_[r * cols_ + c]; }
+
+  Matrix transpose() const;
+  Matrix multiply(const Matrix& other) const;  // throws on shape mismatch
+  std::vector<double> multiply(std::span<const double> vec) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b for symmetric positive-definite A via Cholesky.
+/// Throws std::invalid_argument on shape mismatch, std::runtime_error if A is
+/// not positive definite.
+std::vector<double> cholesky_solve(const Matrix& a, std::span<const double> b);
+
+/// Least squares fit of a polynomial of the given degree to (x, y) pairs via
+/// the normal equations. Returns coefficients c0..c_degree (c0 = constant).
+/// Throws if sizes mismatch or there are fewer points than coefficients.
+std::vector<double> polyfit(std::span<const double> x, std::span<const double> y,
+                            std::size_t degree);
+
+/// Evaluate a polynomial (coefficients low-to-high) at x (Horner).
+double polyval(std::span<const double> coeffs, double x) noexcept;
+
+}  // namespace autosens::stats

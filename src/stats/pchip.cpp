@@ -1,0 +1,94 @@
+#include "stats/pchip.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autosens::stats {
+
+PchipCurve::PchipCurve(std::vector<CurvePoint> anchors) : anchors_(std::move(anchors)) {
+  if (anchors_.size() < 2) {
+    throw std::invalid_argument("PchipCurve: need at least two anchors");
+  }
+  for (std::size_t i = 1; i < anchors_.size(); ++i) {
+    if (!(anchors_[i].x > anchors_[i - 1].x)) {
+      throw std::invalid_argument("PchipCurve: anchors must be strictly increasing in x");
+    }
+  }
+
+  const std::size_t n = anchors_.size();
+  std::vector<double> h(n - 1);
+  std::vector<double> delta(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    h[i] = anchors_[i + 1].x - anchors_[i].x;
+    delta[i] = (anchors_[i + 1].y - anchors_[i].y) / h[i];
+  }
+
+  slopes_.assign(n, 0.0);
+  // Interior slopes: weighted harmonic mean of adjacent secants when they
+  // share a sign (Fritsch–Carlson), zero at local extrema.
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    if (delta[i - 1] * delta[i] > 0.0) {
+      const double w1 = 2.0 * h[i] + h[i - 1];
+      const double w2 = h[i] + 2.0 * h[i - 1];
+      slopes_[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+    }
+  }
+  // Endpoint slopes: one-sided three-point formula, clamped for shape
+  // preservation (scipy's pchip endpoint rule).
+  const auto endpoint = [](double h0, double h1, double d0, double d1) {
+    double slope = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+    if (slope * d0 <= 0.0) return 0.0;
+    if (d0 * d1 < 0.0 && std::abs(slope) > 3.0 * std::abs(d0)) return 3.0 * d0;
+    return slope;
+  };
+  if (n == 2) {
+    slopes_[0] = delta[0];
+    slopes_[1] = delta[0];
+  } else {
+    slopes_[0] = endpoint(h[0], h[1], delta[0], delta[1]);
+    slopes_[n - 1] = endpoint(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
+  }
+}
+
+std::size_t PchipCurve::segment_of(double x) const noexcept {
+  const auto upper = std::upper_bound(
+      anchors_.begin(), anchors_.end(), x,
+      [](double value, const CurvePoint& p) { return value < p.x; });
+  const auto idx = static_cast<std::size_t>(upper - anchors_.begin());
+  if (idx == 0) return 0;
+  return std::min(idx - 1, anchors_.size() - 2);
+}
+
+double PchipCurve::operator()(double x) const noexcept {
+  if (x <= anchors_.front().x) return anchors_.front().y;
+  if (x >= anchors_.back().x) return anchors_.back().y;
+  const std::size_t i = segment_of(x);
+  const double h = anchors_[i + 1].x - anchors_[i].x;
+  const double t = (x - anchors_[i].x) / h;
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  // Cubic Hermite basis.
+  const double h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+  const double h10 = t3 - 2.0 * t2 + t;
+  const double h01 = -2.0 * t3 + 3.0 * t2;
+  const double h11 = t3 - t2;
+  return h00 * anchors_[i].y + h10 * h * slopes_[i] + h01 * anchors_[i + 1].y +
+         h11 * h * slopes_[i + 1];
+}
+
+double PchipCurve::derivative(double x) const noexcept {
+  if (x < anchors_.front().x || x > anchors_.back().x) return 0.0;
+  const std::size_t i = segment_of(x);
+  const double h = anchors_[i + 1].x - anchors_[i].x;
+  const double t = (x - anchors_[i].x) / h;
+  const double t2 = t * t;
+  const double dh00 = (6.0 * t2 - 6.0 * t) / h;
+  const double dh10 = (3.0 * t2 - 4.0 * t + 1.0);
+  const double dh01 = (-6.0 * t2 + 6.0 * t) / h;
+  const double dh11 = (3.0 * t2 - 2.0 * t);
+  return dh00 * anchors_[i].y + dh10 * slopes_[i] + dh01 * anchors_[i + 1].y +
+         dh11 * slopes_[i + 1];
+}
+
+}  // namespace autosens::stats

@@ -1,0 +1,38 @@
+// Monotone cubic interpolation (Fritsch–Carlson PCHIP). Where the simulator's
+// ground-truth preference curves are piecewise linear, downstream users often
+// want a smooth planted curve with no overshoot between anchors — PCHIP is
+// shape-preserving: it never introduces extrema that the anchor sequence does
+// not have, which matters when the anchors encode a monotone preference.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/piecewise.h"
+
+namespace autosens::stats {
+
+class PchipCurve {
+ public:
+  /// Anchors must be strictly increasing in x and there must be at least
+  /// two of them. Throws std::invalid_argument otherwise.
+  explicit PchipCurve(std::vector<CurvePoint> anchors);
+
+  /// Evaluate; clamped to the terminal values outside the anchor range.
+  double operator()(double x) const noexcept;
+
+  /// First derivative of the interpolant (clamped to 0 outside the range).
+  double derivative(double x) const noexcept;
+
+  std::span<const CurvePoint> anchors() const noexcept { return anchors_; }
+  double min_x() const noexcept { return anchors_.front().x; }
+  double max_x() const noexcept { return anchors_.back().x; }
+
+ private:
+  std::size_t segment_of(double x) const noexcept;
+
+  std::vector<CurvePoint> anchors_;
+  std::vector<double> slopes_;  ///< Endpoint derivatives, one per anchor.
+};
+
+}  // namespace autosens::stats

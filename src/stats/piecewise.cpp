@@ -1,0 +1,45 @@
+#include "stats/piecewise.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace autosens::stats {
+
+PiecewiseLinearCurve::PiecewiseLinearCurve(std::vector<CurvePoint> anchors)
+    : anchors_(std::move(anchors)) {
+  if (anchors_.empty()) {
+    throw std::invalid_argument("PiecewiseLinearCurve: need at least one anchor");
+  }
+  for (std::size_t i = 1; i < anchors_.size(); ++i) {
+    if (!(anchors_[i].x > anchors_[i - 1].x)) {
+      throw std::invalid_argument("PiecewiseLinearCurve: anchors must be strictly increasing in x");
+    }
+  }
+}
+
+double PiecewiseLinearCurve::operator()(double x) const noexcept {
+  if (x <= anchors_.front().x) return anchors_.front().y;
+  if (x >= anchors_.back().x) return anchors_.back().y;
+  const auto upper = std::upper_bound(
+      anchors_.begin(), anchors_.end(), x,
+      [](double value, const CurvePoint& p) { return value < p.x; });
+  const auto lower = upper - 1;
+  const double t = (x - lower->x) / (upper->x - lower->x);
+  return lower->y + t * (upper->y - lower->y);
+}
+
+PiecewiseLinearCurve PiecewiseLinearCurve::with_drop_scaled(double s) const {
+  std::vector<CurvePoint> scaled = anchors_;
+  for (auto& p : scaled) p.y = 1.0 - s * (1.0 - p.y);
+  return PiecewiseLinearCurve(std::move(scaled));
+}
+
+PiecewiseLinearCurve PiecewiseLinearCurve::normalized_at(double x_ref) const {
+  const double ref = (*this)(x_ref);
+  if (ref == 0.0) throw std::invalid_argument("normalized_at: curve is zero at reference");
+  std::vector<CurvePoint> scaled = anchors_;
+  for (auto& p : scaled) p.y /= ref;
+  return PiecewiseLinearCurve(std::move(scaled));
+}
+
+}  // namespace autosens::stats

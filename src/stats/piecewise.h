@@ -1,0 +1,46 @@
+// Piecewise curves over (x, y) anchor points.
+//
+// PiecewiseLinearCurve is the ground-truth representation used by the
+// simulator: the paper reports normalized-latency-preference values at a
+// handful of latencies (e.g. SelectMail = 0.88 / 0.68 / 0.61 at 500 / 1000 /
+// 1500 ms), and we plant curves interpolating exactly those anchors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace autosens::stats {
+
+/// An (x, y) anchor.
+struct CurvePoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Linear interpolation through anchors; clamped to the terminal values
+/// outside the anchor range.
+class PiecewiseLinearCurve {
+ public:
+  /// Anchors must be non-empty and strictly increasing in x.
+  /// Throws std::invalid_argument otherwise.
+  explicit PiecewiseLinearCurve(std::vector<CurvePoint> anchors);
+
+  double operator()(double x) const noexcept;
+
+  std::span<const CurvePoint> anchors() const noexcept { return anchors_; }
+  double min_x() const noexcept { return anchors_.front().x; }
+  double max_x() const noexcept { return anchors_.back().x; }
+
+  /// A new curve with y' = 1 - s * (1 - y): scales the *drop from 1.0* by s.
+  /// Used to derive steeper/shallower variants of a preference curve (e.g.
+  /// the paper's Q1..Q4 conditioning cohorts), preserving y = 1 fixpoints.
+  PiecewiseLinearCurve with_drop_scaled(double s) const;
+
+  /// A new curve divided pointwise by its value at x_ref (normalization).
+  PiecewiseLinearCurve normalized_at(double x_ref) const;
+
+ private:
+  std::vector<CurvePoint> anchors_;
+};
+
+}  // namespace autosens::stats

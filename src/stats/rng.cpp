@@ -1,0 +1,114 @@
+#include "stats/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace autosens::stats {
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= s_[i];
+      }
+      (*this)();
+    }
+  }
+  s_ = acc;
+}
+
+Xoshiro256 Xoshiro256::split() noexcept {
+  // The child takes over the current stream position; self jumps 2^128 draws
+  // ahead, so the two never overlap and successive splits are all distinct.
+  Xoshiro256 child = *this;
+  jump();
+  return child;
+}
+
+double Random::uniform() noexcept {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+double Random::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Random::uniform_index(std::uint64_t n) noexcept {
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~n + 1) % n;  // == 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = engine_();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Random::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Random::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Random::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Random::exponential(double rate) noexcept {
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Random::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-mean);
+    std::uint64_t count = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction: adequate for the
+  // workload-sizing draws this library makes at large means.
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+bool Random::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+}  // namespace autosens::stats

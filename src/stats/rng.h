@@ -1,0 +1,116 @@
+// Deterministic pseudo-random number generation for all AutoSens experiments.
+//
+// Every stochastic component in the library takes an explicit engine by
+// reference, so a whole experiment is reproducible bit-for-bit from a single
+// seed. The engine is xoshiro256** (Blackman & Vigna), seeded through
+// SplitMix64 as its authors recommend; both are implemented here so the
+// library has no dependency on the quality or stability of std:: engines.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace autosens::stats {
+
+/// SplitMix64: used to expand a 64-bit seed into engine state.
+/// Also a fine standalone generator for cheap, low-stakes randomness.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit generator.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x5eed'0000'd00d'beefULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Jump ahead by 2^128 draws; used to derive independent streams.
+  void jump() noexcept;
+
+  /// A new engine whose stream is independent of this one (jump-based).
+  Xoshiro256 split() noexcept;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Random draws built on an engine. All methods mutate the engine.
+class Random {
+ public:
+  explicit Random(std::uint64_t seed) : engine_(seed) {}
+  explicit Random(Xoshiro256 engine) noexcept : engine_(engine) {}
+
+  Xoshiro256& engine() noexcept { return engine_; }
+
+  /// Uniform in [0, 1).
+  double uniform() noexcept;
+  /// Uniform in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+  /// Standard normal via Box–Muller with caching.
+  double normal() noexcept;
+  double normal(double mean, double stddev) noexcept;
+  /// Lognormal with parameters of the underlying normal.
+  double lognormal(double mu, double sigma) noexcept;
+  /// Exponential with the given rate (events per unit). Requires rate > 0.
+  double exponential(double rate) noexcept;
+  /// Poisson count with the given mean (Knuth for small, PTRS for large).
+  std::uint64_t poisson(double mean) noexcept;
+  /// Bernoulli trial.
+  bool bernoulli(double p) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> values) noexcept {
+    if (values.size() < 2) return;
+    for (std::size_t i = values.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_index(i + 1));
+      using std::swap;
+      swap(values[i], values[j]);
+    }
+  }
+
+  /// An independent child generator (for per-user / per-slice streams).
+  Random split() noexcept { return Random(engine_.split()); }
+
+ private:
+  Xoshiro256 engine_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace autosens::stats

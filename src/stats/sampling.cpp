@@ -1,0 +1,105 @@
+#include "stats/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autosens::stats {
+namespace {
+
+/// [first, last) range of indices in `times` holding the same value as
+/// times[idx].
+std::pair<std::size_t, std::size_t> equal_time_run(std::span<const std::int64_t> times,
+                                                   std::size_t idx) {
+  const std::int64_t value = times[idx];
+  std::size_t first = idx;
+  while (first > 0 && times[first - 1] == value) --first;
+  std::size_t last = idx + 1;
+  while (last < times.size() && times[last] == value) ++last;
+  return {first, last};
+}
+
+}  // namespace
+
+std::size_t nearest_sample_index(std::span<const std::int64_t> times, std::int64_t t,
+                                 Random& random) {
+  if (times.empty()) throw std::invalid_argument("nearest_sample_index: empty times");
+  const auto it = std::lower_bound(times.begin(), times.end(), t);
+  std::size_t chosen = 0;
+  if (it == times.end()) {
+    chosen = times.size() - 1;
+  } else if (it == times.begin()) {
+    chosen = 0;
+  } else {
+    const auto right = static_cast<std::size_t>(it - times.begin());
+    const std::size_t left = right - 1;
+    const std::int64_t d_left = t - times[left];
+    const std::int64_t d_right = times[right] - t;
+    if (d_left < d_right) {
+      chosen = left;
+    } else if (d_right < d_left) {
+      chosen = right;
+    } else {
+      chosen = random.bernoulli(0.5) ? left : right;
+    }
+  }
+  // Paper §2.2: multiple samples at the chosen time → pick one at random.
+  const auto [first, last] = equal_time_run(times, chosen);
+  if (last - first > 1) {
+    chosen = first + static_cast<std::size_t>(random.uniform_index(last - first));
+  }
+  return chosen;
+}
+
+std::vector<std::size_t> nearest_sample_draws(std::span<const std::int64_t> times,
+                                              std::int64_t window_begin,
+                                              std::int64_t window_end, std::size_t draws,
+                                              Random& random) {
+  if (times.empty()) throw std::invalid_argument("nearest_sample_draws: empty times");
+  if (!(window_end > window_begin)) {
+    throw std::invalid_argument("nearest_sample_draws: empty window");
+  }
+  std::vector<std::size_t> out;
+  out.reserve(draws);
+  const double span = static_cast<double>(window_end - window_begin);
+  for (std::size_t i = 0; i < draws; ++i) {
+    const auto t = window_begin + static_cast<std::int64_t>(random.uniform() * span);
+    out.push_back(nearest_sample_index(times, t, random));
+  }
+  return out;
+}
+
+std::vector<double> voronoi_weights(std::span<const std::int64_t> times,
+                                    std::int64_t window_begin, std::int64_t window_end) {
+  if (times.empty()) throw std::invalid_argument("voronoi_weights: empty times");
+  if (!(window_end > window_begin)) throw std::invalid_argument("voronoi_weights: empty window");
+  const std::size_t n = times.size();
+  std::vector<double> weights(n, 0.0);
+  const double begin = static_cast<double>(window_begin);
+  const double end = static_cast<double>(window_end);
+
+  std::size_t i = 0;
+  double total = 0.0;
+  while (i < n) {
+    // Group duplicates: they split their shared cell equally (the random
+    // tie-break of the sampling procedure is uniform over them).
+    std::size_t j = i;
+    while (j + 1 < n && times[j + 1] == times[i]) ++j;
+    const double t = static_cast<double>(times[i]);
+    const double left_edge =
+        i == 0 ? begin : std::max(begin, 0.5 * (static_cast<double>(times[i - 1]) + t));
+    const double right_edge =
+        j + 1 == n ? end : std::min(end, 0.5 * (t + static_cast<double>(times[j + 1])));
+    const double cell = std::max(0.0, right_edge - left_edge);
+    const double share = cell / static_cast<double>(j - i + 1);
+    for (std::size_t k = i; k <= j; ++k) weights[k] = share;
+    total += cell;
+    i = j + 1;
+  }
+  if (total > 0.0) {
+    for (double& w : weights) w /= total;
+  }
+  return weights;
+}
+
+}  // namespace autosens::stats

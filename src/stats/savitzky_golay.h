@@ -1,0 +1,48 @@
+// Savitzky–Golay smoothing (paper §2.3: window 101, polynomial degree 3).
+//
+// The interior of the signal is smoothed by convolution with least-squares
+// polynomial coefficients; the two half-window edges are handled by fitting a
+// polynomial to the first/last window and evaluating it at the edge points
+// (the "interp" mode of scipy.signal.savgol_filter), so the smoothed curve is
+// defined over the full domain — AutoSens needs the value at the reference
+// latency even when it sits near a boundary of the observed latency range.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace autosens::stats {
+
+/// Configuration for a Savitzky–Golay filter.
+struct SavitzkyGolayOptions {
+  std::size_t window = 101;  ///< Odd window length in samples.
+  std::size_t degree = 3;    ///< Polynomial degree; must be < window.
+};
+
+class SavitzkyGolay {
+ public:
+  /// Precomputes the convolution kernel. Throws std::invalid_argument if the
+  /// window is even or not larger than the degree.
+  explicit SavitzkyGolay(SavitzkyGolayOptions options);
+
+  /// The centered smoothing kernel (length == window).
+  std::span<const double> kernel() const noexcept { return kernel_; }
+
+  /// Smooth a signal. If the signal is shorter than the window, a single
+  /// polynomial of the configured degree (clamped to the data size) is fitted
+  /// to the whole signal instead.
+  std::vector<double> smooth(std::span<const double> signal) const;
+
+  const SavitzkyGolayOptions& options() const noexcept { return options_; }
+
+ private:
+  SavitzkyGolayOptions options_;
+  std::vector<double> kernel_;
+};
+
+/// One-shot helper: smooth `signal` with the given window/degree.
+std::vector<double> savgol_smooth(std::span<const double> signal,
+                                  std::size_t window = 101, std::size_t degree = 3);
+
+}  // namespace autosens::stats

@@ -1,0 +1,98 @@
+#include "stats/streaming_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autosens::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0.0 && q < 1.0)) {
+    throw std::invalid_argument("P2Quantile: q must be in (0, 1)");
+  }
+  increment_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+double P2Quantile::parabolic(int i, double d) const noexcept {
+  const auto idx = static_cast<std::size_t>(i);
+  return heights_[idx] +
+         d / (positions_[idx + 1] - positions_[idx - 1]) *
+             ((positions_[idx] - positions_[idx - 1] + d) *
+                  (heights_[idx + 1] - heights_[idx]) /
+                  (positions_[idx + 1] - positions_[idx]) +
+              (positions_[idx + 1] - positions_[idx] - d) *
+                  (heights_[idx] - heights_[idx - 1]) /
+                  (positions_[idx] - positions_[idx - 1]));
+}
+
+double P2Quantile::linear(int i, int d) const noexcept {
+  const auto idx = static_cast<std::size_t>(i);
+  const auto nbr = static_cast<std::size_t>(i + d);
+  return heights_[idx] + d * (heights_[nbr] - heights_[idx]) /
+                             (positions_[nbr] - positions_[idx]);
+}
+
+void P2Quantile::add(double value) noexcept {
+  if (count_ < 5) {
+    heights_[count_] = value;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (std::size_t i = 0; i < 5; ++i) {
+        positions_[i] = static_cast<double>(i + 1);
+        desired_[i] = 1.0 + 4.0 * increment_[i];
+      }
+    }
+    return;
+  }
+
+  // Locate the cell containing the new value; extend extremes if needed.
+  std::size_t k = 0;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], value);
+    k = 3;
+  } else {
+    while (k < 3 && value >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increment_[i];
+  ++count_;
+
+  // Adjust the three interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const double offset = desired_[idx] - positions_[idx];
+    const bool can_right = positions_[idx + 1] - positions_[idx] > 1.0;
+    const bool can_left = positions_[idx - 1] - positions_[idx] < -1.0;
+    if ((offset >= 1.0 && can_right) || (offset <= -1.0 && can_left)) {
+      const double d = offset >= 1.0 ? 1.0 : -1.0;
+      double candidate = parabolic(i, d);
+      if (!(heights_[idx - 1] < candidate && candidate < heights_[idx + 1])) {
+        candidate = linear(i, static_cast<int>(d));
+      }
+      heights_[idx] = candidate;
+      positions_[idx] += d;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) throw std::logic_error("P2Quantile::value: no samples");
+  if (count_ < 5) {
+    // Exact small-sample quantile over the sorted prefix.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(count_));
+    const double pos = q_ * static_cast<double>(count_ - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const double frac = pos - std::floor(pos);
+    const std::size_t hi = std::min(lo + 1, count_ - 1);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+  return heights_[2];
+}
+
+}  // namespace autosens::stats

@@ -1,0 +1,44 @@
+// Streaming quantile estimation via the P² algorithm (Jain & Chlamtac 1985).
+// Real telemetry volumes (the paper analyzes billions of actions) do not fit
+// in memory for exact per-user medians; P² estimates a quantile in O(1)
+// space per (user, quantile) with bounded error, which is what a production
+// deployment of the conditioning-to-speed analysis (§3.4) would use.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace autosens::stats {
+
+class P2Quantile {
+ public:
+  /// Estimator for the q-quantile, q in (0, 1).
+  /// Throws std::invalid_argument for q outside (0, 1).
+  explicit P2Quantile(double q);
+
+  void add(double value) noexcept;
+  std::size_t count() const noexcept { return count_; }
+
+  /// Current estimate. Exact while fewer than 6 samples have been seen.
+  /// Throws std::logic_error when empty.
+  double value() const;
+
+ private:
+  double parabolic(int i, double d) const noexcept;
+  double linear(int i, int d) const noexcept;
+
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};   ///< Marker heights.
+  std::array<double, 5> positions_{}; ///< Actual marker positions.
+  std::array<double, 5> desired_{};   ///< Desired marker positions.
+  std::array<double, 5> increment_{}; ///< Desired-position increments.
+};
+
+/// Convenience: streaming median.
+class P2Median : public P2Quantile {
+ public:
+  P2Median() : P2Quantile(0.5) {}
+};
+
+}  // namespace autosens::stats

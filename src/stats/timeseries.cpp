@@ -1,0 +1,56 @@
+#include "stats/timeseries.h"
+
+#include <stdexcept>
+
+namespace autosens::stats {
+
+std::vector<WindowAggregate> window_aggregate(std::span<const std::int64_t> times,
+                                              std::span<const double> values,
+                                              std::int64_t begin, std::int64_t end,
+                                              std::int64_t window_ms) {
+  if (times.size() != values.size()) {
+    throw std::invalid_argument("window_aggregate: size mismatch");
+  }
+  if (!(end > begin)) throw std::invalid_argument("window_aggregate: empty range");
+  if (window_ms <= 0) throw std::invalid_argument("window_aggregate: non-positive window");
+
+  const auto window_count =
+      static_cast<std::size_t>((end - begin + window_ms - 1) / window_ms);
+  std::vector<WindowAggregate> windows(window_count);
+  for (std::size_t w = 0; w < window_count; ++w) {
+    windows[w].window_begin = begin + static_cast<std::int64_t>(w) * window_ms;
+  }
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] < begin || times[i] >= end) continue;
+    const auto w = static_cast<std::size_t>((times[i] - begin) / window_ms);
+    auto& agg = windows[w];
+    ++agg.count;
+    agg.mean += (values[i] - agg.mean) / static_cast<double>(agg.count);
+  }
+  return windows;
+}
+
+std::vector<double> window_counts(std::span<const WindowAggregate> windows) {
+  std::vector<double> out;
+  out.reserve(windows.size());
+  for (const auto& w : windows) out.push_back(static_cast<double>(w.count));
+  return out;
+}
+
+std::vector<double> window_means(std::span<const WindowAggregate> windows) {
+  std::vector<double> out;
+  out.reserve(windows.size());
+  for (const auto& w : windows) out.push_back(w.mean);
+  return out;
+}
+
+std::vector<WindowAggregate> nonempty_windows(std::span<const WindowAggregate> windows,
+                                              std::size_t min_count) {
+  std::vector<WindowAggregate> out;
+  for (const auto& w : windows) {
+    if (w.count >= min_count) out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace autosens::stats

@@ -1,0 +1,38 @@
+// Fixed-window time-series aggregation. Backs the paper's Fig 2 (latency vs
+// activity rate over 2 days) and the density-vs-latency locality check
+// (§2.1): per-window sample count and per-window mean latency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace autosens::stats {
+
+/// Aggregates of one time window.
+struct WindowAggregate {
+  std::int64_t window_begin = 0;  ///< Inclusive window start (epoch ms).
+  std::size_t count = 0;          ///< Samples in the window.
+  double mean = 0.0;              ///< Mean value (0 when count == 0).
+};
+
+/// Partition [begin, end) into consecutive windows of `window_ms` and compute
+/// per-window count and mean of `values`. `times` must be sorted ascending
+/// and aligned with `values`. Samples outside [begin, end) are ignored.
+/// Throws std::invalid_argument on size mismatch, empty range, or
+/// non-positive window.
+std::vector<WindowAggregate> window_aggregate(std::span<const std::int64_t> times,
+                                              std::span<const double> values,
+                                              std::int64_t begin, std::int64_t end,
+                                              std::int64_t window_ms);
+
+/// Convenience extraction helpers for correlation / plotting.
+std::vector<double> window_counts(std::span<const WindowAggregate> windows);
+std::vector<double> window_means(std::span<const WindowAggregate> windows);
+
+/// Restrict to windows with at least `min_count` samples (mean of an empty
+/// window is meaningless for correlation).
+std::vector<WindowAggregate> nonempty_windows(std::span<const WindowAggregate> windows,
+                                              std::size_t min_count = 1);
+
+}  // namespace autosens::stats

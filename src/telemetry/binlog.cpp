@@ -1,0 +1,206 @@
+#include "telemetry/binlog.h"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace autosens::telemetry {
+namespace codec {
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+bool get_varint(std::span<const std::uint8_t> in, std::size_t& offset, std::uint64_t& value) {
+  value = 0;
+  int shift = 0;
+  while (offset < in.size() && shift < 64) {
+    const std::uint8_t byte = in[offset++];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+  }
+  return false;
+}
+
+std::uint64_t zigzag_encode(std::int64_t value) noexcept {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t zigzag_decode(std::uint64_t value) noexcept {
+  return static_cast<std::int64_t>(value >> 1) ^ -static_cast<std::int64_t>(value & 1);
+}
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  static const auto table = make_crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (const std::uint8_t byte : data) {
+    crc = table[(crc ^ byte) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::vector<std::uint8_t> encode_batch(std::span<const ActionRecord> records) {
+  std::vector<std::uint8_t> out;
+  out.reserve(records.size() * 8 + 16);
+  put_varint(out, records.size());
+  std::int64_t prev_time = 0;
+  std::uint64_t prev_user = 0;
+  for (const auto& r : records) {
+    put_varint(out, zigzag_encode(r.time_ms - prev_time));
+    put_varint(out, zigzag_encode(static_cast<std::int64_t>(r.user_id) -
+                                  static_cast<std::int64_t>(prev_user)));
+    const double scaled = std::round(r.latency_ms * 100.0);
+    put_varint(out, zigzag_encode(static_cast<std::int64_t>(scaled)));
+    out.push_back(static_cast<std::uint8_t>(r.action));
+    out.push_back(static_cast<std::uint8_t>(r.user_class));
+    out.push_back(static_cast<std::uint8_t>(r.status));
+    prev_time = r.time_ms;
+    prev_user = r.user_id;
+  }
+  return out;
+}
+
+std::vector<ActionRecord> decode_batch(std::span<const std::uint8_t> payload) {
+  std::size_t offset = 0;
+  std::uint64_t count = 0;
+  if (!get_varint(payload, offset, count)) {
+    throw std::runtime_error("decode_batch: truncated count");
+  }
+  std::vector<ActionRecord> records;
+  records.reserve(count);
+  std::int64_t prev_time = 0;
+  std::uint64_t prev_user = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t time_delta = 0;
+    std::uint64_t user_delta = 0;
+    std::uint64_t latency_scaled = 0;
+    if (!get_varint(payload, offset, time_delta) ||
+        !get_varint(payload, offset, user_delta) ||
+        !get_varint(payload, offset, latency_scaled) || offset + 3 > payload.size()) {
+      throw std::runtime_error("decode_batch: truncated record");
+    }
+    ActionRecord r;
+    r.time_ms = prev_time + zigzag_decode(time_delta);
+    r.user_id = static_cast<std::uint64_t>(static_cast<std::int64_t>(prev_user) +
+                                           zigzag_decode(user_delta));
+    r.latency_ms = static_cast<double>(zigzag_decode(latency_scaled)) / 100.0;
+    const std::uint8_t action = payload[offset++];
+    const std::uint8_t user_class = payload[offset++];
+    const std::uint8_t status = payload[offset++];
+    if (action >= kActionTypeCount || user_class >= kUserClassCount || status > 1) {
+      throw std::runtime_error("decode_batch: invalid enum value");
+    }
+    r.action = static_cast<ActionType>(action);
+    r.user_class = static_cast<UserClass>(user_class);
+    r.status = static_cast<ActionStatus>(status);
+    records.push_back(r);
+    prev_time = r.time_ms;
+    prev_user = r.user_id;
+  }
+  if (offset != payload.size()) {
+    throw std::runtime_error("decode_batch: trailing bytes in payload");
+  }
+  return records;
+}
+
+}  // namespace codec
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'A', 'S', 'L', '1'};
+
+void put_u32(std::ostream& out, std::uint32_t value) {
+  std::array<std::uint8_t, 4> bytes = {
+      static_cast<std::uint8_t>(value), static_cast<std::uint8_t>(value >> 8),
+      static_cast<std::uint8_t>(value >> 16), static_cast<std::uint8_t>(value >> 24)};
+  out.write(reinterpret_cast<const char*>(bytes.data()), 4);
+}
+
+bool get_u32(std::istream& in, std::uint32_t& value) {
+  std::array<std::uint8_t, 4> bytes{};
+  if (!in.read(reinterpret_cast<char*>(bytes.data()), 4)) return false;
+  value = static_cast<std::uint32_t>(bytes[0]) | (static_cast<std::uint32_t>(bytes[1]) << 8) |
+          (static_cast<std::uint32_t>(bytes[2]) << 16) |
+          (static_cast<std::uint32_t>(bytes[3]) << 24);
+  return true;
+}
+
+}  // namespace
+
+void write_binlog(std::ostream& out, const Dataset& dataset, std::size_t batch_size) {
+  if (batch_size == 0) throw std::invalid_argument("write_binlog: batch_size must be nonzero");
+  out.write(kMagic.data(), kMagic.size());
+  const auto records = dataset.records();
+  for (std::size_t start = 0; start < records.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, records.size() - start);
+    const auto payload = codec::encode_batch(records.subspan(start, count));
+    put_u32(out, static_cast<std::uint32_t>(payload.size()));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    put_u32(out, codec::crc32(payload));
+  }
+  if (!out) throw std::runtime_error("write_binlog: stream write failed");
+}
+
+void write_binlog_file(const std::string& path, const Dataset& dataset, std::size_t batch_size) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_binlog_file: cannot open " + path);
+  write_binlog(out, dataset, batch_size);
+}
+
+Dataset read_binlog(std::istream& in) {
+  std::array<char, 4> magic{};
+  if (!in.read(magic.data(), magic.size()) || magic != kMagic) {
+    throw std::runtime_error("read_binlog: bad magic");
+  }
+  Dataset dataset;
+  std::uint32_t payload_len = 0;
+  while (get_u32(in, payload_len)) {
+    std::vector<std::uint8_t> payload(payload_len);
+    if (payload_len > 0 &&
+        !in.read(reinterpret_cast<char*>(payload.data()), payload_len)) {
+      throw std::runtime_error("read_binlog: truncated payload");
+    }
+    std::uint32_t stored_crc = 0;
+    if (!get_u32(in, stored_crc)) throw std::runtime_error("read_binlog: truncated crc");
+    if (stored_crc != codec::crc32(payload)) {
+      throw std::runtime_error("read_binlog: crc mismatch");
+    }
+    for (const auto& r : codec::decode_batch(payload)) dataset.add(r);
+  }
+  if (!in.eof() && in.fail()) throw std::runtime_error("read_binlog: stream read failed");
+  dataset.sort_by_time();
+  return dataset;
+}
+
+Dataset read_binlog_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_binlog_file: cannot open " + path);
+  return read_binlog(in);
+}
+
+}  // namespace autosens::telemetry

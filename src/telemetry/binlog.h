@@ -1,0 +1,54 @@
+// Compact binary log format for ActionRecords, plus the byte-level codec
+// primitives (varint, zigzag, CRC32) shared with the network wire format.
+//
+// File layout:
+//   magic "ASL1" (4 bytes)
+//   frames: [u32 payload_len][payload][u32 crc32(payload)] ...
+// Each payload holds a batch of records, delta-encoded: the first record's
+// time/user are varint-encoded absolutely, subsequent records store zigzag
+// deltas. Latency is stored as a varint of round(latency_ms * 100), i.e.
+// 10 µs resolution — far below the 10 ms analysis bin width.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "telemetry/dataset.h"
+
+namespace autosens::telemetry {
+namespace codec {
+
+/// Append an unsigned LEB128 varint.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
+/// Read a varint; advances `offset`. Returns false on truncated/overlong input.
+bool get_varint(std::span<const std::uint8_t> in, std::size_t& offset, std::uint64_t& value);
+
+/// Zigzag mapping for signed deltas.
+std::uint64_t zigzag_encode(std::int64_t value) noexcept;
+std::int64_t zigzag_decode(std::uint64_t value) noexcept;
+
+/// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF).
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+/// Encode / decode a whole record batch (the frame payload format above).
+std::vector<std::uint8_t> encode_batch(std::span<const ActionRecord> records);
+/// Throws std::runtime_error on malformed payloads.
+std::vector<ActionRecord> decode_batch(std::span<const std::uint8_t> payload);
+
+}  // namespace codec
+
+/// Write `dataset` to a binary log stream, batching `batch_size` records per
+/// frame. Throws std::runtime_error on IO failure.
+void write_binlog(std::ostream& out, const Dataset& dataset, std::size_t batch_size = 4096);
+void write_binlog_file(const std::string& path, const Dataset& dataset,
+                       std::size_t batch_size = 4096);
+
+/// Read a binary log. Throws std::runtime_error on bad magic, CRC mismatch,
+/// or truncation (this format is checksummed; errors are never silent).
+Dataset read_binlog(std::istream& in);
+Dataset read_binlog_file(const std::string& path);
+
+}  // namespace autosens::telemetry

@@ -1,0 +1,128 @@
+#include "telemetry/csv.h"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace autosens::telemetry {
+namespace {
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+template <typename T>
+bool parse_number(std::string_view text, T& out) {
+  const auto* begin = text.data();
+  const auto* end = text.data() + text.size();
+  const auto result = std::from_chars(begin, end, out);
+  return result.ec == std::errc{} && result.ptr == end;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const Dataset& dataset) {
+  out << kCsvHeader << '\n';
+  for (const auto& r : dataset.records()) {
+    out << r.time_ms << ',' << r.user_id << ',' << to_string(r.action) << ','
+        << r.latency_ms << ',' << to_string(r.user_class) << ',' << to_string(r.status)
+        << '\n';
+  }
+}
+
+void write_csv_file(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv_file: cannot open " + path);
+  write_csv(out, dataset);
+  if (!out) throw std::runtime_error("write_csv_file: write failed for " + path);
+}
+
+CsvReadResult read_csv(std::istream& in) {
+  CsvReadResult result;
+  std::string line;
+  std::size_t line_number = 0;
+
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("read_csv: empty input (missing header)");
+  }
+  ++line_number;
+  if (trim(line) != kCsvHeader) {
+    throw std::runtime_error("read_csv: unexpected header: " + line);
+  }
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto fields = split_fields(trimmed);
+    if (fields.size() != 6) {
+      result.errors.push_back({line_number, "expected 6 fields, got " +
+                                                std::to_string(fields.size())});
+      continue;
+    }
+    ActionRecord record;
+    if (!parse_number(trim(fields[0]), record.time_ms)) {
+      result.errors.push_back({line_number, "bad time_ms"});
+      continue;
+    }
+    if (!parse_number(trim(fields[1]), record.user_id)) {
+      result.errors.push_back({line_number, "bad user_id"});
+      continue;
+    }
+    const auto action = parse_action_type(trim(fields[2]));
+    if (!action) {
+      result.errors.push_back({line_number, "unknown action type"});
+      continue;
+    }
+    record.action = *action;
+    if (!parse_number(trim(fields[3]), record.latency_ms)) {
+      result.errors.push_back({line_number, "bad latency_ms"});
+      continue;
+    }
+    const auto user_class = parse_user_class(trim(fields[4]));
+    if (!user_class) {
+      result.errors.push_back({line_number, "unknown user class"});
+      continue;
+    }
+    record.user_class = *user_class;
+    const auto status = parse_action_status(trim(fields[5]));
+    if (!status) {
+      result.errors.push_back({line_number, "unknown status"});
+      continue;
+    }
+    record.status = *status;
+    result.dataset.add(record);
+  }
+  result.dataset.sort_by_time();
+  return result;
+}
+
+CsvReadResult read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv_file: cannot open " + path);
+  return read_csv(in);
+}
+
+}  // namespace autosens::telemetry

@@ -1,0 +1,41 @@
+// CSV import/export of ActionRecords. The on-disk schema is the minimal
+// telemetry of the paper (§2.1): time_ms,user_id,action,latency_ms,
+// user_class,status — with a header row. Parsing is strict: malformed rows
+// are reported with line numbers rather than silently dropped.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/dataset.h"
+
+namespace autosens::telemetry {
+
+/// The canonical header row.
+inline constexpr const char* kCsvHeader = "time_ms,user_id,action,latency_ms,user_class,status";
+
+/// One rejected input row.
+struct CsvError {
+  std::size_t line = 0;     ///< 1-based line number in the input.
+  std::string message;      ///< What was wrong.
+};
+
+/// Result of a CSV read: accepted records plus per-row errors.
+struct CsvReadResult {
+  Dataset dataset;
+  std::vector<CsvError> errors;
+};
+
+/// Write `dataset` as CSV (header + one row per record).
+void write_csv(std::ostream& out, const Dataset& dataset);
+void write_csv_file(const std::string& path, const Dataset& dataset);
+
+/// Read records from CSV. The header row is validated; a wrong header is a
+/// fatal std::runtime_error (it means the file is not this schema at all),
+/// while individually malformed data rows are collected into `errors`.
+CsvReadResult read_csv(std::istream& in);
+CsvReadResult read_csv_file(const std::string& path);
+
+}  // namespace autosens::telemetry

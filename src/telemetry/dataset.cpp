@@ -1,0 +1,78 @@
+#include "telemetry/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace autosens::telemetry {
+
+Dataset::Dataset(std::vector<ActionRecord> records) : records_(std::move(records)) {
+  sorted_ = std::is_sorted(records_.begin(), records_.end(),
+                           [](const ActionRecord& a, const ActionRecord& b) {
+                             return a.time_ms < b.time_ms;
+                           });
+}
+
+void Dataset::add(ActionRecord record) {
+  if (sorted_ && !records_.empty() && record.time_ms < records_.back().time_ms) {
+    sorted_ = false;
+  }
+  records_.push_back(record);
+}
+
+void Dataset::sort_by_time() {
+  if (sorted_) return;
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const ActionRecord& a, const ActionRecord& b) {
+                     return a.time_ms < b.time_ms;
+                   });
+  sorted_ = true;
+}
+
+std::int64_t Dataset::begin_time() const {
+  if (records_.empty()) throw std::runtime_error("Dataset::begin_time: empty dataset");
+  if (!sorted_) throw std::runtime_error("Dataset::begin_time: dataset not sorted");
+  return records_.front().time_ms;
+}
+
+std::int64_t Dataset::end_time() const {
+  if (records_.empty()) throw std::runtime_error("Dataset::end_time: empty dataset");
+  if (!sorted_) throw std::runtime_error("Dataset::end_time: dataset not sorted");
+  return records_.back().time_ms + 1;
+}
+
+std::vector<std::int64_t> Dataset::times() const {
+  std::vector<std::int64_t> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.time_ms);
+  return out;
+}
+
+std::vector<double> Dataset::latencies() const {
+  std::vector<double> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.latency_ms);
+  return out;
+}
+
+Dataset Dataset::filtered(const std::function<bool(const ActionRecord&)>& predicate) const {
+  std::vector<ActionRecord> kept;
+  for (const auto& r : records_) {
+    if (predicate(r)) kept.push_back(r);
+  }
+  return Dataset(std::move(kept));
+}
+
+std::unordered_map<std::uint64_t, double> Dataset::per_user_median_latency() const {
+  std::unordered_map<std::uint64_t, std::vector<double>> per_user;
+  for (const auto& r : records_) per_user[r.user_id].push_back(r.latency_ms);
+  std::unordered_map<std::uint64_t, double> medians;
+  medians.reserve(per_user.size());
+  for (auto& [user, latencies] : per_user) {
+    medians.emplace(user, stats::median(latencies));
+  }
+  return medians;
+}
+
+}  // namespace autosens::telemetry

@@ -1,0 +1,57 @@
+// Dataset: an in-memory, time-sorted store of ActionRecords with the access
+// paths AutoSens needs — time range, parallel time/latency views, per-user
+// grouping (for the conditioning-to-speed quartiles, §3.4), and cheap
+// filtered copies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/record.h"
+
+namespace autosens::telemetry {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<ActionRecord> records);
+
+  /// Append one record. Invalidates sortedness; sort happens lazily via
+  /// ensure_sorted() or eagerly through sort_by_time().
+  void add(ActionRecord record);
+  void reserve(std::size_t capacity) { records_.reserve(capacity); }
+
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+  std::span<const ActionRecord> records() const noexcept { return records_; }
+  const ActionRecord& operator[](std::size_t i) const noexcept { return records_[i]; }
+
+  /// Sort records ascending by time (stable, so equal-time order is
+  /// insertion order). Idempotent.
+  void sort_by_time();
+  bool is_sorted() const noexcept { return sorted_; }
+
+  /// First record time. Throws std::runtime_error when empty or unsorted.
+  std::int64_t begin_time() const;
+  /// One past the last record time (so [begin_time, end_time) is non-empty).
+  std::int64_t end_time() const;
+
+  /// Column extraction (records must be sorted for `times` to be monotone).
+  std::vector<std::int64_t> times() const;
+  std::vector<double> latencies() const;
+
+  /// A new dataset containing records matching `predicate`, preserving order.
+  Dataset filtered(const std::function<bool(const ActionRecord&)>& predicate) const;
+
+  /// Per-user median latency over this dataset (for quartile conditioning).
+  std::unordered_map<std::uint64_t, double> per_user_median_latency() const;
+
+ private:
+  std::vector<ActionRecord> records_;
+  bool sorted_ = true;  // vacuously sorted when empty
+};
+
+}  // namespace autosens::telemetry

@@ -1,0 +1,81 @@
+#include "telemetry/filter.h"
+
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace autosens::telemetry {
+
+RecordPredicate by_action(ActionType type) {
+  return [type](const ActionRecord& r) { return r.action == type; };
+}
+
+RecordPredicate by_user_class(UserClass user_class) {
+  return [user_class](const ActionRecord& r) { return r.user_class == user_class; };
+}
+
+RecordPredicate by_status(ActionStatus status) {
+  return [status](const ActionRecord& r) { return r.status == status; };
+}
+
+RecordPredicate by_period(DayPeriod period) {
+  return [period](const ActionRecord& r) { return day_period(r.time_ms) == period; };
+}
+
+RecordPredicate by_month(std::int64_t month) {
+  return [month](const ActionRecord& r) { return month_index(r.time_ms) == month; };
+}
+
+RecordPredicate by_time_range(std::int64_t begin_ms, std::int64_t end_ms) {
+  return [begin_ms, end_ms](const ActionRecord& r) {
+    return r.time_ms >= begin_ms && r.time_ms < end_ms;
+  };
+}
+
+RecordPredicate all_of(std::vector<RecordPredicate> predicates) {
+  return [predicates = std::move(predicates)](const ActionRecord& r) {
+    for (const auto& p : predicates) {
+      if (!p(r)) return false;
+    }
+    return true;
+  };
+}
+
+UserQuartiles::UserQuartiles(const Dataset& dataset)
+    : UserQuartiles(dataset.per_user_median_latency()) {}
+
+UserQuartiles::UserQuartiles(const std::unordered_map<std::uint64_t, double>& medians) {
+  if (medians.empty()) throw std::invalid_argument("UserQuartiles: dataset has no users");
+  std::vector<double> values;
+  values.reserve(medians.size());
+  for (const auto& [user, median] : medians) values.push_back(median);
+  boundaries_ = {stats::quantile(values, 0.25), stats::quantile(values, 0.50),
+                 stats::quantile(values, 0.75)};
+  assignment_.reserve(medians.size());
+  for (const auto& [user, median] : medians) {
+    int q = 0;
+    while (q < 3 && median > boundaries_[static_cast<std::size_t>(q)]) ++q;
+    assignment_.emplace(user, q);
+  }
+}
+
+int UserQuartiles::quartile_of(std::uint64_t user_id) const {
+  const auto it = assignment_.find(user_id);
+  if (it == assignment_.end()) {
+    throw std::invalid_argument("UserQuartiles: unknown user id");
+  }
+  return it->second;
+}
+
+RecordPredicate UserQuartiles::in_quartile(int q) const {
+  if (q < 0 || q >= kQuartileCount) {
+    throw std::invalid_argument("UserQuartiles::in_quartile: q outside [0,4)");
+  }
+  // Capture the map by value so the predicate outlives this object safely.
+  return [assignment = assignment_, q](const ActionRecord& r) {
+    const auto it = assignment.find(r.user_id);
+    return it != assignment.end() && it->second == q;
+  };
+}
+
+}  // namespace autosens::telemetry

@@ -1,0 +1,192 @@
+#include "telemetry/jsonl.h"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace autosens::telemetry {
+namespace {
+
+/// Minimal tokenizer over one flat JSON object: {"key":value,...} where
+/// values are numbers or double-quoted strings without escapes (the schema
+/// has no strings needing them).
+class ObjectParser {
+ public:
+  explicit ObjectParser(std::string_view text) : text_(text) {}
+
+  /// Parse the object; invokes on_field(key, value_text, is_string) per
+  /// field. Returns an error message or empty on success.
+  template <typename Callback>
+  std::string parse(Callback&& on_field) {
+    skip_space();
+    if (!consume('{')) return "expected '{'";
+    skip_space();
+    if (consume('}')) return finish();
+    for (;;) {
+      std::string_view key;
+      if (!parse_string(key)) return "expected string key";
+      skip_space();
+      if (!consume(':')) return "expected ':'";
+      skip_space();
+      std::string_view value;
+      bool is_string = false;
+      if (peek() == '"') {
+        if (!parse_string(value)) return "bad string value";
+        is_string = true;
+      } else {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}' &&
+               !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+        value = text_.substr(start, pos_ - start);
+        if (value.empty()) return "expected value";
+      }
+      const std::string error = on_field(key, value, is_string);
+      if (!error.empty()) return error;
+      skip_space();
+      if (consume(',')) {
+        skip_space();
+        continue;
+      }
+      if (consume('}')) return finish();
+      return "expected ',' or '}'";
+    }
+  }
+
+ private:
+  std::string finish() {
+    skip_space();
+    return pos_ == text_.size() ? "" : "trailing characters after object";
+  }
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool consume(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_space() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool parse_string(std::string_view& out) {
+    if (!consume('"')) return false;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') return false;  // schema never needs escapes
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    out = text_.substr(start, pos_ - start);
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+template <typename T>
+bool parse_number(std::string_view text, T& out) {
+  const auto* begin = text.data();
+  const auto* end = text.data() + text.size();
+  const auto result = std::from_chars(begin, end, out);
+  return result.ec == std::errc{} && result.ptr == end;
+}
+
+}  // namespace
+
+void write_jsonl(std::ostream& out, const Dataset& dataset) {
+  for (const auto& r : dataset.records()) {
+    out << "{\"time_ms\":" << r.time_ms << ",\"user_id\":" << r.user_id << ",\"action\":\""
+        << to_string(r.action) << "\",\"latency_ms\":" << r.latency_ms
+        << ",\"user_class\":\"" << to_string(r.user_class) << "\",\"status\":\""
+        << to_string(r.status) << "\"}\n";
+  }
+}
+
+void write_jsonl_file(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_jsonl_file: cannot open " + path);
+  write_jsonl(out, dataset);
+  if (!out) throw std::runtime_error("write_jsonl_file: write failed for " + path);
+}
+
+JsonlReadResult read_jsonl(std::istream& in) {
+  JsonlReadResult result;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view trimmed = line;
+    while (!trimmed.empty() &&
+           std::isspace(static_cast<unsigned char>(trimmed.back()))) {
+      trimmed.remove_suffix(1);
+    }
+    if (trimmed.empty()) continue;
+
+    ActionRecord record;
+    bool saw_time = false;
+    bool saw_user = false;
+    bool saw_action = false;
+    bool saw_latency = false;
+    bool saw_class = false;
+    bool saw_status = false;
+    ObjectParser parser(trimmed);
+    const std::string error = parser.parse([&](std::string_view key, std::string_view value,
+                                               bool is_string) -> std::string {
+      if (key == "time_ms" && !is_string) {
+        if (!parse_number(value, record.time_ms)) return "bad time_ms";
+        saw_time = true;
+      } else if (key == "user_id" && !is_string) {
+        if (!parse_number(value, record.user_id)) return "bad user_id";
+        saw_user = true;
+      } else if (key == "latency_ms" && !is_string) {
+        if (!parse_number(value, record.latency_ms)) return "bad latency_ms";
+        saw_latency = true;
+      } else if (key == "action" && is_string) {
+        const auto parsed = parse_action_type(value);
+        if (!parsed) return "unknown action type";
+        record.action = *parsed;
+        saw_action = true;
+      } else if (key == "user_class" && is_string) {
+        const auto parsed = parse_user_class(value);
+        if (!parsed) return "unknown user class";
+        record.user_class = *parsed;
+        saw_class = true;
+      } else if (key == "status" && is_string) {
+        const auto parsed = parse_action_status(value);
+        if (!parsed) return "unknown status";
+        record.status = *parsed;
+        saw_status = true;
+      } else {
+        return "unknown key: " + std::string(key);
+      }
+      return "";
+    });
+    if (!error.empty()) {
+      result.errors.push_back({line_number, error});
+      continue;
+    }
+    if (!(saw_time && saw_user && saw_action && saw_latency && saw_class && saw_status)) {
+      result.errors.push_back({line_number, "missing required field"});
+      continue;
+    }
+    result.dataset.add(record);
+  }
+  result.dataset.sort_by_time();
+  return result;
+}
+
+JsonlReadResult read_jsonl_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_jsonl_file: cannot open " + path);
+  return read_jsonl(in);
+}
+
+}  // namespace autosens::telemetry

@@ -1,0 +1,32 @@
+// JSON-lines telemetry interchange: one JSON object per line, the format
+// most log pipelines (jq, BigQuery exports, vector.dev, etc.) speak.
+//
+//   {"time_ms":1000,"user_id":42,"action":"SelectMail","latency_ms":123.4,
+//    "user_class":"Business","status":"Success"}
+//
+// The reader is a small, strict JSON-object parser specialized to this flat
+// schema: unknown keys are errors (they signal a schema mismatch, not data
+// to silently drop), and malformed lines are reported with line numbers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "telemetry/csv.h"  // reuse CsvError for per-line error reporting
+#include "telemetry/dataset.h"
+
+namespace autosens::telemetry {
+
+struct JsonlReadResult {
+  Dataset dataset;
+  std::vector<CsvError> errors;
+};
+
+void write_jsonl(std::ostream& out, const Dataset& dataset);
+void write_jsonl_file(const std::string& path, const Dataset& dataset);
+
+JsonlReadResult read_jsonl(std::istream& in);
+JsonlReadResult read_jsonl_file(const std::string& path);
+
+}  // namespace autosens::telemetry

@@ -1,0 +1,60 @@
+#include "telemetry/logdir.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+#include "telemetry/binlog.h"
+
+namespace autosens::telemetry {
+
+std::string shard_name(std::size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof name, "autosens-%05zu.bin", index);
+  return name;
+}
+
+std::vector<std::string> write_sharded(const std::string& directory, const Dataset& dataset,
+                                       std::size_t records_per_shard) {
+  if (records_per_shard == 0) {
+    throw std::invalid_argument("write_sharded: records_per_shard must be nonzero");
+  }
+  std::filesystem::create_directories(directory);
+  std::vector<std::string> paths;
+  const auto records = dataset.records();
+  std::size_t shard = 0;
+  for (std::size_t start = 0; start < records.size() || shard == 0;
+       start += records_per_shard, ++shard) {
+    const std::size_t count = std::min(records_per_shard, records.size() - start);
+    Dataset chunk;
+    chunk.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) chunk.add(records[start + i]);
+    const auto path = (std::filesystem::path(directory) / shard_name(shard)).string();
+    write_binlog_file(path, chunk);
+    paths.push_back(path);
+    if (records.empty()) break;  // wrote one empty shard as a marker
+  }
+  return paths;
+}
+
+Dataset read_sharded(const std::string& directory) {
+  if (!std::filesystem::is_directory(directory)) {
+    throw std::runtime_error("read_sharded: not a directory: " + directory);
+  }
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(directory)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".bin") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  Dataset merged;
+  for (const auto& path : paths) {
+    const auto shard = read_binlog_file(path);
+    for (const auto& record : shard.records()) merged.add(record);
+  }
+  merged.sort_by_time();
+  return merged;
+}
+
+}  // namespace autosens::telemetry

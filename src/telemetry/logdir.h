@@ -1,0 +1,30 @@
+// Sharded binary-log directories. A fleet of collectors (or one collector
+// rotating by size) produces many binary logs; analyses want one time-sorted
+// Dataset. This module writes fixed-size shards ("autosens-00000.bin", ...)
+// and reads a whole directory back, merging and sorting.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "telemetry/dataset.h"
+
+namespace autosens::telemetry {
+
+/// Shard file name for index `i` (zero-padded, stable sort order).
+std::string shard_name(std::size_t index);
+
+/// Write `dataset` into `directory` as shards of at most `records_per_shard`
+/// records each (the directory is created if missing). Returns the shard
+/// paths in order. Throws std::runtime_error on IO failure and
+/// std::invalid_argument for records_per_shard == 0.
+std::vector<std::string> write_sharded(const std::string& directory, const Dataset& dataset,
+                                       std::size_t records_per_shard = 500'000);
+
+/// Read every "*.bin" file in `directory` (non-recursive) and merge into a
+/// single time-sorted dataset. Throws std::runtime_error if the directory
+/// does not exist or any shard is unreadable/corrupt.
+Dataset read_sharded(const std::string& directory);
+
+}  // namespace autosens::telemetry

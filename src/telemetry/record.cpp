@@ -1,0 +1,53 @@
+#include "telemetry/record.h"
+
+namespace autosens::telemetry {
+
+std::string_view to_string(ActionType type) noexcept {
+  switch (type) {
+    case ActionType::kSelectMail: return "SelectMail";
+    case ActionType::kSwitchFolder: return "SwitchFolder";
+    case ActionType::kSearch: return "Search";
+    case ActionType::kComposeSend: return "ComposeSend";
+    case ActionType::kOther: return "Other";
+  }
+  return "Other";
+}
+
+std::string_view to_string(UserClass user_class) noexcept {
+  switch (user_class) {
+    case UserClass::kBusiness: return "Business";
+    case UserClass::kConsumer: return "Consumer";
+  }
+  return "Consumer";
+}
+
+std::string_view to_string(ActionStatus status) noexcept {
+  switch (status) {
+    case ActionStatus::kSuccess: return "Success";
+    case ActionStatus::kError: return "Error";
+  }
+  return "Error";
+}
+
+std::optional<ActionType> parse_action_type(std::string_view name) noexcept {
+  if (name == "SelectMail") return ActionType::kSelectMail;
+  if (name == "SwitchFolder") return ActionType::kSwitchFolder;
+  if (name == "Search") return ActionType::kSearch;
+  if (name == "ComposeSend") return ActionType::kComposeSend;
+  if (name == "Other") return ActionType::kOther;
+  return std::nullopt;
+}
+
+std::optional<UserClass> parse_user_class(std::string_view name) noexcept {
+  if (name == "Business") return UserClass::kBusiness;
+  if (name == "Consumer") return UserClass::kConsumer;
+  return std::nullopt;
+}
+
+std::optional<ActionStatus> parse_action_status(std::string_view name) noexcept {
+  if (name == "Success") return ActionStatus::kSuccess;
+  if (name == "Error") return ActionStatus::kError;
+  return std::nullopt;
+}
+
+}  // namespace autosens::telemetry

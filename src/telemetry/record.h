@@ -1,0 +1,61 @@
+// The telemetry data model: one record per user action, mirroring the tuple
+// (T, A, L, M) of the paper (§2.1) plus the fields the OWA logs carry (§3.1):
+// timestamp, action type, client-measured latency, anonymized user id, user
+// class (business/consumer), and a success/error status.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace autosens::telemetry {
+
+/// User action types studied in the paper (§3.2). `kOther` covers any action
+/// the analysis does not slice on.
+enum class ActionType : std::uint8_t {
+  kSelectMail = 0,   ///< Click and open an email item.
+  kSwitchFolder = 1, ///< Click and switch mail folder.
+  kSearch = 2,       ///< Search over mailbox content.
+  kComposeSend = 3,  ///< Click to send an email (asynchronous in the UI).
+  kOther = 4,
+};
+
+inline constexpr int kActionTypeCount = 5;
+
+/// Subscription class of the acting user (§3.3).
+enum class UserClass : std::uint8_t {
+  kBusiness = 0,  ///< Paying commercial subscription.
+  kConsumer = 1,  ///< Free tier.
+};
+
+inline constexpr int kUserClassCount = 2;
+
+/// Outcome of the action. The paper analyzes successful actions only.
+enum class ActionStatus : std::uint8_t {
+  kSuccess = 0,
+  kError = 1,
+};
+
+std::string_view to_string(ActionType type) noexcept;
+std::string_view to_string(UserClass user_class) noexcept;
+std::string_view to_string(ActionStatus status) noexcept;
+
+/// Parse helpers; std::nullopt on unknown names.
+std::optional<ActionType> parse_action_type(std::string_view name) noexcept;
+std::optional<UserClass> parse_user_class(std::string_view name) noexcept;
+std::optional<ActionStatus> parse_action_status(std::string_view name) noexcept;
+
+/// One logged user action.
+struct ActionRecord {
+  std::int64_t time_ms = 0;       ///< Action start, epoch milliseconds (UTC).
+  std::uint64_t user_id = 0;      ///< Anonymized user identifier.
+  double latency_ms = 0.0;        ///< Client-measured end-to-end latency.
+  ActionType action = ActionType::kOther;
+  UserClass user_class = UserClass::kConsumer;
+  ActionStatus status = ActionStatus::kSuccess;
+
+  friend bool operator==(const ActionRecord&, const ActionRecord&) = default;
+};
+
+}  // namespace autosens::telemetry

@@ -1,0 +1,35 @@
+#include "telemetry/user_stats.h"
+
+namespace autosens::telemetry {
+
+void UserAccumulator::add(const ActionRecord& record) {
+  auto& state = users_[record.user_id];
+  state.median.add(record.latency_ms);
+  state.moments.add(record.latency_ms);
+  state.user_class = record.user_class;
+}
+
+std::vector<UserSummary> UserAccumulator::summaries() const {
+  std::vector<UserSummary> out;
+  out.reserve(users_.size());
+  for (const auto& [user_id, state] : users_) {
+    out.push_back({.user_id = user_id,
+                   .actions = state.moments.count(),
+                   .median_latency_ms = state.median.value(),
+                   .mean_latency_ms = state.moments.mean(),
+                   .stddev_latency_ms = state.moments.stddev(),
+                   .user_class = state.user_class});
+  }
+  return out;
+}
+
+std::unordered_map<std::uint64_t, double> UserAccumulator::median_latency() const {
+  std::unordered_map<std::uint64_t, double> out;
+  out.reserve(users_.size());
+  for (const auto& [user_id, state] : users_) {
+    out.emplace(user_id, state.median.value());
+  }
+  return out;
+}
+
+}  // namespace autosens::telemetry

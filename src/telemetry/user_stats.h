@@ -1,0 +1,50 @@
+// Single-pass per-user aggregation. The paper's conditioning analysis (§3.4)
+// needs every user's median latency; at production volume (billions of rows)
+// that must be streamed, not materialized. UserAccumulator keeps O(1) state
+// per user (count, Welford moments, P² median) and can be merged across
+// shards, so a fleet of collectors can each aggregate locally.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/streaming_quantile.h"
+#include "telemetry/record.h"
+
+namespace autosens::telemetry {
+
+/// Streaming summary of one user's latency experience.
+struct UserSummary {
+  std::uint64_t user_id = 0;
+  std::size_t actions = 0;
+  double median_latency_ms = 0.0;  ///< P² estimate (exact below 5 samples).
+  double mean_latency_ms = 0.0;
+  double stddev_latency_ms = 0.0;
+  UserClass user_class = UserClass::kConsumer;
+};
+
+class UserAccumulator {
+ public:
+  /// Consume one record (order-independent; no buffering).
+  void add(const ActionRecord& record);
+
+  std::size_t user_count() const noexcept { return users_.size(); }
+
+  /// Snapshot of all user summaries (unspecified order).
+  std::vector<UserSummary> summaries() const;
+
+  /// Per-user median latencies, the input to quartile conditioning.
+  std::unordered_map<std::uint64_t, double> median_latency() const;
+
+ private:
+  struct State {
+    stats::P2Median median;
+    stats::RunningStats moments;
+    UserClass user_class = UserClass::kConsumer;
+  };
+  std::unordered_map<std::uint64_t, State> users_;
+};
+
+}  // namespace autosens::telemetry

@@ -1,0 +1,44 @@
+#include "telemetry/validate.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace autosens::telemetry {
+
+std::string ValidationReport::summary() const {
+  std::ostringstream out;
+  out << "validated " << total << " records: kept " << kept << ", dropped " << dropped()
+      << " (error-status " << dropped_error_status << ", nonpositive-latency "
+      << dropped_nonpositive_latency << ", excessive-latency " << dropped_excessive_latency
+      << ", nonfinite-latency " << dropped_nonfinite_latency << ")";
+  return out.str();
+}
+
+ValidatedDataset validate(const Dataset& input, const ValidationOptions& options) {
+  ValidatedDataset result;
+  result.report.total = input.size();
+  for (const auto& r : input.records()) {
+    if (!std::isfinite(r.latency_ms)) {
+      ++result.report.dropped_nonfinite_latency;
+      continue;
+    }
+    if (options.successful_only && r.status == ActionStatus::kError) {
+      ++result.report.dropped_error_status;
+      continue;
+    }
+    if (r.latency_ms <= options.min_latency_ms) {
+      ++result.report.dropped_nonpositive_latency;
+      continue;
+    }
+    if (r.latency_ms > options.max_latency_ms) {
+      ++result.report.dropped_excessive_latency;
+      continue;
+    }
+    result.dataset.add(r);
+  }
+  result.report.kept = result.dataset.size();
+  result.dataset.sort_by_time();
+  return result;
+}
+
+}  // namespace autosens::telemetry

@@ -1,0 +1,42 @@
+// Dataset sanity validation. Real telemetry is messy: negative or absurd
+// latencies, clock skew, error rows. The paper's pipeline keeps only
+// successful actions (§3.1); this module implements that scrub and reports
+// exactly what was dropped and why.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "telemetry/dataset.h"
+
+namespace autosens::telemetry {
+
+/// Validation policy.
+struct ValidationOptions {
+  double min_latency_ms = 0.0;       ///< Drop below this (exclusive of 0: <= 0 drops).
+  double max_latency_ms = 60'000.0;  ///< Drop above this (client timeouts, skew).
+  bool successful_only = true;       ///< Drop records with status == kError.
+};
+
+/// Per-reason drop accounting.
+struct ValidationReport {
+  std::size_t total = 0;
+  std::size_t kept = 0;
+  std::size_t dropped_error_status = 0;
+  std::size_t dropped_nonpositive_latency = 0;
+  std::size_t dropped_excessive_latency = 0;
+  std::size_t dropped_nonfinite_latency = 0;
+
+  std::size_t dropped() const noexcept { return total - kept; }
+  std::string summary() const;
+};
+
+/// Result of scrubbing.
+struct ValidatedDataset {
+  Dataset dataset;  ///< Kept records, sorted by time.
+  ValidationReport report;
+};
+
+ValidatedDataset validate(const Dataset& input, const ValidationOptions& options = {});
+
+}  // namespace autosens::telemetry

@@ -1,0 +1,53 @@
+#include "core/biased.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace autosens::core {
+namespace {
+
+TEST(BiasedTest, GeometryFollowsOptions) {
+  AutoSensOptions options;
+  options.bin_width_ms = 10.0;
+  options.max_latency_ms = 3000.0;
+  const auto h = make_latency_histogram(options);
+  EXPECT_EQ(h.size(), 300u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 10.0);
+  EXPECT_DOUBLE_EQ(h.lo(), 0.0);
+}
+
+TEST(BiasedTest, CountsLatencies) {
+  AutoSensOptions options;
+  const std::vector<double> latencies = {5.0, 15.0, 15.5, 2995.0};
+  const auto h = biased_histogram(latencies, options);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(299), 1.0);
+  EXPECT_DOUBLE_EQ(h.total_weight(), 4.0);
+}
+
+TEST(BiasedTest, DatasetOverloadMatchesSpanOverload) {
+  AutoSensOptions options;
+  telemetry::Dataset dataset;
+  const std::vector<double> latencies = {100.0, 200.0, 100.0};
+  for (std::size_t i = 0; i < latencies.size(); ++i) {
+    dataset.add({.time_ms = static_cast<std::int64_t>(i), .user_id = 1,
+                 .latency_ms = latencies[i]});
+  }
+  const auto from_dataset = biased_histogram(dataset, options);
+  const auto from_span = biased_histogram(latencies, options);
+  for (std::size_t i = 0; i < from_dataset.size(); ++i) {
+    EXPECT_DOUBLE_EQ(from_dataset.count(i), from_span.count(i));
+  }
+}
+
+TEST(BiasedTest, OverflowLatenciesClampIntoLastBin) {
+  AutoSensOptions options;
+  const std::vector<double> latencies = {50'000.0};
+  const auto h = biased_histogram(latencies, options);
+  EXPECT_DOUBLE_EQ(h.count(h.size() - 1), 1.0);
+}
+
+}  // namespace
+}  // namespace autosens::core

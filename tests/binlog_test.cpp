@@ -1,0 +1,220 @@
+#include "telemetry/binlog.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace autosens::telemetry {
+namespace {
+
+Dataset random_dataset(std::size_t n, std::uint64_t seed) {
+  stats::Random random(seed);
+  Dataset d;
+  std::int64_t t = 1'600'000'000'000;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += static_cast<std::int64_t>(random.exponential(0.001));
+    d.add({.time_ms = t,
+           .user_id = 1000 + random.uniform_index(50),
+           .latency_ms = std::round(random.lognormal(5.5, 0.5) * 100.0) / 100.0,
+           .action = static_cast<ActionType>(random.uniform_index(kActionTypeCount)),
+           .user_class = static_cast<UserClass>(random.uniform_index(kUserClassCount)),
+           .status = random.bernoulli(0.05) ? ActionStatus::kError : ActionStatus::kSuccess});
+  }
+  return d;
+}
+
+TEST(CodecTest, VarintRoundtripSmallValues) {
+  for (const std::uint64_t v : {0ull, 1ull, 127ull, 128ull, 300ull, 16'384ull}) {
+    std::vector<std::uint8_t> buf;
+    codec::put_varint(buf, v);
+    std::size_t offset = 0;
+    std::uint64_t out = 0;
+    ASSERT_TRUE(codec::get_varint(buf, offset, out));
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(offset, buf.size());
+  }
+}
+
+TEST(CodecTest, VarintRoundtripLargeValues) {
+  for (const std::uint64_t v :
+       {~std::uint64_t{0}, std::uint64_t{1} << 63, std::uint64_t{0xdeadbeefcafebabe}}) {
+    std::vector<std::uint8_t> buf;
+    codec::put_varint(buf, v);
+    std::size_t offset = 0;
+    std::uint64_t out = 0;
+    ASSERT_TRUE(codec::get_varint(buf, offset, out));
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodecTest, VarintDetectsTruncation) {
+  std::vector<std::uint8_t> buf;
+  codec::put_varint(buf, 1'000'000);
+  buf.pop_back();
+  std::size_t offset = 0;
+  std::uint64_t out = 0;
+  EXPECT_FALSE(codec::get_varint(buf, offset, out));
+}
+
+TEST(CodecTest, ZigzagRoundtrip) {
+  for (const std::int64_t v :
+       std::initializer_list<std::int64_t>{0, 1, -1, 1234567, -1234567,
+                                           std::numeric_limits<std::int64_t>::max(),
+                                           std::numeric_limits<std::int64_t>::min()}) {
+    EXPECT_EQ(codec::zigzag_decode(codec::zigzag_encode(v)), v);
+  }
+}
+
+TEST(CodecTest, ZigzagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(codec::zigzag_encode(0), 0u);
+  EXPECT_EQ(codec::zigzag_encode(-1), 1u);
+  EXPECT_EQ(codec::zigzag_encode(1), 2u);
+  EXPECT_EQ(codec::zigzag_encode(-2), 3u);
+}
+
+TEST(CodecTest, Crc32KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926 (IEEE).
+  const std::string s = "123456789";
+  const auto crc = codec::crc32(
+      std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+TEST(CodecTest, Crc32EmptyIsZero) {
+  EXPECT_EQ(codec::crc32({}), 0u);
+}
+
+TEST(CodecTest, BatchRoundtrip) {
+  const auto dataset = random_dataset(500, 1);
+  const auto payload = codec::encode_batch(dataset.records());
+  const auto decoded = codec::decode_batch(payload);
+  ASSERT_EQ(decoded.size(), dataset.size());
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i], dataset[i]);
+  }
+}
+
+TEST(CodecTest, BatchPreservesSubCentLatencyResolution) {
+  Dataset d;
+  d.add({.time_ms = 1, .user_id = 1, .latency_ms = 123.45});
+  const auto decoded = codec::decode_batch(codec::encode_batch(d.records()));
+  EXPECT_DOUBLE_EQ(decoded[0].latency_ms, 123.45);
+}
+
+TEST(CodecTest, EmptyBatchRoundtrip) {
+  const auto payload = codec::encode_batch({});
+  EXPECT_TRUE(codec::decode_batch(payload).empty());
+}
+
+TEST(CodecTest, DecodeRejectsTruncatedPayload) {
+  const auto dataset = random_dataset(10, 2);
+  auto payload = codec::encode_batch(dataset.records());
+  payload.resize(payload.size() / 2);
+  EXPECT_THROW(codec::decode_batch(payload), std::runtime_error);
+}
+
+TEST(CodecTest, DecodeRejectsTrailingBytes) {
+  const auto dataset = random_dataset(3, 3);
+  auto payload = codec::encode_batch(dataset.records());
+  payload.push_back(0);
+  EXPECT_THROW(codec::decode_batch(payload), std::runtime_error);
+}
+
+TEST(CodecTest, DecodeRejectsInvalidEnums) {
+  Dataset d;
+  d.add({.time_ms = 1, .user_id = 1, .latency_ms = 1.0});
+  auto payload = codec::encode_batch(d.records());
+  payload[payload.size() - 3] = 99;  // action byte
+  EXPECT_THROW(codec::decode_batch(payload), std::runtime_error);
+}
+
+TEST(BinlogTest, StreamRoundtrip) {
+  const auto dataset = random_dataset(2000, 4);
+  std::stringstream stream;
+  write_binlog(stream, dataset, /*batch_size=*/256);
+  const auto decoded = read_binlog(stream);
+  ASSERT_EQ(decoded.size(), dataset.size());
+  for (std::size_t i = 0; i < decoded.size(); ++i) EXPECT_EQ(decoded[i], dataset[i]);
+}
+
+TEST(BinlogTest, ZeroBatchSizeThrows) {
+  std::stringstream stream;
+  EXPECT_THROW(write_binlog(stream, Dataset{}, 0), std::invalid_argument);
+}
+
+TEST(BinlogTest, EmptyDatasetRoundtrip) {
+  std::stringstream stream;
+  write_binlog(stream, Dataset{});
+  EXPECT_TRUE(read_binlog(stream).empty());
+}
+
+TEST(BinlogTest, BadMagicThrows) {
+  std::istringstream in("XXXX");
+  EXPECT_THROW(read_binlog(in), std::runtime_error);
+}
+
+TEST(BinlogTest, CorruptedPayloadFailsCrc) {
+  const auto dataset = random_dataset(100, 5);
+  std::stringstream stream;
+  write_binlog(stream, dataset);
+  std::string bytes = stream.str();
+  bytes[20] ^= 0x40;  // flip a bit inside the first frame payload
+  std::istringstream in(bytes);
+  EXPECT_THROW(read_binlog(in), std::runtime_error);
+}
+
+TEST(BinlogTest, TruncatedFileThrows) {
+  const auto dataset = random_dataset(100, 6);
+  std::stringstream stream;
+  write_binlog(stream, dataset);
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() - 3);
+  std::istringstream in(bytes);
+  EXPECT_THROW(read_binlog(in), std::runtime_error);
+}
+
+TEST(BinlogTest, FileRoundtrip) {
+  const auto dataset = random_dataset(300, 7);
+  const std::string path = ::testing::TempDir() + "/autosens_binlog_test.bin";
+  write_binlog_file(path, dataset);
+  const auto decoded = read_binlog_file(path);
+  ASSERT_EQ(decoded.size(), dataset.size());
+  EXPECT_EQ(decoded[0], dataset[0]);
+  EXPECT_EQ(decoded[decoded.size() - 1], dataset[dataset.size() - 1]);
+}
+
+TEST(BinlogTest, CompressionBeatsCsvForDenseLogs) {
+  const auto dataset = random_dataset(5000, 8);
+  std::stringstream bin;
+  write_binlog(bin, dataset);
+  std::ostringstream csv;
+  // CSV text is the baseline representation; delta varints should be much
+  // smaller for timestamp-sorted logs.
+  csv << bin.str().size();
+  EXPECT_LT(bin.str().size(), dataset.size() * 20);  // < 20 bytes/record
+}
+
+/// Property: roundtrip across batch sizes, including batch = 1 and batch
+/// larger than the dataset.
+class BinlogBatchProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BinlogBatchProperty, RoundtripAnyBatchSize) {
+  const auto dataset = random_dataset(257, 9);
+  std::stringstream stream;
+  write_binlog(stream, dataset, GetParam());
+  const auto decoded = read_binlog(stream);
+  ASSERT_EQ(decoded.size(), dataset.size());
+  for (std::size_t i = 0; i < decoded.size(); ++i) EXPECT_EQ(decoded[i], dataset[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, BinlogBatchProperty,
+                         ::testing::Values(1, 2, 100, 256, 257, 1000));
+
+}  // namespace
+}  // namespace autosens::telemetry

@@ -1,0 +1,111 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace autosens::stats {
+namespace {
+
+double sample_mean(std::span<const double> values) {
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+TEST(BootstrapIntervalTest, Validation) {
+  Random random(1);
+  const auto stat = [](std::span<const double> v) { return sample_mean(v); };
+  EXPECT_THROW(bootstrap_interval({}, stat, 10, 0.95, random), std::invalid_argument);
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_THROW(bootstrap_interval(v, stat, 0, 0.95, random), std::invalid_argument);
+  EXPECT_THROW(bootstrap_interval(v, stat, 10, 0.0, random), std::invalid_argument);
+  EXPECT_THROW(bootstrap_interval(v, stat, 10, 1.0, random), std::invalid_argument);
+}
+
+TEST(BootstrapIntervalTest, CoversTrueMeanOfNormalSample) {
+  Random random(2);
+  std::vector<double> sample(400);
+  for (auto& v : sample) v = random.normal(10.0, 2.0);
+  const auto interval = bootstrap_interval(
+      sample, [](std::span<const double> v) { return sample_mean(v); }, 500, 0.99, random);
+  EXPECT_TRUE(interval.contains(10.0))
+      << "interval [" << interval.lo << ", " << interval.hi << "]";
+  EXPECT_LT(interval.hi - interval.lo, 1.5);
+}
+
+TEST(BootstrapIntervalTest, IntervalWidensWithConfidence) {
+  Random random(3);
+  std::vector<double> sample(100);
+  for (auto& v : sample) v = random.uniform();
+  const auto stat = [](std::span<const double> v) { return sample_mean(v); };
+  Random r1 = random.split();
+  Random r2 = random.split();
+  const auto narrow = bootstrap_interval(sample, stat, 400, 0.5, r1);
+  const auto wide = bootstrap_interval(sample, stat, 400, 0.99, r2);
+  EXPECT_LT(narrow.hi - narrow.lo, wide.hi - wide.lo);
+}
+
+TEST(BootstrapIntervalTest, DegenerateSampleGivesPointInterval) {
+  Random random(4);
+  const std::vector<double> sample(50, 7.0);
+  const auto interval = bootstrap_interval(
+      sample, [](std::span<const double> v) { return sample_mean(v); }, 100, 0.9, random);
+  EXPECT_DOUBLE_EQ(interval.lo, 7.0);
+  EXPECT_DOUBLE_EQ(interval.hi, 7.0);
+}
+
+TEST(BootstrapCurveTest, Validation) {
+  Random random(5);
+  const auto stat = [](std::span<const std::size_t>) { return std::vector<double>{1.0}; };
+  EXPECT_THROW(bootstrap_curve_interval(0, stat, 10, 0.9, random), std::invalid_argument);
+}
+
+TEST(BootstrapCurveTest, RejectsVaryingLengths) {
+  Random random(6);
+  std::size_t call = 0;
+  const auto stat = [&call](std::span<const std::size_t>) {
+    return std::vector<double>(1 + (call++ % 2), 0.0);
+  };
+  EXPECT_THROW(bootstrap_curve_interval(5, stat, 10, 0.9, random), std::runtime_error);
+}
+
+TEST(BootstrapCurveTest, PerPointIntervalsCoverDeterministicCurve) {
+  Random random(7);
+  // Statistic ignores the resample: intervals must collapse to the curve.
+  const std::vector<double> curve = {1.0, 2.0, 3.0};
+  const auto intervals = bootstrap_curve_interval(
+      10, [&curve](std::span<const std::size_t>) { return curve; }, 50, 0.9, random);
+  ASSERT_EQ(intervals.size(), curve.size());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(intervals[i].lo, curve[i]);
+    EXPECT_DOUBLE_EQ(intervals[i].hi, curve[i]);
+  }
+}
+
+TEST(BootstrapCurveTest, ResampledMeanCurveCoversTruth) {
+  Random random(8);
+  std::vector<double> data(300);
+  for (auto& v : data) v = random.normal(5.0, 1.0);
+  const auto stat = [&data](std::span<const std::size_t> idx) {
+    double sum = 0.0;
+    for (const auto i : idx) sum += data[i];
+    return std::vector<double>{sum / static_cast<double>(idx.size())};
+  };
+  const auto intervals = bootstrap_curve_interval(data.size(), stat, 400, 0.99, random);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_TRUE(intervals[0].contains(5.0));
+}
+
+TEST(IntervalTest, ContainsIsInclusive) {
+  const Interval i{.lo = 1.0, .hi = 2.0};
+  EXPECT_TRUE(i.contains(1.0));
+  EXPECT_TRUE(i.contains(2.0));
+  EXPECT_FALSE(i.contains(0.999));
+  EXPECT_FALSE(i.contains(2.001));
+}
+
+}  // namespace
+}  // namespace autosens::stats

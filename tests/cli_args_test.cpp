@@ -1,0 +1,68 @@
+#include "tools/cli_args.h"
+
+#include <gtest/gtest.h>
+
+namespace autosens::cli {
+namespace {
+
+Args parse(std::vector<const char*> argv, const std::set<std::string>& flags = {}) {
+  argv.insert(argv.begin(), "prog");
+  return Args(static_cast<int>(argv.size()), argv.data(), 1, flags);
+}
+
+TEST(CliArgsTest, ParsesValues) {
+  const auto args = parse({"--in", "file.csv", "--ref", "300"});
+  EXPECT_EQ(args.require("in"), "file.csv");
+  EXPECT_EQ(args.get_or("ref", "0"), "300");
+  EXPECT_FALSE(args.has("out"));
+  EXPECT_EQ(args.get("out"), std::nullopt);
+}
+
+TEST(CliArgsTest, BooleanFlagsTakeNoValue) {
+  const auto args = parse({"--mc", "--in", "x"}, {"mc"});
+  EXPECT_TRUE(args.has("mc"));
+  EXPECT_EQ(args.require("in"), "x");
+}
+
+TEST(CliArgsTest, MissingValueThrows) {
+  EXPECT_THROW(parse({"--in"}), std::invalid_argument);
+}
+
+TEST(CliArgsTest, NonFlagTokenThrows) {
+  EXPECT_THROW(parse({"positional"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--"}), std::invalid_argument);
+}
+
+TEST(CliArgsTest, RequireThrowsWhenAbsent) {
+  const auto args = parse({});
+  EXPECT_THROW(args.require("in"), std::invalid_argument);
+}
+
+TEST(CliArgsTest, NumericParsing) {
+  const auto args = parse({"--n", "42", "--x", "2.5"});
+  EXPECT_EQ(args.get_int("n", 0), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.0), 2.5);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+}
+
+TEST(CliArgsTest, BadNumbersThrow) {
+  const auto args = parse({"--n", "abc", "--x", "1.2.3"});
+  EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double("x", 0.0), std::invalid_argument);
+}
+
+TEST(CliArgsTest, AllowOnlyRejectsUnknown) {
+  const auto args = parse({"--in", "x", "--typo", "y"});
+  EXPECT_THROW(args.allow_only({"in"}), std::invalid_argument);
+  EXPECT_NO_THROW(args.allow_only({"in", "typo"}));
+}
+
+TEST(CliArgsTest, AllowOnlyChecksBooleanFlagsToo) {
+  const auto args = parse({"--verbose"}, {"verbose"});
+  EXPECT_THROW(args.allow_only({"in"}), std::invalid_argument);
+  EXPECT_NO_THROW(args.allow_only({"verbose"}));
+}
+
+}  // namespace
+}  // namespace autosens::cli

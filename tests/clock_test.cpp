@@ -1,0 +1,92 @@
+#include "telemetry/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace autosens::telemetry {
+namespace {
+
+TEST(ClockTest, HourOfDay) {
+  EXPECT_EQ(hour_of_day(0), 0);
+  EXPECT_EQ(hour_of_day(kMillisPerHour - 1), 0);
+  EXPECT_EQ(hour_of_day(kMillisPerHour), 1);
+  EXPECT_EQ(hour_of_day(23 * kMillisPerHour + 59 * kMillisPerMinute), 23);
+  EXPECT_EQ(hour_of_day(kMillisPerDay), 0);
+  EXPECT_EQ(hour_of_day(5 * kMillisPerDay + 7 * kMillisPerHour), 7);
+}
+
+TEST(ClockTest, HourOfDayNegativeTimes) {
+  // -1 ms is 23:59:59.999 of the previous day.
+  EXPECT_EQ(hour_of_day(-1), 23);
+  EXPECT_EQ(hour_of_day(-kMillisPerDay), 0);
+}
+
+TEST(ClockTest, DayIndex) {
+  EXPECT_EQ(day_index(0), 0);
+  EXPECT_EQ(day_index(kMillisPerDay - 1), 0);
+  EXPECT_EQ(day_index(kMillisPerDay), 1);
+  EXPECT_EQ(day_index(-1), -1);
+}
+
+TEST(ClockTest, DayOfWeekEpochIsThursday) {
+  EXPECT_EQ(day_of_week(0), 0);                    // Thursday
+  EXPECT_EQ(day_of_week(2 * kMillisPerDay), 2);    // Saturday
+  EXPECT_EQ(day_of_week(7 * kMillisPerDay), 0);    // wraps
+  EXPECT_EQ(day_of_week(9 * kMillisPerDay), 2);
+}
+
+TEST(ClockTest, HourSlot) {
+  EXPECT_EQ(hour_slot(0), 0);
+  EXPECT_EQ(hour_slot(kMillisPerHour), 1);
+  EXPECT_EQ(hour_slot(kMillisPerDay), 24);
+}
+
+TEST(ClockTest, DayPeriodBoundaries) {
+  EXPECT_EQ(day_period(8 * kMillisPerHour), DayPeriod::kMorning);
+  EXPECT_EQ(day_period(13 * kMillisPerHour + 59 * kMillisPerMinute), DayPeriod::kMorning);
+  EXPECT_EQ(day_period(14 * kMillisPerHour), DayPeriod::kAfternoon);
+  EXPECT_EQ(day_period(19 * kMillisPerHour), DayPeriod::kAfternoon);
+  EXPECT_EQ(day_period(20 * kMillisPerHour), DayPeriod::kEvening);
+  EXPECT_EQ(day_period(23 * kMillisPerHour), DayPeriod::kEvening);
+  EXPECT_EQ(day_period(0), DayPeriod::kEvening);  // midnight–2am belongs to 8pm–2am
+  EXPECT_EQ(day_period(1 * kMillisPerHour), DayPeriod::kEvening);
+  EXPECT_EQ(day_period(2 * kMillisPerHour), DayPeriod::kNight);
+  EXPECT_EQ(day_period(7 * kMillisPerHour), DayPeriod::kNight);
+}
+
+TEST(ClockTest, DayPeriodNames) {
+  EXPECT_EQ(to_string(DayPeriod::kMorning), "8am-2pm");
+  EXPECT_EQ(to_string(DayPeriod::kAfternoon), "2pm-8pm");
+  EXPECT_EQ(to_string(DayPeriod::kEvening), "8pm-2am");
+  EXPECT_EQ(to_string(DayPeriod::kNight), "2am-8am");
+}
+
+TEST(ClockTest, MonthIndexUses30DayMonths) {
+  EXPECT_EQ(month_index(0), 0);
+  EXPECT_EQ(month_index(29 * kMillisPerDay), 0);
+  EXPECT_EQ(month_index(30 * kMillisPerDay), 1);
+  EXPECT_EQ(month_index(59 * kMillisPerDay), 1);
+  EXPECT_EQ(month_index(60 * kMillisPerDay), 2);
+}
+
+/// Property: every millisecond belongs to exactly one period and periods
+/// partition the day into four 6-hour spans.
+class DayPeriodPartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DayPeriodPartitionProperty, HourMapsToExpectedPeriod) {
+  const int hour = GetParam();
+  const auto period = day_period(hour * kMillisPerHour);
+  if (hour >= 8 && hour < 14) {
+    EXPECT_EQ(period, DayPeriod::kMorning);
+  } else if (hour >= 14 && hour < 20) {
+    EXPECT_EQ(period, DayPeriod::kAfternoon);
+  } else if (hour >= 20 || hour < 2) {
+    EXPECT_EQ(period, DayPeriod::kEvening);
+  } else {
+    EXPECT_EQ(period, DayPeriod::kNight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllHours, DayPeriodPartitionProperty, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace autosens::telemetry

@@ -1,0 +1,115 @@
+#include "core/confidence.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simulate/generator.h"
+#include "simulate/presets.h"
+#include "telemetry/clock.h"
+#include "telemetry/filter.h"
+#include "telemetry/validate.h"
+
+namespace autosens::core {
+namespace {
+
+telemetry::Dataset small_slice(std::uint64_t seed) {
+  auto generated =
+      simulate::WorkloadGenerator(simulate::paper_config(simulate::Scale::kSmall, seed))
+          .generate();
+  return telemetry::validate(generated.dataset)
+      .dataset.filtered(telemetry::by_action(telemetry::ActionType::kSelectMail));
+}
+
+TEST(DayBlockResampleTest, EmptyDatasetThrows) {
+  stats::Random random(1);
+  EXPECT_THROW(day_block_resample(telemetry::Dataset{}, random), std::invalid_argument);
+}
+
+TEST(DayBlockResampleTest, PreservesSizeOrderAndTimeOfDay) {
+  const auto slice = small_slice(61);
+  stats::Random random(2);
+  const auto resampled = day_block_resample(slice, random);
+  // Same day count → similar (not necessarily equal) record count; sorted.
+  EXPECT_TRUE(resampled.is_sorted());
+  EXPECT_GT(resampled.size(), slice.size() / 2);
+  EXPECT_LT(resampled.size(), slice.size() * 2);
+  // Every record keeps a valid hour-of-day distribution: daytime-heavy.
+  std::size_t day = 0;
+  std::size_t night = 0;
+  for (const auto& r : resampled.records()) {
+    const int hour = telemetry::hour_of_day(r.time_ms);
+    if (hour >= 9 && hour < 15) ++day;
+    if (hour >= 1 && hour < 7) ++night;
+  }
+  EXPECT_GT(day, night);
+}
+
+TEST(DayBlockResampleTest, SpansSameDayRange) {
+  const auto slice = small_slice(62);
+  stats::Random random(3);
+  const auto resampled = day_block_resample(slice, random);
+  EXPECT_EQ(telemetry::day_index(resampled.begin_time()),
+            telemetry::day_index(slice.begin_time()));
+  EXPECT_LE(telemetry::day_index(resampled.end_time() - 1),
+            telemetry::day_index(slice.end_time() - 1));
+}
+
+TEST(DayBlockResampleTest, ActuallyResamples) {
+  const auto slice = small_slice(63);
+  stats::Random random(4);
+  const auto a = day_block_resample(slice, random);
+  const auto b = day_block_resample(slice, random);
+  EXPECT_NE(a.size(), b.size());  // overwhelmingly likely with 14 days
+}
+
+TEST(AnalyzeWithConfidenceTest, Validation) {
+  const auto slice = small_slice(64);
+  stats::Random random(5);
+  EXPECT_THROW(analyze_with_confidence(slice, AutoSensOptions{}, {500.0},
+                                       {.replicates = 0, .confidence = 0.9}, random),
+               std::invalid_argument);
+  EXPECT_THROW(analyze_with_confidence(slice, AutoSensOptions{}, {500.0},
+                                       {.replicates = 5, .confidence = 1.0}, random),
+               std::invalid_argument);
+}
+
+TEST(AnalyzeWithConfidenceTest, IntervalsCoverPointEstimate) {
+  const auto slice = small_slice(65);
+  stats::Random random(6);
+  const auto result = analyze_with_confidence(slice, AutoSensOptions{},
+                                              {500.0, 1000.0}, {.replicates = 12}, random);
+  EXPECT_EQ(result.usable_replicates, 12u);
+  ASSERT_EQ(result.intervals.size(), 2u);
+  for (std::size_t p = 0; p < 2; ++p) {
+    const double point = result.point.at(result.probe_latency_ms[p]);
+    EXPECT_LE(result.intervals[p].lo, result.intervals[p].hi);
+    // The point estimate should be near the interval (bootstrap noise can
+    // push it slightly outside for few replicates; allow slack).
+    EXPECT_GT(point, result.intervals[p].lo - 0.1);
+    EXPECT_LT(point, result.intervals[p].hi + 0.1);
+    // A real interval, not degenerate.
+    EXPECT_GT(result.intervals[p].hi - result.intervals[p].lo, 1e-6);
+  }
+}
+
+TEST(AnalyzeWithConfidenceTest, IntervalsContainPlantedValueMostOfTheTime) {
+  const auto config = simulate::paper_config(simulate::Scale::kSmall, 66);
+  auto generated = simulate::WorkloadGenerator(config).generate();
+  const auto slice = telemetry::validate(generated.dataset)
+                         .dataset.filtered(telemetry::all_of(
+                             {telemetry::by_action(telemetry::ActionType::kSelectMail),
+                              telemetry::by_user_class(telemetry::UserClass::kBusiness)}));
+  stats::Random random(7);
+  const auto result = analyze_with_confidence(slice, AutoSensOptions{}, {500.0},
+                                              {.replicates = 16, .confidence = 0.95}, random);
+  // The point estimate itself lies in the interval; the planted value sits
+  // within the interval widened by the known attenuation bias.
+  const auto planted = simulate::expected_pooled_curve(
+      config, telemetry::ActionType::kSelectMail, telemetry::UserClass::kBusiness, 300.0);
+  EXPECT_GT(planted(500.0), result.intervals[0].lo - 0.08);
+  EXPECT_LT(planted(500.0), result.intervals[0].hi + 0.08);
+}
+
+}  // namespace
+}  // namespace autosens::core

@@ -1,0 +1,108 @@
+#include "core/confounder_dow.h"
+
+#include <gtest/gtest.h>
+
+#include "simulate/generator.h"
+#include "simulate/presets.h"
+#include "telemetry/clock.h"
+#include "telemetry/filter.h"
+#include "telemetry/validate.h"
+
+namespace autosens::core {
+namespace {
+
+constexpr std::int64_t kDay = telemetry::kMillisPerDay;
+
+TEST(DayClassTest, EpochMappingIsThursdayBased) {
+  EXPECT_EQ(day_class(0), DayClass::kWeekday);            // Thursday
+  EXPECT_EQ(day_class(1 * kDay), DayClass::kWeekday);     // Friday
+  EXPECT_EQ(day_class(2 * kDay), DayClass::kWeekend);     // Saturday
+  EXPECT_EQ(day_class(3 * kDay), DayClass::kWeekend);     // Sunday
+  EXPECT_EQ(day_class(4 * kDay), DayClass::kWeekday);     // Monday
+  EXPECT_EQ(day_class(9 * kDay), DayClass::kWeekend);     // next Saturday
+}
+
+TEST(DayClassTest, Names) {
+  EXPECT_EQ(to_string(DayClass::kWeekday), "weekday");
+  EXPECT_EQ(to_string(DayClass::kWeekend), "weekend");
+}
+
+TEST(DayClassWindowsTest, PartitionsDataRange) {
+  telemetry::Dataset d;
+  d.add({.time_ms = 0, .user_id = 1, .latency_ms = 1.0});
+  d.add({.time_ms = 14 * kDay - 1, .user_id = 1, .latency_ms = 1.0});
+  const auto weekday = day_class_windows(d, DayClass::kWeekday);
+  const auto weekend = day_class_windows(d, DayClass::kWeekend);
+  EXPECT_EQ(weekday.size(), 10u);  // 14 days starting Thursday: 10 weekdays
+  EXPECT_EQ(weekend.size(), 4u);
+  std::int64_t covered = 0;
+  for (const auto& w : weekday) covered += w.length();
+  for (const auto& w : weekend) covered += w.length();
+  EXPECT_EQ(covered, 14 * kDay);
+}
+
+TEST(DayClassActivityTest, EmptyDatasetThrows) {
+  EXPECT_THROW(day_class_activity(telemetry::Dataset{}, AutoSensOptions{}),
+               std::invalid_argument);
+}
+
+TEST(DayClassActivityTest, RecoversPlantedWeekendFactor) {
+  auto config = simulate::paper_config(simulate::Scale::kSmall, 81);
+  config.weekend_factor = 0.5;
+  auto generated = simulate::WorkloadGenerator(config).generate();
+  const auto validated = telemetry::validate(generated.dataset);
+  const auto activity = day_class_activity(validated.dataset, AutoSensOptions{});
+  EXPECT_NEAR(activity.beta_weekend, 0.5, 0.08);
+  EXPECT_GT(activity.weekday_records, activity.weekend_records);
+}
+
+TEST(DayClassActivityTest, NoWeekendEffectGivesBetaNearOne) {
+  auto config = simulate::paper_config(simulate::Scale::kSmall, 82);
+  config.weekend_factor = 1.0;
+  auto generated = simulate::WorkloadGenerator(config).generate();
+  const auto validated = telemetry::validate(generated.dataset);
+  const auto activity = day_class_activity(validated.dataset, AutoSensOptions{});
+  EXPECT_NEAR(activity.beta_weekend, 1.0, 0.08);
+}
+
+TEST(DayClassActivityTest, BetaIsFlatAcrossLatency) {
+  auto config = simulate::paper_config(simulate::Scale::kSmall, 83);
+  config.weekend_factor = 0.6;
+  auto generated = simulate::WorkloadGenerator(config).generate();
+  const auto validated = telemetry::validate(generated.dataset);
+  const auto activity = day_class_activity(validated.dataset, AutoSensOptions{});
+  std::size_t valid_bins = 0;
+  for (std::size_t i = 0; i < activity.beta_by_bin.size(); ++i) {
+    if (!activity.valid[i]) continue;
+    ++valid_bins;
+    EXPECT_NEAR(activity.beta_by_bin[i], 0.6, 0.25) << "bin " << i;
+  }
+  EXPECT_GT(valid_bins, 5u);
+}
+
+TEST(PreferenceByDayClassTest, ProducesBothSlices) {
+  auto config = simulate::paper_config(simulate::Scale::kSmall, 84);
+  auto generated = simulate::WorkloadGenerator(config).generate();
+  const auto validated = telemetry::validate(generated.dataset);
+  const auto slice = validated.dataset.filtered(
+      telemetry::by_action(telemetry::ActionType::kSelectMail));
+  const auto curves = preference_by_day_class(slice, AutoSensOptions{});
+  ASSERT_EQ(curves.size(), 2u);
+  EXPECT_EQ(curves[0].day_class, DayClass::kWeekday);
+  EXPECT_EQ(curves[1].day_class, DayClass::kWeekend);
+  // Preference is planted identically on weekdays and weekends (only the
+  // activity LEVEL differs), so the curves should roughly agree.
+  for (const double latency : {500.0, 1000.0}) {
+    if (curves[0].preference.covers(latency) && curves[1].preference.covers(latency)) {
+      EXPECT_NEAR(curves[0].preference.at(latency), curves[1].preference.at(latency), 0.08)
+          << latency;
+    }
+  }
+}
+
+TEST(PreferenceByDayClassTest, EmptyInputGivesNoCurves) {
+  EXPECT_TRUE(preference_by_day_class(telemetry::Dataset{}, AutoSensOptions{}).empty());
+}
+
+}  // namespace
+}  // namespace autosens::core

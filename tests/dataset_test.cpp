@@ -1,0 +1,110 @@
+#include "telemetry/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace autosens::telemetry {
+namespace {
+
+ActionRecord make_record(std::int64_t time_ms, double latency = 100.0,
+                         std::uint64_t user = 1) {
+  return ActionRecord{.time_ms = time_ms,
+                      .user_id = user,
+                      .latency_ms = latency,
+                      .action = ActionType::kSelectMail,
+                      .user_class = UserClass::kBusiness,
+                      .status = ActionStatus::kSuccess};
+}
+
+TEST(DatasetTest, EmptyDatasetBasics) {
+  const Dataset d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_TRUE(d.is_sorted());
+  EXPECT_THROW(d.begin_time(), std::runtime_error);
+  EXPECT_THROW(d.end_time(), std::runtime_error);
+}
+
+TEST(DatasetTest, AddKeepsTrackOfSortedness) {
+  Dataset d;
+  d.add(make_record(10));
+  d.add(make_record(20));
+  EXPECT_TRUE(d.is_sorted());
+  d.add(make_record(15));
+  EXPECT_FALSE(d.is_sorted());
+  d.sort_by_time();
+  EXPECT_TRUE(d.is_sorted());
+  EXPECT_EQ(d[1].time_ms, 15);
+}
+
+TEST(DatasetTest, ConstructorDetectsSortedness) {
+  const Dataset sorted({make_record(1), make_record(2)});
+  EXPECT_TRUE(sorted.is_sorted());
+  const Dataset unsorted({make_record(2), make_record(1)});
+  EXPECT_FALSE(unsorted.is_sorted());
+}
+
+TEST(DatasetTest, SortIsStableForEqualTimes) {
+  Dataset d;
+  d.add(make_record(10, 1.0));
+  d.add(make_record(5, 2.0));
+  d.add(make_record(10, 3.0));
+  d.sort_by_time();
+  EXPECT_DOUBLE_EQ(d[0].latency_ms, 2.0);
+  EXPECT_DOUBLE_EQ(d[1].latency_ms, 1.0);
+  EXPECT_DOUBLE_EQ(d[2].latency_ms, 3.0);
+}
+
+TEST(DatasetTest, TimeRangeIsHalfOpen) {
+  Dataset d({make_record(10), make_record(50)});
+  EXPECT_EQ(d.begin_time(), 10);
+  EXPECT_EQ(d.end_time(), 51);  // one past the last record
+}
+
+TEST(DatasetTest, TimeRangeRequiresSorted) {
+  Dataset d({make_record(50), make_record(10)});
+  EXPECT_THROW(d.begin_time(), std::runtime_error);
+}
+
+TEST(DatasetTest, ColumnExtraction) {
+  const Dataset d({make_record(1, 10.0), make_record(2, 20.0)});
+  EXPECT_EQ(d.times(), (std::vector<std::int64_t>{1, 2}));
+  EXPECT_EQ(d.latencies(), (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(DatasetTest, FilteredKeepsMatchingRecords) {
+  const Dataset d({make_record(1, 10.0), make_record(2, 200.0), make_record(3, 30.0)});
+  const auto filtered =
+      d.filtered([](const ActionRecord& r) { return r.latency_ms < 100.0; });
+  EXPECT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0].time_ms, 1);
+  EXPECT_EQ(filtered[1].time_ms, 3);
+  EXPECT_TRUE(filtered.is_sorted());
+}
+
+TEST(DatasetTest, FilteredCanBeEmpty) {
+  const Dataset d({make_record(1)});
+  const auto filtered = d.filtered([](const ActionRecord&) { return false; });
+  EXPECT_TRUE(filtered.empty());
+}
+
+TEST(DatasetTest, PerUserMedianLatency) {
+  Dataset d;
+  d.add(make_record(1, 10.0, 100));
+  d.add(make_record(2, 20.0, 100));
+  d.add(make_record(3, 30.0, 100));
+  d.add(make_record(4, 500.0, 200));
+  const auto medians = d.per_user_median_latency();
+  ASSERT_EQ(medians.size(), 2u);
+  EXPECT_DOUBLE_EQ(medians.at(100), 20.0);
+  EXPECT_DOUBLE_EQ(medians.at(200), 500.0);
+}
+
+TEST(DatasetTest, PerUserMedianOfEmptyIsEmpty) {
+  const Dataset d;
+  EXPECT_TRUE(d.per_user_median_latency().empty());
+}
+
+}  // namespace
+}  // namespace autosens::telemetry

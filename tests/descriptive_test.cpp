@@ -1,0 +1,219 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace autosens::stats {
+namespace {
+
+TEST(RunningStatsTest, EmptyStats) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i * 0.7) * 10.0;
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(MsdTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(mean_successive_difference({}), 0.0);
+  const std::vector<double> one = {5.0};
+  EXPECT_DOUBLE_EQ(mean_successive_difference(one), 0.0);
+}
+
+TEST(MsdTest, KnownSeries) {
+  const std::vector<double> v = {1.0, 3.0, 2.0, 6.0};
+  // |2| + |-1| + |4| over 3 steps.
+  EXPECT_DOUBLE_EQ(mean_successive_difference(v), 7.0 / 3.0);
+}
+
+TEST(MadTest, KnownSeries) {
+  const std::vector<double> v = {1.0, 2.0, 4.0};
+  // pairs: |1-2| + |1-4| + |2-4| = 6 over 3 pairs.
+  EXPECT_DOUBLE_EQ(mean_absolute_difference(v), 2.0);
+}
+
+TEST(MadTest, OrderInvariant) {
+  const std::vector<double> a = {5.0, 1.0, 3.0, 2.0};
+  std::vector<double> b = a;
+  std::sort(b.begin(), b.end());
+  EXPECT_DOUBLE_EQ(mean_absolute_difference(a), mean_absolute_difference(b));
+}
+
+TEST(MsdMadRatioTest, ConstantSeriesIsZero) {
+  const std::vector<double> v(10, 3.0);
+  EXPECT_DOUBLE_EQ(msd_mad_ratio(v), 0.0);
+}
+
+TEST(MsdMadRatioTest, SortedSeriesIsSmall) {
+  std::vector<double> v(1000);
+  std::iota(v.begin(), v.end(), 0.0);
+  // Sorted: MSD = 1, MAD = (n+1)/3 → ratio ≈ 3/n.
+  EXPECT_NEAR(msd_mad_ratio(v), 3.0 / 1000.0, 1e-3);
+}
+
+TEST(MsdMadRatioTest, ShuffledSeriesNearOne) {
+  Random random(5);
+  std::vector<double> v(5000);
+  for (auto& x : v) x = random.uniform();
+  // For i.i.d. samples E[MSD] = E[MAD], so the ratio ≈ 1.
+  EXPECT_NEAR(msd_mad_ratio(v), 1.0, 0.05);
+}
+
+TEST(MsdMadRatioTest, LocalSeriesIsMuchSmallerThanShuffled) {
+  // Slowly drifting series: strong temporal locality (paper Fig 1's point).
+  Random random(6);
+  std::vector<double> v;
+  double x = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    x = 0.995 * x + 0.1 * random.normal();
+    v.push_back(x);
+  }
+  const double actual = msd_mad_ratio(v);
+  auto shuffled = v;
+  random.shuffle(std::span<double>(shuffled));
+  const double shuffled_ratio = msd_mad_ratio(shuffled);
+  EXPECT_LT(actual, 0.4 * shuffled_ratio);
+}
+
+TEST(QuantileTest, Validation) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW(quantile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(v, 1.0001), std::invalid_argument);
+}
+
+TEST(QuantileTest, Endpoints) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 3.0);
+}
+
+TEST(QuantileTest, Type7Interpolation) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+}
+
+TEST(MedianTest, OddAndEven) {
+  const std::vector<double> odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(AutocorrelationTest, LagZeroIsOne) {
+  const std::vector<double> v = {1.0, 5.0, 2.0, 8.0, 3.0};
+  EXPECT_NEAR(autocorrelation(v, 0), 1.0, 1e-12);
+}
+
+TEST(AutocorrelationTest, WhiteNoiseNearZero) {
+  Random random(7);
+  std::vector<double> v(20'000);
+  for (auto& x : v) x = random.normal();
+  EXPECT_NEAR(autocorrelation(v, 1), 0.0, 0.03);
+}
+
+TEST(AutocorrelationTest, Ar1MatchesRho) {
+  Random random(8);
+  std::vector<double> v;
+  double x = 0.0;
+  const double rho = 0.8;
+  for (int i = 0; i < 50'000; ++i) {
+    x = rho * x + random.normal();
+    v.push_back(x);
+  }
+  EXPECT_NEAR(autocorrelation(v, 1), rho, 0.02);
+}
+
+TEST(AutocorrelationTest, DegenerateInputs) {
+  const std::vector<double> constant(10, 2.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(constant, 1), 0.0);
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(v, 5), 0.0);
+}
+
+TEST(MinMaxNormalizeTest, MapsToUnitInterval) {
+  const std::vector<double> v = {10.0, 20.0, 15.0};
+  const auto out = minmax_normalize(v);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+}
+
+TEST(MinMaxNormalizeTest, ConstantInputMapsToZero) {
+  const std::vector<double> v = {3.0, 3.0};
+  const auto out = minmax_normalize(v);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
+/// Property: MSD/MAD of an i.i.d. series is ~1 regardless of distribution.
+class MsdMadDistributionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MsdMadDistributionProperty, IidRatioNearOne) {
+  Random random(100 + GetParam());
+  std::vector<double> v(4000);
+  switch (GetParam()) {
+    case 0:
+      for (auto& x : v) x = random.uniform();
+      break;
+    case 1:
+      for (auto& x : v) x = random.normal();
+      break;
+    case 2:
+      for (auto& x : v) x = random.exponential(1.0);
+      break;
+    case 3:
+      for (auto& x : v) x = random.lognormal(0.0, 1.0);
+      break;
+  }
+  EXPECT_NEAR(msd_mad_ratio(v), 1.0, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, MsdMadDistributionProperty,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace autosens::stats

@@ -1,0 +1,89 @@
+#include "stats/distance.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace autosens::stats {
+namespace {
+
+Histogram filled(std::initializer_list<double> counts) {
+  Histogram h(0.0, 1.0, counts.size());
+  std::size_t i = 0;
+  for (const double c : counts) h.set_count(i++, c);
+  return h;
+}
+
+TEST(DistanceTest, GeometryMismatchThrows) {
+  const auto a = filled({1.0, 2.0});
+  Histogram b(0.0, 2.0, 2);
+  b.add(0.5);
+  EXPECT_THROW(total_variation_distance(a, b), std::invalid_argument);
+  EXPECT_THROW(hellinger_distance(a, b), std::invalid_argument);
+  EXPECT_THROW(ks_statistic(a, b), std::invalid_argument);
+  EXPECT_THROW(mean_shift(a, b), std::invalid_argument);
+}
+
+TEST(DistanceTest, EmptyHistogramThrows) {
+  const auto a = filled({1.0});
+  const Histogram empty(0.0, 1.0, 1);
+  EXPECT_THROW(total_variation_distance(a, empty), std::invalid_argument);
+}
+
+TEST(DistanceTest, IdenticalDistributionsHaveZeroDistance) {
+  const auto a = filled({1.0, 2.0, 3.0});
+  const auto b = filled({2.0, 4.0, 6.0});  // same shape, different scale
+  EXPECT_NEAR(total_variation_distance(a, b), 0.0, 1e-12);
+  EXPECT_NEAR(hellinger_distance(a, b), 0.0, 1e-6);
+  EXPECT_NEAR(ks_statistic(a, b), 0.0, 1e-12);
+  EXPECT_NEAR(mean_shift(a, b), 0.0, 1e-12);
+}
+
+TEST(DistanceTest, DisjointDistributionsHaveMaximalDistance) {
+  const auto a = filled({1.0, 0.0});
+  const auto b = filled({0.0, 1.0});
+  EXPECT_NEAR(total_variation_distance(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(hellinger_distance(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(ks_statistic(a, b), 1.0, 1e-12);
+}
+
+TEST(DistanceTest, TotalVariationKnownValue) {
+  const auto a = filled({3.0, 1.0});  // p = (.75, .25)
+  const auto b = filled({1.0, 3.0});  // q = (.25, .75)
+  EXPECT_NEAR(total_variation_distance(a, b), 0.5, 1e-12);
+}
+
+TEST(DistanceTest, KsIsMaxCdfGap) {
+  const auto a = filled({1.0, 0.0, 1.0});  // cdf .5, .5, 1
+  const auto b = filled({0.0, 2.0, 0.0});  // cdf 0, 1, 1
+  EXPECT_NEAR(ks_statistic(a, b), 0.5, 1e-12);
+}
+
+TEST(DistanceTest, MeanShiftIsSigned) {
+  const auto low = filled({1.0, 0.0});   // mass at bin center 0.5
+  const auto high = filled({0.0, 1.0});  // mass at bin center 1.5
+  EXPECT_NEAR(mean_shift(low, high), -1.0, 1e-12);
+  EXPECT_NEAR(mean_shift(high, low), 1.0, 1e-12);
+}
+
+TEST(DistanceTest, MetricsOrderedOnNoisyShift) {
+  // Hellinger <= sqrt(TV) relationships aside, all three must detect a
+  // shifted distribution and grow with the shift.
+  Random random(5);
+  Histogram base(0.0, 1.0, 100);
+  Histogram small_shift(0.0, 1.0, 100);
+  Histogram big_shift(0.0, 1.0, 100);
+  for (int i = 0; i < 200'000; ++i) {
+    const double v = random.normal(50.0, 10.0);
+    base.add(v);
+    small_shift.add(v + 2.0);
+    big_shift.add(v + 10.0);
+  }
+  EXPECT_LT(total_variation_distance(base, small_shift),
+            total_variation_distance(base, big_shift));
+  EXPECT_LT(ks_statistic(base, small_shift), ks_statistic(base, big_shift));
+  EXPECT_LT(hellinger_distance(base, small_shift), hellinger_distance(base, big_shift));
+}
+
+}  // namespace
+}  // namespace autosens::stats

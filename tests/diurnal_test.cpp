@@ -1,0 +1,98 @@
+#include "simulate/diurnal.h"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/clock.h"
+
+namespace autosens::simulate {
+namespace {
+
+TEST(DiurnalCurveTest, HourCentersReturnExactValues) {
+  std::array<double, 24> values{};
+  for (std::size_t h = 0; h < 24; ++h) values[h] = static_cast<double>(h);
+  const DiurnalCurve curve(values);
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_NEAR(curve.at_hour(h + 0.5), static_cast<double>(h), 1e-12);
+  }
+}
+
+TEST(DiurnalCurveTest, InterpolatesBetweenHourCenters) {
+  std::array<double, 24> values{};
+  values[10] = 1.0;
+  values[11] = 3.0;
+  const DiurnalCurve curve(values);
+  EXPECT_NEAR(curve.at_hour(11.0), 2.0, 1e-12);
+}
+
+TEST(DiurnalCurveTest, WrapsAroundMidnight) {
+  std::array<double, 24> values{};
+  values[23] = 2.0;
+  values[0] = 4.0;
+  const DiurnalCurve curve(values);
+  EXPECT_NEAR(curve.at_hour(0.0), 3.0, 1e-12);  // midpoint of 23.5 and 0.5
+  EXPECT_NEAR(curve.at_hour(23.75), 2.5, 1e-12);
+}
+
+TEST(DiurnalCurveTest, AtTimeMatchesAtHour) {
+  const auto curve = default_activity_curve();
+  const std::int64_t t = 3 * telemetry::kMillisPerDay + 10 * telemetry::kMillisPerHour +
+                         30 * telemetry::kMillisPerMinute;
+  EXPECT_NEAR(curve.at_time(t), curve.at_hour(10.5), 1e-12);
+}
+
+TEST(DiurnalCurveTest, AtTimeHandlesNegativeTimes) {
+  const auto curve = default_activity_curve();
+  EXPECT_NEAR(curve.at_time(-telemetry::kMillisPerHour),
+              curve.at_hour(23.0), 1e-12);
+}
+
+TEST(DiurnalCurveTest, MinMax) {
+  const auto curve = default_activity_curve();
+  EXPECT_DOUBLE_EQ(curve.max_value(), 1.0);
+  EXPECT_DOUBLE_EQ(curve.min_value(), 0.10);
+}
+
+TEST(DiurnalCurveTest, MeanOverHoursSimpleRange) {
+  std::array<double, 24> values{};
+  values[8] = 1.0;
+  values[9] = 3.0;
+  const DiurnalCurve curve(values);
+  EXPECT_NEAR(curve.mean_over_hours(8, 10), 2.0, 1e-12);
+}
+
+TEST(DiurnalCurveTest, MeanOverHoursWraps) {
+  std::array<double, 24> values{};
+  values[23] = 1.0;
+  values[0] = 3.0;
+  const DiurnalCurve curve(values);
+  EXPECT_NEAR(curve.mean_over_hours(23, 1), 2.0, 1e-12);
+}
+
+TEST(DefaultCurvesTest, ActivityPeaksDuringBusinessHours) {
+  const auto curve = default_activity_curve();
+  // Daytime (8–14) must be far more active than deep night (2–8):
+  // this is the planted α ground truth of Fig 8.
+  EXPECT_GT(curve.mean_over_hours(8, 14), 3.0 * curve.mean_over_hours(2, 8));
+  // Ordering of the four paper periods.
+  EXPECT_GT(curve.mean_over_hours(8, 14), curve.mean_over_hours(14, 20));
+  EXPECT_GT(curve.mean_over_hours(14, 20), curve.mean_over_hours(20, 2));
+  EXPECT_GT(curve.mean_over_hours(20, 2), curve.mean_over_hours(2, 8));
+}
+
+TEST(DefaultCurvesTest, LoadIsHigherDuringDaytime) {
+  const auto curve = default_load_curve();
+  EXPECT_GT(curve.mean_over_hours(8, 20), 0.0);
+  EXPECT_LT(curve.mean_over_hours(0, 6), 0.0);
+}
+
+TEST(WeekendMultiplierTest, AppliesOnSaturdayAndSunday) {
+  // Epoch day 0 is Thursday; Saturday is day 2, Sunday day 3.
+  EXPECT_DOUBLE_EQ(weekend_multiplier(2 * telemetry::kMillisPerDay, 0.7), 0.7);
+  EXPECT_DOUBLE_EQ(weekend_multiplier(3 * telemetry::kMillisPerDay, 0.7), 0.7);
+  EXPECT_DOUBLE_EQ(weekend_multiplier(0, 0.7), 1.0);
+  EXPECT_DOUBLE_EQ(weekend_multiplier(4 * telemetry::kMillisPerDay, 0.7), 1.0);
+  EXPECT_DOUBLE_EQ(weekend_multiplier(9 * telemetry::kMillisPerDay, 0.7), 0.7);
+}
+
+}  // namespace
+}  // namespace autosens::simulate

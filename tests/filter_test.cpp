@@ -1,0 +1,137 @@
+#include "telemetry/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace autosens::telemetry {
+namespace {
+
+ActionRecord make_record(std::int64_t time_ms, std::uint64_t user, double latency,
+                         ActionType action = ActionType::kSelectMail,
+                         UserClass user_class = UserClass::kBusiness,
+                         ActionStatus status = ActionStatus::kSuccess) {
+  return {time_ms, user, latency, action, user_class, status};
+}
+
+TEST(FilterTest, ByAction) {
+  const auto p = by_action(ActionType::kSearch);
+  EXPECT_TRUE(p(make_record(0, 1, 1.0, ActionType::kSearch)));
+  EXPECT_FALSE(p(make_record(0, 1, 1.0, ActionType::kSelectMail)));
+}
+
+TEST(FilterTest, ByUserClass) {
+  const auto p = by_user_class(UserClass::kConsumer);
+  EXPECT_TRUE(p(make_record(0, 1, 1.0, ActionType::kSearch, UserClass::kConsumer)));
+  EXPECT_FALSE(p(make_record(0, 1, 1.0, ActionType::kSearch, UserClass::kBusiness)));
+}
+
+TEST(FilterTest, ByStatus) {
+  const auto p = by_status(ActionStatus::kError);
+  EXPECT_TRUE(p(make_record(0, 1, 1.0, ActionType::kSearch, UserClass::kBusiness,
+                            ActionStatus::kError)));
+  EXPECT_FALSE(p(make_record(0, 1, 1.0)));
+}
+
+TEST(FilterTest, ByPeriod) {
+  const auto p = by_period(DayPeriod::kMorning);
+  EXPECT_TRUE(p(make_record(9 * kMillisPerHour, 1, 1.0)));
+  EXPECT_FALSE(p(make_record(15 * kMillisPerHour, 1, 1.0)));
+}
+
+TEST(FilterTest, ByMonth) {
+  const auto p = by_month(1);
+  EXPECT_FALSE(p(make_record(29 * kMillisPerDay, 1, 1.0)));
+  EXPECT_TRUE(p(make_record(30 * kMillisPerDay, 1, 1.0)));
+  EXPECT_TRUE(p(make_record(59 * kMillisPerDay, 1, 1.0)));
+  EXPECT_FALSE(p(make_record(60 * kMillisPerDay, 1, 1.0)));
+}
+
+TEST(FilterTest, ByTimeRangeIsHalfOpen) {
+  const auto p = by_time_range(100, 200);
+  EXPECT_FALSE(p(make_record(99, 1, 1.0)));
+  EXPECT_TRUE(p(make_record(100, 1, 1.0)));
+  EXPECT_TRUE(p(make_record(199, 1, 1.0)));
+  EXPECT_FALSE(p(make_record(200, 1, 1.0)));
+}
+
+TEST(FilterTest, AllOfCombines) {
+  const auto p = all_of({by_action(ActionType::kSearch), by_user_class(UserClass::kConsumer)});
+  EXPECT_TRUE(p(make_record(0, 1, 1.0, ActionType::kSearch, UserClass::kConsumer)));
+  EXPECT_FALSE(p(make_record(0, 1, 1.0, ActionType::kSearch, UserClass::kBusiness)));
+  EXPECT_FALSE(p(make_record(0, 1, 1.0, ActionType::kSelectMail, UserClass::kConsumer)));
+}
+
+TEST(FilterTest, AllOfEmptyMatchesEverything) {
+  const auto p = all_of({});
+  EXPECT_TRUE(p(make_record(0, 1, 1.0)));
+}
+
+Dataset quartile_dataset() {
+  // 8 users whose median latencies are 10, 20, ..., 80.
+  Dataset d;
+  for (std::uint64_t u = 1; u <= 8; ++u) {
+    for (int k = 0; k < 3; ++k) {
+      d.add(make_record(static_cast<std::int64_t>(u * 10 + k), u,
+                        static_cast<double>(u) * 10.0));
+    }
+  }
+  d.sort_by_time();
+  return d;
+}
+
+TEST(UserQuartilesTest, ThrowsOnEmptyDataset) {
+  EXPECT_THROW(UserQuartiles(Dataset{}), std::invalid_argument);
+}
+
+TEST(UserQuartilesTest, AssignsBalancedQuartiles) {
+  const UserQuartiles quartiles(quartile_dataset());
+  EXPECT_EQ(quartiles.user_count(), 8u);
+  // Users 1,2 → Q1; 3,4 → Q2; 5,6 → Q3; 7,8 → Q4.
+  EXPECT_EQ(quartiles.quartile_of(1), 0);
+  EXPECT_EQ(quartiles.quartile_of(2), 0);
+  EXPECT_EQ(quartiles.quartile_of(3), 1);
+  EXPECT_EQ(quartiles.quartile_of(4), 1);
+  EXPECT_EQ(quartiles.quartile_of(5), 2);
+  EXPECT_EQ(quartiles.quartile_of(6), 2);
+  EXPECT_EQ(quartiles.quartile_of(7), 3);
+  EXPECT_EQ(quartiles.quartile_of(8), 3);
+}
+
+TEST(UserQuartilesTest, BoundariesAreMonotone) {
+  const UserQuartiles quartiles(quartile_dataset());
+  const auto& b = quartiles.boundaries();
+  EXPECT_LT(b[0], b[1]);
+  EXPECT_LT(b[1], b[2]);
+}
+
+TEST(UserQuartilesTest, UnknownUserThrows) {
+  const UserQuartiles quartiles(quartile_dataset());
+  EXPECT_FALSE(quartiles.contains(999));
+  EXPECT_THROW(quartiles.quartile_of(999), std::invalid_argument);
+}
+
+TEST(UserQuartilesTest, InQuartilePredicate) {
+  const UserQuartiles quartiles(quartile_dataset());
+  const auto q1 = quartiles.in_quartile(0);
+  EXPECT_TRUE(q1(make_record(0, 1, 1.0)));
+  EXPECT_FALSE(q1(make_record(0, 8, 1.0)));
+  EXPECT_FALSE(q1(make_record(0, 999, 1.0)));  // unknown users match nothing
+}
+
+TEST(UserQuartilesTest, InQuartileValidatesRange) {
+  const UserQuartiles quartiles(quartile_dataset());
+  EXPECT_THROW(quartiles.in_quartile(-1), std::invalid_argument);
+  EXPECT_THROW(quartiles.in_quartile(4), std::invalid_argument);
+}
+
+TEST(UserQuartilesTest, QuartilePartitionCoversAllUsers) {
+  const auto data = quartile_dataset();
+  const UserQuartiles quartiles(data);
+  std::size_t total = 0;
+  for (int q = 0; q < UserQuartiles::kQuartileCount; ++q) {
+    total += data.filtered(quartiles.in_quartile(q)).size();
+  }
+  EXPECT_EQ(total, data.size());
+}
+
+}  // namespace
+}  // namespace autosens::telemetry

@@ -1,0 +1,137 @@
+#include "simulate/latency_process.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "telemetry/clock.h"
+
+namespace autosens::simulate {
+namespace {
+
+constexpr std::int64_t kDay = telemetry::kMillisPerDay;
+
+LatencyEnvironment make_env(LatencyProcessOptions options, std::uint64_t seed = 1,
+                            std::int64_t days = 2) {
+  stats::Random random(seed);
+  return LatencyEnvironment(options, 0, days * kDay, random);
+}
+
+TEST(LatencyEnvironmentTest, Validation) {
+  stats::Random random(1);
+  LatencyProcessOptions options;
+  EXPECT_THROW(LatencyEnvironment(options, 10, 10, random), std::invalid_argument);
+  options.correlation_minutes = 0.0;
+  EXPECT_THROW(LatencyEnvironment(options, 0, kDay, random), std::invalid_argument);
+  options = {};
+  options.base_ms[0] = 0.0;
+  EXPECT_THROW(LatencyEnvironment(options, 0, kDay, random), std::invalid_argument);
+}
+
+TEST(LatencyEnvironmentTest, DeterministicForFixedSeed) {
+  const auto env1 = make_env({}, 7);
+  const auto env2 = make_env({}, 7);
+  for (std::int64_t t = 0; t < kDay; t += kDay / 100) {
+    EXPECT_DOUBLE_EQ(env1.ar_component(t), env2.ar_component(t));
+  }
+}
+
+TEST(LatencyEnvironmentTest, ArComponentIsContinuousAcrossGridPoints) {
+  const auto env = make_env({});
+  const std::int64_t step = telemetry::kMillisPerMinute;
+  for (std::int64_t t = step; t < 100 * step; t += step) {
+    const double before = env.ar_component(t - 1);
+    const double at = env.ar_component(t);
+    EXPECT_NEAR(before, at, 0.05);  // linear interpolation: tiny jump only
+  }
+}
+
+TEST(LatencyEnvironmentTest, ArStationaryMomentsMatch) {
+  LatencyProcessOptions options;
+  options.ar_sigma = 0.5;
+  const auto env = make_env(options, 3, /*days=*/60);
+  stats::RunningStats stats;
+  for (std::int64_t t = 0; t < 60 * kDay; t += telemetry::kMillisPerMinute) {
+    stats.add(env.ar_component(t));
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 0.5, 0.1);
+}
+
+TEST(LatencyEnvironmentTest, ArAutocorrelationMatchesTimeConstant) {
+  LatencyProcessOptions options;
+  options.correlation_minutes = 30.0;
+  const auto env = make_env(options, 4, /*days=*/60);
+  std::vector<double> series;
+  for (std::int64_t t = 0; t < 60 * kDay; t += telemetry::kMillisPerMinute) {
+    series.push_back(env.ar_component(t));
+  }
+  // Lag-30min autocorrelation should be ≈ exp(-1).
+  EXPECT_NEAR(stats::autocorrelation(series, 30), std::exp(-1.0), 0.08);
+}
+
+TEST(LatencyEnvironmentTest, PredictableLatencyScalesWithBase) {
+  const auto env = make_env({});
+  const auto select = env.predictable_latency(kDay / 2, telemetry::ActionType::kSelectMail, 0.0);
+  const auto search = env.predictable_latency(kDay / 2, telemetry::ActionType::kSearch, 0.0);
+  // Same time, same offset: ratio equals the base ratio (500/350).
+  EXPECT_NEAR(search / select, 500.0 / 350.0, 1e-9);
+}
+
+TEST(LatencyEnvironmentTest, UserOffsetShiftsLatencyMultiplicatively) {
+  const auto env = make_env({});
+  const auto base = env.predictable_latency(1000, telemetry::ActionType::kSearch, 0.0);
+  const auto slow = env.predictable_latency(1000, telemetry::ActionType::kSearch, 0.3);
+  EXPECT_NEAR(slow / base, std::exp(0.3), 1e-9);
+}
+
+TEST(LatencyEnvironmentTest, SampleLatencyCentersOnPredictable) {
+  LatencyProcessOptions options;
+  options.noise_sigma = 0.2;
+  const auto env = make_env(options, 5);
+  stats::Random random(99);
+  const std::int64_t t = kDay / 3;
+  stats::RunningStats stats;
+  for (int i = 0; i < 50'000; ++i) {
+    stats.add(env.sample_latency(t, telemetry::ActionType::kSelectMail, 0.1, random));
+  }
+  const double predictable =
+      env.predictable_latency(t, telemetry::ActionType::kSelectMail, 0.1);
+  // predictable_latency includes the lognormal mean correction, so the
+  // sample mean must match it (not the median).
+  EXPECT_NEAR(stats.mean() / predictable, 1.0, 0.02);
+}
+
+TEST(LatencyEnvironmentTest, ZeroNoiseMakesSamplesDeterministic) {
+  LatencyProcessOptions options;
+  options.noise_sigma = 0.0;
+  const auto env = make_env(options, 6);
+  stats::Random random(1);
+  const double a = env.sample_latency(123456, telemetry::ActionType::kSearch, 0.0, random);
+  const double b = env.sample_latency(123456, telemetry::ActionType::kSearch, 0.0, random);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_DOUBLE_EQ(a, env.predictable_latency(123456, telemetry::ActionType::kSearch, 0.0));
+}
+
+TEST(LatencyEnvironmentTest, LoadCurveRaisesDaytimeLatency) {
+  LatencyProcessOptions options;
+  options.ar_sigma = 0.0;  // isolate the load effect
+  options.noise_sigma = 0.0;
+  const auto env = make_env(options, 7);
+  const auto noon = env.predictable_latency(12 * telemetry::kMillisPerHour,
+                                            telemetry::ActionType::kSelectMail, 0.0);
+  const auto night = env.predictable_latency(4 * telemetry::kMillisPerHour,
+                                             telemetry::ActionType::kSelectMail, 0.0);
+  EXPECT_GT(noon, night);
+}
+
+TEST(LatencyEnvironmentTest, ClampsOutsideGridRange) {
+  const auto env = make_env({});
+  EXPECT_DOUBLE_EQ(env.ar_component(-100), env.ar_component(0));
+  EXPECT_NO_THROW(env.ar_component(100 * kDay));
+}
+
+}  // namespace
+}  // namespace autosens::simulate

@@ -1,0 +1,173 @@
+#include "stats/linalg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace autosens::stats {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+}
+
+TEST(MatrixTest, RejectsZeroDimensions) {
+  EXPECT_THROW(Matrix(0, 3), std::invalid_argument);
+  EXPECT_THROW(Matrix(3, 0), std::invalid_argument);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m(2, 3);
+  m.at(0, 1) = 7.0;
+  m.at(1, 2) = 3.0;
+  const auto t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), 3.0);
+}
+
+TEST(MatrixTest, MultiplyMatrices) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 3.0;
+  a.at(1, 1) = 4.0;
+  const auto b = a.multiply(a);
+  EXPECT_DOUBLE_EQ(b.at(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(b.at(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(b.at(1, 0), 15.0);
+  EXPECT_DOUBLE_EQ(b.at(1, 1), 22.0);
+}
+
+TEST(MatrixTest, MultiplyShapeMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a(2, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    a.at(0, c) = static_cast<double>(c + 1);
+    a.at(1, c) = 1.0;
+  }
+  const std::vector<double> v = {1.0, 1.0, 1.0};
+  const auto out = a.multiply(v);
+  EXPECT_DOUBLE_EQ(out[0], 6.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+}
+
+TEST(CholeskySolveTest, SolvesSpdSystem) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 4.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 3.0;
+  const std::vector<double> b = {10.0, 8.0};
+  const auto x = cholesky_solve(a, b);
+  // Verify A x = b.
+  EXPECT_NEAR(4.0 * x[0] + 2.0 * x[1], 10.0, 1e-12);
+  EXPECT_NEAR(2.0 * x[0] + 3.0 * x[1], 8.0, 1e-12);
+}
+
+TEST(CholeskySolveTest, IdentitySolvesToRhs) {
+  Matrix eye(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) eye.at(i, i) = 1.0;
+  const std::vector<double> b = {1.0, -2.0, 3.0};
+  const auto x = cholesky_solve(eye, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(x[i], b[i]);
+}
+
+TEST(CholeskySolveTest, RejectsNonPositiveDefinite) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 1.0;  // eigenvalues 3, -1
+  const std::vector<double> b = {1.0, 1.0};
+  EXPECT_THROW(cholesky_solve(a, b), std::runtime_error);
+}
+
+TEST(CholeskySolveTest, RejectsShapeMismatch) {
+  Matrix a(2, 3);
+  const std::vector<double> b = {1.0, 1.0};
+  EXPECT_THROW(cholesky_solve(a, b), std::invalid_argument);
+}
+
+TEST(PolyfitTest, RecoversExactPolynomial) {
+  // y = 2 - 3x + 0.5x^2
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = -5; i <= 5; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 - 3.0 * i + 0.5 * i * i);
+  }
+  const auto c = polyfit(x, y, 2);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c[0], 2.0, 1e-9);
+  EXPECT_NEAR(c[1], -3.0, 1e-9);
+  EXPECT_NEAR(c[2], 0.5, 1e-9);
+}
+
+TEST(PolyfitTest, HigherDegreeStillExactOnLowerPolynomial) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 12; ++i) {
+    x.push_back(i);
+    y.push_back(1.0 + 2.0 * i);
+  }
+  const auto c = polyfit(x, y, 3);
+  EXPECT_NEAR(c[0], 1.0, 1e-7);
+  EXPECT_NEAR(c[1], 2.0, 1e-7);
+  EXPECT_NEAR(c[2], 0.0, 1e-7);
+  EXPECT_NEAR(c[3], 0.0, 1e-7);
+}
+
+TEST(PolyfitTest, Validation) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0};
+  EXPECT_THROW(polyfit(x, y, 1), std::invalid_argument);
+  const std::vector<double> both = {1.0, 2.0};
+  EXPECT_THROW(polyfit(both, both, 2), std::invalid_argument);  // 3 coeffs, 2 pts
+}
+
+TEST(PolyvalTest, HornerEvaluation) {
+  const std::vector<double> c = {1.0, -2.0, 3.0};  // 1 - 2x + 3x^2
+  EXPECT_DOUBLE_EQ(polyval(c, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(polyval(c, 2.0), 9.0);
+  EXPECT_DOUBLE_EQ(polyval(std::vector<double>{}, 5.0), 0.0);
+}
+
+/// Property: polyfit followed by polyval reproduces noise-free polynomials
+/// of every degree it claims to support.
+class PolyfitRoundtripProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PolyfitRoundtripProperty, Roundtrip) {
+  const std::size_t degree = GetParam();
+  std::vector<double> coeffs(degree + 1);
+  for (std::size_t i = 0; i <= degree; ++i) {
+    coeffs[i] = (i % 2 == 0 ? 1.0 : -1.0) / static_cast<double>(i + 1);
+  }
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = -10; i <= 10; ++i) {
+    x.push_back(i * 0.5);
+    y.push_back(polyval(coeffs, i * 0.5));
+  }
+  const auto fitted = polyfit(x, y, degree);
+  for (double t = -5.0; t <= 5.0; t += 0.37) {
+    EXPECT_NEAR(polyval(fitted, t), polyval(coeffs, t), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolyfitRoundtripProperty, ::testing::Values(0, 1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace autosens::stats

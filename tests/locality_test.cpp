@@ -1,0 +1,106 @@
+#include "core/locality.h"
+
+#include <gtest/gtest.h>
+
+#include "simulate/generator.h"
+#include "simulate/presets.h"
+#include "telemetry/validate.h"
+
+namespace autosens::core {
+namespace {
+
+TEST(LocalityTest, Validation) {
+  stats::Random random(1);
+  EXPECT_THROW(analyze_locality(telemetry::Dataset{}, LocalityOptions{}, random),
+               std::invalid_argument);
+  telemetry::Dataset d;
+  d.add({.time_ms = 1, .user_id = 1, .latency_ms = 10.0});
+  LocalityOptions bad;
+  bad.window_ms = 0;
+  EXPECT_THROW(analyze_locality(d, bad, random), std::invalid_argument);
+}
+
+TEST(LocalityTest, SimulatedWorkloadShowsPaperFig1Structure) {
+  // Fig 1: actual MSD/MAD far below shuffled; sorted near zero.
+  const auto config = simulate::paper_config(simulate::Scale::kTiny, 21);
+  auto generated = simulate::WorkloadGenerator(config).generate();
+  const auto validated = telemetry::validate(generated.dataset);
+  stats::Random random(2);
+  const auto report = analyze_locality(validated.dataset, LocalityOptions{}, random);
+  EXPECT_GT(report.samples, 1000u);
+  EXPECT_NEAR(report.msd_mad_shuffled, 1.0, 0.05);
+  EXPECT_LT(report.msd_mad_actual, 0.75 * report.msd_mad_shuffled);
+  EXPECT_LT(report.msd_mad_sorted, 0.01);
+}
+
+TEST(LocalityTest, DetrendedDensityLatencyCorrelationIsNegative) {
+  // Fig 2 / §2.1: periods of low latency carry more samples. After removing
+  // the hour-of-day trend (which pushes the raw correlation positive — busy
+  // hours are both slow and active), transient slow spells must show fewer
+  // actions: a clearly negative correlation.
+  const auto config = simulate::paper_config(simulate::Scale::kSmall, 22);
+  auto generated = simulate::WorkloadGenerator(config).generate();
+  const auto validated = telemetry::validate(generated.dataset);
+  stats::Random random(3);
+  LocalityOptions options;
+  options.window_ms = 10 * telemetry::kMillisPerMinute;
+  options.min_window_samples = 3;
+  const auto report = analyze_locality(validated.dataset, options, random);
+  EXPECT_LT(report.detrended_density_latency_correlation, -0.05);
+  // The detrended signal is more negative than the confounded raw one.
+  EXPECT_LT(report.detrended_density_latency_correlation,
+            report.density_latency_correlation);
+  EXPECT_GT(report.windows_used, 100u);
+}
+
+TEST(LocalityTest, IndependentLatencySeriesShowsNoLocality) {
+  // Counter-case: i.i.d. latencies at Poisson times — ratio ≈ shuffled.
+  telemetry::Dataset d;
+  stats::Random random(4);
+  std::int64_t t = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    t += static_cast<std::int64_t>(random.exponential(0.01)) + 1;
+    d.add({.time_ms = t, .user_id = 1, .latency_ms = random.lognormal(5.0, 0.5)});
+  }
+  stats::Random analysis_random(5);
+  const auto report = analyze_locality(d, LocalityOptions{}, analysis_random);
+  EXPECT_NEAR(report.msd_mad_actual, report.msd_mad_shuffled, 0.05);
+}
+
+TEST(LocalityTest, ZeroShufflesSkipsBaseline) {
+  telemetry::Dataset d;
+  stats::Random random(6);
+  for (int i = 0; i < 100; ++i) {
+    d.add({.time_ms = i * 1000, .user_id = 1, .latency_ms = 100.0 + i});
+  }
+  LocalityOptions options;
+  options.shuffles = 0;
+  const auto report = analyze_locality(d, options, random);
+  EXPECT_DOUBLE_EQ(report.msd_mad_shuffled, 0.0);
+  EXPECT_GT(report.msd_mad_actual, 0.0);
+}
+
+TEST(ActivityLatencySeriesTest, NormalizedSeries) {
+  telemetry::Dataset d;
+  stats::Random random(7);
+  for (int i = 0; i < 5000; ++i) {
+    d.add({.time_ms = i * 100, .user_id = 1, .latency_ms = random.lognormal(5.0, 0.3)});
+  }
+  const auto series = activity_latency_series(d, telemetry::kMillisPerMinute);
+  ASSERT_FALSE(series.activity.empty());
+  EXPECT_EQ(series.activity.size(), series.latency.size());
+  EXPECT_EQ(series.activity.size(), series.window_begin_ms.size());
+  for (std::size_t i = 0; i < series.activity.size(); ++i) {
+    EXPECT_GE(series.activity[i], 0.0);
+    EXPECT_LE(series.activity[i], 1.0);
+    EXPECT_GE(series.latency[i], 0.0);
+    EXPECT_LE(series.latency[i], 1.0);
+  }
+}
+
+TEST(ActivityLatencySeriesTest, EmptyDatasetThrows) {
+  EXPECT_THROW(activity_latency_series(telemetry::Dataset{}, 1000), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autosens::core

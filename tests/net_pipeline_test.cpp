@@ -1,0 +1,177 @@
+// Integration tests of the emitter → collector telemetry path over loopback
+// TCP: the stand-in for the paper's client-measured, server-logged latency
+// pipeline (§3.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "net/collector.h"
+#include "net/emitter.h"
+#include "net/wire.h"
+#include "stats/rng.h"
+#include "telemetry/record.h"
+
+namespace autosens::net {
+namespace {
+
+using telemetry::ActionRecord;
+
+std::vector<ActionRecord> make_records(std::size_t n, std::uint64_t seed) {
+  stats::Random random(seed);
+  std::vector<ActionRecord> records;
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += static_cast<std::int64_t>(random.exponential(0.01)) + 1;
+    // The wire codec carries latency at 10 µs resolution; emit values on
+    // that grid so the roundtrip comparison can be exact.
+    records.push_back({.time_ms = t,
+                       .user_id = 1 + random.uniform_index(10),
+                       .latency_ms = std::round(random.lognormal(5.0, 0.4) * 100.0) / 100.0,
+                       .action = telemetry::ActionType::kSelectMail,
+                       .user_class = telemetry::UserClass::kBusiness,
+                       .status = telemetry::ActionStatus::kSuccess});
+  }
+  return records;
+}
+
+TEST(NetPipelineTest, SingleEmitterDeliversAllRecords) {
+  CollectorThread collector(/*expected_goodbyes=*/1);
+  const auto records = make_records(5000, 1);
+  {
+    Emitter emitter(collector.port(), {.batch_size = 128});
+    for (const auto& r : records) emitter.record(r);
+    emitter.close();
+    EXPECT_EQ(emitter.sent_records(), records.size());
+  }
+  const auto dataset = collector.join();
+  ASSERT_EQ(dataset.size(), records.size());
+  EXPECT_TRUE(dataset.is_sorted());
+  for (std::size_t i = 0; i < records.size(); ++i) EXPECT_EQ(dataset[i], records[i]);
+}
+
+TEST(NetPipelineTest, PartialBatchFlushedOnClose) {
+  CollectorThread collector(1);
+  {
+    Emitter emitter(collector.port(), {.batch_size = 1000});
+    for (const auto& r : make_records(7, 2)) emitter.record(r);
+    emitter.close();
+  }
+  EXPECT_EQ(collector.join().size(), 7u);
+}
+
+TEST(NetPipelineTest, ExplicitFlushDeliversPending) {
+  CollectorThread collector(1);
+  Emitter emitter(collector.port(), {.batch_size = 1000});
+  for (const auto& r : make_records(10, 3)) emitter.record(r);
+  emitter.flush();
+  emitter.close();
+  const auto dataset = collector.join();
+  EXPECT_EQ(dataset.size(), 10u);
+  EXPECT_EQ(collector.stats().flushes, 1u);
+}
+
+TEST(NetPipelineTest, SequentialEmittersMerge) {
+  CollectorThread collector(/*expected_goodbyes=*/3);
+  const auto batch1 = make_records(100, 4);
+  const auto batch2 = make_records(200, 5);
+  const auto batch3 = make_records(50, 6);
+  for (const auto* batch : {&batch1, &batch2, &batch3}) {
+    Emitter emitter(collector.port());
+    for (const auto& r : *batch) emitter.record(r);
+    emitter.close();
+  }
+  const auto dataset = collector.join();
+  EXPECT_EQ(dataset.size(), batch1.size() + batch2.size() + batch3.size());
+  EXPECT_TRUE(dataset.is_sorted());
+}
+
+TEST(NetPipelineTest, RecordAfterCloseThrows) {
+  CollectorThread collector(1);
+  Emitter emitter(collector.port());
+  emitter.close();
+  EXPECT_THROW(emitter.record(ActionRecord{}), std::logic_error);
+  EXPECT_THROW(emitter.flush(), std::logic_error);
+  collector.join();
+}
+
+TEST(NetPipelineTest, CloseIsIdempotent) {
+  CollectorThread collector(1);
+  Emitter emitter(collector.port());
+  emitter.record(ActionRecord{.time_ms = 1, .user_id = 1, .latency_ms = 10.0});
+  emitter.close();
+  emitter.close();  // no-op
+  EXPECT_EQ(collector.join().size(), 1u);
+}
+
+TEST(NetPipelineTest, CollectorStatsAreAccurate) {
+  CollectorThread collector(1);
+  {
+    Emitter emitter(collector.port(), {.batch_size = 10});
+    for (const auto& r : make_records(25, 7)) emitter.record(r);
+    emitter.flush();
+    emitter.close();
+  }
+  collector.join();
+  const auto stats = collector.stats();
+  EXPECT_EQ(stats.connections, 1u);
+  EXPECT_EQ(stats.records, 25u);
+  EXPECT_EQ(stats.flushes, 1u);
+  // 2 full batches + flush marker + final partial batch + goodbye.
+  EXPECT_EQ(stats.frames, 5u);
+}
+
+TEST(NetPipelineTest, ConcurrentEmittersInterleave) {
+  // The poll()-based collector must handle genuinely simultaneous clients
+  // whose frames interleave on the wire.
+  constexpr std::size_t kClients = 5;
+  constexpr std::size_t kPerClient = 2000;
+  CollectorThread collector(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([port = collector.port(), c] {
+      Emitter emitter(port, {.batch_size = 64});
+      for (const auto& r : make_records(kPerClient, 100 + c)) emitter.record(r);
+      emitter.close();
+    });
+  }
+  for (auto& t : clients) t.join();
+  const auto dataset = collector.join();
+  EXPECT_EQ(dataset.size(), kClients * kPerClient);
+  EXPECT_TRUE(dataset.is_sorted());
+  const auto stats = collector.stats();
+  EXPECT_EQ(stats.connections, kClients);
+  EXPECT_EQ(stats.records, kClients * kPerClient);
+  EXPECT_EQ(stats.dropped_connections, 0u);
+}
+
+TEST(NetPipelineTest, MalformedStreamIsDroppedNotFatal) {
+  CollectorThread collector(/*expected_goodbyes=*/1);
+  {
+    // A raw client that sends garbage.
+    Socket bad = connect_tcp(collector.port());
+    const std::vector<std::uint8_t> garbage = {99, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    write_all(bad, garbage);
+  }
+  // A well-behaved client afterwards still gets through.
+  Emitter emitter(collector.port());
+  for (const auto& r : make_records(10, 9)) emitter.record(r);
+  emitter.close();
+  const auto dataset = collector.join();
+  EXPECT_EQ(dataset.size(), 10u);
+  EXPECT_EQ(collector.stats().dropped_connections, 1u);
+}
+
+TEST(NetPipelineTest, EmitterValidatesBatchSize) {
+  CollectorThread collector(1);
+  EXPECT_THROW(Emitter(collector.port(), {.batch_size = 0}), std::invalid_argument);
+  // Unblock the collector.
+  Emitter emitter(collector.port());
+  emitter.close();
+  collector.join();
+}
+
+}  // namespace
+}  // namespace autosens::net

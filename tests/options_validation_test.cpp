@@ -1,0 +1,95 @@
+// Contract tests: invalid AutoSensOptions must fail loudly at the API
+// boundary (a silently mis-binned analysis is worse than an exception).
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "simulate/generator.h"
+#include "simulate/presets.h"
+#include "telemetry/filter.h"
+#include "telemetry/validate.h"
+
+namespace autosens::core {
+namespace {
+
+class OptionsValidationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto generated =
+        simulate::WorkloadGenerator(simulate::paper_config(simulate::Scale::kTiny, 111))
+            .generate();
+    slice_ = new telemetry::Dataset(
+        telemetry::validate(generated.dataset)
+            .dataset.filtered(telemetry::by_action(telemetry::ActionType::kSelectMail)));
+  }
+  static void TearDownTestSuite() {
+    delete slice_;
+    slice_ = nullptr;
+  }
+  static telemetry::Dataset* slice_;
+};
+
+telemetry::Dataset* OptionsValidationTest::slice_ = nullptr;
+
+TEST_F(OptionsValidationTest, EvenSmoothingWindowThrows) {
+  AutoSensOptions options;
+  options.smoothing.window = 100;
+  EXPECT_THROW(analyze(*slice_, options), std::invalid_argument);
+}
+
+TEST_F(OptionsValidationTest, SmoothingDegreeAtLeastWindowThrows) {
+  AutoSensOptions options;
+  options.smoothing = {.window = 5, .degree = 5};
+  EXPECT_THROW(analyze(*slice_, options), std::invalid_argument);
+}
+
+TEST_F(OptionsValidationTest, NonPositiveBinWidthThrows) {
+  AutoSensOptions options;
+  options.bin_width_ms = 0.0;
+  EXPECT_THROW(analyze(*slice_, options), std::invalid_argument);
+}
+
+TEST_F(OptionsValidationTest, MaxLatencyBelowBinWidthThrows) {
+  AutoSensOptions options;
+  options.max_latency_ms = 0.0;
+  EXPECT_THROW(analyze(*slice_, options), std::invalid_argument);
+}
+
+TEST_F(OptionsValidationTest, AlphaSlotNotDividingDayThrows) {
+  AutoSensOptions options;
+  options.alpha_slot_ms = 7 * telemetry::kMillisPerHour;
+  EXPECT_THROW(analyze(*slice_, options), std::invalid_argument);
+}
+
+TEST_F(OptionsValidationTest, ReferenceLatencyOutsideDomainThrows) {
+  AutoSensOptions options;
+  options.reference_latency_ms = 50'000.0;  // beyond max_latency
+  EXPECT_THROW(analyze(*slice_, options), std::invalid_argument);
+}
+
+TEST_F(OptionsValidationTest, TinySupportGuardStillWorks) {
+  // Very strict guards can empty the support; that must throw, not return
+  // a bogus curve.
+  AutoSensOptions options;
+  options.min_biased_count = 1e12;
+  EXPECT_THROW(analyze(*slice_, options), std::invalid_argument);
+}
+
+TEST_F(OptionsValidationTest, CoarseBinsStillProduceACurve) {
+  // Legal-but-unusual settings must work: 50 ms bins, small SG window.
+  AutoSensOptions options;
+  options.bin_width_ms = 50.0;
+  options.smoothing = {.window = 11, .degree = 2};
+  const auto result = analyze(*slice_, options);
+  EXPECT_NEAR(result.at(options.reference_latency_ms), 1.0, 1e-9);
+  EXPECT_GT(result.at(500.0), result.at(1000.0));
+}
+
+TEST_F(OptionsValidationTest, WiderDomainWorks) {
+  AutoSensOptions options;
+  options.max_latency_ms = 10'000.0;
+  const auto result = analyze(*slice_, options);
+  EXPECT_TRUE(result.covers(1000.0));
+}
+
+}  // namespace
+}  // namespace autosens::core

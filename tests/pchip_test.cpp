@@ -1,0 +1,113 @@
+#include "stats/pchip.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace autosens::stats {
+namespace {
+
+TEST(PchipTest, Validation) {
+  EXPECT_THROW(PchipCurve({}), std::invalid_argument);
+  EXPECT_THROW(PchipCurve({{1.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(PchipCurve({{1.0, 2.0}, {1.0, 3.0}}), std::invalid_argument);
+  EXPECT_THROW(PchipCurve({{2.0, 2.0}, {1.0, 3.0}}), std::invalid_argument);
+}
+
+TEST(PchipTest, HitsAnchorsExactly) {
+  const PchipCurve curve({{0.0, 1.0}, {1.0, 0.5}, {3.0, 0.4}, {5.0, 0.1}});
+  for (const auto& anchor : curve.anchors()) {
+    EXPECT_NEAR(curve(anchor.x), anchor.y, 1e-12);
+  }
+}
+
+TEST(PchipTest, TwoAnchorsIsLinear) {
+  const PchipCurve curve({{0.0, 0.0}, {10.0, 20.0}});
+  EXPECT_NEAR(curve(5.0), 10.0, 1e-12);
+  EXPECT_NEAR(curve(2.5), 5.0, 1e-12);
+}
+
+TEST(PchipTest, ClampsOutsideRange) {
+  const PchipCurve curve({{1.0, 3.0}, {2.0, 7.0}});
+  EXPECT_DOUBLE_EQ(curve(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(curve(9.0), 7.0);
+}
+
+TEST(PchipTest, MonotoneDataGivesMonotoneInterpolant) {
+  // The defining property: no overshoot between decreasing anchors. A
+  // natural cubic spline would overshoot here; PCHIP must not.
+  const PchipCurve curve(
+      {{0.0, 1.0}, {300.0, 1.0}, {500.0, 0.88}, {1000.0, 0.68}, {1500.0, 0.61},
+       {2000.0, 0.59}, {5000.0, 0.55}});
+  double previous = curve(0.0);
+  for (double x = 1.0; x <= 5000.0; x += 7.0) {
+    const double y = curve(x);
+    EXPECT_LE(y, previous + 1e-12) << "at x=" << x;
+    EXPECT_GE(y, 0.55 - 1e-12);
+    EXPECT_LE(y, 1.0 + 1e-12);
+    previous = y;
+  }
+}
+
+TEST(PchipTest, FlatSegmentsStayFlat) {
+  const PchipCurve curve({{0.0, 1.0}, {1.0, 1.0}, {2.0, 0.5}, {3.0, 0.5}});
+  for (double x = 0.0; x <= 1.0; x += 0.1) EXPECT_NEAR(curve(x), 1.0, 1e-12);
+  for (double x = 2.0; x <= 3.0; x += 0.1) EXPECT_NEAR(curve(x), 0.5, 1e-12);
+}
+
+TEST(PchipTest, LocalExtremumHasZeroSlope) {
+  const PchipCurve curve({{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.0}});
+  EXPECT_NEAR(curve.derivative(1.0), 0.0, 1e-12);
+  // And the interpolant never exceeds the peak.
+  for (double x = 0.0; x <= 2.0; x += 0.01) EXPECT_LE(curve(x), 1.0 + 1e-12);
+}
+
+TEST(PchipTest, DerivativeMatchesFiniteDifference) {
+  const PchipCurve curve({{0.0, 1.0}, {1.0, 0.7}, {2.5, 0.6}, {4.0, 0.2}});
+  for (double x = 0.1; x < 4.0; x += 0.37) {
+    const double h = 1e-6;
+    const double fd = (curve(x + h) - curve(x - h)) / (2.0 * h);
+    EXPECT_NEAR(curve.derivative(x), fd, 1e-4) << "at x=" << x;
+  }
+}
+
+TEST(PchipTest, DerivativeZeroOutsideRange) {
+  const PchipCurve curve({{0.0, 1.0}, {1.0, 2.0}});
+  EXPECT_DOUBLE_EQ(curve.derivative(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(curve.derivative(2.0), 0.0);
+}
+
+/// Property: PCHIP stays within the local anchor envelope on every segment
+/// for a variety of shapes.
+class PchipEnvelopeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PchipEnvelopeProperty, SegmentsStayWithinAnchorEnvelope) {
+  std::vector<CurvePoint> anchors;
+  for (int i = 0; i <= 10; ++i) {
+    const double x = i;
+    double y = 0.0;
+    switch (GetParam()) {
+      case 0: y = std::exp(-0.3 * i); break;
+      case 1: y = (i % 2 == 0) ? 1.0 : 0.0; break;   // zig-zag
+      case 2: y = i * i; break;                      // convex increasing
+      case 3: y = std::sin(0.6 * i); break;
+    }
+    anchors.push_back({x, y});
+  }
+  const PchipCurve curve(anchors);
+  for (std::size_t s = 0; s + 1 < anchors.size(); ++s) {
+    const double lo = std::min(anchors[s].y, anchors[s + 1].y);
+    const double hi = std::max(anchors[s].y, anchors[s + 1].y);
+    for (double t = 0.0; t <= 1.0; t += 0.05) {
+      const double x = anchors[s].x + t * (anchors[s + 1].x - anchors[s].x);
+      const double y = curve(x);
+      EXPECT_GE(y, lo - 1e-9) << "shape " << GetParam() << " x=" << x;
+      EXPECT_LE(y, hi + 1e-9) << "shape " << GetParam() << " x=" << x;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PchipEnvelopeProperty, ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace autosens::stats

@@ -1,0 +1,98 @@
+#include "stats/piecewise.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace autosens::stats {
+namespace {
+
+TEST(PiecewiseLinearCurveTest, RejectsEmptyAnchors) {
+  EXPECT_THROW(PiecewiseLinearCurve({}), std::invalid_argument);
+}
+
+TEST(PiecewiseLinearCurveTest, RejectsNonIncreasingX) {
+  EXPECT_THROW(PiecewiseLinearCurve({{1.0, 0.0}, {1.0, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinearCurve({{2.0, 0.0}, {1.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(PiecewiseLinearCurveTest, SingleAnchorIsConstant) {
+  const PiecewiseLinearCurve curve({{5.0, 3.0}});
+  EXPECT_DOUBLE_EQ(curve(-100.0), 3.0);
+  EXPECT_DOUBLE_EQ(curve(5.0), 3.0);
+  EXPECT_DOUBLE_EQ(curve(100.0), 3.0);
+}
+
+TEST(PiecewiseLinearCurveTest, InterpolatesBetweenAnchors) {
+  const PiecewiseLinearCurve curve({{0.0, 0.0}, {10.0, 100.0}});
+  EXPECT_DOUBLE_EQ(curve(5.0), 50.0);
+  EXPECT_DOUBLE_EQ(curve(2.5), 25.0);
+}
+
+TEST(PiecewiseLinearCurveTest, HitsAnchorsExactly) {
+  const PiecewiseLinearCurve curve({{0.0, 1.0}, {1.0, 5.0}, {3.0, 2.0}});
+  EXPECT_DOUBLE_EQ(curve(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(curve(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(curve(3.0), 2.0);
+}
+
+TEST(PiecewiseLinearCurveTest, ClampsOutsideRange) {
+  const PiecewiseLinearCurve curve({{1.0, 10.0}, {2.0, 20.0}});
+  EXPECT_DOUBLE_EQ(curve(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(curve(3.0), 20.0);
+}
+
+TEST(PiecewiseLinearCurveTest, MinMaxX) {
+  const PiecewiseLinearCurve curve({{1.0, 0.0}, {7.0, 0.0}});
+  EXPECT_DOUBLE_EQ(curve.min_x(), 1.0);
+  EXPECT_DOUBLE_EQ(curve.max_x(), 7.0);
+}
+
+TEST(PiecewiseLinearCurveTest, WithDropScaledScalesDropFromOne) {
+  const PiecewiseLinearCurve curve({{0.0, 1.0}, {10.0, 0.6}});
+  const auto scaled = curve.with_drop_scaled(0.5);
+  EXPECT_DOUBLE_EQ(scaled(0.0), 1.0);   // fixpoint at y = 1
+  EXPECT_DOUBLE_EQ(scaled(10.0), 0.8);  // drop of 0.4 halved
+}
+
+TEST(PiecewiseLinearCurveTest, WithDropScaledAmplifiesAboveOne) {
+  const PiecewiseLinearCurve curve({{0.0, 1.1}, {10.0, 1.0}});
+  const auto scaled = curve.with_drop_scaled(2.0);
+  EXPECT_NEAR(scaled(0.0), 1.2, 1e-12);
+}
+
+TEST(PiecewiseLinearCurveTest, NormalizedAtDividesByReference) {
+  const PiecewiseLinearCurve curve({{0.0, 2.0}, {10.0, 4.0}});
+  const auto normalized = curve.normalized_at(0.0);
+  EXPECT_DOUBLE_EQ(normalized(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(normalized(10.0), 2.0);
+}
+
+TEST(PiecewiseLinearCurveTest, NormalizedAtInteriorReference) {
+  const PiecewiseLinearCurve curve({{0.0, 2.0}, {10.0, 4.0}});
+  const auto normalized = curve.normalized_at(5.0);  // value 3 there
+  EXPECT_NEAR(normalized(5.0), 1.0, 1e-12);
+}
+
+TEST(PiecewiseLinearCurveTest, NormalizedAtZeroReferenceThrows) {
+  const PiecewiseLinearCurve curve({{0.0, 0.0}, {10.0, 4.0}});
+  EXPECT_THROW(curve.normalized_at(0.0), std::invalid_argument);
+}
+
+/// Property: interpolation stays within the envelope of neighboring anchors.
+class PiecewiseEnvelopeProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PiecewiseEnvelopeProperty, ValueWithinAnchorEnvelope) {
+  const PiecewiseLinearCurve curve(
+      {{0.0, 1.0}, {100.0, 0.9}, {500.0, 0.7}, {1500.0, 0.6}, {3000.0, 0.55}});
+  const double x = GetParam();
+  const double y = curve(x);
+  EXPECT_GE(y, 0.55);
+  EXPECT_LE(y, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Xs, PiecewiseEnvelopeProperty,
+                         ::testing::Values(-10.0, 0.0, 50.0, 100.0, 777.0, 2999.0, 5000.0));
+
+}  // namespace
+}  // namespace autosens::stats

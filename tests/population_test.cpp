@@ -1,0 +1,110 @@
+#include "simulate/population.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stats/descriptive.h"
+
+namespace autosens::simulate {
+namespace {
+
+Population make_population(PopulationOptions options, std::uint64_t seed = 1) {
+  stats::Random random(seed);
+  return Population(options, random);
+}
+
+TEST(PopulationTest, Validation) {
+  stats::Random random(1);
+  EXPECT_THROW(Population({.user_count = 0}, random), std::invalid_argument);
+  EXPECT_THROW(Population({.business_fraction = 1.5}, random), std::invalid_argument);
+  EXPECT_THROW(Population({.business_fraction = -0.1}, random), std::invalid_argument);
+}
+
+TEST(PopulationTest, UserIdsAreUniqueAndNonZero) {
+  const auto pop = make_population({.user_count = 500});
+  std::set<std::uint64_t> ids;
+  for (const auto& user : pop.users()) {
+    EXPECT_GT(user.id, 0u);
+    ids.insert(user.id);
+  }
+  EXPECT_EQ(ids.size(), pop.size());
+}
+
+TEST(PopulationTest, BusinessFractionApproximatelyHonored) {
+  const auto pop = make_population({.user_count = 5000, .business_fraction = 0.3});
+  std::size_t business = 0;
+  for (const auto& user : pop.users()) {
+    if (user.user_class == telemetry::UserClass::kBusiness) ++business;
+  }
+  EXPECT_NEAR(static_cast<double>(business) / 5000.0, 0.3, 0.03);
+}
+
+TEST(PopulationTest, AllBusinessOrAllConsumerExtremes) {
+  const auto all_business = make_population({.user_count = 50, .business_fraction = 1.0});
+  for (const auto& user : all_business.users()) {
+    EXPECT_EQ(user.user_class, telemetry::UserClass::kBusiness);
+  }
+  const auto all_consumer = make_population({.user_count = 50, .business_fraction = 0.0});
+  for (const auto& user : all_consumer.users()) {
+    EXPECT_EQ(user.user_class, telemetry::UserClass::kConsumer);
+  }
+}
+
+TEST(PopulationTest, OffsetsMatchSigma) {
+  const auto pop = make_population({.user_count = 5000, .offset_sigma = 0.2});
+  stats::RunningStats stats;
+  for (const auto& user : pop.users()) stats.add(user.latency_offset);
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 0.2, 0.02);
+}
+
+TEST(PopulationTest, PercentilesAreExactRanks) {
+  const auto pop = make_population({.user_count = 101});
+  // Percentiles must be the exact rank/(n-1) grid: uniform on [0,1].
+  std::vector<double> percentiles;
+  for (const auto& user : pop.users()) percentiles.push_back(user.speed_percentile);
+  std::sort(percentiles.begin(), percentiles.end());
+  for (std::size_t i = 0; i < percentiles.size(); ++i) {
+    EXPECT_NEAR(percentiles[i], static_cast<double>(i) / 100.0, 1e-12);
+  }
+}
+
+TEST(PopulationTest, PercentileOrderMatchesOffsetOrder) {
+  const auto pop = make_population({.user_count = 200});
+  for (const auto& a : pop.users()) {
+    for (const auto& b : pop.users()) {
+      if (a.latency_offset < b.latency_offset) {
+        EXPECT_LT(a.speed_percentile, b.speed_percentile);
+      }
+    }
+  }
+}
+
+TEST(PopulationTest, SingleUserPercentileIsZero) {
+  const auto pop = make_population({.user_count = 1});
+  EXPECT_DOUBLE_EQ(pop.users()[0].speed_percentile, 0.0);
+}
+
+TEST(PopulationTest, ActivityScalesArePositive) {
+  const auto pop = make_population({.user_count = 1000});
+  for (const auto& user : pop.users()) EXPECT_GT(user.activity_scale, 0.0);
+}
+
+TEST(PopulationTest, MeanPercentileNearHalfPerClass) {
+  const auto pop = make_population({.user_count = 4000});
+  EXPECT_NEAR(pop.mean_percentile(telemetry::UserClass::kBusiness), 0.5, 0.03);
+  EXPECT_NEAR(pop.mean_percentile(telemetry::UserClass::kConsumer), 0.5, 0.03);
+}
+
+TEST(PopulationTest, DeterministicForFixedSeed) {
+  const auto a = make_population({.user_count = 100}, 42);
+  const auto b = make_population({.user_count = 100}, 42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.users()[i].id, b.users()[i].id);
+    EXPECT_DOUBLE_EQ(a.users()[i].latency_offset, b.users()[i].latency_offset);
+  }
+}
+
+}  // namespace
+}  // namespace autosens::simulate

@@ -1,0 +1,141 @@
+#include "simulate/preference.h"
+
+#include <gtest/gtest.h>
+
+namespace autosens::simulate {
+namespace {
+
+using telemetry::ActionType;
+using telemetry::DayPeriod;
+using telemetry::UserClass;
+
+TEST(PreferenceModelTest, BaseCurvesAreNormalizedAt300ms) {
+  const PreferenceModel model;
+  for (int i = 0; i < telemetry::kActionTypeCount; ++i) {
+    EXPECT_NEAR(model.base_curve(static_cast<ActionType>(i))(300.0), 1.0, 1e-12);
+  }
+}
+
+TEST(PreferenceModelTest, SelectMailMatchesPaperAnchors) {
+  // Paper Fig 4 / §3.2: 0.88, 0.68, 0.61 at 500, 1000, 1500 ms.
+  const PreferenceModel model;
+  const auto& curve = model.base_curve(ActionType::kSelectMail);
+  EXPECT_NEAR(curve(500.0), 0.88, 1e-12);
+  EXPECT_NEAR(curve(1000.0), 0.68, 1e-12);
+  EXPECT_NEAR(curve(1500.0), 0.61, 1e-12);
+  EXPECT_NEAR(curve(2000.0), 0.59, 1e-12);  // §3.5
+}
+
+TEST(PreferenceModelTest, ActionTypeOrderingMatchesPaper) {
+  // At every latency: SelectMail drops most, then SwitchFolder, then Search,
+  // ComposeSend nearly flat (paper Fig 4).
+  const PreferenceModel model;
+  for (const double latency : {500.0, 800.0, 1200.0, 2000.0, 3000.0}) {
+    const double select = model.base_curve(ActionType::kSelectMail)(latency);
+    const double folder = model.base_curve(ActionType::kSwitchFolder)(latency);
+    const double search = model.base_curve(ActionType::kSearch)(latency);
+    const double compose = model.base_curve(ActionType::kComposeSend)(latency);
+    EXPECT_LT(select, folder) << latency;
+    EXPECT_LT(folder, search) << latency;
+    EXPECT_LT(search, compose) << latency;
+    EXPECT_GT(compose, 0.97) << latency;
+  }
+}
+
+TEST(PreferenceModelTest, ConsumerDropIsShallower) {
+  const PreferenceModel model;
+  const double business = model.preference(ActionType::kSelectMail, UserClass::kBusiness,
+                                           0.5, DayPeriod::kMorning, 1000.0);
+  const double consumer = model.preference(ActionType::kSelectMail, UserClass::kConsumer,
+                                           0.5, DayPeriod::kMorning, 1000.0);
+  EXPECT_GT(consumer, business);  // paper Fig 5
+}
+
+TEST(PreferenceModelTest, UserDropScaleIsAffineInPercentile) {
+  const PreferenceModel model;
+  const auto& o = model.options();
+  EXPECT_DOUBLE_EQ(model.user_drop_scale(0.0), o.user_drop_at_fastest);
+  EXPECT_DOUBLE_EQ(model.user_drop_scale(1.0), o.user_drop_at_slowest);
+  EXPECT_DOUBLE_EQ(model.user_drop_scale(0.5),
+                   0.5 * (o.user_drop_at_fastest + o.user_drop_at_slowest));
+  // Clamped outside [0,1].
+  EXPECT_DOUBLE_EQ(model.user_drop_scale(-1.0), o.user_drop_at_fastest);
+  EXPECT_DOUBLE_EQ(model.user_drop_scale(2.0), o.user_drop_at_slowest);
+}
+
+TEST(PreferenceModelTest, FasterUsersAreMoreSensitive) {
+  // Paper Fig 6: Q1 (fastest) drops most.
+  const PreferenceModel model;
+  double previous = 0.0;
+  for (const double percentile : {0.125, 0.375, 0.625, 0.875}) {
+    const double pref = model.preference(ActionType::kSelectMail, UserClass::kConsumer,
+                                         percentile, DayPeriod::kMorning, 1200.0);
+    EXPECT_GT(pref, previous);
+    previous = pref;
+  }
+}
+
+TEST(PreferenceModelTest, DaytimeIsSteeperThanNight) {
+  // Paper Fig 7: the 8am–2pm drop is sharpest, 2am–8am shallowest.
+  const PreferenceModel model;
+  const double morning = model.preference(ActionType::kSelectMail, UserClass::kBusiness,
+                                          0.5, DayPeriod::kMorning, 1500.0);
+  const double afternoon = model.preference(ActionType::kSelectMail, UserClass::kBusiness,
+                                            0.5, DayPeriod::kAfternoon, 1500.0);
+  const double evening = model.preference(ActionType::kSelectMail, UserClass::kBusiness,
+                                          0.5, DayPeriod::kEvening, 1500.0);
+  const double night = model.preference(ActionType::kSelectMail, UserClass::kBusiness,
+                                        0.5, DayPeriod::kNight, 1500.0);
+  EXPECT_LT(morning, afternoon);
+  EXPECT_LT(afternoon, evening);
+  EXPECT_LT(evening, night);
+}
+
+TEST(PreferenceModelTest, PreferenceIsBoundedAndPositive) {
+  const PreferenceModel model;
+  for (const double latency : {0.0, 100.0, 1000.0, 10'000.0}) {
+    for (int t = 0; t < telemetry::kActionTypeCount; ++t) {
+      const double p = model.preference(static_cast<ActionType>(t), UserClass::kBusiness,
+                                        0.0, DayPeriod::kMorning, latency);
+      EXPECT_GT(p, 0.0);
+      EXPECT_LE(p, model.max_preference() + 1e-12);
+    }
+  }
+}
+
+TEST(PreferenceModelTest, MaxPreferenceBoundsLowLatencyBoost) {
+  const PreferenceModel model;
+  // Base curves exceed 1.0 below the reference; the bound must cover that.
+  const double boosted = model.preference(ActionType::kSelectMail, UserClass::kBusiness,
+                                          0.0, DayPeriod::kMorning, 0.0);
+  EXPECT_GT(boosted, 1.0);
+  EXPECT_LE(boosted, model.max_preference());
+}
+
+TEST(PreferenceModelTest, ExpectedCurveAppliesAllScales) {
+  const PreferenceModel model;
+  const auto curve = model.expected_curve(ActionType::kSelectMail, UserClass::kBusiness,
+                                          /*mean_percentile=*/0.5, /*period_scale=*/1.0,
+                                          /*ref_ms=*/300.0);
+  // Midpoint percentile → scale 1.0: matches the base curve at anchors.
+  EXPECT_NEAR(curve(500.0), 0.88, 1e-9);
+  EXPECT_NEAR(curve(300.0), 1.0, 1e-9);
+
+  const auto shallow = model.expected_curve(ActionType::kSelectMail, UserClass::kBusiness,
+                                            0.5, /*period_scale=*/0.5, 300.0);
+  EXPECT_NEAR(shallow(500.0), 1.0 - 0.5 * 0.12, 2e-3);  // half the drop
+}
+
+TEST(PreferenceModelTest, CustomOptionsPropagate) {
+  PreferenceModel::Options options;
+  options.consumer_drop_scale = 1.0;  // consumers identical to business
+  const PreferenceModel model(options);
+  EXPECT_DOUBLE_EQ(
+      model.preference(ActionType::kSearch, UserClass::kBusiness, 0.5, DayPeriod::kMorning,
+                       900.0),
+      model.preference(ActionType::kSearch, UserClass::kConsumer, 0.5, DayPeriod::kMorning,
+                       900.0));
+}
+
+}  // namespace
+}  // namespace autosens::simulate

@@ -1,0 +1,68 @@
+#include "telemetry/record.h"
+
+#include <gtest/gtest.h>
+
+namespace autosens::telemetry {
+namespace {
+
+TEST(RecordTest, ActionTypeRoundtrip) {
+  for (int i = 0; i < kActionTypeCount; ++i) {
+    const auto type = static_cast<ActionType>(i);
+    const auto parsed = parse_action_type(to_string(type));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, type);
+  }
+}
+
+TEST(RecordTest, UserClassRoundtrip) {
+  for (int i = 0; i < kUserClassCount; ++i) {
+    const auto user_class = static_cast<UserClass>(i);
+    const auto parsed = parse_user_class(to_string(user_class));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, user_class);
+  }
+}
+
+TEST(RecordTest, StatusRoundtrip) {
+  for (const auto status : {ActionStatus::kSuccess, ActionStatus::kError}) {
+    const auto parsed = parse_action_status(to_string(status));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, status);
+  }
+}
+
+TEST(RecordTest, ParseRejectsUnknownNames) {
+  EXPECT_FALSE(parse_action_type("DeleteMail").has_value());
+  EXPECT_FALSE(parse_action_type("selectmail").has_value());  // case-sensitive
+  EXPECT_FALSE(parse_user_class("Admin").has_value());
+  EXPECT_FALSE(parse_action_status("Timeout").has_value());
+  EXPECT_FALSE(parse_action_type("").has_value());
+}
+
+TEST(RecordTest, NamesMatchPaperTerminology) {
+  EXPECT_EQ(to_string(ActionType::kSelectMail), "SelectMail");
+  EXPECT_EQ(to_string(ActionType::kSwitchFolder), "SwitchFolder");
+  EXPECT_EQ(to_string(ActionType::kSearch), "Search");
+  EXPECT_EQ(to_string(ActionType::kComposeSend), "ComposeSend");
+  EXPECT_EQ(to_string(UserClass::kBusiness), "Business");
+  EXPECT_EQ(to_string(UserClass::kConsumer), "Consumer");
+}
+
+TEST(RecordTest, EqualityComparesAllFields) {
+  ActionRecord a{.time_ms = 1,
+                 .user_id = 2,
+                 .latency_ms = 3.0,
+                 .action = ActionType::kSearch,
+                 .user_class = UserClass::kBusiness,
+                 .status = ActionStatus::kSuccess};
+  ActionRecord b = a;
+  EXPECT_EQ(a, b);
+  b.latency_ms = 3.5;
+  EXPECT_NE(a, b);
+  b = a;
+  b.status = ActionStatus::kError;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace autosens::telemetry

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/ascii_chart.h"
+#include "report/compare.h"
+#include "report/csvout.h"
+#include "report/table.h"
+
+namespace autosens::report {
+namespace {
+
+TEST(TableTest, RejectsEmptyHeadersAndBadRows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"short", "1"});
+  table.add_row({"a much longer name", "2"});
+  const auto text = table.to_string();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("a much longer name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  // Column alignment: both data rows start their second column at the same
+  // offset; cheap proxy: header line length equals underline length.
+  std::istringstream lines(text);
+  std::string header;
+  std::string underline;
+  std::getline(lines, header);
+  std::getline(lines, underline);
+  EXPECT_EQ(header.size() <= underline.size(), true);
+}
+
+TEST(TableTest, NumFormatsFixedDecimals) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-0.5), "-0.500");
+}
+
+TEST(AsciiChartTest, HandlesNoSeries) {
+  std::ostringstream out;
+  render_chart(out, {}, ChartOptions{});
+  EXPECT_NE(out.str().find("no drawable series"), std::string::npos);
+}
+
+TEST(AsciiChartTest, SkipsDegenerateSeries) {
+  std::ostringstream out;
+  const std::vector<Series> series = {{.name = "one-point", .x = {1.0}, .y = {1.0}}};
+  render_chart(out, series, ChartOptions{});
+  EXPECT_NE(out.str().find("no drawable series"), std::string::npos);
+}
+
+TEST(AsciiChartTest, RendersSeriesWithLegendAndAxes) {
+  std::ostringstream out;
+  const std::vector<Series> series = {
+      {.name = "alpha", .x = {0.0, 1.0, 2.0}, .y = {0.0, 1.0, 0.5}},
+      {.name = "beta", .x = {0.0, 1.0, 2.0}, .y = {1.0, 0.0, 0.25}}};
+  ChartOptions options;
+  options.title = "test chart";
+  options.x_label = "latency";
+  render_chart(out, series, options);
+  const auto text = out.str();
+  EXPECT_NE(text.find("test chart"), std::string::npos);
+  EXPECT_NE(text.find("[*] alpha"), std::string::npos);
+  EXPECT_NE(text.find("[+] beta"), std::string::npos);
+  EXPECT_NE(text.find("(latency)"), std::string::npos);
+  EXPECT_NE(text.find('*'), std::string::npos);
+  EXPECT_NE(text.find('+'), std::string::npos);
+}
+
+TEST(CsvOutTest, SeriesCsvLongFormat) {
+  std::ostringstream out;
+  const std::vector<Series> series = {{.name = "s1", .x = {1.0, 2.0}, .y = {3.0, 4.0}}};
+  write_series_csv(out, series);
+  EXPECT_EQ(out.str(), "series,x,y\ns1,1,3\ns1,2,4\n");
+}
+
+TEST(ComparisonTest, ChecksValuesAgainstTolerance) {
+  Comparison comparison("test");
+  comparison.check_value("a", 1.0, 1.05, 0.1);
+  comparison.check_value("b", 1.0, 1.5, 0.1);
+  EXPECT_FALSE(comparison.all_within());
+  EXPECT_EQ(comparison.failures(), 1u);
+  std::ostringstream out;
+  comparison.print(out);
+  EXPECT_NE(out.str().find("SHAPE DEVIATION"), std::string::npos);
+  EXPECT_NE(out.str().find("NO"), std::string::npos);
+}
+
+TEST(ComparisonTest, AllWithinPrintsShapeOk) {
+  Comparison comparison("good");
+  comparison.check_value("a", 1.0, 1.0, 0.01);
+  EXPECT_TRUE(comparison.all_within());
+  std::ostringstream out;
+  comparison.print(out);
+  EXPECT_NE(out.str().find("SHAPE OK"), std::string::npos);
+}
+
+TEST(ComparisonTest, UnsupportedAnchorCountsAsFailure) {
+  Comparison comparison("unsupported");
+  core::PreferenceResult curve;  // empty: covers nothing
+  comparison.check(curve, 500.0, 0.9, 0.1);
+  EXPECT_EQ(comparison.failures(), 1u);
+  std::ostringstream out;
+  comparison.print(out);
+  EXPECT_NE(out.str().find("unsupported"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autosens::report

@@ -1,0 +1,211 @@
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace autosens::stats {
+namespace {
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256Test, IsDeterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256Test, JumpChangesStream) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  b.jump();
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= (a() != b());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Xoshiro256Test, SplitStreamsAreDistinct) {
+  Xoshiro256 parent(9);
+  Xoshiro256 child1 = parent.split();
+  Xoshiro256 child2 = parent.split();
+  EXPECT_NE(child1(), child2());
+}
+
+TEST(RandomTest, UniformInUnitInterval) {
+  Random random(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = random.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomTest, UniformMeanIsHalf) {
+  Random random(12);
+  double sum = 0.0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) sum += random.uniform();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(RandomTest, UniformRangeRespectsBounds) {
+  Random random(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = random.uniform(-5.0, 5.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RandomTest, UniformIndexCoversAllValues) {
+  Random random(14);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[random.uniform_index(7)];
+  for (const int c : counts) EXPECT_GT(c, 700);  // each ~1000 expected
+}
+
+TEST(RandomTest, NormalMomentsMatch) {
+  Random random(15);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kSamples = 200'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double v = random.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.02);
+}
+
+TEST(RandomTest, NormalShiftScale) {
+  Random random(16);
+  double sum = 0.0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) sum += random.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kSamples, 10.0, 0.1);
+}
+
+TEST(RandomTest, LognormalMedianIsExpMu) {
+  Random random(17);
+  std::vector<double> samples;
+  for (int i = 0; i < 50'000; ++i) samples.push_back(random.lognormal(2.0, 0.5));
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2, samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], std::exp(2.0), 0.2);
+}
+
+TEST(RandomTest, ExponentialMeanIsInverseRate) {
+  Random random(18);
+  double sum = 0.0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) sum += random.exponential(4.0);
+  EXPECT_NEAR(sum / kSamples, 0.25, 0.01);
+}
+
+TEST(RandomTest, ExponentialIsPositive) {
+  Random random(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(random.exponential(0.001), 0.0);
+}
+
+TEST(RandomTest, PoissonSmallMean) {
+  Random random(20);
+  double sum = 0.0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) sum += static_cast<double>(random.poisson(3.5));
+  EXPECT_NEAR(sum / kSamples, 3.5, 0.1);
+}
+
+TEST(RandomTest, PoissonLargeMeanUsesApproximation) {
+  Random random(21);
+  double sum = 0.0;
+  constexpr int kSamples = 20'000;
+  for (int i = 0; i < kSamples; ++i) sum += static_cast<double>(random.poisson(200.0));
+  EXPECT_NEAR(sum / kSamples, 200.0, 2.0);
+}
+
+TEST(RandomTest, PoissonZeroMeanIsZero) {
+  Random random(22);
+  EXPECT_EQ(random.poisson(0.0), 0u);
+  EXPECT_EQ(random.poisson(-1.0), 0u);
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random random(23);
+  EXPECT_FALSE(random.bernoulli(0.0));
+  EXPECT_TRUE(random.bernoulli(1.0));
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Random random(24);
+  int hits = 0;
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) hits += random.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Random random(25);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  auto shuffled = values;
+  random.shuffle(std::span<int>(shuffled));
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RandomTest, ShuffleHandlesDegenerateSizes) {
+  Random random(26);
+  std::vector<int> empty;
+  random.shuffle(std::span<int>(empty));
+  std::vector<int> one = {42};
+  random.shuffle(std::span<int>(one));
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(RandomTest, SplitProducesIndependentStream) {
+  Random parent(27);
+  Random child = parent.split();
+  // Child and parent should not generate the same sequence.
+  bool any_diff = false;
+  for (int i = 0; i < 8; ++i) any_diff |= (parent.uniform() != child.uniform());
+  EXPECT_TRUE(any_diff);
+}
+
+/// Property: uniform_index(n) is unbiased across a range of n values.
+class UniformIndexProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformIndexProperty, ChiSquareWithinBounds) {
+  const std::uint64_t n = GetParam();
+  Random random(1000 + n);
+  const int draws_per_bucket = 200;
+  const auto draws = static_cast<int>(n) * draws_per_bucket;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < draws; ++i) ++counts[random.uniform_index(n)];
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - draws_per_bucket;
+    chi2 += d * d / draws_per_bucket;
+  }
+  // Very loose bound: chi2 ~ n - 1, allow 3x.
+  EXPECT_LT(chi2, 3.0 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, UniformIndexProperty,
+                         ::testing::Values(2, 3, 5, 10, 17, 64, 100));
+
+}  // namespace
+}  // namespace autosens::stats

@@ -1,0 +1,114 @@
+// Property tests over the three serialization formats: for randomized
+// datasets of varying shapes, every format must round-trip records exactly
+// (binary log bit-exact at its 10 µs latency grid; CSV and JSON-lines via
+// their decimal representations) and agree with each other.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/rng.h"
+#include "telemetry/binlog.h"
+#include "telemetry/csv.h"
+#include "telemetry/jsonl.h"
+
+namespace autosens::telemetry {
+namespace {
+
+struct DatasetShape {
+  std::size_t records;
+  double time_rate;        ///< Mean gap control (per ms).
+  double latency_sigma;    ///< Lognormal spread.
+  double duplicate_p;      ///< Probability of duplicated timestamps.
+  std::uint64_t users;
+};
+
+Dataset random_dataset(const DatasetShape& shape, std::uint64_t seed) {
+  stats::Random random(seed);
+  Dataset d;
+  std::int64_t t = 1'700'000'000'000;
+  for (std::size_t i = 0; i < shape.records; ++i) {
+    if (!random.bernoulli(shape.duplicate_p)) {
+      t += static_cast<std::int64_t>(random.exponential(shape.time_rate)) + 1;
+    }
+    d.add({.time_ms = t,
+           .user_id = 1 + random.uniform_index(shape.users),
+           // Keep latencies on the binary format's 10 µs grid so every
+           // format can be compared exactly.
+           .latency_ms = std::round(random.lognormal(5.5, shape.latency_sigma) * 100.0) /
+                         100.0,
+           .action = static_cast<ActionType>(random.uniform_index(kActionTypeCount)),
+           .user_class = static_cast<UserClass>(random.uniform_index(kUserClassCount)),
+           .status = random.bernoulli(0.03) ? ActionStatus::kError : ActionStatus::kSuccess});
+  }
+  d.sort_by_time();
+  return d;
+}
+
+class RoundtripProperty : public ::testing::TestWithParam<int> {
+ protected:
+  static DatasetShape shape_for(int index) {
+    switch (index) {
+      case 0: return {.records = 1, .time_rate = 0.01, .latency_sigma = 0.3,
+                      .duplicate_p = 0.0, .users = 1};
+      case 1: return {.records = 100, .time_rate = 0.001, .latency_sigma = 0.1,
+                      .duplicate_p = 0.0, .users = 3};
+      case 2: return {.records = 2500, .time_rate = 0.05, .latency_sigma = 0.8,
+                      .duplicate_p = 0.3, .users = 50};
+      case 3: return {.records = 777, .time_rate = 1.0, .latency_sigma = 0.5,
+                      .duplicate_p = 0.9, .users = 7};  // heavy timestamp ties
+      default: return {.records = 5000, .time_rate = 0.01, .latency_sigma = 0.4,
+                       .duplicate_p = 0.05, .users = 200};
+    }
+  }
+};
+
+TEST_P(RoundtripProperty, BinlogExact) {
+  const auto original = random_dataset(shape_for(GetParam()), 1000 + GetParam());
+  std::stringstream stream;
+  write_binlog(stream, original, /*batch_size=*/97);
+  const auto decoded = read_binlog(stream);
+  ASSERT_EQ(decoded.size(), original.size());
+  for (std::size_t i = 0; i < decoded.size(); ++i) EXPECT_EQ(decoded[i], original[i]);
+}
+
+TEST_P(RoundtripProperty, CsvExact) {
+  const auto original = random_dataset(shape_for(GetParam()), 2000 + GetParam());
+  std::stringstream stream;
+  write_csv(stream, original);
+  const auto result = read_csv(stream);
+  EXPECT_TRUE(result.errors.empty());
+  ASSERT_EQ(result.dataset.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(result.dataset[i].time_ms, original[i].time_ms);
+    EXPECT_EQ(result.dataset[i].user_id, original[i].user_id);
+    EXPECT_EQ(result.dataset[i].action, original[i].action);
+    EXPECT_EQ(result.dataset[i].user_class, original[i].user_class);
+    EXPECT_EQ(result.dataset[i].status, original[i].status);
+    // operator<< prints enough digits for the 10 µs grid.
+    EXPECT_NEAR(result.dataset[i].latency_ms, original[i].latency_ms,
+                original[i].latency_ms * 1e-5);
+  }
+}
+
+TEST_P(RoundtripProperty, JsonlMatchesCsv) {
+  const auto original = random_dataset(shape_for(GetParam()), 3000 + GetParam());
+  std::stringstream csv_stream;
+  write_csv(csv_stream, original);
+  const auto from_csv = read_csv(csv_stream);
+
+  std::stringstream jsonl_stream;
+  write_jsonl(jsonl_stream, original);
+  const auto from_jsonl = read_jsonl(jsonl_stream);
+
+  EXPECT_TRUE(from_jsonl.errors.empty());
+  ASSERT_EQ(from_jsonl.dataset.size(), from_csv.dataset.size());
+  for (std::size_t i = 0; i < from_csv.dataset.size(); ++i) {
+    EXPECT_EQ(from_jsonl.dataset[i], from_csv.dataset[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RoundtripProperty, ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace autosens::telemetry

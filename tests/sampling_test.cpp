@@ -1,0 +1,158 @@
+#include "stats/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace autosens::stats {
+namespace {
+
+TEST(NearestSampleIndexTest, Validation) {
+  Random random(1);
+  EXPECT_THROW(nearest_sample_index({}, 5, random), std::invalid_argument);
+}
+
+TEST(NearestSampleIndexTest, PicksNearest) {
+  Random random(1);
+  const std::vector<std::int64_t> times = {10, 20, 30};
+  EXPECT_EQ(nearest_sample_index(times, 12, random), 0u);
+  EXPECT_EQ(nearest_sample_index(times, 18, random), 1u);
+  EXPECT_EQ(nearest_sample_index(times, 29, random), 2u);
+}
+
+TEST(NearestSampleIndexTest, ClampsOutsideRange) {
+  Random random(1);
+  const std::vector<std::int64_t> times = {10, 20};
+  EXPECT_EQ(nearest_sample_index(times, -100, random), 0u);
+  EXPECT_EQ(nearest_sample_index(times, 500, random), 1u);
+}
+
+TEST(NearestSampleIndexTest, EquidistantTieIsRandomized) {
+  Random random(2);
+  const std::vector<std::int64_t> times = {10, 20};
+  int left = 0;
+  constexpr int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (nearest_sample_index(times, 15, random) == 0) ++left;
+  }
+  EXPECT_NEAR(static_cast<double>(left) / kTrials, 0.5, 0.05);
+}
+
+TEST(NearestSampleIndexTest, DuplicateTimesShareUniformly) {
+  Random random(3);
+  const std::vector<std::int64_t> times = {10, 10, 10, 50};
+  std::vector<int> counts(4, 0);
+  constexpr int kTrials = 6000;
+  for (int i = 0; i < kTrials; ++i) {
+    ++counts[nearest_sample_index(times, 11, random)];
+  }
+  EXPECT_EQ(counts[3], 0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kTrials, 1.0 / 3.0, 0.05);
+  }
+}
+
+TEST(NearestSampleDrawsTest, Validation) {
+  Random random(4);
+  const std::vector<std::int64_t> times = {10};
+  EXPECT_THROW(nearest_sample_draws({}, 0, 10, 5, random), std::invalid_argument);
+  EXPECT_THROW(nearest_sample_draws(times, 10, 10, 5, random), std::invalid_argument);
+}
+
+TEST(NearestSampleDrawsTest, ReturnsRequestedCount) {
+  Random random(5);
+  const std::vector<std::int64_t> times = {10, 20, 30};
+  const auto draws = nearest_sample_draws(times, 0, 40, 1000, random);
+  EXPECT_EQ(draws.size(), 1000u);
+  for (const auto idx : draws) EXPECT_LT(idx, times.size());
+}
+
+TEST(VoronoiWeightsTest, Validation) {
+  EXPECT_THROW(voronoi_weights({}, 0, 10), std::invalid_argument);
+  const std::vector<std::int64_t> times = {5};
+  EXPECT_THROW(voronoi_weights(times, 10, 10), std::invalid_argument);
+}
+
+TEST(VoronoiWeightsTest, SingleSampleGetsAllWeight) {
+  const std::vector<std::int64_t> times = {5};
+  const auto w = voronoi_weights(times, 0, 10);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+TEST(VoronoiWeightsTest, WeightsSumToOne) {
+  const std::vector<std::int64_t> times = {10, 15, 40, 90};
+  const auto w = voronoi_weights(times, 0, 100);
+  double sum = 0.0;
+  for (const double x : w) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(VoronoiWeightsTest, CellBoundariesAtMidpoints) {
+  // Window [0, 100): midpoint between 20 and 60 is 40.
+  const std::vector<std::int64_t> times = {20, 60};
+  const auto w = voronoi_weights(times, 0, 100);
+  EXPECT_NEAR(w[0], 0.4, 1e-12);  // [0, 40)
+  EXPECT_NEAR(w[1], 0.6, 1e-12);  // [40, 100)
+}
+
+TEST(VoronoiWeightsTest, DuplicatesShareCellEqually) {
+  const std::vector<std::int64_t> times = {20, 20, 80};
+  const auto w = voronoi_weights(times, 0, 100);
+  EXPECT_NEAR(w[0], 0.25, 1e-12);  // cell [0,50) = 0.5, split in two
+  EXPECT_NEAR(w[1], 0.25, 1e-12);
+  EXPECT_NEAR(w[2], 0.5, 1e-12);
+}
+
+TEST(VoronoiWeightsTest, SampleOutsideWindowGetsClippedCell) {
+  // Sample at 200 lies past the window; its cell within [0,100) is empty
+  // only if another sample is closer everywhere.
+  const std::vector<std::int64_t> times = {50, 200};
+  const auto w = voronoi_weights(times, 0, 100);
+  // Midpoint is 125 → within [0,100) sample 0 owns everything.
+  EXPECT_NEAR(w[0], 1.0, 1e-12);
+  EXPECT_NEAR(w[1], 0.0, 1e-12);
+}
+
+TEST(VoronoiWeightsTest, MonteCarloConvergesToVoronoi) {
+  // The defining relationship: the MC nearest-sample procedure's selection
+  // frequencies converge to the Voronoi weights.
+  Random random(7);
+  const std::vector<std::int64_t> times = {100, 130, 500, 510, 900};
+  const auto expected = voronoi_weights(times, 0, 1000);
+  std::vector<double> freq(times.size(), 0.0);
+  constexpr int kDraws = 200'000;
+  const auto draws = nearest_sample_draws(times, 0, 1000, kDraws, random);
+  for (const auto idx : draws) freq[idx] += 1.0 / kDraws;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(freq[i], expected[i], 0.01) << "sample " << i;
+  }
+}
+
+/// Property: weights are a probability vector for varied sample layouts.
+class VoronoiProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(VoronoiProperty, WeightsFormProbabilityVector) {
+  Random random(100 + GetParam());
+  std::vector<std::int64_t> times;
+  std::int64_t t = 0;
+  const int n = 50 + GetParam() * 37;
+  for (int i = 0; i < n; ++i) {
+    t += static_cast<std::int64_t>(random.exponential(0.01));
+    times.push_back(t);
+    if (random.bernoulli(0.2)) times.push_back(t);  // inject duplicates
+  }
+  const auto w = voronoi_weights(times, -100, t + 100);
+  double sum = 0.0;
+  for (const double x : w) {
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, VoronoiProperty, ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace autosens::stats

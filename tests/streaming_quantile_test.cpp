@@ -1,0 +1,111 @@
+#include "stats/streaming_quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace autosens::stats {
+namespace {
+
+TEST(P2QuantileTest, Validation) {
+  EXPECT_THROW(P2Quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(P2Quantile(-0.5), std::invalid_argument);
+}
+
+TEST(P2QuantileTest, EmptyThrows) {
+  const P2Median median;
+  EXPECT_THROW(median.value(), std::logic_error);
+}
+
+TEST(P2QuantileTest, ExactForSmallSamples) {
+  P2Median median;
+  median.add(5.0);
+  EXPECT_DOUBLE_EQ(median.value(), 5.0);
+  median.add(1.0);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+  median.add(9.0);
+  EXPECT_DOUBLE_EQ(median.value(), 5.0);
+  median.add(2.0);
+  EXPECT_DOUBLE_EQ(median.value(), 3.5);
+}
+
+TEST(P2QuantileTest, MedianOfUniformStream) {
+  Random random(1);
+  P2Median median;
+  for (int i = 0; i < 100'000; ++i) median.add(random.uniform());
+  EXPECT_NEAR(median.value(), 0.5, 0.01);
+  EXPECT_EQ(median.count(), 100'000u);
+}
+
+TEST(P2QuantileTest, TailQuantilesOfNormalStream) {
+  Random random(2);
+  P2Quantile p95(0.95);
+  P2Quantile p05(0.05);
+  for (int i = 0; i < 200'000; ++i) {
+    const double v = random.normal();
+    p95.add(v);
+    p05.add(v);
+  }
+  EXPECT_NEAR(p95.value(), 1.6449, 0.05);
+  EXPECT_NEAR(p05.value(), -1.6449, 0.05);
+}
+
+TEST(P2QuantileTest, MatchesExactQuantileOnLognormal) {
+  // Latency-shaped (heavy-tailed) data: the case the library actually needs.
+  Random random(3);
+  std::vector<double> values;
+  P2Median streaming;
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = random.lognormal(5.8, 0.5);
+    values.push_back(v);
+    streaming.add(v);
+  }
+  const double exact = median(values);
+  EXPECT_NEAR(streaming.value() / exact, 1.0, 0.02);
+}
+
+TEST(P2QuantileTest, SortedInputDoesNotBreakEstimate) {
+  // Adversarial ordering (monotone stream).
+  P2Median streaming;
+  std::vector<double> values;
+  for (int i = 0; i < 10'000; ++i) {
+    streaming.add(i);
+    values.push_back(i);
+  }
+  EXPECT_NEAR(streaming.value() / median(values), 1.0, 0.05);
+}
+
+TEST(P2QuantileTest, ConstantStream) {
+  P2Median streaming;
+  for (int i = 0; i < 1000; ++i) streaming.add(7.0);
+  EXPECT_DOUBLE_EQ(streaming.value(), 7.0);
+}
+
+/// Property: P2 stays within a few percent of the exact quantile across q
+/// values on i.i.d. data.
+class P2AccuracyProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2AccuracyProperty, TracksExactQuantile) {
+  const double q = GetParam();
+  Random random(100 + static_cast<std::uint64_t>(q * 1000));
+  P2Quantile streaming(q);
+  std::vector<double> values;
+  for (int i = 0; i < 60'000; ++i) {
+    const double v = random.exponential(0.01);
+    streaming.add(v);
+    values.push_back(v);
+  }
+  const double exact = quantile(values, q);
+  EXPECT_NEAR(streaming.value() / exact, 1.0, 0.05) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2AccuracyProperty,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.99));
+
+}  // namespace
+}  // namespace autosens::stats

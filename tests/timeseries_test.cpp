@@ -1,0 +1,89 @@
+#include "stats/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace autosens::stats {
+namespace {
+
+TEST(WindowAggregateTest, Validation) {
+  const std::vector<std::int64_t> times = {1, 2};
+  const std::vector<double> values = {1.0};
+  EXPECT_THROW(window_aggregate(times, values, 0, 10, 5), std::invalid_argument);
+  const std::vector<double> ok = {1.0, 2.0};
+  EXPECT_THROW(window_aggregate(times, ok, 10, 10, 5), std::invalid_argument);
+  EXPECT_THROW(window_aggregate(times, ok, 0, 10, 0), std::invalid_argument);
+}
+
+TEST(WindowAggregateTest, PartitionsIntoWindows) {
+  const std::vector<std::int64_t> times = {0, 5, 10, 15, 25};
+  const std::vector<double> values = {1.0, 3.0, 5.0, 7.0, 9.0};
+  const auto windows = window_aggregate(times, values, 0, 30, 10);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].count, 2u);
+  EXPECT_DOUBLE_EQ(windows[0].mean, 2.0);
+  EXPECT_EQ(windows[1].count, 2u);
+  EXPECT_DOUBLE_EQ(windows[1].mean, 6.0);
+  EXPECT_EQ(windows[2].count, 1u);
+  EXPECT_DOUBLE_EQ(windows[2].mean, 9.0);
+}
+
+TEST(WindowAggregateTest, WindowBeginsAreAligned) {
+  const std::vector<std::int64_t> times = {105};
+  const std::vector<double> values = {1.0};
+  const auto windows = window_aggregate(times, values, 100, 130, 10);
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].window_begin, 100);
+  EXPECT_EQ(windows[1].window_begin, 110);
+  EXPECT_EQ(windows[2].window_begin, 120);
+}
+
+TEST(WindowAggregateTest, IgnoresSamplesOutsideRange) {
+  const std::vector<std::int64_t> times = {-5, 5, 15};
+  const std::vector<double> values = {100.0, 1.0, 2.0};
+  const auto windows = window_aggregate(times, values, 0, 10, 10);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].count, 1u);
+  EXPECT_DOUBLE_EQ(windows[0].mean, 1.0);
+}
+
+TEST(WindowAggregateTest, EmptyWindowHasZeroMean) {
+  const std::vector<std::int64_t> times = {25};
+  const std::vector<double> values = {7.0};
+  const auto windows = window_aggregate(times, values, 0, 30, 10);
+  EXPECT_EQ(windows[0].count, 0u);
+  EXPECT_DOUBLE_EQ(windows[0].mean, 0.0);
+}
+
+TEST(WindowAggregateTest, LastPartialWindowIncluded) {
+  const std::vector<std::int64_t> times = {29};
+  const std::vector<double> values = {7.0};
+  const auto windows = window_aggregate(times, values, 0, 30, 20);
+  ASSERT_EQ(windows.size(), 2u);  // [0,20) and [20,40) covering up to 30
+  EXPECT_EQ(windows[1].count, 1u);
+}
+
+TEST(WindowHelpersTest, CountsAndMeans) {
+  const std::vector<WindowAggregate> windows = {
+      {.window_begin = 0, .count = 2, .mean = 1.5},
+      {.window_begin = 10, .count = 0, .mean = 0.0},
+      {.window_begin = 20, .count = 5, .mean = 3.0}};
+  const auto counts = window_counts(windows);
+  const auto means = window_means(windows);
+  EXPECT_EQ(counts, (std::vector<double>{2.0, 0.0, 5.0}));
+  EXPECT_EQ(means, (std::vector<double>{1.5, 0.0, 3.0}));
+}
+
+TEST(WindowHelpersTest, NonemptyFilters) {
+  const std::vector<WindowAggregate> windows = {
+      {.window_begin = 0, .count = 2, .mean = 1.0},
+      {.window_begin = 10, .count = 0, .mean = 0.0},
+      {.window_begin = 20, .count = 5, .mean = 2.0}};
+  EXPECT_EQ(nonempty_windows(windows).size(), 2u);
+  EXPECT_EQ(nonempty_windows(windows, 3).size(), 1u);
+  EXPECT_EQ(nonempty_windows(windows, 6).size(), 0u);
+}
+
+}  // namespace
+}  // namespace autosens::stats

@@ -1,0 +1,114 @@
+#include "telemetry/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace autosens::telemetry {
+namespace {
+
+ActionRecord make_record(double latency, ActionStatus status = ActionStatus::kSuccess) {
+  static std::int64_t t = 0;
+  return {.time_ms = ++t,
+          .user_id = 1,
+          .latency_ms = latency,
+          .action = ActionType::kSelectMail,
+          .user_class = UserClass::kBusiness,
+          .status = status};
+}
+
+TEST(ValidateTest, KeepsCleanRecords) {
+  Dataset d;
+  d.add(make_record(100.0));
+  d.add(make_record(250.0));
+  const auto result = validate(d);
+  EXPECT_EQ(result.dataset.size(), 2u);
+  EXPECT_EQ(result.report.dropped(), 0u);
+}
+
+TEST(ValidateTest, DropsErrorStatusByDefault) {
+  Dataset d;
+  d.add(make_record(100.0));
+  d.add(make_record(100.0, ActionStatus::kError));
+  const auto result = validate(d);
+  EXPECT_EQ(result.dataset.size(), 1u);
+  EXPECT_EQ(result.report.dropped_error_status, 1u);
+}
+
+TEST(ValidateTest, KeepsErrorsWhenConfigured) {
+  Dataset d;
+  d.add(make_record(100.0, ActionStatus::kError));
+  const auto result = validate(d, {.successful_only = false});
+  EXPECT_EQ(result.dataset.size(), 1u);
+}
+
+TEST(ValidateTest, DropsNonPositiveLatency) {
+  Dataset d;
+  d.add(make_record(0.0));
+  d.add(make_record(-5.0));
+  d.add(make_record(1.0));
+  const auto result = validate(d);
+  EXPECT_EQ(result.dataset.size(), 1u);
+  EXPECT_EQ(result.report.dropped_nonpositive_latency, 2u);
+}
+
+TEST(ValidateTest, DropsExcessiveLatency) {
+  Dataset d;
+  d.add(make_record(59'999.0));
+  d.add(make_record(60'001.0));
+  const auto result = validate(d);
+  EXPECT_EQ(result.dataset.size(), 1u);
+  EXPECT_EQ(result.report.dropped_excessive_latency, 1u);
+}
+
+TEST(ValidateTest, DropsNonFiniteLatency) {
+  Dataset d;
+  d.add(make_record(std::numeric_limits<double>::quiet_NaN()));
+  d.add(make_record(std::numeric_limits<double>::infinity()));
+  d.add(make_record(100.0));
+  const auto result = validate(d);
+  EXPECT_EQ(result.dataset.size(), 1u);
+  EXPECT_EQ(result.report.dropped_nonfinite_latency, 2u);
+}
+
+TEST(ValidateTest, CustomThresholds) {
+  Dataset d;
+  d.add(make_record(50.0));
+  d.add(make_record(150.0));
+  d.add(make_record(250.0));
+  const auto result = validate(d, {.min_latency_ms = 100.0, .max_latency_ms = 200.0});
+  EXPECT_EQ(result.dataset.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.dataset[0].latency_ms, 150.0);
+}
+
+TEST(ValidateTest, ReportAccounting) {
+  Dataset d;
+  d.add(make_record(100.0));
+  d.add(make_record(-1.0));
+  d.add(make_record(100.0, ActionStatus::kError));
+  const auto result = validate(d);
+  EXPECT_EQ(result.report.total, 3u);
+  EXPECT_EQ(result.report.kept, 1u);
+  EXPECT_EQ(result.report.dropped(), 2u);
+  const auto summary = result.report.summary();
+  EXPECT_NE(summary.find("kept 1"), std::string::npos);
+  EXPECT_NE(summary.find("dropped 2"), std::string::npos);
+}
+
+TEST(ValidateTest, OutputIsSorted) {
+  Dataset d;
+  d.add({.time_ms = 100, .user_id = 1, .latency_ms = 5.0});
+  d.add({.time_ms = 50, .user_id = 1, .latency_ms = 5.0});
+  const auto result = validate(d);
+  EXPECT_TRUE(result.dataset.is_sorted());
+  EXPECT_EQ(result.dataset[0].time_ms, 50);
+}
+
+TEST(ValidateTest, EmptyInput) {
+  const auto result = validate(Dataset{});
+  EXPECT_TRUE(result.dataset.empty());
+  EXPECT_EQ(result.report.total, 0u);
+}
+
+}  // namespace
+}  // namespace autosens::telemetry

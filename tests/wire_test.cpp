@@ -1,0 +1,209 @@
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "telemetry/binlog.h"
+
+namespace autosens::net {
+namespace {
+
+using telemetry::ActionRecord;
+
+std::pair<Socket, Socket> socket_pair() {
+  std::uint16_t port = 0;
+  Socket listener = listen_tcp(0, port);
+  Socket client = connect_tcp(port);
+  auto server = accept_with_timeout(listener, 1000);
+  EXPECT_TRUE(server.has_value());
+  return {std::move(client), std::move(*server)};
+}
+
+TEST(WireTest, EncodeFrameLayout) {
+  Frame frame{.type = FrameType::kData, .payload = {1, 2, 3}};
+  const auto bytes = encode_frame(frame);
+  // 1 type + 4 length + 3 payload + 4 crc.
+  ASSERT_EQ(bytes.size(), 12u);
+  EXPECT_EQ(bytes[0], 1u);
+  EXPECT_EQ(bytes[1], 3u);  // little-endian length
+  EXPECT_EQ(bytes[2], 0u);
+}
+
+TEST(WireTest, FrameRoundtripOverLoopback) {
+  auto [client, server] = socket_pair();
+  Frame frame{.type = FrameType::kData, .payload = {9, 8, 7, 6}};
+  send_frame(client, frame);
+  const auto received = recv_frame(server);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->type, FrameType::kData);
+  EXPECT_EQ(received->payload, frame.payload);
+}
+
+TEST(WireTest, EmptyPayloadFrames) {
+  auto [client, server] = socket_pair();
+  send_frame(client, Frame{.type = FrameType::kFlush, .payload = {}});
+  send_frame(client, Frame{.type = FrameType::kGoodbye, .payload = {}});
+  auto f1 = recv_frame(server);
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_EQ(f1->type, FrameType::kFlush);
+  auto f2 = recv_frame(server);
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f2->type, FrameType::kGoodbye);
+}
+
+TEST(WireTest, CleanEofReturnsNullopt) {
+  auto [client, server] = socket_pair();
+  client.close();
+  EXPECT_EQ(recv_frame(server), std::nullopt);
+}
+
+TEST(WireTest, CorruptCrcThrows) {
+  auto [client, server] = socket_pair();
+  Frame frame{.type = FrameType::kData, .payload = {1, 2, 3, 4, 5}};
+  auto bytes = encode_frame(frame);
+  bytes[7] ^= 0xff;  // corrupt payload byte
+  write_all(client, bytes);
+  EXPECT_THROW(recv_frame(server), std::runtime_error);
+}
+
+TEST(WireTest, UnknownFrameTypeThrows) {
+  auto [client, server] = socket_pair();
+  std::vector<std::uint8_t> bytes = {42, 0, 0, 0, 0, 0, 0, 0, 0};
+  write_all(client, bytes);
+  EXPECT_THROW(recv_frame(server), std::runtime_error);
+}
+
+TEST(WireTest, OversizedPayloadRejected) {
+  auto [client, server] = socket_pair();
+  Frame frame{.type = FrameType::kData, .payload = std::vector<std::uint8_t>(1000, 1)};
+  send_frame(client, frame);
+  EXPECT_THROW(recv_frame(server, /*max_payload=*/100), std::runtime_error);
+}
+
+TEST(WireTest, SendRecordsRoundtrip) {
+  auto [client, server] = socket_pair();
+  std::vector<ActionRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    records.push_back({.time_ms = 1000 + i,
+                       .user_id = static_cast<std::uint64_t>(50 + i % 3),
+                       .latency_ms = 100.0 + i,
+                       .action = telemetry::ActionType::kSearch,
+                       .user_class = telemetry::UserClass::kConsumer,
+                       .status = telemetry::ActionStatus::kSuccess});
+  }
+  send_records(client, records);
+  const auto frame = recv_frame(server);
+  ASSERT_TRUE(frame.has_value());
+  const auto decoded = telemetry::codec::decode_batch(frame->payload);
+  ASSERT_EQ(decoded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) EXPECT_EQ(decoded[i], records[i]);
+}
+
+TEST(FrameDecoderTest, DecodesWholeFrame) {
+  FrameDecoder decoder;
+  const Frame frame{.type = FrameType::kData, .payload = {1, 2, 3}};
+  decoder.feed(encode_frame(frame));
+  const auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->payload, frame.payload);
+  EXPECT_EQ(decoder.next(), std::nullopt);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(FrameDecoderTest, DecodesByteByByte) {
+  FrameDecoder decoder;
+  const Frame frame{.type = FrameType::kFlush, .payload = {}};
+  const auto bytes = encode_frame(frame);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    EXPECT_EQ(decoder.next(), std::nullopt) << "premature frame at byte " << i;
+    decoder.feed(std::span<const std::uint8_t>(&bytes[i], 1));
+  }
+  const auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->type, FrameType::kFlush);
+}
+
+TEST(FrameDecoderTest, DecodesMultipleFramesFromOneFeed) {
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < 3; ++i) {
+    const auto encoded = encode_frame(
+        {.type = FrameType::kData, .payload = {static_cast<std::uint8_t>(i)}});
+    bytes.insert(bytes.end(), encoded.begin(), encoded.end());
+  }
+  decoder.feed(bytes);
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    const auto out = decoder.next();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->payload[0], i);
+  }
+  EXPECT_EQ(decoder.next(), std::nullopt);
+}
+
+TEST(FrameDecoderTest, RejectsCorruptInput) {
+  FrameDecoder decoder;
+  auto bytes = encode_frame({.type = FrameType::kData, .payload = {1, 2, 3, 4}});
+  bytes[6] ^= 0xff;  // corrupt payload
+  decoder.feed(bytes);
+  EXPECT_THROW(decoder.next(), std::runtime_error);
+
+  FrameDecoder decoder2;
+  decoder2.feed(std::vector<std::uint8_t>{99, 0, 0, 0, 0});
+  EXPECT_THROW(decoder2.next(), std::runtime_error);
+
+  FrameDecoder decoder3(/*max_payload=*/4);
+  decoder3.feed(encode_frame({.type = FrameType::kData, .payload = {1, 2, 3, 4, 5}}));
+  EXPECT_THROW(decoder3.next(), std::runtime_error);
+}
+
+TEST(FrameDecoderTest, InterleavedFeedAndNext) {
+  FrameDecoder decoder;
+  const auto a = encode_frame({.type = FrameType::kData, .payload = {7}});
+  const auto b = encode_frame({.type = FrameType::kGoodbye, .payload = {}});
+  // Feed a + half of b, drain, then the rest.
+  std::vector<std::uint8_t> first(a.begin(), a.end());
+  first.insert(first.end(), b.begin(), b.begin() + 4);
+  decoder.feed(first);
+  ASSERT_TRUE(decoder.next().has_value());
+  EXPECT_EQ(decoder.next(), std::nullopt);
+  decoder.feed(std::span<const std::uint8_t>(b.data() + 4, b.size() - 4));
+  const auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->type, FrameType::kGoodbye);
+}
+
+TEST(SocketTest, MoveSemantics) {
+  std::uint16_t port = 0;
+  Socket listener = listen_tcp(0, port);
+  const int fd = listener.fd();
+  Socket moved = std::move(listener);
+  EXPECT_EQ(moved.fd(), fd);
+  EXPECT_FALSE(listener.valid());  // NOLINT(bugprone-use-after-move): testing move state
+}
+
+TEST(SocketTest, AcceptTimesOut) {
+  std::uint16_t port = 0;
+  Socket listener = listen_tcp(0, port);
+  const auto client = accept_with_timeout(listener, 50);
+  EXPECT_FALSE(client.has_value());
+}
+
+TEST(SocketTest, EphemeralPortAssigned) {
+  std::uint16_t port = 0;
+  Socket listener = listen_tcp(0, port);
+  EXPECT_GT(port, 0u);
+}
+
+TEST(SocketTest, ConnectToClosedPortThrows) {
+  // Bind then close a listener to find a (very likely) dead port.
+  std::uint16_t port = 0;
+  {
+    Socket listener = listen_tcp(0, port);
+  }
+  EXPECT_THROW(connect_tcp(port), SocketError);
+}
+
+}  // namespace
+}  // namespace autosens::net

@@ -1,0 +1,428 @@
+// autosens_cli — command-line frontend to the AutoSens library.
+//
+//   autosens_cli generate  --out telemetry.csv [--scale small] [--seed 42]
+//                          [--days N] [--users N] [--format csv|bin]
+//   autosens_cli analyze   --in telemetry.csv [--action SelectMail]
+//                          [--class Business|Consumer] [--ref 300]
+//                          [--no-normalize] [--mc] [--confidence]
+//                          [--out curve.csv]
+//   autosens_cli slices    --in telemetry.csv --by action|class|quartile|
+//                          period|month|dayclass [--action A] [--class C]
+//   autosens_cli summary   --in telemetry.csv [--action A] [--class C]
+//   autosens_cli screen    --in telemetry.csv [--action A]
+//   autosens_cli locality  --in telemetry.csv [--action A]
+//   autosens_cli alpha     --in telemetry.csv [--action A] [--class C]
+//   autosens_cli collect   --out log.bin [--port 0] [--expect 1]
+//                          [--timeout-ms 30000]
+//   autosens_cli replay    --in log.bin --port PORT [--batch 1024]
+//
+// Input files ending in .bin are read as AutoSens binary logs, anything else
+// as CSV. Every analysis subcommand scrubs the input (successful actions,
+// sane latencies) before running.
+#include <filesystem>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/confidence.h"
+#include "core/confounder_dow.h"
+#include "core/confounder_time.h"
+#include "core/locality.h"
+#include "core/pipeline.h"
+#include "core/sensitivity.h"
+#include "core/slices.h"
+#include "net/collector.h"
+#include "net/emitter.h"
+#include "report/ascii_chart.h"
+#include "report/csvout.h"
+#include "report/table.h"
+#include "simulate/generator.h"
+#include "simulate/presets.h"
+#include "telemetry/binlog.h"
+#include "telemetry/csv.h"
+#include "telemetry/jsonl.h"
+#include "telemetry/filter.h"
+#include "telemetry/validate.h"
+#include "tools/cli_args.h"
+
+namespace {
+
+using namespace autosens;
+
+int usage() {
+  std::cerr <<
+      R"(usage: autosens_cli <command> [flags]
+
+commands:
+  generate   synthesize an OWA-like telemetry log with planted ground truth
+  analyze    estimate the normalized latency preference of one slice
+  slices     estimate curves for a family of slices (paper Figs 4-9)
+  summary    one-number sensitivity summary of a slice
+  screen     quick B-vs-U divergence check (is analysis worthwhile?)
+  locality   MSD/MAD + density/latency locality report (paper Figs 1-2)
+  alpha      time-of-day and weekday/weekend activity factors (paper Fig 8)
+  collect    run a telemetry collector server, write a binary log
+  replay     stream an existing log to a collector
+
+run a command with wrong flags to see its flag list.
+)";
+  return 2;
+}
+
+telemetry::Dataset load(const std::string& path) {
+  telemetry::Dataset dataset;
+  if (path.ends_with(".bin")) {
+    dataset = telemetry::read_binlog_file(path);
+  } else if (path.ends_with(".jsonl")) {
+    auto read = telemetry::read_jsonl_file(path);
+    for (const auto& error : read.errors) {
+      std::cerr << "warning: line " << error.line << ": " << error.message << "\n";
+    }
+    dataset = std::move(read.dataset);
+  } else {
+    auto read = telemetry::read_csv_file(path);
+    for (const auto& error : read.errors) {
+      std::cerr << "warning: line " << error.line << ": " << error.message << "\n";
+    }
+    dataset = std::move(read.dataset);
+  }
+  return dataset;
+}
+
+telemetry::Dataset load_scrubbed(const std::string& path) {
+  auto validated = telemetry::validate(load(path));
+  std::cerr << validated.report.summary() << "\n";
+  return std::move(validated.dataset);
+}
+
+telemetry::Dataset apply_slice_flags(const telemetry::Dataset& dataset,
+                                     const cli::Args& args) {
+  std::vector<telemetry::RecordPredicate> predicates;
+  if (const auto action = args.get("action")) {
+    const auto type = telemetry::parse_action_type(*action);
+    if (!type) throw std::invalid_argument("unknown action type: " + *action);
+    predicates.push_back(telemetry::by_action(*type));
+  }
+  if (const auto user_class = args.get("class")) {
+    const auto parsed = telemetry::parse_user_class(*user_class);
+    if (!parsed) throw std::invalid_argument("unknown user class: " + *user_class);
+    predicates.push_back(telemetry::by_user_class(*parsed));
+  }
+  if (predicates.empty()) return dataset;
+  return dataset.filtered(telemetry::all_of(std::move(predicates)));
+}
+
+core::AutoSensOptions options_from_flags(const cli::Args& args) {
+  core::AutoSensOptions options;
+  options.reference_latency_ms = args.get_double("ref", options.reference_latency_ms);
+  options.bin_width_ms = args.get_double("bin", options.bin_width_ms);
+  options.max_latency_ms = args.get_double("max-latency", options.max_latency_ms);
+  if (args.has("no-normalize")) options.normalize_time_confounder = false;
+  if (args.has("mc")) options.unbiased_method = core::UnbiasedMethod::kMonteCarlo;
+  return options;
+}
+
+void print_curve(const core::PreferenceResult& result) {
+  report::Table table({"latency (ms)", "normalized preference"});
+  for (double latency = 100.0; latency <= 2500.0; latency += 100.0) {
+    if (!result.covers(latency)) continue;
+    table.add_row({report::Table::num(latency, 0), report::Table::num(result.at(latency))});
+  }
+  table.print(std::cout);
+}
+
+int cmd_generate(const cli::Args& args) {
+  args.allow_only({"out", "scale", "seed", "days", "users", "format"});
+  const std::string out = args.require("out");
+  const std::string scale_name = args.get_or("scale", "small");
+  simulate::Scale scale = simulate::Scale::kSmall;
+  if (scale_name == "tiny") scale = simulate::Scale::kTiny;
+  else if (scale_name == "small") scale = simulate::Scale::kSmall;
+  else if (scale_name == "medium") scale = simulate::Scale::kMedium;
+  else if (scale_name == "full") scale = simulate::Scale::kFull;
+  else throw std::invalid_argument("unknown scale: " + scale_name);
+
+  auto config = simulate::paper_config(
+      scale, static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  if (const auto days = args.get_int("days", 0); days > 0) {
+    config.end_ms = config.begin_ms + days * telemetry::kMillisPerDay;
+  }
+  if (const auto users = args.get_int("users", 0); users > 0) {
+    config.population.user_count = static_cast<std::size_t>(users);
+  }
+
+  std::cerr << "generating " << config.population.user_count << " users x "
+            << (config.end_ms - config.begin_ms) / telemetry::kMillisPerDay << " days...\n";
+  auto generated = simulate::WorkloadGenerator(config).generate();
+  std::cerr << generated.accepted << " actions\n";
+
+  const std::string format = args.get_or(
+      "format",
+      out.ends_with(".bin") ? "bin" : (out.ends_with(".jsonl") ? "jsonl" : "csv"));
+  if (format == "bin") {
+    telemetry::write_binlog_file(out, generated.dataset);
+  } else if (format == "csv") {
+    telemetry::write_csv_file(out, generated.dataset);
+  } else if (format == "jsonl") {
+    telemetry::write_jsonl_file(out, generated.dataset);
+  } else {
+    throw std::invalid_argument("unknown format: " + format);
+  }
+  std::cout << "wrote " << generated.dataset.size() << " records to " << out << "\n";
+  return 0;
+}
+
+int cmd_analyze(const cli::Args& args) {
+  args.allow_only({"in", "action", "class", "ref", "bin", "max-latency", "no-normalize",
+                   "mc", "confidence", "replicates", "out"});
+  const auto dataset = load_scrubbed(args.require("in"));
+  const auto slice = apply_slice_flags(dataset, args);
+  std::cerr << "slice: " << slice.size() << " records\n";
+  const auto options = options_from_flags(args);
+
+  if (args.has("confidence")) {
+    stats::Random random(17);
+    core::ConfidenceOptions confidence;
+    confidence.replicates =
+        static_cast<std::size_t>(args.get_int("replicates", 50));
+    const auto result = core::analyze_with_confidence(
+        slice, options, {500.0, 750.0, 1000.0, 1500.0, 2000.0}, confidence, random);
+    report::Table table({"latency (ms)", "NLP", "90% CI"});
+    for (std::size_t p = 0; p < result.probe_latency_ms.size(); ++p) {
+      const double latency = result.probe_latency_ms[p];
+      if (!result.point.covers(latency)) continue;
+      table.add_row({report::Table::num(latency, 0),
+                     report::Table::num(result.point.at(latency)),
+                     "[" + report::Table::num(result.intervals[p].lo) + ", " +
+                         report::Table::num(result.intervals[p].hi) + "]"});
+    }
+    table.print(std::cout);
+    std::cout << "(" << result.usable_replicates << " usable bootstrap replicates)\n";
+    return 0;
+  }
+
+  const auto result = core::analyze(slice, options);
+  print_curve(result);
+  if (const auto out = args.get("out")) {
+    const std::vector<core::NamedPreference> curves = {{"preference", result, slice.size()}};
+    report::write_preference_csv_file(*out, curves);
+    std::cout << "curve written to " << *out << "\n";
+  }
+  return 0;
+}
+
+int cmd_slices(const cli::Args& args) {
+  args.allow_only({"in", "by", "action", "class", "ref", "bin", "max-latency",
+                   "no-normalize", "mc", "out"});
+  const auto dataset = load_scrubbed(args.require("in"));
+  const std::string by = args.require("by");
+  const auto options = options_from_flags(args);
+
+  const auto action_or = [&args](telemetry::ActionType fallback) {
+    if (const auto name = args.get("action")) {
+      const auto type = telemetry::parse_action_type(*name);
+      if (!type) throw std::invalid_argument("unknown action type: " + *name);
+      return *type;
+    }
+    return fallback;
+  };
+  std::optional<telemetry::UserClass> user_class;
+  if (const auto name = args.get("class")) {
+    user_class = telemetry::parse_user_class(*name);
+    if (!user_class) throw std::invalid_argument("unknown user class: " + *name);
+  }
+
+  std::vector<core::NamedPreference> curves;
+  if (by == "action") {
+    curves = core::preference_by_action(dataset, options, user_class);
+  } else if (by == "class") {
+    curves = core::preference_by_user_class(dataset, options,
+                                            action_or(telemetry::ActionType::kSelectMail));
+  } else if (by == "quartile") {
+    curves = core::preference_by_quartile(dataset, dataset, options,
+                                          action_or(telemetry::ActionType::kSelectMail),
+                                          user_class);
+  } else if (by == "period") {
+    curves = core::preference_by_period(
+        dataset, options, action_or(telemetry::ActionType::kSelectMail),
+        user_class.value_or(telemetry::UserClass::kBusiness));
+  } else if (by == "month") {
+    curves = core::preference_by_month(dataset, options,
+                                       action_or(telemetry::ActionType::kSelectMail));
+  } else if (by == "dayclass") {
+    auto slice = dataset;
+    if (const auto name = args.get("action")) {
+      slice = apply_slice_flags(dataset, args);
+    }
+    for (auto& entry : core::preference_by_day_class(slice, options)) {
+      curves.push_back({std::string(core::to_string(entry.day_class)),
+                        std::move(entry.preference), entry.records});
+    }
+  } else {
+    throw std::invalid_argument("unknown --by: " + by);
+  }
+
+  report::Table table({"slice", "records", "NLP@500", "NLP@1000", "NLP@1500"});
+  for (const auto& curve : curves) {
+    const auto value = [&curve](double latency) {
+      return curve.result.covers(latency) ? report::Table::num(curve.result.at(latency))
+                                          : std::string("-");
+    };
+    table.add_row({curve.name, std::to_string(curve.records), value(500.0), value(1000.0),
+                   value(1500.0)});
+  }
+  table.print(std::cout);
+
+  std::vector<report::Series> chart;
+  for (const auto& curve : curves) chart.push_back(report::to_series(curve));
+  report::ChartOptions chart_options;
+  chart_options.x_label = "latency (ms)";
+  chart_options.y_label = "preference";
+  render_chart(std::cout, chart, chart_options);
+
+  if (const auto out = args.get("out")) {
+    report::write_preference_csv_file(*out, curves);
+    std::cout << "series written to " << *out << "\n";
+  }
+  return 0;
+}
+
+int cmd_summary(const cli::Args& args) {
+  args.allow_only({"in", "action", "class", "ref", "bin", "max-latency", "no-normalize",
+                   "mc"});
+  const auto dataset = load_scrubbed(args.require("in"));
+  const auto slice = apply_slice_flags(dataset, args);
+  const auto options = options_from_flags(args);
+  const auto result = core::analyze(slice, options);
+  const auto summary = core::summarize(result);
+
+  report::Table table({"metric", "value"});
+  table.add_row({"records", std::to_string(slice.size())});
+  table.add_row({"drop at 500 ms", report::Table::num(summary.drop_at_500ms)});
+  table.add_row({"drop at 1000 ms", report::Table::num(summary.drop_at_1000ms)});
+  table.add_row({"drop at 2000 ms", report::Table::num(summary.drop_at_2000ms)});
+  table.add_row({"slope per 100 ms", report::Table::num(summary.slope_per_100ms, 4)});
+  table.add_row({"latency at NLP 0.8",
+                 summary.latency_at_nlp_08 > 0.0
+                     ? report::Table::num(summary.latency_at_nlp_08, 0) + " ms"
+                     : "never (within support)"});
+  table.add_row({"classification", std::string(core::to_string(summary.classification))});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_screen(const cli::Args& args) {
+  args.allow_only({"in", "action", "class", "ref", "bin", "max-latency", "mc"});
+  const auto dataset = load_scrubbed(args.require("in"));
+  const auto slice = apply_slice_flags(dataset, args);
+  const auto report = core::screen(slice, options_from_flags(args));
+  report::Table table({"metric", "value"});
+  table.add_row({"total variation (B vs U)", report::Table::num(report.total_variation, 4)});
+  table.add_row({"KS statistic", report::Table::num(report.kolmogorov_smirnov, 4)});
+  table.add_row({"mean shift (ms)", report::Table::num(report.mean_shift_ms, 1)});
+  table.add_row({"worth full analysis", report.worth_analyzing ? "yes" : "no"});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_locality(const cli::Args& args) {
+  args.allow_only({"in", "action", "class", "window-min"});
+  const auto dataset = load_scrubbed(args.require("in"));
+  const auto slice = apply_slice_flags(dataset, args);
+  stats::Random random(7);
+  core::LocalityOptions options;
+  options.window_ms = args.get_int("window-min", 1) * telemetry::kMillisPerMinute;
+  const auto report = core::analyze_locality(slice, options, random);
+  report::Table table({"metric", "value"});
+  table.add_row({"samples", std::to_string(report.samples)});
+  table.add_row({"MSD/MAD actual", report::Table::num(report.msd_mad_actual)});
+  table.add_row({"MSD/MAD shuffled", report::Table::num(report.msd_mad_shuffled)});
+  table.add_row({"MSD/MAD sorted", report::Table::num(report.msd_mad_sorted)});
+  table.add_row({"density-latency corr (raw)",
+                 report::Table::num(report.density_latency_correlation)});
+  table.add_row({"density-latency corr (detrended)",
+                 report::Table::num(report.detrended_density_latency_correlation)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_alpha(const cli::Args& args) {
+  args.allow_only({"in", "action", "class"});
+  const auto dataset = load_scrubbed(args.require("in"));
+  const auto slice = apply_slice_flags(dataset, args);
+  core::AutoSensOptions options;
+
+  const auto periods = core::alpha_by_period(slice, options);
+  report::Table period_table({"period", "records", "mean alpha"});
+  for (const auto& pa : periods) {
+    period_table.add_row({std::string(telemetry::to_string(pa.period)),
+                          std::to_string(pa.records), report::Table::num(pa.mean_alpha)});
+  }
+  std::cout << "time-of-day activity factor (ref 8am-2pm):\n";
+  period_table.print(std::cout);
+
+  const auto dow = core::day_class_activity(slice, options);
+  std::cout << "\nweekday/weekend activity factor (ref weekday):\n";
+  report::Table dow_table({"class", "records", "beta"});
+  dow_table.add_row({"weekday", std::to_string(dow.weekday_records), "1.000"});
+  dow_table.add_row({"weekend", std::to_string(dow.weekend_records),
+                     report::Table::num(dow.beta_weekend)});
+  dow_table.print(std::cout);
+  return 0;
+}
+
+int cmd_collect(const cli::Args& args) {
+  args.allow_only({"out", "port", "expect", "timeout-ms"});
+  const std::string out = args.require("out");
+  net::Collector collector(static_cast<std::uint16_t>(args.get_int("port", 0)));
+  std::cout << "listening on 127.0.0.1:" << collector.port() << "\n" << std::flush;
+  const bool complete = collector.serve_until_goodbye(
+      static_cast<std::size_t>(args.get_int("expect", 1)),
+      static_cast<int>(args.get_int("timeout-ms", 30'000)));
+  const auto dataset = collector.take_dataset();
+  const auto& stats = collector.stats();
+  std::cout << "collected " << dataset.size() << " records over " << stats.connections
+            << " connections (" << (complete ? "all goodbyes received" : "timed out")
+            << ")\n";
+  telemetry::write_binlog_file(out, dataset);
+  std::cout << "wrote " << out << "\n";
+  return complete ? 0 : 1;
+}
+
+int cmd_replay(const cli::Args& args) {
+  args.allow_only({"in", "port", "batch"});
+  const auto dataset = load(args.require("in"));
+  net::Emitter emitter(
+      static_cast<std::uint16_t>(args.get_int("port", 0)),
+      {.batch_size = static_cast<std::size_t>(args.get_int("batch", 1024))});
+  for (const auto& record : dataset.records()) emitter.record(record);
+  emitter.close();
+  std::cout << "replayed " << emitter.sent_records() << " records in "
+            << emitter.sent_frames() << " frames\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const cli::Args args(argc, argv, 2, {"no-normalize", "mc", "confidence"});
+    if (command == "generate") return cmd_generate(args);
+    if (command == "analyze") return cmd_analyze(args);
+    if (command == "slices") return cmd_slices(args);
+    if (command == "summary") return cmd_summary(args);
+    if (command == "screen") return cmd_screen(args);
+    if (command == "locality") return cmd_locality(args);
+    if (command == "alpha") return cmd_alpha(args);
+    if (command == "collect") return cmd_collect(args);
+    if (command == "replay") return cmd_replay(args);
+    std::cerr << "unknown command: " << command << "\n";
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,78 @@
+#include "tools/cli_args.h"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace autosens::cli {
+
+Args::Args(int argc, const char* const* argv, int begin,
+           const std::set<std::string>& boolean_flags) {
+  for (int i = begin; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      throw std::invalid_argument("expected --flag, got: " + arg);
+    }
+    const std::string name = arg.substr(2);
+    if (boolean_flags.contains(name)) {
+      flags_.insert(name);
+      continue;
+    }
+    if (i + 1 >= argc) {
+      throw std::invalid_argument("flag --" + name + " needs a value");
+    }
+    values_[name] = argv[++i];
+  }
+}
+
+bool Args::has(const std::string& name) const {
+  return flags_.contains(name) || values_.contains(name);
+}
+
+std::optional<std::string> Args::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_or(const std::string& name, const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::string Args::require(const std::string& name) const {
+  const auto value = get(name);
+  if (!value) throw std::invalid_argument("missing required flag --" + name);
+  return *value;
+}
+
+std::int64_t Args::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  std::int64_t out = 0;
+  const auto result = std::from_chars(value->data(), value->data() + value->size(), out);
+  if (result.ec != std::errc{} || result.ptr != value->data() + value->size()) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got: " + *value);
+  }
+  return out;
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  const auto value = get(name);
+  if (!value) return fallback;
+  double out = 0.0;
+  const auto result = std::from_chars(value->data(), value->data() + value->size(), out);
+  if (result.ec != std::errc{} || result.ptr != value->data() + value->size()) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got: " + *value);
+  }
+  return out;
+}
+
+void Args::allow_only(const std::set<std::string>& allowed) const {
+  for (const auto& flag : flags_) {
+    if (!allowed.contains(flag)) throw std::invalid_argument("unknown flag --" + flag);
+  }
+  for (const auto& [name, value] : values_) {
+    if (!allowed.contains(name)) throw std::invalid_argument("unknown flag --" + name);
+  }
+}
+
+}  // namespace autosens::cli

@@ -1,0 +1,40 @@
+// Minimal command-line flag parser for the autosens CLI: `--name value`
+// and `--flag` style options after a positional subcommand. No dependency,
+// strict by default (unknown flags are errors).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace autosens::cli {
+
+class Args {
+ public:
+  /// Parse argv after the subcommand. `boolean_flags` names flags that take
+  /// no value. Throws std::invalid_argument on malformed input.
+  Args(int argc, const char* const* argv, int begin,
+       const std::set<std::string>& boolean_flags);
+
+  bool has(const std::string& name) const;
+  std::optional<std::string> get(const std::string& name) const;
+  std::string get_or(const std::string& name, const std::string& fallback) const;
+  /// Throws std::invalid_argument when missing.
+  std::string require(const std::string& name) const;
+
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Verify every provided flag is in `allowed`; throws otherwise (lists
+  /// the offending flag).
+  void allow_only(const std::set<std::string>& allowed) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> flags_;
+};
+
+}  // namespace autosens::cli
