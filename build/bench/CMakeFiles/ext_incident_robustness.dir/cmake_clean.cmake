@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_incident_robustness.dir/ext_incident_robustness.cpp.o"
+  "CMakeFiles/ext_incident_robustness.dir/ext_incident_robustness.cpp.o.d"
+  "ext_incident_robustness"
+  "ext_incident_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_incident_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_weekday_weekend.dir/ext_weekday_weekend.cpp.o"
+  "CMakeFiles/ext_weekday_weekend.dir/ext_weekday_weekend.cpp.o.d"
+  "ext_weekday_weekend"
+  "ext_weekday_weekend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_weekday_weekend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

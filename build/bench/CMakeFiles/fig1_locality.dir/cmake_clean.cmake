@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_locality.dir/fig1_locality.cpp.o"
+  "CMakeFiles/fig1_locality.dir/fig1_locality.cpp.o.d"
+  "fig1_locality"
+  "fig1_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

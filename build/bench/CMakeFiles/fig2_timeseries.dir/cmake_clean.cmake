@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_timeseries.dir/fig2_timeseries.cpp.o"
+  "CMakeFiles/fig2_timeseries.dir/fig2_timeseries.cpp.o.d"
+  "fig2_timeseries"
+  "fig2_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_methodology.dir/fig3_methodology.cpp.o"
+  "CMakeFiles/fig3_methodology.dir/fig3_methodology.cpp.o.d"
+  "fig3_methodology"
+  "fig3_methodology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_action_types.dir/fig4_action_types.cpp.o"
+  "CMakeFiles/fig4_action_types.dir/fig4_action_types.cpp.o.d"
+  "fig4_action_types"
+  "fig4_action_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_action_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

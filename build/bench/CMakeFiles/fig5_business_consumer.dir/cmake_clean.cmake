@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_business_consumer.dir/fig5_business_consumer.cpp.o"
+  "CMakeFiles/fig5_business_consumer.dir/fig5_business_consumer.cpp.o.d"
+  "fig5_business_consumer"
+  "fig5_business_consumer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_business_consumer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_conditioning.dir/fig6_conditioning.cpp.o"
+  "CMakeFiles/fig6_conditioning.dir/fig6_conditioning.cpp.o.d"
+  "fig6_conditioning"
+  "fig6_conditioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_conditioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

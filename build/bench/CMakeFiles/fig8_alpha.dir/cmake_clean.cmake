@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_alpha.dir/fig8_alpha.cpp.o"
+  "CMakeFiles/fig8_alpha.dir/fig8_alpha.cpp.o.d"
+  "fig8_alpha"
+  "fig8_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_months.dir/fig9_months.cpp.o"
+  "CMakeFiles/fig9_months.dir/fig9_months.cpp.o.d"
+  "fig9_months"
+  "fig9_months.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_months.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

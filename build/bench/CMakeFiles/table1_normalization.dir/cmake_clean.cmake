@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_normalization.dir/table1_normalization.cpp.o"
+  "CMakeFiles/table1_normalization.dir/table1_normalization.cpp.o.d"
+  "table1_normalization"
+  "table1_normalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

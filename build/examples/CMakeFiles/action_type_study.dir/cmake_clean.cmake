@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/action_type_study.dir/action_type_study.cpp.o"
+  "CMakeFiles/action_type_study.dir/action_type_study.cpp.o.d"
+  "action_type_study"
+  "action_type_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/action_type_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditioning_study.dir/conditioning_study.cpp.o"
+  "CMakeFiles/conditioning_study.dir/conditioning_study.cpp.o.d"
+  "conditioning_study"
+  "conditioning_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditioning_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_ingest.dir/csv_ingest.cpp.o"
+  "CMakeFiles/csv_ingest.dir/csv_ingest.cpp.o.d"
+  "csv_ingest"
+  "csv_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

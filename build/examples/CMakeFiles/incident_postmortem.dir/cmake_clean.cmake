@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incident_postmortem.dir/incident_postmortem.cpp.o"
+  "CMakeFiles/incident_postmortem.dir/incident_postmortem.cpp.o.d"
+  "incident_postmortem"
+  "incident_postmortem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incident_postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

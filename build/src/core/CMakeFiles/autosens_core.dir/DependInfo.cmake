@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/biased.cpp" "src/core/CMakeFiles/autosens_core.dir/biased.cpp.o" "gcc" "src/core/CMakeFiles/autosens_core.dir/biased.cpp.o.d"
+  "/root/repo/src/core/confidence.cpp" "src/core/CMakeFiles/autosens_core.dir/confidence.cpp.o" "gcc" "src/core/CMakeFiles/autosens_core.dir/confidence.cpp.o.d"
+  "/root/repo/src/core/confounder_dow.cpp" "src/core/CMakeFiles/autosens_core.dir/confounder_dow.cpp.o" "gcc" "src/core/CMakeFiles/autosens_core.dir/confounder_dow.cpp.o.d"
+  "/root/repo/src/core/confounder_time.cpp" "src/core/CMakeFiles/autosens_core.dir/confounder_time.cpp.o" "gcc" "src/core/CMakeFiles/autosens_core.dir/confounder_time.cpp.o.d"
+  "/root/repo/src/core/locality.cpp" "src/core/CMakeFiles/autosens_core.dir/locality.cpp.o" "gcc" "src/core/CMakeFiles/autosens_core.dir/locality.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/autosens_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/autosens_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/preference.cpp" "src/core/CMakeFiles/autosens_core.dir/preference.cpp.o" "gcc" "src/core/CMakeFiles/autosens_core.dir/preference.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/autosens_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/autosens_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/slices.cpp" "src/core/CMakeFiles/autosens_core.dir/slices.cpp.o" "gcc" "src/core/CMakeFiles/autosens_core.dir/slices.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/autosens_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/autosens_core.dir/streaming.cpp.o.d"
+  "/root/repo/src/core/unbiased.cpp" "src/core/CMakeFiles/autosens_core.dir/unbiased.cpp.o" "gcc" "src/core/CMakeFiles/autosens_core.dir/unbiased.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telemetry/CMakeFiles/autosens_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/autosens_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

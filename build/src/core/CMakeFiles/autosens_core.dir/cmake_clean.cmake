@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autosens_core.dir/biased.cpp.o"
+  "CMakeFiles/autosens_core.dir/biased.cpp.o.d"
+  "CMakeFiles/autosens_core.dir/confidence.cpp.o"
+  "CMakeFiles/autosens_core.dir/confidence.cpp.o.d"
+  "CMakeFiles/autosens_core.dir/confounder_dow.cpp.o"
+  "CMakeFiles/autosens_core.dir/confounder_dow.cpp.o.d"
+  "CMakeFiles/autosens_core.dir/confounder_time.cpp.o"
+  "CMakeFiles/autosens_core.dir/confounder_time.cpp.o.d"
+  "CMakeFiles/autosens_core.dir/locality.cpp.o"
+  "CMakeFiles/autosens_core.dir/locality.cpp.o.d"
+  "CMakeFiles/autosens_core.dir/pipeline.cpp.o"
+  "CMakeFiles/autosens_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/autosens_core.dir/preference.cpp.o"
+  "CMakeFiles/autosens_core.dir/preference.cpp.o.d"
+  "CMakeFiles/autosens_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/autosens_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/autosens_core.dir/slices.cpp.o"
+  "CMakeFiles/autosens_core.dir/slices.cpp.o.d"
+  "CMakeFiles/autosens_core.dir/streaming.cpp.o"
+  "CMakeFiles/autosens_core.dir/streaming.cpp.o.d"
+  "CMakeFiles/autosens_core.dir/unbiased.cpp.o"
+  "CMakeFiles/autosens_core.dir/unbiased.cpp.o.d"
+  "libautosens_core.a"
+  "libautosens_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autosens_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

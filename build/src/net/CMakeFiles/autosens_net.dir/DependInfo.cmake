@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/collector.cpp" "src/net/CMakeFiles/autosens_net.dir/collector.cpp.o" "gcc" "src/net/CMakeFiles/autosens_net.dir/collector.cpp.o.d"
+  "/root/repo/src/net/emitter.cpp" "src/net/CMakeFiles/autosens_net.dir/emitter.cpp.o" "gcc" "src/net/CMakeFiles/autosens_net.dir/emitter.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/net/CMakeFiles/autosens_net.dir/socket.cpp.o" "gcc" "src/net/CMakeFiles/autosens_net.dir/socket.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "src/net/CMakeFiles/autosens_net.dir/wire.cpp.o" "gcc" "src/net/CMakeFiles/autosens_net.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telemetry/CMakeFiles/autosens_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/autosens_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

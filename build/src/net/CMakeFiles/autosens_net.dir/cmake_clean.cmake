@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autosens_net.dir/collector.cpp.o"
+  "CMakeFiles/autosens_net.dir/collector.cpp.o.d"
+  "CMakeFiles/autosens_net.dir/emitter.cpp.o"
+  "CMakeFiles/autosens_net.dir/emitter.cpp.o.d"
+  "CMakeFiles/autosens_net.dir/socket.cpp.o"
+  "CMakeFiles/autosens_net.dir/socket.cpp.o.d"
+  "CMakeFiles/autosens_net.dir/wire.cpp.o"
+  "CMakeFiles/autosens_net.dir/wire.cpp.o.d"
+  "libautosens_net.a"
+  "libautosens_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autosens_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autosens_report.dir/ascii_chart.cpp.o"
+  "CMakeFiles/autosens_report.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/autosens_report.dir/compare.cpp.o"
+  "CMakeFiles/autosens_report.dir/compare.cpp.o.d"
+  "CMakeFiles/autosens_report.dir/csvout.cpp.o"
+  "CMakeFiles/autosens_report.dir/csvout.cpp.o.d"
+  "CMakeFiles/autosens_report.dir/table.cpp.o"
+  "CMakeFiles/autosens_report.dir/table.cpp.o.d"
+  "libautosens_report.a"
+  "libautosens_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autosens_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simulate/diurnal.cpp" "src/simulate/CMakeFiles/autosens_simulate.dir/diurnal.cpp.o" "gcc" "src/simulate/CMakeFiles/autosens_simulate.dir/diurnal.cpp.o.d"
+  "/root/repo/src/simulate/generator.cpp" "src/simulate/CMakeFiles/autosens_simulate.dir/generator.cpp.o" "gcc" "src/simulate/CMakeFiles/autosens_simulate.dir/generator.cpp.o.d"
+  "/root/repo/src/simulate/latency_process.cpp" "src/simulate/CMakeFiles/autosens_simulate.dir/latency_process.cpp.o" "gcc" "src/simulate/CMakeFiles/autosens_simulate.dir/latency_process.cpp.o.d"
+  "/root/repo/src/simulate/population.cpp" "src/simulate/CMakeFiles/autosens_simulate.dir/population.cpp.o" "gcc" "src/simulate/CMakeFiles/autosens_simulate.dir/population.cpp.o.d"
+  "/root/repo/src/simulate/preference.cpp" "src/simulate/CMakeFiles/autosens_simulate.dir/preference.cpp.o" "gcc" "src/simulate/CMakeFiles/autosens_simulate.dir/preference.cpp.o.d"
+  "/root/repo/src/simulate/presets.cpp" "src/simulate/CMakeFiles/autosens_simulate.dir/presets.cpp.o" "gcc" "src/simulate/CMakeFiles/autosens_simulate.dir/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telemetry/CMakeFiles/autosens_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/autosens_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

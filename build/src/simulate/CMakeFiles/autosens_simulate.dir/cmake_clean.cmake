@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autosens_simulate.dir/diurnal.cpp.o"
+  "CMakeFiles/autosens_simulate.dir/diurnal.cpp.o.d"
+  "CMakeFiles/autosens_simulate.dir/generator.cpp.o"
+  "CMakeFiles/autosens_simulate.dir/generator.cpp.o.d"
+  "CMakeFiles/autosens_simulate.dir/latency_process.cpp.o"
+  "CMakeFiles/autosens_simulate.dir/latency_process.cpp.o.d"
+  "CMakeFiles/autosens_simulate.dir/population.cpp.o"
+  "CMakeFiles/autosens_simulate.dir/population.cpp.o.d"
+  "CMakeFiles/autosens_simulate.dir/preference.cpp.o"
+  "CMakeFiles/autosens_simulate.dir/preference.cpp.o.d"
+  "CMakeFiles/autosens_simulate.dir/presets.cpp.o"
+  "CMakeFiles/autosens_simulate.dir/presets.cpp.o.d"
+  "libautosens_simulate.a"
+  "libautosens_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autosens_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

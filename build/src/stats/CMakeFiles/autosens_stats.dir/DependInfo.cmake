@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/autosens_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/autosens_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/autosens_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/autosens_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/autosens_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/autosens_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distance.cpp" "src/stats/CMakeFiles/autosens_stats.dir/distance.cpp.o" "gcc" "src/stats/CMakeFiles/autosens_stats.dir/distance.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/autosens_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/autosens_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/linalg.cpp" "src/stats/CMakeFiles/autosens_stats.dir/linalg.cpp.o" "gcc" "src/stats/CMakeFiles/autosens_stats.dir/linalg.cpp.o.d"
+  "/root/repo/src/stats/pchip.cpp" "src/stats/CMakeFiles/autosens_stats.dir/pchip.cpp.o" "gcc" "src/stats/CMakeFiles/autosens_stats.dir/pchip.cpp.o.d"
+  "/root/repo/src/stats/piecewise.cpp" "src/stats/CMakeFiles/autosens_stats.dir/piecewise.cpp.o" "gcc" "src/stats/CMakeFiles/autosens_stats.dir/piecewise.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/autosens_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/autosens_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/sampling.cpp" "src/stats/CMakeFiles/autosens_stats.dir/sampling.cpp.o" "gcc" "src/stats/CMakeFiles/autosens_stats.dir/sampling.cpp.o.d"
+  "/root/repo/src/stats/savitzky_golay.cpp" "src/stats/CMakeFiles/autosens_stats.dir/savitzky_golay.cpp.o" "gcc" "src/stats/CMakeFiles/autosens_stats.dir/savitzky_golay.cpp.o.d"
+  "/root/repo/src/stats/streaming_quantile.cpp" "src/stats/CMakeFiles/autosens_stats.dir/streaming_quantile.cpp.o" "gcc" "src/stats/CMakeFiles/autosens_stats.dir/streaming_quantile.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/stats/CMakeFiles/autosens_stats.dir/timeseries.cpp.o" "gcc" "src/stats/CMakeFiles/autosens_stats.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

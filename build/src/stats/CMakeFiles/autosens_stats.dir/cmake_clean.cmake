@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autosens_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/autosens_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/autosens_stats.dir/correlation.cpp.o"
+  "CMakeFiles/autosens_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/autosens_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/autosens_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/autosens_stats.dir/distance.cpp.o"
+  "CMakeFiles/autosens_stats.dir/distance.cpp.o.d"
+  "CMakeFiles/autosens_stats.dir/histogram.cpp.o"
+  "CMakeFiles/autosens_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/autosens_stats.dir/linalg.cpp.o"
+  "CMakeFiles/autosens_stats.dir/linalg.cpp.o.d"
+  "CMakeFiles/autosens_stats.dir/pchip.cpp.o"
+  "CMakeFiles/autosens_stats.dir/pchip.cpp.o.d"
+  "CMakeFiles/autosens_stats.dir/piecewise.cpp.o"
+  "CMakeFiles/autosens_stats.dir/piecewise.cpp.o.d"
+  "CMakeFiles/autosens_stats.dir/rng.cpp.o"
+  "CMakeFiles/autosens_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/autosens_stats.dir/sampling.cpp.o"
+  "CMakeFiles/autosens_stats.dir/sampling.cpp.o.d"
+  "CMakeFiles/autosens_stats.dir/savitzky_golay.cpp.o"
+  "CMakeFiles/autosens_stats.dir/savitzky_golay.cpp.o.d"
+  "CMakeFiles/autosens_stats.dir/streaming_quantile.cpp.o"
+  "CMakeFiles/autosens_stats.dir/streaming_quantile.cpp.o.d"
+  "CMakeFiles/autosens_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/autosens_stats.dir/timeseries.cpp.o.d"
+  "libautosens_stats.a"
+  "libautosens_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autosens_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

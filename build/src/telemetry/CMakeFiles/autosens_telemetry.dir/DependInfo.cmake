@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/binlog.cpp" "src/telemetry/CMakeFiles/autosens_telemetry.dir/binlog.cpp.o" "gcc" "src/telemetry/CMakeFiles/autosens_telemetry.dir/binlog.cpp.o.d"
+  "/root/repo/src/telemetry/clock.cpp" "src/telemetry/CMakeFiles/autosens_telemetry.dir/clock.cpp.o" "gcc" "src/telemetry/CMakeFiles/autosens_telemetry.dir/clock.cpp.o.d"
+  "/root/repo/src/telemetry/csv.cpp" "src/telemetry/CMakeFiles/autosens_telemetry.dir/csv.cpp.o" "gcc" "src/telemetry/CMakeFiles/autosens_telemetry.dir/csv.cpp.o.d"
+  "/root/repo/src/telemetry/dataset.cpp" "src/telemetry/CMakeFiles/autosens_telemetry.dir/dataset.cpp.o" "gcc" "src/telemetry/CMakeFiles/autosens_telemetry.dir/dataset.cpp.o.d"
+  "/root/repo/src/telemetry/filter.cpp" "src/telemetry/CMakeFiles/autosens_telemetry.dir/filter.cpp.o" "gcc" "src/telemetry/CMakeFiles/autosens_telemetry.dir/filter.cpp.o.d"
+  "/root/repo/src/telemetry/jsonl.cpp" "src/telemetry/CMakeFiles/autosens_telemetry.dir/jsonl.cpp.o" "gcc" "src/telemetry/CMakeFiles/autosens_telemetry.dir/jsonl.cpp.o.d"
+  "/root/repo/src/telemetry/logdir.cpp" "src/telemetry/CMakeFiles/autosens_telemetry.dir/logdir.cpp.o" "gcc" "src/telemetry/CMakeFiles/autosens_telemetry.dir/logdir.cpp.o.d"
+  "/root/repo/src/telemetry/record.cpp" "src/telemetry/CMakeFiles/autosens_telemetry.dir/record.cpp.o" "gcc" "src/telemetry/CMakeFiles/autosens_telemetry.dir/record.cpp.o.d"
+  "/root/repo/src/telemetry/user_stats.cpp" "src/telemetry/CMakeFiles/autosens_telemetry.dir/user_stats.cpp.o" "gcc" "src/telemetry/CMakeFiles/autosens_telemetry.dir/user_stats.cpp.o.d"
+  "/root/repo/src/telemetry/validate.cpp" "src/telemetry/CMakeFiles/autosens_telemetry.dir/validate.cpp.o" "gcc" "src/telemetry/CMakeFiles/autosens_telemetry.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/autosens_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autosens_telemetry.dir/binlog.cpp.o"
+  "CMakeFiles/autosens_telemetry.dir/binlog.cpp.o.d"
+  "CMakeFiles/autosens_telemetry.dir/clock.cpp.o"
+  "CMakeFiles/autosens_telemetry.dir/clock.cpp.o.d"
+  "CMakeFiles/autosens_telemetry.dir/csv.cpp.o"
+  "CMakeFiles/autosens_telemetry.dir/csv.cpp.o.d"
+  "CMakeFiles/autosens_telemetry.dir/dataset.cpp.o"
+  "CMakeFiles/autosens_telemetry.dir/dataset.cpp.o.d"
+  "CMakeFiles/autosens_telemetry.dir/filter.cpp.o"
+  "CMakeFiles/autosens_telemetry.dir/filter.cpp.o.d"
+  "CMakeFiles/autosens_telemetry.dir/jsonl.cpp.o"
+  "CMakeFiles/autosens_telemetry.dir/jsonl.cpp.o.d"
+  "CMakeFiles/autosens_telemetry.dir/logdir.cpp.o"
+  "CMakeFiles/autosens_telemetry.dir/logdir.cpp.o.d"
+  "CMakeFiles/autosens_telemetry.dir/record.cpp.o"
+  "CMakeFiles/autosens_telemetry.dir/record.cpp.o.d"
+  "CMakeFiles/autosens_telemetry.dir/user_stats.cpp.o"
+  "CMakeFiles/autosens_telemetry.dir/user_stats.cpp.o.d"
+  "CMakeFiles/autosens_telemetry.dir/validate.cpp.o"
+  "CMakeFiles/autosens_telemetry.dir/validate.cpp.o.d"
+  "libautosens_telemetry.a"
+  "libautosens_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autosens_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

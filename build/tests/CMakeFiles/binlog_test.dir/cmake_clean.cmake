@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binlog_test.dir/binlog_test.cpp.o"
+  "CMakeFiles/binlog_test.dir/binlog_test.cpp.o.d"
+  "binlog_test"
+  "binlog_test.pdb"
+  "binlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

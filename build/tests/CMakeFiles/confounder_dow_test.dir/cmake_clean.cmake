@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confounder_dow_test.dir/confounder_dow_test.cpp.o"
+  "CMakeFiles/confounder_dow_test.dir/confounder_dow_test.cpp.o.d"
+  "confounder_dow_test"
+  "confounder_dow_test.pdb"
+  "confounder_dow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confounder_dow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

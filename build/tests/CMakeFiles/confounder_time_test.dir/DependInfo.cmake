@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/confounder_time_test.cpp" "tests/CMakeFiles/confounder_time_test.dir/confounder_time_test.cpp.o" "gcc" "tests/CMakeFiles/confounder_time_test.dir/confounder_time_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/autosens_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/simulate/CMakeFiles/autosens_simulate.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/autosens_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/autosens_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/autosens_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/autosens_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

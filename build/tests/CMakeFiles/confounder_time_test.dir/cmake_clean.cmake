@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confounder_time_test.dir/confounder_time_test.cpp.o"
+  "CMakeFiles/confounder_time_test.dir/confounder_time_test.cpp.o.d"
+  "confounder_time_test"
+  "confounder_time_test.pdb"
+  "confounder_time_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confounder_time_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_preference_test.dir/core_preference_test.cpp.o"
+  "CMakeFiles/core_preference_test.dir/core_preference_test.cpp.o.d"
+  "core_preference_test"
+  "core_preference_test.pdb"
+  "core_preference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_preference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

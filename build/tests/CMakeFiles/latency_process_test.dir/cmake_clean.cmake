@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_process_test.dir/latency_process_test.cpp.o"
+  "CMakeFiles/latency_process_test.dir/latency_process_test.cpp.o.d"
+  "latency_process_test"
+  "latency_process_test.pdb"
+  "latency_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logdir_test.dir/logdir_test.cpp.o"
+  "CMakeFiles/logdir_test.dir/logdir_test.cpp.o.d"
+  "logdir_test"
+  "logdir_test.pdb"
+  "logdir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logdir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

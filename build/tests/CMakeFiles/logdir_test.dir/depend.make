@@ -1,0 +1,2 @@
+# Empty dependencies file for logdir_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pchip_test.dir/pchip_test.cpp.o"
+  "CMakeFiles/pchip_test.dir/pchip_test.cpp.o.d"
+  "pchip_test"
+  "pchip_test.pdb"
+  "pchip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pchip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

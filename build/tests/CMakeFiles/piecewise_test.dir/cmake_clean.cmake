@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piecewise_test.dir/piecewise_test.cpp.o"
+  "CMakeFiles/piecewise_test.dir/piecewise_test.cpp.o.d"
+  "piecewise_test"
+  "piecewise_test.pdb"
+  "piecewise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piecewise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

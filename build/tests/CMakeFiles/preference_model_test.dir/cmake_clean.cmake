@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preference_model_test.dir/preference_model_test.cpp.o"
+  "CMakeFiles/preference_model_test.dir/preference_model_test.cpp.o.d"
+  "preference_model_test"
+  "preference_model_test.pdb"
+  "preference_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preference_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

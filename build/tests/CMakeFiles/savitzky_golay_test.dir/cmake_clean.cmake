@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/savitzky_golay_test.dir/savitzky_golay_test.cpp.o"
+  "CMakeFiles/savitzky_golay_test.dir/savitzky_golay_test.cpp.o.d"
+  "savitzky_golay_test"
+  "savitzky_golay_test.pdb"
+  "savitzky_golay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/savitzky_golay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slices_test.dir/slices_test.cpp.o"
+  "CMakeFiles/slices_test.dir/slices_test.cpp.o.d"
+  "slices_test"
+  "slices_test.pdb"
+  "slices_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slices_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_quantile_test.dir/streaming_quantile_test.cpp.o"
+  "CMakeFiles/streaming_quantile_test.dir/streaming_quantile_test.cpp.o.d"
+  "streaming_quantile_test"
+  "streaming_quantile_test.pdb"
+  "streaming_quantile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_quantile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

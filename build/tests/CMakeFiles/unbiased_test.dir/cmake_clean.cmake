@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unbiased_test.dir/unbiased_test.cpp.o"
+  "CMakeFiles/unbiased_test.dir/unbiased_test.cpp.o.d"
+  "unbiased_test"
+  "unbiased_test.pdb"
+  "unbiased_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unbiased_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

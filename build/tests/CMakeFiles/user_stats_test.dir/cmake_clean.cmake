@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_stats_test.dir/user_stats_test.cpp.o"
+  "CMakeFiles/user_stats_test.dir/user_stats_test.cpp.o.d"
+  "user_stats_test"
+  "user_stats_test.pdb"
+  "user_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autosens_cli.dir/autosens_cli.cpp.o"
+  "CMakeFiles/autosens_cli.dir/autosens_cli.cpp.o.d"
+  "autosens_cli"
+  "autosens_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autosens_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autosens_cli_args.dir/cli_args.cpp.o"
+  "CMakeFiles/autosens_cli_args.dir/cli_args.cpp.o.d"
+  "libautosens_cli_args.a"
+  "libautosens_cli_args.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autosens_cli_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
