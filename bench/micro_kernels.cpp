@@ -4,17 +4,21 @@
 // analysis pipeline.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <sstream>
 #include <vector>
 
 #include "core/pipeline.h"
+#include "core/slices.h"
 #include "simulate/generator.h"
 #include "simulate/presets.h"
+#include "stats/bootstrap.h"
 #include "stats/histogram.h"
 #include "stats/rng.h"
 #include "stats/sampling.h"
 #include "stats/savitzky_golay.h"
 #include "telemetry/binlog.h"
+#include "telemetry/clock.h"
 #include "telemetry/filter.h"
 #include "telemetry/validate.h"
 
@@ -123,6 +127,112 @@ void BM_WorkloadGenerator(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(records));
 }
 BENCHMARK(BM_WorkloadGenerator);
+
+// ---------------------------------------------------------------------------
+// --threads scaling of the parallel execution layer (BENCH_parallel.json).
+// Each benchmark takes the worker-thread count as its argument; results are
+// byte-identical across arguments, only the wall clock changes.
+
+/// A shared 1M-record, 14-day dataset with diurnal structure (built once).
+const telemetry::Dataset& million_record_dataset() {
+  static const telemetry::Dataset dataset = [] {
+    constexpr std::size_t kRecords = 1'000'000;
+    constexpr int kDays = 14;
+    stats::Random random(97);
+    telemetry::Dataset built;
+    built.reserve(kRecords);
+    const std::int64_t begin = 400 * telemetry::kMillisPerDay;
+    constexpr auto kSpan = static_cast<double>(kDays) * telemetry::kMillisPerDay;
+    constexpr telemetry::ActionType kActions[] = {
+        telemetry::ActionType::kSelectMail, telemetry::ActionType::kSwitchFolder,
+        telemetry::ActionType::kSelectMail, telemetry::ActionType::kSearch,
+        telemetry::ActionType::kComposeSend};
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      telemetry::ActionRecord record;
+      record.time_ms = begin + static_cast<std::int64_t>(
+                                   kSpan * static_cast<double>(i) / kRecords);
+      const double hour =
+          static_cast<double>(record.time_ms % telemetry::kMillisPerDay) /
+          static_cast<double>(telemetry::kMillisPerHour);
+      const double diurnal = 120.0 * std::sin(hour / 24.0 * 2.0 * 3.141592653589793);
+      record.latency_ms = std::min(
+          2900.0, 180.0 + diurnal + 250.0 * -std::log(1.0 - random.uniform(0.0, 1.0)));
+      record.user_id = i % 499;
+      record.action = kActions[i % 5];
+      record.user_class = (i % 3 == 0) ? telemetry::UserClass::kBusiness
+                                       : telemetry::UserClass::kConsumer;
+      built.add(record);
+    }
+    built.sort_by_time();
+    return built;
+  }();
+  return dataset;
+}
+
+void BM_PipelineAnalyzeThreads(benchmark::State& state) {
+  const auto& dataset = million_record_dataset();
+  core::AutoSensOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = core::analyze(dataset, options);
+    benchmark::DoNotOptimize(result.normalized.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dataset.size()));
+}
+BENCHMARK(BM_PipelineAnalyzeThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SlicesByActionThreads(benchmark::State& state) {
+  const auto& dataset = million_record_dataset();
+  core::AutoSensOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto curves = core::preference_by_action(dataset, options);
+    benchmark::DoNotOptimize(curves.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dataset.size()));
+}
+BENCHMARK(BM_SlicesByActionThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_MonteCarloUnbiasedThreads(benchmark::State& state) {
+  const auto& dataset = million_record_dataset();
+  core::AutoSensOptions options;
+  options.unbiased_method = core::UnbiasedMethod::kMonteCarlo;
+  options.unbiased_draws = 2'000'000;
+  options.normalize_time_confounder = false;  // isolate the MC estimator
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = core::analyze(dataset, options);
+    benchmark::DoNotOptimize(result.normalized.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(options.unbiased_draws));
+}
+BENCHMARK(BM_MonteCarloUnbiasedThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_BootstrapThreads(benchmark::State& state) {
+  const auto values = random_values(200'000, 11);
+  const auto mean = [](std::span<const double> sample) {
+    double sum = 0.0;
+    for (const double v : sample) sum += v;
+    return sum / static_cast<double>(sample.size());
+  };
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    stats::Random random(12);
+    auto interval = stats::bootstrap_interval(values, mean, 100, 0.95, random, threads);
+    benchmark::DoNotOptimize(interval.lo);
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * 200'000);
+}
+BENCHMARK(BM_BootstrapThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_EndToEndAnalysis(benchmark::State& state) {
   auto config = simulate::paper_config(simulate::Scale::kTiny, 9);

@@ -1,5 +1,7 @@
 #include "core/biased.h"
 
+#include "core/parallel.h"
+
 namespace autosens::core {
 
 stats::Histogram make_latency_histogram(const AutoSensOptions& options) {
@@ -15,9 +17,17 @@ stats::Histogram biased_histogram(std::span<const double> latencies,
 
 stats::Histogram biased_histogram(const telemetry::Dataset& dataset,
                                   const AutoSensOptions& options) {
-  auto histogram = make_latency_histogram(options);
-  for (const auto& record : dataset.records()) histogram.add(record.latency_ms);
-  return histogram;
+  const auto records = dataset.records();
+  return parallel_map_reduce<stats::Histogram>(
+      records.size(), options.threads, kRecordChunk,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        auto histogram = make_latency_histogram(options);
+        for (std::size_t i = begin; i < end; ++i) histogram.add(records[i].latency_ms);
+        return histogram;
+      },
+      [](stats::Histogram& accumulator, stats::Histogram&& partial) {
+        accumulator.merge(partial);
+      });
 }
 
 }  // namespace autosens::core

@@ -1,8 +1,10 @@
 #include "core/confidence.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "core/pipeline.h"
 #include "stats/descriptive.h"
 #include "telemetry/clock.h"
@@ -62,19 +64,42 @@ PreferenceWithConfidence analyze_with_confidence(const telemetry::Dataset& datas
   result.point = analyze(dataset, options);
   result.probe_latency_ms = std::move(probe_latencies);
 
-  std::vector<std::vector<double>> draws(result.probe_latency_ms.size());
-  for (std::size_t r = 0; r < confidence.replicates; ++r) {
-    const auto resampled = day_block_resample(dataset, random);
-    try {
-      const auto curve = analyze(resampled, options);
-      ++result.usable_replicates;
-      for (std::size_t p = 0; p < result.probe_latency_ms.size(); ++p) {
-        if (curve.covers(result.probe_latency_ms[p])) {
-          draws[p].push_back(curve.at(result.probe_latency_ms[p]));
+  // Each replicate resamples from its own counter-seeded substream and
+  // records its per-probe values into a private slot; the slots merge in
+  // replicate order, so the intervals are byte-identical for any
+  // options.threads. The inner analyze() calls serialize automatically
+  // inside the replicate-level parallel region.
+  struct Replicate {
+    bool usable = false;
+    std::vector<std::optional<double>> at_probe;
+  };
+  const std::uint64_t stream_base = random.engine()();
+  std::vector<Replicate> replicate_draws(confidence.replicates);
+  parallel_for_items(
+      confidence.replicates, options.threads, [&](std::size_t r) {
+        stats::Random substream(stats::substream_seed(stream_base, r));
+        auto& slot = replicate_draws[r];
+        slot.at_probe.assign(result.probe_latency_ms.size(), std::nullopt);
+        const auto resampled = day_block_resample(dataset, substream);
+        try {
+          const auto curve = analyze(resampled, options);
+          slot.usable = true;
+          for (std::size_t p = 0; p < result.probe_latency_ms.size(); ++p) {
+            if (curve.covers(result.probe_latency_ms[p])) {
+              slot.at_probe[p] = curve.at(result.probe_latency_ms[p]);
+            }
+          }
+        } catch (const std::invalid_argument&) {
+          // Degenerate resample (e.g. reference latency unsupported): skip.
         }
-      }
-    } catch (const std::invalid_argument&) {
-      // Degenerate resample (e.g. reference latency unsupported): skip.
+      });
+
+  std::vector<std::vector<double>> draws(result.probe_latency_ms.size());
+  for (const auto& slot : replicate_draws) {
+    if (!slot.usable) continue;
+    ++result.usable_replicates;
+    for (std::size_t p = 0; p < draws.size(); ++p) {
+      if (slot.at_probe[p]) draws[p].push_back(*slot.at_probe[p]);
     }
   }
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
+#include "core/parallel.h"
 #include "stats/sampling.h"
 
 namespace autosens::core {
@@ -64,6 +67,49 @@ std::vector<TimeWindow> class_windows(int slot, std::int64_t slot_ms, std::int64
   return windows;
 }
 
+/// One pass over the records, classifying each into `class_count` groups via
+/// `classify` and accumulating per-group α-bin counts + record totals. The
+/// per-chunk partials merge in chunk order (counts are unit weights, so the
+/// sums are exact regardless, but the fixed order keeps the guarantee
+/// uniform across the codebase).
+struct ClassCounts {
+  std::vector<stats::Histogram> counts;
+  std::vector<std::size_t> records;
+};
+
+ClassCounts classify_records(std::span<const telemetry::ActionRecord> records,
+                             std::size_t class_count, const AutoSensOptions& options,
+                             const std::function<std::size_t(const telemetry::ActionRecord&)>&
+                                 classify) {
+  const auto make_partial = [&] {
+    ClassCounts partial;
+    partial.counts.reserve(class_count);
+    for (std::size_t k = 0; k < class_count; ++k) {
+      partial.counts.push_back(stats::Histogram::covering(0.0, options.max_latency_ms,
+                                                          options.alpha_bin_width_ms));
+    }
+    partial.records.assign(class_count, 0);
+    return partial;
+  };
+  return parallel_map_reduce<ClassCounts>(
+      records.size(), options.threads, kRecordChunk,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        auto partial = make_partial();
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t k = classify(records[i]);
+          partial.counts[k].add(records[i].latency_ms);
+          ++partial.records[k];
+        }
+        return partial;
+      },
+      [class_count](ClassCounts& accumulator, ClassCounts&& partial) {
+        for (std::size_t k = 0; k < class_count; ++k) {
+          accumulator.counts[k].merge(partial.counts[k]);
+          accumulator.records[k] += partial.records[k];
+        }
+      });
+}
+
 }  // namespace
 
 TimeNormalizer::TimeNormalizer(const telemetry::Dataset& dataset,
@@ -83,27 +129,44 @@ TimeNormalizer::TimeNormalizer(const telemetry::Dataset& dataset,
   const auto times = dataset.times();
   const auto latencies = dataset.latencies();
 
-  // Build per-class counts and unbiased time fractions, pooled across days.
+  // Per-class counts and unbiased time fractions, pooled across days. Each
+  // time-of-day class builds its windows and fraction histogram
+  // independently — one task per class.
   std::vector<SlotData> data;
   data.reserve(static_cast<std::size_t>(class_count));
   for (int k = 0; k < class_count; ++k) {
-    const auto windows = class_windows(k, options_.alpha_slot_ms, data_begin, data_end);
-    SlotData sd{.counts = stats::Histogram::covering(0.0, options_.max_latency_ms,
-                                                     options_.alpha_bin_width_ms),
-                .fractions = unbiased_histogram_over_windows(times, latencies, windows,
-                                                             options_.alpha_bin_width_ms,
-                                                             options_.max_latency_ms),
-                .records = 0,
-                .total_time = 0.0};
-    for (const auto& w : windows) sd.total_time += static_cast<double>(w.length());
-    data.push_back(std::move(sd));
+    data.push_back(SlotData{.counts = stats::Histogram::covering(0.0, options_.max_latency_ms,
+                                                                 options_.alpha_bin_width_ms),
+                            .fractions = stats::Histogram::covering(
+                                0.0, options_.max_latency_ms, options_.alpha_bin_width_ms),
+                            .records = 0,
+                            .total_time = 0.0});
   }
-  for (const auto& record : dataset.records()) {
-    const auto k = static_cast<std::size_t>(
-        ((record.time_ms % telemetry::kMillisPerDay) + telemetry::kMillisPerDay) %
-        telemetry::kMillisPerDay / options_.alpha_slot_ms);
-    data[k].counts.add(record.latency_ms);
-    ++data[k].records;
+  parallel_for_items(static_cast<std::size_t>(class_count), options_.threads,
+                     [&](std::size_t k) {
+                       const auto windows = class_windows(static_cast<int>(k),
+                                                          options_.alpha_slot_ms, data_begin,
+                                                          data_end);
+                       data[k].fractions = unbiased_histogram_over_windows(
+                           times, latencies, windows, options_.alpha_bin_width_ms,
+                           options_.max_latency_ms);
+                       for (const auto& w : windows) {
+                         data[k].total_time += static_cast<double>(w.length());
+                       }
+                     });
+
+  const std::int64_t slot_ms = options_.alpha_slot_ms;
+  auto classified = classify_records(
+      dataset.records(), static_cast<std::size_t>(class_count), options_,
+      [slot_ms](const telemetry::ActionRecord& record) {
+        return static_cast<std::size_t>(
+            ((record.time_ms % telemetry::kMillisPerDay) + telemetry::kMillisPerDay) %
+            telemetry::kMillisPerDay / slot_ms);
+      });
+  for (int k = 0; k < class_count; ++k) {
+    auto& sd = data[static_cast<std::size_t>(k)];
+    sd.counts = std::move(classified.counts[static_cast<std::size_t>(k)]);
+    sd.records = classified.records[static_cast<std::size_t>(k)];
   }
 
   // Reference slots: the busiest classes with enough data (the paper picks
@@ -167,12 +230,36 @@ double TimeNormalizer::alpha_at(std::int64_t time_ms) const noexcept {
 }
 
 stats::Histogram TimeNormalizer::normalized_biased(const telemetry::Dataset& dataset) const {
-  auto histogram =
-      stats::Histogram::covering(0.0, options_.max_latency_ms, options_.bin_width_ms);
-  for (const auto& record : dataset.records()) {
-    histogram.add(record.latency_ms, 1.0 / alpha_at(record.time_ms));
+  const auto records = dataset.records();
+  // Hoist the per-slot 1/α into a table; each chunk gathers its latencies
+  // and weights into flat arrays and bulk-adds them.
+  std::vector<double> inverse_alpha(slots_.size(), 1.0);
+  for (std::size_t k = 0; k < slots_.size(); ++k) {
+    inverse_alpha[k] = 1.0 / slots_[k].alpha;
   }
-  return histogram;
+  const std::int64_t slot_ms = options_.alpha_slot_ms;
+  return parallel_map_reduce<stats::Histogram>(
+      records.size(), options_.threads, kRecordChunk,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        auto histogram =
+            stats::Histogram::covering(0.0, options_.max_latency_ms, options_.bin_width_ms);
+        std::vector<double> values;
+        std::vector<double> weights;
+        values.reserve(end - begin);
+        weights.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto k = static_cast<std::size_t>(
+              ((records[i].time_ms % telemetry::kMillisPerDay) + telemetry::kMillisPerDay) %
+              telemetry::kMillisPerDay / slot_ms);
+          values.push_back(records[i].latency_ms);
+          weights.push_back(k < inverse_alpha.size() ? inverse_alpha[k] : 1.0);
+        }
+        histogram.add_all(values, weights);
+        return histogram;
+      },
+      [](stats::Histogram& accumulator, stats::Histogram&& partial) {
+        accumulator.merge(partial);
+      });
 }
 
 std::vector<TimeWindow> period_windows(const telemetry::Dataset& dataset,
@@ -205,23 +292,33 @@ std::array<PeriodAlpha, telemetry::kDayPeriodCount> alpha_by_period(
   std::vector<SlotData> data;
   data.reserve(telemetry::kDayPeriodCount);
   for (int p = 0; p < telemetry::kDayPeriodCount; ++p) {
-    const auto period = static_cast<telemetry::DayPeriod>(p);
-    const auto windows = period_windows(dataset, period);
-    SlotData pd{.counts = stats::Histogram::covering(0.0, options.max_latency_ms,
-                                                     options.alpha_bin_width_ms),
-                .fractions = unbiased_histogram_over_windows(times, latencies, windows,
-                                                             options.alpha_bin_width_ms,
-                                                             options.max_latency_ms),
-                .records = 0,
-                .total_time = 0.0};
-    for (const auto& w : windows) pd.total_time += static_cast<double>(w.length());
-    for (const auto& r : dataset.records()) {
-      if (telemetry::day_period(r.time_ms) == period) {
-        pd.counts.add(r.latency_ms);
-        ++pd.records;
-      }
-    }
-    data.push_back(std::move(pd));
+    data.push_back(SlotData{.counts = stats::Histogram::covering(0.0, options.max_latency_ms,
+                                                                 options.alpha_bin_width_ms),
+                            .fractions = stats::Histogram::covering(
+                                0.0, options.max_latency_ms, options.alpha_bin_width_ms),
+                            .records = 0,
+                            .total_time = 0.0});
+  }
+  parallel_for_items(telemetry::kDayPeriodCount, options.threads, [&](std::size_t p) {
+    const auto windows = period_windows(dataset, static_cast<telemetry::DayPeriod>(p));
+    data[p].fractions =
+        unbiased_histogram_over_windows(times, latencies, windows,
+                                        options.alpha_bin_width_ms, options.max_latency_ms);
+    for (const auto& w : windows) data[p].total_time += static_cast<double>(w.length());
+  });
+
+  // Classify every record's period ONCE in a single pass (the old code
+  // rescanned the whole dataset for each of the four periods).
+  auto classified = classify_records(
+      dataset.records(), telemetry::kDayPeriodCount, options,
+      [](const telemetry::ActionRecord& record) {
+        return static_cast<std::size_t>(telemetry::day_period(record.time_ms));
+      });
+  for (int p = 0; p < telemetry::kDayPeriodCount; ++p) {
+    data[static_cast<std::size_t>(p)].counts =
+        std::move(classified.counts[static_cast<std::size_t>(p)]);
+    data[static_cast<std::size_t>(p)].records =
+        classified.records[static_cast<std::size_t>(p)];
   }
 
   const auto& ref = data[static_cast<std::size_t>(reference)];

@@ -56,6 +56,13 @@ struct AutoSensOptions {
   std::size_t alpha_reference_slots = 8;
   /// Slots need at least this many records to act as an α reference.
   std::size_t alpha_min_slot_records = 50;
+
+  /// Worker threads for the parallel execution layer: 0 = all hardware
+  /// threads, 1 = serial. Every analysis output is byte-identical for any
+  /// value — work is split over a fixed chunk grid with partials merged in
+  /// chunk order and per-chunk counter-seeded RNG substreams (see DESIGN.md
+  /// "Threading model & determinism").
+  std::size_t threads = 0;
 };
 
 }  // namespace autosens::core

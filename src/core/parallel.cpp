@@ -1,0 +1,176 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+
+namespace autosens::core {
+namespace {
+
+/// Cap on pool workers: far above any sane `threads` request, present only
+/// so a typo like --threads 1e9 cannot fork-bomb the process.
+constexpr std::size_t kMaxWorkers = 64;
+
+thread_local int region_depth = 0;
+
+struct RegionGuard {
+  RegionGuard() noexcept { ++region_depth; }
+  ~RegionGuard() noexcept { --region_depth; }
+  RegionGuard(const RegionGuard&) = delete;
+};
+
+}  // namespace
+
+std::size_t resolve_threads(std::size_t threads) noexcept {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ChunkGrid make_chunk_grid(std::size_t count, std::size_t min_per_chunk,
+                          std::size_t max_chunks) noexcept {
+  ChunkGrid grid{.count = count, .chunks = 1};
+  if (min_per_chunk == 0) min_per_chunk = 1;
+  grid.chunks = std::clamp<std::size_t>(count / min_per_chunk, 1, std::max<std::size_t>(max_chunks, 1));
+  return grid;
+}
+
+struct ThreadPool::Job {
+  std::size_t chunks = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::size_t tickets = 0;  ///< Workers still allowed to join (under mutex_).
+  std::size_t active = 0;   ///< Workers currently processing (under mutex_).
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error;
+};
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+bool ThreadPool::in_parallel_region() noexcept { return region_depth > 0; }
+
+std::size_t ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+void ThreadPool::ensure_workers_locked(std::size_t target) {
+  target = std::min(target, kMaxWorkers);
+  while (workers_.size() < target) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::run(std::size_t chunks, std::size_t concurrency,
+                     const std::function<void(std::size_t)>& body) {
+  if (chunks == 0) return;
+  if (chunks == 1 || concurrency <= 1 || in_parallel_region()) {
+    // Serial / nested path: inline, in chunk order.
+    for (std::size_t c = 0; c < chunks; ++c) body(c);
+    return;
+  }
+
+  // One region at a time; a second top-level caller blocks here until the
+  // first drains (its workers never depend on us, so this cannot deadlock).
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+
+  Job job;
+  job.chunks = chunks;
+  job.body = &body;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ensure_workers_locked(concurrency - 1);
+    job.tickets = std::min(concurrency - 1, workers_.size());
+    job_ = &job;
+  }
+  work_cv_.notify_all();
+
+  {
+    RegionGuard guard;
+    process(job);
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // All chunks are claimed once the caller's process() returns, so no new
+    // worker can join; wait for the ones mid-chunk.
+    done_cv_.wait(lock, [&] { return job.active == 0; });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::process(Job& job) {
+  for (;;) {
+    const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunks) return;
+    if (job.failed.load(std::memory_order_acquire)) continue;  // drain fast
+    try {
+      (*job.body)(c);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (c < job.error_chunk) {
+        job.error_chunk = c;
+        job.error = std::current_exception();
+      }
+      job.failed.store(true, std::memory_order_release);
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && job_->tickets > 0 &&
+                       job_->next.load(std::memory_order_relaxed) < job_->chunks);
+    });
+    if (stop_) return;
+    Job& job = *job_;
+    --job.tickets;
+    ++job.active;
+    lock.unlock();
+    {
+      RegionGuard guard;
+      process(job);
+    }
+    lock.lock();
+    --job.active;
+    if (job.active == 0) done_cv_.notify_all();
+  }
+}
+
+void parallel_for(std::size_t count, std::size_t threads, std::size_t min_per_chunk,
+                  const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (count == 0) return;
+  const ChunkGrid grid = make_chunk_grid(count, min_per_chunk);
+  const std::size_t workers = resolve_threads(threads);
+  ThreadPool::shared().run(grid.chunks, workers, [&](std::size_t c) {
+    body(grid.begin(c), grid.end(c), c);
+  });
+}
+
+void parallel_for_items(std::size_t count, std::size_t threads,
+                        const std::function<void(std::size_t)>& body) {
+  parallel_for(count, threads, 1,
+               [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+                 for (std::size_t i = begin; i < end; ++i) body(i);
+               });
+}
+
+}  // namespace autosens::core

@@ -1,0 +1,135 @@
+// Deterministic parallel execution layer for the analysis pipeline.
+//
+// The contract every user of this header relies on: the OUTPUT of a parallel
+// region is a function of the input data only, never of the thread count.
+// Two mechanisms enforce this:
+//
+//  1. Work is split over a fixed chunk grid computed from the element count
+//     alone (make_chunk_grid). threads=1 and threads=N execute the exact
+//     same chunks; threads only decides how many workers pull them.
+//  2. parallel_map_reduce merges per-chunk partials in ascending chunk
+//     order after all chunks complete, so floating-point reductions are
+//     byte-identical for any thread count.
+//
+// Stochastic chunk work derives a counter-seeded RNG substream per chunk
+// (stats::substream_seed), so draw sequences are likewise independent of
+// scheduling.
+//
+// Nested parallel regions are serialized: a region opened from inside a
+// worker (or from the caller thread while it participates in a region) runs
+// its chunks inline, in order. This keeps the pool deadlock-free and makes
+// e.g. slice-level parallelism compose with the parallel pipeline beneath it.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace autosens::core {
+
+/// Resolve a `threads` option value: 0 means "all hardware threads",
+/// anything else is taken literally. Always returns >= 1.
+std::size_t resolve_threads(std::size_t threads) noexcept;
+
+/// A fixed partition of [0, count) into near-equal contiguous chunks.
+/// The partition depends only on `count` and the chunking policy — never on
+/// the thread count — which is what makes chunk-ordered reductions
+/// deterministic under any scheduling.
+struct ChunkGrid {
+  std::size_t count = 0;
+  std::size_t chunks = 1;
+  std::size_t begin(std::size_t c) const noexcept { return count * c / chunks; }
+  std::size_t end(std::size_t c) const noexcept { return count * (c + 1) / chunks; }
+};
+
+inline constexpr std::size_t kDefaultMaxChunks = 256;
+
+/// Grid with ~`min_per_chunk` elements per chunk, capped at `max_chunks`
+/// chunks (at least 1, even for count == 0).
+ChunkGrid make_chunk_grid(std::size_t count, std::size_t min_per_chunk,
+                          std::size_t max_chunks = kDefaultMaxChunks) noexcept;
+
+/// A small reusable pool of worker threads. One job runs at a time
+/// (concurrent callers are serialized); nested use from a worker runs
+/// inline. Workers are spawned lazily up to the requested concurrency, so
+/// `threads=8` really exercises 8 threads even on smaller machines.
+class ThreadPool {
+ public:
+  /// The process-wide pool used by parallel_for / parallel_map_reduce.
+  static ThreadPool& shared();
+
+  ThreadPool() = default;
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// True on a thread currently executing chunks of a parallel region
+  /// (worker or participating caller). Regions opened here run inline.
+  static bool in_parallel_region() noexcept;
+
+  std::size_t worker_count() const;
+
+  /// Execute body(c) for every c in [0, chunks) using up to `concurrency`
+  /// threads (the caller participates). Blocks until all chunks finished.
+  /// If any chunk throws, the exception with the lowest chunk index among
+  /// those that ran is rethrown after the region drains; remaining chunks
+  /// are skipped best-effort.
+  void run(std::size_t chunks, std::size_t concurrency,
+           const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Job;
+  void process(Job& job);
+  void worker_loop();
+  void ensure_workers_locked(std::size_t target);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::mutex run_mutex_;  ///< Serializes concurrent top-level regions.
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;
+  bool stop_ = false;
+};
+
+/// Chunked parallel loop: body(begin, end, chunk) over the fixed grid of
+/// [0, count). Chunks run in unspecified order (in index order when serial);
+/// bodies must not touch overlapping state across chunks.
+void parallel_for(std::size_t count, std::size_t threads, std::size_t min_per_chunk,
+                  const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+/// Item-level convenience: body(i) for i in [0, count), one item per chunk
+/// (used for slice fan-outs, time-of-day classes, bootstrap replicates).
+void parallel_for_items(std::size_t count, std::size_t threads,
+                        const std::function<void(std::size_t)>& body);
+
+/// Map every chunk of [0, count) to a partial with map(begin, end, chunk),
+/// then fold the partials IN ASCENDING CHUNK ORDER with
+/// reduce(accumulator, std::move(partial)). The fixed grid plus ordered
+/// merge make the result byte-identical for every thread count.
+template <typename T, typename Map, typename Reduce>
+T parallel_map_reduce(std::size_t count, std::size_t threads, std::size_t min_per_chunk,
+                      Map&& map, Reduce&& reduce) {
+  const ChunkGrid grid = make_chunk_grid(count, min_per_chunk);
+  if (count == 0 || grid.chunks == 1) return map(0, count, std::size_t{0});
+  std::vector<std::optional<T>> partials(grid.chunks);
+  parallel_for(count, threads, min_per_chunk,
+               [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+                 partials[chunk].emplace(map(begin, end, chunk));
+               });
+  T accumulator = std::move(*partials[0]);
+  for (std::size_t c = 1; c < grid.chunks; ++c) {
+    reduce(accumulator, std::move(*partials[c]));
+  }
+  return accumulator;
+}
+
+/// Chunk sizes tuned for the record-loop and Monte-Carlo-draw workloads.
+inline constexpr std::size_t kRecordChunk = 8192;
+inline constexpr std::size_t kDrawChunk = 8192;
+
+}  // namespace autosens::core

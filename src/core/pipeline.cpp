@@ -52,7 +52,7 @@ AnalysisResult analyze_over_windows(const telemetry::Dataset& dataset,
 
   stats::Histogram unbiased = unbiased_histogram_over_windows(
       dataset.times(), dataset.latencies(), windows, options.bin_width_ms,
-      options.max_latency_ms);
+      options.max_latency_ms, options.threads);
   auto preference = compute_preference(biased, unbiased, options);
   preference.biased_samples = dataset.size();
   return AnalysisResult{.preference = std::move(preference),

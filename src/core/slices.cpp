@@ -1,7 +1,11 @@
 #include "core/slices.h"
 
+#include <functional>
+#include <optional>
 #include <stdexcept>
 #include <utility>
+
+#include "core/parallel.h"
 
 namespace autosens::core {
 namespace {
@@ -10,15 +14,34 @@ using telemetry::ActionType;
 using telemetry::Dataset;
 using telemetry::UserClass;
 
+using SliceTask = std::function<std::optional<NamedPreference>()>;
+
+/// Run the slice tasks (possibly in parallel — each slice filters and
+/// analyzes independently) and keep the successful ones in task order.
+/// Slices that are empty or cannot support a curve come back as nullopt.
+std::vector<NamedPreference> collect_slices(const std::vector<SliceTask>& tasks,
+                                            std::size_t threads) {
+  std::vector<std::optional<NamedPreference>> results(tasks.size());
+  parallel_for_items(tasks.size(), threads,
+                     [&](std::size_t i) { results[i] = tasks[i](); });
+  std::vector<NamedPreference> out;
+  out.reserve(tasks.size());
+  for (auto& result : results) {
+    if (result) out.push_back(std::move(*result));
+  }
+  return out;
+}
+
 /// Run `analyze` on a slice, skipping slices that cannot support a curve.
-void try_add(std::vector<NamedPreference>& out, std::string name, const Dataset& slice,
-             const AutoSensOptions& options) {
-  if (slice.empty()) return;
+std::optional<NamedPreference> try_analyze(std::string name, const Dataset& slice,
+                                           const AutoSensOptions& options) {
+  if (slice.empty()) return std::nullopt;
   try {
     auto result = analyze(slice, options);
-    out.push_back({std::move(name), std::move(result), slice.size()});
+    return NamedPreference{std::move(name), std::move(result), slice.size()};
   } catch (const std::invalid_argument&) {
     // Not enough support for this slice; callers see it as absent.
+    return std::nullopt;
   }
 }
 
@@ -27,29 +50,33 @@ void try_add(std::vector<NamedPreference>& out, std::string name, const Dataset&
 std::vector<NamedPreference> preference_by_action(const Dataset& dataset,
                                                   const AutoSensOptions& options,
                                                   std::optional<UserClass> user_class) {
-  std::vector<NamedPreference> out;
+  std::vector<SliceTask> tasks;
   for (const auto type : {ActionType::kSelectMail, ActionType::kSwitchFolder,
                           ActionType::kSearch, ActionType::kComposeSend}) {
-    auto predicate = telemetry::by_action(type);
-    if (user_class) {
-      predicate = telemetry::all_of({predicate, telemetry::by_user_class(*user_class)});
-    }
-    try_add(out, std::string(telemetry::to_string(type)), dataset.filtered(predicate),
-            options);
+    tasks.push_back([&, type, user_class] {
+      auto predicate = telemetry::by_action(type);
+      if (user_class) {
+        predicate = telemetry::all_of({predicate, telemetry::by_user_class(*user_class)});
+      }
+      return try_analyze(std::string(telemetry::to_string(type)),
+                         dataset.filtered(predicate), options);
+    });
   }
-  return out;
+  return collect_slices(tasks, options.threads);
 }
 
 std::vector<NamedPreference> preference_by_user_class(const Dataset& dataset,
                                                       const AutoSensOptions& options,
                                                       ActionType action) {
-  std::vector<NamedPreference> out;
+  std::vector<SliceTask> tasks;
   for (const auto user_class : {UserClass::kBusiness, UserClass::kConsumer}) {
-    const auto slice = dataset.filtered(telemetry::all_of(
-        {telemetry::by_action(action), telemetry::by_user_class(user_class)}));
-    try_add(out, std::string(telemetry::to_string(user_class)), slice, options);
+    tasks.push_back([&, user_class] {
+      const auto slice = dataset.filtered(telemetry::all_of(
+          {telemetry::by_action(action), telemetry::by_user_class(user_class)}));
+      return try_analyze(std::string(telemetry::to_string(user_class)), slice, options);
+    });
   }
-  return out;
+  return collect_slices(tasks, options.threads);
 }
 
 std::vector<NamedPreference> preference_by_quartile(const Dataset& dataset,
@@ -57,55 +84,65 @@ std::vector<NamedPreference> preference_by_quartile(const Dataset& dataset,
                                                     const AutoSensOptions& options,
                                                     ActionType action,
                                                     std::optional<UserClass> user_class) {
+  // The quartile table is built once, before the parallel region; tasks only
+  // read it.
   const telemetry::UserQuartiles quartiles(quartile_basis);
-  std::vector<NamedPreference> out;
+  std::vector<SliceTask> tasks;
   for (int q = 0; q < telemetry::UserQuartiles::kQuartileCount; ++q) {
-    auto predicate =
-        telemetry::all_of({telemetry::by_action(action), quartiles.in_quartile(q)});
-    if (user_class) {
-      predicate = telemetry::all_of({predicate, telemetry::by_user_class(*user_class)});
-    }
-    try_add(out, "Q" + std::to_string(q + 1), dataset.filtered(predicate), options);
+    tasks.push_back([&, q] {
+      auto predicate =
+          telemetry::all_of({telemetry::by_action(action), quartiles.in_quartile(q)});
+      if (user_class) {
+        predicate = telemetry::all_of({predicate, telemetry::by_user_class(*user_class)});
+      }
+      return try_analyze("Q" + std::to_string(q + 1), dataset.filtered(predicate),
+                         options);
+    });
   }
-  return out;
+  return collect_slices(tasks, options.threads);
 }
 
 std::vector<NamedPreference> preference_by_period(const Dataset& dataset,
                                                   const AutoSensOptions& options,
                                                   ActionType action,
                                                   UserClass user_class) {
-  std::vector<NamedPreference> out;
+  std::vector<SliceTask> tasks;
   for (int p = 0; p < telemetry::kDayPeriodCount; ++p) {
     const auto period = static_cast<telemetry::DayPeriod>(p);
-    const auto slice = dataset.filtered(telemetry::all_of(
-        {telemetry::by_action(action), telemetry::by_user_class(user_class),
-         telemetry::by_period(period)}));
-    if (slice.empty()) continue;
-    const auto windows = period_windows(slice, period);
-    try {
-      auto result = analyze_over_windows(slice, windows, options);
-      out.push_back({std::string(telemetry::to_string(period)),
-                     std::move(result.preference), slice.size()});
-    } catch (const std::invalid_argument&) {
-      // Slice too thin; skip.
-    }
+    tasks.push_back([&, period]() -> std::optional<NamedPreference> {
+      const auto slice = dataset.filtered(telemetry::all_of(
+          {telemetry::by_action(action), telemetry::by_user_class(user_class),
+           telemetry::by_period(period)}));
+      if (slice.empty()) return std::nullopt;
+      const auto windows = period_windows(slice, period);
+      try {
+        auto result = analyze_over_windows(slice, windows, options);
+        return NamedPreference{std::string(telemetry::to_string(period)),
+                               std::move(result.preference), slice.size()};
+      } catch (const std::invalid_argument&) {
+        // Slice too thin; skip.
+        return std::nullopt;
+      }
+    });
   }
-  return out;
+  return collect_slices(tasks, options.threads);
 }
 
 std::vector<NamedPreference> preference_by_month(const Dataset& dataset,
                                                  const AutoSensOptions& options,
                                                  ActionType action) {
-  std::vector<NamedPreference> out;
-  if (dataset.empty()) return out;
+  if (dataset.empty()) return {};
   const std::int64_t first_month = telemetry::month_index(dataset.begin_time());
   const std::int64_t last_month = telemetry::month_index(dataset.end_time() - 1);
+  std::vector<SliceTask> tasks;
   for (std::int64_t m = first_month; m <= last_month; ++m) {
-    const auto slice = dataset.filtered(
-        telemetry::all_of({telemetry::by_action(action), telemetry::by_month(m)}));
-    try_add(out, "Month" + std::to_string(m + 1), slice, options);
+    tasks.push_back([&, m] {
+      const auto slice = dataset.filtered(
+          telemetry::all_of({telemetry::by_action(action), telemetry::by_month(m)}));
+      return try_analyze("Month" + std::to_string(m + 1), slice, options);
+    });
   }
-  return out;
+  return collect_slices(tasks, options.threads);
 }
 
 }  // namespace autosens::core

@@ -4,9 +4,17 @@
 #include <stdexcept>
 
 #include "core/biased.h"
+#include "core/parallel.h"
 #include "stats/sampling.h"
 
 namespace autosens::core {
+namespace {
+
+void merge_histograms(stats::Histogram& accumulator, stats::Histogram&& partial) {
+  accumulator.merge(partial);
+}
+
+}  // namespace
 
 stats::Histogram unbiased_histogram_mc(std::span<const std::int64_t> times,
                                        std::span<const double> latencies,
@@ -15,11 +23,24 @@ stats::Histogram unbiased_histogram_mc(std::span<const std::int64_t> times,
   if (times.size() != latencies.size()) {
     throw std::invalid_argument("unbiased_histogram_mc: size mismatch");
   }
-  auto histogram = make_latency_histogram(options);
-  const auto draws = stats::nearest_sample_draws(times, window.begin_ms, window.end_ms,
-                                                 options.unbiased_draws, random);
-  for (const std::size_t idx : draws) histogram.add(latencies[idx]);
-  return histogram;
+  // One draw from the caller's stream anchors the whole estimate; each chunk
+  // of draws then runs its own counter-seeded substream, so the draw
+  // sequences (and the merged histogram) are independent of thread count.
+  const std::uint64_t stream_base = random.engine()();
+  return parallel_map_reduce<stats::Histogram>(
+      options.unbiased_draws, options.threads, kDrawChunk,
+      [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+        auto histogram = make_latency_histogram(options);
+        if (end > begin) {
+          stats::Random substream(stats::substream_seed(stream_base, chunk));
+          const auto draws = stats::nearest_sample_draws(times, window.begin_ms,
+                                                         window.end_ms, end - begin,
+                                                         substream);
+          for (const std::size_t idx : draws) histogram.add(latencies[idx]);
+        }
+        return histogram;
+      },
+      merge_histograms);
 }
 
 stats::Histogram unbiased_histogram_voronoi(std::span<const std::int64_t> times,
@@ -29,39 +50,56 @@ stats::Histogram unbiased_histogram_voronoi(std::span<const std::int64_t> times,
   if (times.size() != latencies.size()) {
     throw std::invalid_argument("unbiased_histogram_voronoi: size mismatch");
   }
-  auto histogram = make_latency_histogram(options);
-  const auto weights = stats::voronoi_weights(times, window.begin_ms, window.end_ms);
-  for (std::size_t i = 0; i < times.size(); ++i) histogram.add(latencies[i], weights[i]);
-  return histogram;
+  const auto weights =
+      stats::voronoi_weights(times, window.begin_ms, window.end_ms, options.threads);
+  const std::span<const double> weight_span(weights);
+  return parallel_map_reduce<stats::Histogram>(
+      times.size(), options.threads, kRecordChunk,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        auto histogram = make_latency_histogram(options);
+        histogram.add_all(latencies.subspan(begin, end - begin),
+                          weight_span.subspan(begin, end - begin));
+        return histogram;
+      },
+      merge_histograms);
 }
 
 stats::Histogram unbiased_histogram_over_windows(std::span<const std::int64_t> times,
                                                  std::span<const double> latencies,
                                                  std::span<const TimeWindow> windows,
-                                                 double bin_width_ms, double max_latency_ms) {
+                                                 double bin_width_ms, double max_latency_ms,
+                                                 std::size_t threads) {
   if (times.size() != latencies.size()) {
     throw std::invalid_argument("unbiased_histogram_over_windows: size mismatch");
   }
-  auto histogram = stats::Histogram::covering(0.0, max_latency_ms, bin_width_ms);
   for (const auto& window : windows) {
     if (!(window.end_ms > window.begin_ms)) {
       throw std::invalid_argument("unbiased_histogram_over_windows: empty window");
     }
-    // Samples inside this window only.
-    const auto first = std::lower_bound(times.begin(), times.end(), window.begin_ms);
-    const auto last = std::lower_bound(times.begin(), times.end(), window.end_ms);
-    const auto lo = static_cast<std::size_t>(first - times.begin());
-    const auto count = static_cast<std::size_t>(last - first);
-    if (count == 0) continue;
-    const auto weights =
-        stats::voronoi_weights(times.subspan(lo, count), window.begin_ms, window.end_ms);
-    // Weight by window duration so pooled U is time-weighted across windows.
-    const double duration = static_cast<double>(window.length());
-    for (std::size_t i = 0; i < count; ++i) {
-      histogram.add(latencies[lo + i], weights[i] * duration);
-    }
   }
-  return histogram;
+  // One task per window, partial histograms merged in window order.
+  return parallel_map_reduce<stats::Histogram>(
+      windows.size(), threads, 1,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        auto histogram = stats::Histogram::covering(0.0, max_latency_ms, bin_width_ms);
+        for (std::size_t w = begin; w < end; ++w) {
+          const auto& window = windows[w];
+          // Samples inside this window only.
+          const auto first = std::lower_bound(times.begin(), times.end(), window.begin_ms);
+          const auto last = std::lower_bound(times.begin(), times.end(), window.end_ms);
+          const auto lo = static_cast<std::size_t>(first - times.begin());
+          const auto count = static_cast<std::size_t>(last - first);
+          if (count == 0) continue;
+          auto weights =
+              stats::voronoi_weights(times.subspan(lo, count), window.begin_ms, window.end_ms);
+          // Weight by window duration so pooled U is time-weighted across windows.
+          const double duration = static_cast<double>(window.length());
+          for (double& weight : weights) weight *= duration;
+          histogram.add_all(latencies.subspan(lo, count), weights);
+        }
+        return histogram;
+      },
+      merge_histograms);
 }
 
 stats::Histogram unbiased_histogram(const telemetry::Dataset& dataset,

@@ -41,11 +41,14 @@ stats::Histogram unbiased_histogram_voronoi(std::span<const std::int64_t> times,
 /// and estimated from only the samples inside it (used for per-period and
 /// per-slot distributions, §2.4.1 / §3.6). Windows must be sorted and
 /// non-overlapping; windows without samples contribute nothing.
-/// `bin_width_ms` lets callers pick the α-estimation bin width.
+/// `bin_width_ms` lets callers pick the α-estimation bin width. `threads`
+/// parallelizes over windows (partials merged in window order; byte-identical
+/// for any value).
 stats::Histogram unbiased_histogram_over_windows(std::span<const std::int64_t> times,
                                                  std::span<const double> latencies,
                                                  std::span<const TimeWindow> windows,
-                                                 double bin_width_ms, double max_latency_ms);
+                                                 double bin_width_ms, double max_latency_ms,
+                                                 std::size_t threads = 1);
 
 /// Dataset-level convenience over the dataset's own [begin, end) window,
 /// honoring options.unbiased_method.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "stats/descriptive.h"
 
 namespace autosens::stats {
@@ -24,36 +25,52 @@ Interval percentile_interval(std::vector<double>& draws, double confidence) {
 
 Interval bootstrap_interval(std::span<const double> sample,
                             const std::function<double(std::span<const double>)>& statistic,
-                            std::size_t replicates, double confidence, Random& random) {
+                            std::size_t replicates, double confidence, Random& random,
+                            std::size_t threads) {
   if (sample.empty()) throw std::invalid_argument("bootstrap_interval: empty sample");
   check_params(replicates, confidence);
-  std::vector<double> resample(sample.size());
-  std::vector<double> draws;
-  draws.reserve(replicates);
-  for (std::size_t r = 0; r < replicates; ++r) {
-    for (auto& v : resample) {
-      v = sample[static_cast<std::size_t>(random.uniform_index(sample.size()))];
-    }
-    draws.push_back(statistic(resample));
-  }
+  // One draw from the caller's stream anchors all replicates; replicate r
+  // then resamples from its own counter-seeded substream, so `draws` does
+  // not depend on how replicates are distributed over threads.
+  const std::uint64_t stream_base = random.engine()();
+  std::vector<double> draws(replicates);
+  core::parallel_for(replicates, threads, 1,
+                     [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+                       std::vector<double> resample(sample.size());
+                       for (std::size_t r = begin; r < end; ++r) {
+                         Random substream(substream_seed(stream_base, r));
+                         for (auto& v : resample) {
+                           v = sample[substream.uniform_index(sample.size())];
+                         }
+                         draws[r] = statistic(resample);
+                       }
+                     });
   return percentile_interval(draws, confidence);
 }
 
 std::vector<Interval> bootstrap_curve_interval(
     std::size_t sample_size,
     const std::function<std::vector<double>(std::span<const std::size_t>)>& statistic,
-    std::size_t replicates, double confidence, Random& random) {
+    std::size_t replicates, double confidence, Random& random, std::size_t threads) {
   if (sample_size == 0) throw std::invalid_argument("bootstrap_curve_interval: empty sample");
   check_params(replicates, confidence);
-  std::vector<std::size_t> indices(sample_size);
-  std::vector<std::vector<double>> curves;
-  curves.reserve(replicates);
-  for (std::size_t r = 0; r < replicates; ++r) {
-    for (auto& idx : indices) {
-      idx = static_cast<std::size_t>(random.uniform_index(sample_size));
-    }
-    curves.push_back(statistic(indices));
-    if (curves.back().size() != curves.front().size()) {
+  const std::uint64_t stream_base = random.engine()();
+  std::vector<std::vector<double>> curves(replicates);
+  core::parallel_for(replicates, threads, 1,
+                     [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+                       std::vector<std::size_t> indices(sample_size);
+                       for (std::size_t r = begin; r < end; ++r) {
+                         Random substream(substream_seed(stream_base, r));
+                         for (auto& idx : indices) {
+                           idx = substream.uniform_index(sample_size);
+                         }
+                         curves[r] = statistic(indices);
+                       }
+                     });
+  // Length check runs after the fan-out, in replicate order, so the first
+  // offending replicate reported is the same for any thread count.
+  for (std::size_t r = 1; r < replicates; ++r) {
+    if (curves[r].size() != curves.front().size()) {
       throw std::runtime_error("bootstrap_curve_interval: statistic returned varying lengths");
     }
   }

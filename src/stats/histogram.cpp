@@ -38,7 +38,24 @@ void Histogram::add(double value, double weight) noexcept {
 }
 
 void Histogram::add_all(std::span<const double> values) noexcept {
-  for (const double v : values) add(v);
+  for (const double v : values) counts_[bin_index(v)] += 1.0;
+  total_ += static_cast<double>(values.size());
+}
+
+void Histogram::add_all(std::span<const double> values, double weight) noexcept {
+  for (const double v : values) counts_[bin_index(v)] += weight;
+  total_ += weight * static_cast<double>(values.size());
+}
+
+void Histogram::add_all(std::span<const double> values,
+                        std::span<const double> weights) noexcept {
+  const std::size_t n = std::min(values.size(), weights.size());
+  double added = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    counts_[bin_index(values[i])] += weights[i];
+    added += weights[i];
+  }
+  total_ += added;
 }
 
 void Histogram::set_count(std::size_t i, double weight) noexcept {

@@ -24,6 +24,11 @@ class Histogram {
 
   void add(double value, double weight = 1.0) noexcept;
   void add_all(std::span<const double> values) noexcept;
+  /// Add every value with the same weight.
+  void add_all(std::span<const double> values, double weight) noexcept;
+  /// Add values[i] with weight weights[i]. Spans must be the same length;
+  /// the shorter one bounds the loop.
+  void add_all(std::span<const double> values, std::span<const double> weights) noexcept;
 
   /// Bin index a value falls into (clamped to [0, size-1]).
   std::size_t bin_index(double value) const noexcept;

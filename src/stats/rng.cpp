@@ -34,6 +34,14 @@ Xoshiro256 Xoshiro256::split() noexcept {
   return child;
 }
 
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t index) noexcept {
+  // Mix the base seed once, fold in the counter with a golden-ratio stride,
+  // and mix again so neighbouring indices land in unrelated states.
+  SplitMix64 base(seed);
+  SplitMix64 mixed(base.next() ^ ((index + 1) * 0x9e3779b97f4a7c15ULL));
+  return mixed.next();
+}
+
 double Random::uniform() noexcept {
   // 53 random bits into [0, 1).
   return static_cast<double>(engine_() >> 11) * 0x1.0p-53;

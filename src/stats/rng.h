@@ -67,6 +67,13 @@ class Xoshiro256 {
   std::array<std::uint64_t, 4> s_{};
 };
 
+/// Counter-based substream derivation: the seed of substream `index` of a
+/// base `seed`, well-mixed through SplitMix64. Unlike Xoshiro256::split(),
+/// which advances a shared engine, substream `index` depends only on
+/// (seed, index) — so parallel chunks can build their streams independently
+/// and a computation's draws do not depend on how chunks were scheduled.
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t index) noexcept;
+
 /// Random draws built on an engine. All methods mutate the engine.
 class Random {
  public:

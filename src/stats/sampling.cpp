@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.h"
+
 namespace autosens::stats {
 namespace {
 
@@ -19,11 +21,10 @@ std::pair<std::size_t, std::size_t> equal_time_run(std::span<const std::int64_t>
   return {first, last};
 }
 
-}  // namespace
-
-std::size_t nearest_sample_index(std::span<const std::int64_t> times, std::int64_t t,
-                                 Random& random) {
-  if (times.empty()) throw std::invalid_argument("nearest_sample_index: empty times");
+/// nearest_sample_index with the input validation hoisted out (the draw loop
+/// calls this once per draw; `times` is known non-empty there).
+std::size_t nearest_index_unchecked(std::span<const std::int64_t> times, std::int64_t t,
+                                    Random& random) {
   const auto it = std::lower_bound(times.begin(), times.end(), t);
   std::size_t chosen = 0;
   if (it == times.end()) {
@@ -51,36 +52,15 @@ std::size_t nearest_sample_index(std::span<const std::int64_t> times, std::int64
   return chosen;
 }
 
-std::vector<std::size_t> nearest_sample_draws(std::span<const std::int64_t> times,
-                                              std::int64_t window_begin,
-                                              std::int64_t window_end, std::size_t draws,
-                                              Random& random) {
-  if (times.empty()) throw std::invalid_argument("nearest_sample_draws: empty times");
-  if (!(window_end > window_begin)) {
-    throw std::invalid_argument("nearest_sample_draws: empty window");
-  }
-  std::vector<std::size_t> out;
-  out.reserve(draws);
-  const double span = static_cast<double>(window_end - window_begin);
-  for (std::size_t i = 0; i < draws; ++i) {
-    const auto t = window_begin + static_cast<std::int64_t>(random.uniform() * span);
-    out.push_back(nearest_sample_index(times, t, random));
-  }
-  return out;
-}
-
-std::vector<double> voronoi_weights(std::span<const std::int64_t> times,
-                                    std::int64_t window_begin, std::int64_t window_end) {
-  if (times.empty()) throw std::invalid_argument("voronoi_weights: empty times");
-  if (!(window_end > window_begin)) throw std::invalid_argument("voronoi_weights: empty window");
+/// Weights and total cell length for the duplicate-time runs that START in
+/// [first, last). Neighbour times outside the range are read, never written.
+double voronoi_fill(std::span<const std::int64_t> times, std::size_t first,
+                    std::size_t last, double begin, double end,
+                    std::span<double> weights) {
   const std::size_t n = times.size();
-  std::vector<double> weights(n, 0.0);
-  const double begin = static_cast<double>(window_begin);
-  const double end = static_cast<double>(window_end);
-
-  std::size_t i = 0;
   double total = 0.0;
-  while (i < n) {
+  std::size_t i = first;
+  while (i < last) {
     // Group duplicates: they split their shared cell equally (the random
     // tie-break of the sampling procedure is uniform over them).
     std::size_t j = i;
@@ -96,8 +76,69 @@ std::vector<double> voronoi_weights(std::span<const std::int64_t> times,
     total += cell;
     i = j + 1;
   }
+  return total;
+}
+
+}  // namespace
+
+std::size_t nearest_sample_index(std::span<const std::int64_t> times, std::int64_t t,
+                                 Random& random) {
+  if (times.empty()) throw std::invalid_argument("nearest_sample_index: empty times");
+  return nearest_index_unchecked(times, t, random);
+}
+
+std::vector<std::size_t> nearest_sample_draws(std::span<const std::int64_t> times,
+                                              std::int64_t window_begin,
+                                              std::int64_t window_end, std::size_t draws,
+                                              Random& random) {
+  if (times.empty()) throw std::invalid_argument("nearest_sample_draws: empty times");
+  if (!(window_end > window_begin)) {
+    throw std::invalid_argument("nearest_sample_draws: empty window");
+  }
+  std::vector<std::size_t> out;
+  out.reserve(draws);
+  const double span = static_cast<double>(window_end - window_begin);
+  for (std::size_t i = 0; i < draws; ++i) {
+    const auto t = window_begin + static_cast<std::int64_t>(random.uniform() * span);
+    out.push_back(nearest_index_unchecked(times, t, random));
+  }
+  return out;
+}
+
+std::vector<double> voronoi_weights(std::span<const std::int64_t> times,
+                                    std::int64_t window_begin, std::int64_t window_end,
+                                    std::size_t threads) {
+  if (times.empty()) throw std::invalid_argument("voronoi_weights: empty times");
+  if (!(window_end > window_begin)) throw std::invalid_argument("voronoi_weights: empty window");
+  const std::size_t n = times.size();
+  std::vector<double> weights(n, 0.0);
+  const double begin = static_cast<double>(window_begin);
+  const double end = static_cast<double>(window_end);
+
+  // Chunk boundaries aligned to run starts so every duplicate-time run is
+  // handled by exactly one chunk. The grid depends only on n, so weights
+  // and the chunk-ordered cell total are thread-count invariant.
+  const core::ChunkGrid grid = core::make_chunk_grid(n, core::kRecordChunk);
+  std::vector<std::size_t> starts(grid.chunks + 1, n);
+  for (std::size_t c = 0; c < grid.chunks; ++c) {
+    std::size_t idx = grid.begin(c);
+    while (idx < n && idx > 0 && times[idx] == times[idx - 1]) ++idx;
+    starts[c] = idx;
+  }
+
+  std::vector<double> totals(grid.chunks, 0.0);
+  core::parallel_for_items(grid.chunks, threads, [&](std::size_t c) {
+    totals[c] = voronoi_fill(times, starts[c], starts[c + 1], begin, end, weights);
+  });
+  double total = 0.0;
+  for (const double t : totals) total += t;
+
   if (total > 0.0) {
-    for (double& w : weights) w /= total;
+    const double inv = 1.0 / total;
+    core::parallel_for(n, threads, core::kRecordChunk,
+                       [&](std::size_t first, std::size_t last, std::size_t /*chunk*/) {
+                         for (std::size_t i = first; i < last; ++i) weights[i] *= inv;
+                       });
   }
   return weights;
 }

@@ -37,7 +37,11 @@ std::vector<std::size_t> nearest_sample_draws(std::span<const std::int64_t> time
 /// the fraction of [window_begin, window_end) whose nearest sample is i, with
 /// exact ties (duplicate timestamps) sharing their cell equally. Weights sum
 /// to 1. `times` sorted ascending, non-empty; window must be non-empty.
+/// `threads` follows AutoSensOptions::threads (0 = hardware, 1 = serial);
+/// the result is byte-identical for every value (fixed chunk grid, cell
+/// totals merged in chunk order).
 std::vector<double> voronoi_weights(std::span<const std::int64_t> times,
-                                    std::int64_t window_begin, std::int64_t window_end);
+                                    std::int64_t window_begin, std::int64_t window_end,
+                                    std::size_t threads = 1);
 
 }  // namespace autosens::stats

@@ -1,0 +1,199 @@
+// Unit tests of the deterministic parallel execution layer: chunk grids,
+// thread resolution, exception propagation, empty ranges, nesting, and the
+// byte-identity of chunk-ordered reductions across thread counts.
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace autosens::core {
+namespace {
+
+TEST(ChunkGridTest, PartitionsWholeRangeContiguously) {
+  for (const std::size_t count : {0UL, 1UL, 7UL, 100UL, 8192UL, 1000003UL}) {
+    const auto grid = make_chunk_grid(count, 64);
+    ASSERT_GE(grid.chunks, 1U);
+    EXPECT_EQ(grid.begin(0), 0U);
+    EXPECT_EQ(grid.end(grid.chunks - 1), count);
+    for (std::size_t c = 1; c < grid.chunks; ++c) {
+      EXPECT_EQ(grid.end(c - 1), grid.begin(c));
+      EXPECT_GE(grid.end(c), grid.begin(c));
+    }
+  }
+}
+
+TEST(ChunkGridTest, RespectsMinPerChunkAndCap) {
+  EXPECT_EQ(make_chunk_grid(100, 1000).chunks, 1U);
+  EXPECT_EQ(make_chunk_grid(1000, 100).chunks, 10U);
+  EXPECT_EQ(make_chunk_grid(10'000'000, 1, 256).chunks, 256U);
+  // Grid depends only on the count, never on thread settings.
+  EXPECT_EQ(make_chunk_grid(5000, 64).chunks, make_chunk_grid(5000, 64).chunks);
+}
+
+TEST(ResolveThreadsTest, ZeroMeansHardwareAndIsAtLeastOne) {
+  EXPECT_GE(resolve_threads(0), 1U);
+  EXPECT_EQ(resolve_threads(1), 1U);
+  EXPECT_EQ(resolve_threads(8), 8U);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1UL, 2UL, 8UL}) {
+    std::vector<std::atomic<int>> visits(10'000);
+    parallel_for(visits.size(), threads, 64,
+                 [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     visits[i].fetch_add(1, std::memory_order_relaxed);
+                   }
+                 });
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeNeverCallsBody) {
+  bool called = false;
+  parallel_for(0, 8, 1, [&](std::size_t, std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, SpawnsRequestedWorkersBeyondHardwareConcurrency) {
+  parallel_for(100'000, 8, 64, [](std::size_t, std::size_t, std::size_t) {});
+  // The shared pool grows on demand: a threads=8 region keeps 7 workers
+  // alive even on a 1-CPU machine, so thread counts are honest everywhere.
+  EXPECT_GE(ThreadPool::shared().worker_count(), 7U);
+}
+
+TEST(ParallelMapReduceTest, EmptyCountReturnsMapOfEmptyRange) {
+  const double out = parallel_map_reduce<double>(
+      0, 8, 64, [](std::size_t begin, std::size_t end, std::size_t) {
+        EXPECT_EQ(begin, 0U);
+        EXPECT_EQ(end, 0U);
+        return -1.0;
+      },
+      [](double& acc, double&& partial) { acc += partial; });
+  EXPECT_EQ(out, -1.0);
+}
+
+double chunked_sum(std::size_t count, std::size_t threads) {
+  return parallel_map_reduce<double>(
+      count, threads, 100,
+      [](std::size_t begin, std::size_t end, std::size_t) {
+        double sum = 0.0;
+        for (std::size_t i = begin; i < end; ++i) {
+          sum += std::sin(static_cast<double>(i)) * 1e-3;
+        }
+        return sum;
+      },
+      [](double& acc, double&& partial) { acc += partial; });
+}
+
+TEST(ParallelMapReduceTest, FloatingReductionIsByteIdenticalAcrossThreadCounts) {
+  const double serial = chunked_sum(123'457, 1);
+  for (const std::size_t threads : {2UL, 4UL, 8UL}) {
+    const double parallel = chunked_sum(123'457, threads);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(serial), std::bit_cast<std::uint64_t>(parallel))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelMapReduceTest, ComputesCorrectIntegerSum) {
+  const auto total = parallel_map_reduce<std::int64_t>(
+      100'000, 8, 64,
+      [](std::size_t begin, std::size_t end, std::size_t) {
+        std::int64_t sum = 0;
+        for (std::size_t i = begin; i < end; ++i) sum += static_cast<std::int64_t>(i);
+        return sum;
+      },
+      [](std::int64_t& acc, std::int64_t&& partial) { acc += partial; });
+  EXPECT_EQ(total, 100'000LL * 99'999LL / 2);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToTheCaller) {
+  EXPECT_THROW(
+      parallel_for(10'000, 8, 10,
+                   [](std::size_t, std::size_t, std::size_t chunk) {
+                     if (chunk % 2 == 1) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SerialRegionThrowsFirstFailingChunkInOrder) {
+  try {
+    parallel_for(1000, 1, 10, [](std::size_t, std::size_t, std::size_t chunk) {
+      if (chunk >= 3) throw std::runtime_error("chunk " + std::to_string(chunk));
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "chunk 3");
+  }
+}
+
+TEST(ThreadPoolTest, PoolSurvivesAFailedRegion) {
+  EXPECT_THROW(parallel_for(1000, 8, 10,
+                            [](std::size_t, std::size_t, std::size_t) {
+                              throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // The next region runs normally.
+  std::atomic<std::size_t> visited{0};
+  parallel_for(1000, 8, 10, [&](std::size_t begin, std::size_t end, std::size_t) {
+    visited.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(visited.load(), 1000U);
+}
+
+TEST(ThreadPoolTest, NestedRegionsSerializeInline) {
+  std::atomic<std::size_t> inner_total{0};
+  std::atomic<bool> saw_nested_flag{true};
+  parallel_for_items(4, 8, [&](std::size_t) {
+    // Whether this item runs on a worker or the caller, a region is active
+    // somewhere; inner regions must run inline and in chunk order.
+    std::size_t last_chunk = 0;
+    bool ordered = true;
+    parallel_for(1000, 8, 10, [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+      if (!ThreadPool::in_parallel_region()) saw_nested_flag = false;
+      if (chunk < last_chunk) ordered = false;
+      last_chunk = chunk;
+      inner_total.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    if (!ordered) saw_nested_flag = false;
+  });
+  EXPECT_TRUE(saw_nested_flag.load());
+  EXPECT_EQ(inner_total.load(), 4U * 1000U);
+}
+
+TEST(ThreadPoolTest, ConcurrentTopLevelCallersAreSerializedSafely) {
+  std::atomic<std::int64_t> totals[2] = {{0}, {0}};
+  std::thread a([&] {
+    parallel_for(50'000, 4, 100, [&](std::size_t begin, std::size_t end, std::size_t) {
+      totals[0].fetch_add(static_cast<std::int64_t>(end - begin));
+    });
+  });
+  std::thread b([&] {
+    parallel_for(60'000, 4, 100, [&](std::size_t begin, std::size_t end, std::size_t) {
+      totals[1].fetch_add(static_cast<std::int64_t>(end - begin));
+    });
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(totals[0].load(), 50'000);
+  EXPECT_EQ(totals[1].load(), 60'000);
+}
+
+TEST(ParallelForItemsTest, VisitsItemsOncePerIndex) {
+  std::vector<std::atomic<int>> visits(257);
+  parallel_for_items(visits.size(), 8, [&](std::size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+}  // namespace
+}  // namespace autosens::core

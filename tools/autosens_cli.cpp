@@ -5,7 +5,11 @@
 //   autosens_cli analyze   --in telemetry.csv [--action SelectMail]
 //                          [--class Business|Consumer] [--ref 300]
 //                          [--no-normalize] [--mc] [--confidence]
-//                          [--out curve.csv]
+//                          [--threads N] [--out curve.csv]
+//
+// --threads N runs the analysis on N worker threads (0 = all hardware
+// threads, 1 = serial); results are byte-identical for every value. Also
+// accepted by slices, summary, screen, and alpha.
 //   autosens_cli slices    --in telemetry.csv --by action|class|quartile|
 //                          period|month|dayclass [--action A] [--class C]
 //   autosens_cli summary   --in telemetry.csv [--action A] [--class C]
@@ -120,6 +124,9 @@ core::AutoSensOptions options_from_flags(const cli::Args& args) {
   options.max_latency_ms = args.get_double("max-latency", options.max_latency_ms);
   if (args.has("no-normalize")) options.normalize_time_confounder = false;
   if (args.has("mc")) options.unbiased_method = core::UnbiasedMethod::kMonteCarlo;
+  const auto threads = args.get_int("threads", 0);
+  if (threads < 0) throw std::invalid_argument("--threads must be >= 0");
+  options.threads = static_cast<std::size_t>(threads);
   return options;
 }
 
@@ -175,7 +182,7 @@ int cmd_generate(const cli::Args& args) {
 
 int cmd_analyze(const cli::Args& args) {
   args.allow_only({"in", "action", "class", "ref", "bin", "max-latency", "no-normalize",
-                   "mc", "confidence", "replicates", "out"});
+                   "mc", "confidence", "replicates", "threads", "out"});
   const auto dataset = load_scrubbed(args.require("in"));
   const auto slice = apply_slice_flags(dataset, args);
   std::cerr << "slice: " << slice.size() << " records\n";
@@ -214,7 +221,7 @@ int cmd_analyze(const cli::Args& args) {
 
 int cmd_slices(const cli::Args& args) {
   args.allow_only({"in", "by", "action", "class", "ref", "bin", "max-latency",
-                   "no-normalize", "mc", "out"});
+                   "no-normalize", "mc", "threads", "out"});
   const auto dataset = load_scrubbed(args.require("in"));
   const std::string by = args.require("by");
   const auto options = options_from_flags(args);
@@ -290,7 +297,7 @@ int cmd_slices(const cli::Args& args) {
 
 int cmd_summary(const cli::Args& args) {
   args.allow_only({"in", "action", "class", "ref", "bin", "max-latency", "no-normalize",
-                   "mc"});
+                   "mc", "threads"});
   const auto dataset = load_scrubbed(args.require("in"));
   const auto slice = apply_slice_flags(dataset, args);
   const auto options = options_from_flags(args);
@@ -313,7 +320,7 @@ int cmd_summary(const cli::Args& args) {
 }
 
 int cmd_screen(const cli::Args& args) {
-  args.allow_only({"in", "action", "class", "ref", "bin", "max-latency", "mc"});
+  args.allow_only({"in", "action", "class", "ref", "bin", "max-latency", "mc", "threads"});
   const auto dataset = load_scrubbed(args.require("in"));
   const auto slice = apply_slice_flags(dataset, args);
   const auto report = core::screen(slice, options_from_flags(args));
@@ -348,10 +355,11 @@ int cmd_locality(const cli::Args& args) {
 }
 
 int cmd_alpha(const cli::Args& args) {
-  args.allow_only({"in", "action", "class"});
+  args.allow_only({"in", "action", "class", "threads"});
   const auto dataset = load_scrubbed(args.require("in"));
   const auto slice = apply_slice_flags(dataset, args);
   core::AutoSensOptions options;
+  options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
 
   const auto periods = core::alpha_by_period(slice, options);
   report::Table period_table({"period", "records", "mean alpha"});

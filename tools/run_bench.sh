@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Run the --threads scaling benchmarks and record the results as
+# BENCH_parallel.json (google-benchmark JSON format) in the repo root.
+#
+# Usage: tools/run_bench.sh [build-dir] [out-file]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+OUT="${2:-$ROOT/BENCH_parallel.json}"
+
+if [[ ! -x "$BUILD/bench/micro_kernels" ]]; then
+  echo "error: $BUILD/bench/micro_kernels not built" >&2
+  echo "build first: cmake -B \"$BUILD\" -S \"$ROOT\" && cmake --build \"$BUILD\" -j" >&2
+  exit 1
+fi
+
+"$BUILD/bench/micro_kernels" \
+  --benchmark_filter='Threads' \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out="$OUT.tmp" >/dev/null
+
+mv "$OUT.tmp" "$OUT"
+echo "wrote $OUT"
