@@ -10,6 +10,8 @@
 
 #include "core/pipeline.h"
 #include "core/slices.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "simulate/generator.h"
 #include "simulate/presets.h"
 #include "stats/bootstrap.h"
@@ -232,6 +234,37 @@ void BM_BootstrapThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_BootstrapThreads)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Observability overhead on the fig3-scale pipeline: Arg selects how much
+/// instrumentation is live. Arg(0) is the shipping default (compiled in,
+/// disabled — every hook is one relaxed atomic load); comparing it against
+/// the other Threads pipeline numbers bounds the disabled overhead, and
+/// Arg(1)/Arg(2) price fully-enabled metrics and metrics+tracing.
+void BM_ObsAnalyzeOverhead(benchmark::State& state) {
+  const auto& dataset = million_record_dataset();
+  const core::AutoSensOptions options;
+  const auto mode = state.range(0);
+  obs::set_enabled(mode >= 1);
+  obs::Tracer::global().set_enabled(mode >= 2);
+  {
+    // Untimed warm-up so the first variant doesn't eat the cold-cache cost
+    // and skew the disabled-vs-enabled comparison.
+    auto warmup = core::analyze(dataset, options);
+    benchmark::DoNotOptimize(warmup.normalized.data());
+  }
+  for (auto _ : state) {
+    auto result = core::analyze(dataset, options);
+    benchmark::DoNotOptimize(result.normalized.data());
+  }
+  obs::Tracer::global().set_enabled(false);
+  obs::Tracer::global().clear();
+  obs::set_enabled(false);
+  state.SetLabel(mode == 0 ? "obs_disabled" : mode == 1 ? "metrics_on" : "metrics_and_trace_on");
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dataset.size()));
+}
+BENCHMARK(BM_ObsAnalyzeOverhead)
+    ->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_EndToEndAnalysis(benchmark::State& state) {

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/parallel.h"
+#include "obs/trace.h"
 #include "stats/sampling.h"
 
 namespace autosens::core {
@@ -115,6 +116,8 @@ ClassCounts classify_records(std::span<const telemetry::ActionRecord> records,
 TimeNormalizer::TimeNormalizer(const telemetry::Dataset& dataset,
                                const AutoSensOptions& options)
     : options_(options) {
+  obs::Span span("alpha_estimate");
+  span.attr("records", static_cast<std::int64_t>(dataset.size()));
   if (dataset.empty()) throw std::invalid_argument("TimeNormalizer: empty dataset");
   if (!dataset.is_sorted()) throw std::invalid_argument("TimeNormalizer: dataset not sorted");
   if (options_.alpha_slot_ms <= 0 ||

@@ -2,11 +2,33 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace autosens::core {
 namespace {
+
+struct PoolMetrics {
+  obs::Counter& chunks = obs::registry().counter(
+      "autosens_pool_chunks_executed_total", "Chunks executed by the thread pool");
+  obs::Counter& regions = obs::registry().counter(
+      "autosens_pool_regions_total", "Parallel regions run (serial/nested included)");
+  obs::Gauge& queue_depth = obs::registry().gauge(
+      "autosens_pool_queue_depth", "Unclaimed chunks of the current parallel region");
+  obs::Gauge& workers = obs::registry().gauge(
+      "autosens_pool_workers", "Worker threads spawned by the shared pool");
+  obs::Histogram& task_ms = obs::registry().histogram(
+      "autosens_pool_task_latency_ms", "Per-chunk execution latency (milliseconds)",
+      {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 500});
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics handles;
+  return handles;
+}
 
 /// Cap on pool workers: far above any sane `threads` request, present only
 /// so a typo like --threads 1e9 cannot fork-bomb the process.
@@ -79,9 +101,11 @@ void ThreadPool::ensure_workers_locked(std::size_t target) {
 void ThreadPool::run(std::size_t chunks, std::size_t concurrency,
                      const std::function<void(std::size_t)>& body) {
   if (chunks == 0) return;
+  pool_metrics().regions.inc();
   if (chunks == 1 || concurrency <= 1 || in_parallel_region()) {
     // Serial / nested path: inline, in chunk order.
     for (std::size_t c = 0; c < chunks; ++c) body(c);
+    pool_metrics().chunks.inc(chunks);
     return;
   }
 
@@ -97,6 +121,7 @@ void ThreadPool::run(std::size_t chunks, std::size_t concurrency,
     ensure_workers_locked(concurrency - 1);
     job.tickets = std::min(concurrency - 1, workers_.size());
     job_ = &job;
+    pool_metrics().workers.set(static_cast<double>(workers_.size()));
   }
   work_cv_.notify_all();
 
@@ -116,12 +141,28 @@ void ThreadPool::run(std::size_t chunks, std::size_t concurrency,
 }
 
 void ThreadPool::process(Job& job) {
+  // Instrumentation is sampled only while obs is enabled; the disabled cost
+  // per chunk is one relaxed load (chunk bodies are >= ~8k elements).
+  const bool instrument = obs::enabled();
   for (;;) {
     const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
     if (c >= job.chunks) return;
     if (job.failed.load(std::memory_order_acquire)) continue;  // drain fast
+    if (instrument) {
+      pool_metrics().queue_depth.set(
+          static_cast<double>(job.chunks - std::min(c + 1, job.chunks)));
+      pool_metrics().chunks.inc();
+    }
+    const auto start = instrument ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
     try {
       (*job.body)(c);
+      if (instrument) {
+        pool_metrics().task_ms.observe(
+            std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                      start)
+                .count());
+      }
     } catch (...) {
       std::lock_guard<std::mutex> lock(job.error_mutex);
       if (c < job.error_chunk) {

@@ -3,27 +3,80 @@
 #include <stdexcept>
 
 #include "core/biased.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace autosens::core {
+namespace {
+
+/// Pre-registered pipeline instrumentation handles (one relaxed atomic add
+/// per use once registered; see DESIGN.md "Observability").
+struct PipelineMetrics {
+  obs::Counter& runs = obs::registry().counter(
+      "autosens_pipeline_runs_total", "Completed analyze()/analyze_over_windows() runs");
+  obs::Counter& records = obs::registry().counter(
+      "autosens_pipeline_records_total", "Records entering the analysis pipeline");
+  obs::Histogram& biased_ms = obs::registry().histogram(
+      "autosens_stage_latency_ms{stage=\"biased\"}",
+      "Per-stage pipeline latency (milliseconds)");
+  obs::Histogram& alpha_ms = obs::registry().histogram(
+      "autosens_stage_latency_ms{stage=\"alpha_normalize\"}",
+      "Per-stage pipeline latency (milliseconds)");
+  obs::Histogram& unbiased_ms = obs::registry().histogram(
+      "autosens_stage_latency_ms{stage=\"unbiased\"}",
+      "Per-stage pipeline latency (milliseconds)");
+  obs::Histogram& preference_ms = obs::registry().histogram(
+      "autosens_stage_latency_ms{stage=\"preference\"}",
+      "Per-stage pipeline latency (milliseconds)");
+};
+
+PipelineMetrics& metrics() {
+  static PipelineMetrics handles;
+  return handles;
+}
+
+stats::Histogram build_biased(const telemetry::Dataset& dataset,
+                              const AutoSensOptions& options,
+                              std::vector<SlotStat>& slots) {
+  if (options.normalize_time_confounder) {
+    obs::Span span("alpha_normalize", &metrics().alpha_ms);
+    const TimeNormalizer normalizer(dataset, options);
+    slots = normalizer.slots();
+    span.attr("slots", static_cast<std::int64_t>(slots.size()));
+    return normalizer.normalized_biased(dataset);
+  }
+  obs::Span span("biased_fill", &metrics().biased_ms);
+  return biased_histogram(dataset, options);
+}
+
+PreferenceResult finish_preference(const stats::Histogram& biased,
+                                   const stats::Histogram& unbiased,
+                                   const AutoSensOptions& options) {
+  obs::Span span("preference", &metrics().preference_ms);
+  return compute_preference(biased, unbiased, options);
+}
+
+}  // namespace
 
 AnalysisResult analyze_detailed(const telemetry::Dataset& dataset,
                                 const AutoSensOptions& options) {
   if (dataset.empty()) throw std::invalid_argument("analyze: empty dataset");
+  metrics().records.inc(dataset.size());
 
-  stats::Histogram biased = make_latency_histogram(options);
   std::vector<SlotStat> slots;
-  if (options.normalize_time_confounder) {
-    const TimeNormalizer normalizer(dataset, options);
-    biased = normalizer.normalized_biased(dataset);
-    slots = normalizer.slots();
-  } else {
-    biased = biased_histogram(dataset, options);
-  }
+  stats::Histogram biased = build_biased(dataset, options, slots);
 
-  stats::Histogram unbiased = unbiased_histogram(dataset, options);
-  auto preference = compute_preference(biased, unbiased, options);
+  stats::Histogram unbiased = [&] {
+    obs::Span span("unbiased", &metrics().unbiased_ms);
+    span.attr("method",
+              options.unbiased_method == UnbiasedMethod::kMonteCarlo ? "mc" : "voronoi");
+    return unbiased_histogram(dataset, options);
+  }();
+
+  auto preference = finish_preference(biased, unbiased, options);
   // The α-normalization rescales weights; report the actual record count.
   preference.biased_samples = dataset.size();
+  metrics().runs.inc();
   return AnalysisResult{.preference = std::move(preference),
                         .biased = std::move(biased),
                         .unbiased = std::move(unbiased),
@@ -39,22 +92,23 @@ AnalysisResult analyze_over_windows(const telemetry::Dataset& dataset,
                                     const AutoSensOptions& options) {
   if (dataset.empty()) throw std::invalid_argument("analyze_over_windows: empty dataset");
   if (windows.empty()) throw std::invalid_argument("analyze_over_windows: no windows");
+  metrics().records.inc(dataset.size());
 
-  stats::Histogram biased = make_latency_histogram(options);
   std::vector<SlotStat> slots;
-  if (options.normalize_time_confounder) {
-    const TimeNormalizer normalizer(dataset, options);
-    biased = normalizer.normalized_biased(dataset);
-    slots = normalizer.slots();
-  } else {
-    biased = biased_histogram(dataset, options);
-  }
+  stats::Histogram biased = build_biased(dataset, options, slots);
 
-  stats::Histogram unbiased = unbiased_histogram_over_windows(
-      dataset.times(), dataset.latencies(), windows, options.bin_width_ms,
-      options.max_latency_ms, options.threads);
-  auto preference = compute_preference(biased, unbiased, options);
+  stats::Histogram unbiased = [&] {
+    obs::Span span("unbiased", &metrics().unbiased_ms);
+    span.attr("method", "windows");
+    span.attr("windows", static_cast<std::int64_t>(windows.size()));
+    return unbiased_histogram_over_windows(dataset.times(), dataset.latencies(), windows,
+                                           options.bin_width_ms, options.max_latency_ms,
+                                           options.threads);
+  }();
+
+  auto preference = finish_preference(biased, unbiased, options);
   preference.biased_samples = dataset.size();
+  metrics().runs.inc();
   return AnalysisResult{.preference = std::move(preference),
                         .biased = std::move(biased),
                         .unbiased = std::move(unbiased),

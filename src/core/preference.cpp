@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "stats/savitzky_golay.h"
 
 namespace autosens::core {
@@ -93,10 +94,16 @@ PreferenceResult compute_preference(const stats::Histogram& biased,
     i = gap_end;
   }
 
-  const stats::SavitzkyGolay smoother(options.smoothing);
-  auto smoothed = smoother.smooth(signal);
+  auto smoothed = [&] {
+    obs::Span span("sg_smooth");
+    span.attr("bins", static_cast<std::int64_t>(signal.size()));
+    const stats::SavitzkyGolay smoother(options.smoothing);
+    return smoother.smooth(signal);
+  }();
   // Ratios are nonnegative; smoothing overshoot below zero is clamped.
   for (double& v : smoothed) v = std::max(v, 0.0);
+
+  obs::Span normalize_span("nlp_normalize");
 
   result.smoothed.assign(bins, 0.0);
   std::copy(smoothed.begin(), smoothed.end(), result.smoothed.begin() +

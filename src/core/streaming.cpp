@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "core/biased.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/savitzky_golay.h"
 #include "telemetry/clock.h"
 
@@ -14,6 +16,35 @@ namespace {
 constexpr double kMinTimeFraction = 1e-3;
 constexpr double kMinReferenceCount = 10.0;
 constexpr double kAlphaFloor = 0.02;
+
+struct StreamingMetrics {
+  obs::Counter& seen = obs::registry().counter(
+      "autosens_streaming_records_seen_total", "Records fed into StreamingAutoSens");
+  obs::Counter& used = obs::registry().counter(
+      "autosens_streaming_records_used_total",
+      "Records kept by the streaming scrub policy");
+  obs::Counter& snapshots = obs::registry().counter(
+      "autosens_streaming_snapshots_total", "StreamingAutoSens snapshots computed");
+  obs::Histogram& snapshot_ms = obs::registry().histogram(
+      "autosens_streaming_snapshot_latency_ms",
+      "Latency of StreamingAutoSens::snapshot (milliseconds)");
+  obs::Gauge& cadence = obs::registry().gauge(
+      "autosens_streaming_records_per_snapshot",
+      "Records accepted between the two most recent snapshots");
+};
+
+StreamingMetrics& streaming_metrics() {
+  static StreamingMetrics handles;
+  return handles;
+}
+
+/// Per-time-of-day-class α gauges, registered lazily the first time a
+/// snapshot publishes them (class count is an option, not a constant).
+obs::Gauge& alpha_gauge(std::size_t class_index) {
+  return obs::registry().gauge(
+      "autosens_streaming_alpha{class=\"" + std::to_string(class_index) + "\"}",
+      "Streaming per-time-of-day-class activity factor at last snapshot");
+}
 
 }  // namespace
 
@@ -52,6 +83,7 @@ void StreamingAutoSens::feed(const telemetry::ActionRecord& record) {
     throw std::invalid_argument("StreamingAutoSens::feed: records must be time-ordered");
   }
   ++seen_;
+  streaming_metrics().seen.inc();
 
   // Hold-last time weighting: the interval since the previous usable sample
   // is attributed to that sample's latency, split across time-of-day class
@@ -80,6 +112,7 @@ void StreamingAutoSens::feed(const telemetry::ActionRecord& record) {
   }
   previous_ = record;
   ++used_;
+  streaming_metrics().used.inc();
   auto& cls = classes_[class_of(record.time_ms)];
   cls.counts_fine.add(record.latency_ms);
   cls.counts_alpha.add(record.latency_ms);
@@ -161,10 +194,15 @@ std::vector<double> StreamingAutoSens::alpha_by_class() const {
 
 PreferenceResult StreamingAutoSens::snapshot() const {
   if (used_ == 0) throw std::logic_error("StreamingAutoSens: no records fed");
+  obs::Span span("streaming_snapshot", &streaming_metrics().snapshot_ms);
+  span.attr("records_used", static_cast<std::int64_t>(used_));
 
   auto biased = make_latency_histogram(options_);
   if (options_.normalize_time_confounder) {
     const auto alpha = compute_alpha();
+    if (obs::enabled()) {
+      for (std::size_t k = 0; k < alpha.size(); ++k) alpha_gauge(k).set(alpha[k]);
+    }
     for (std::size_t k = 0; k < classes_.size(); ++k) {
       for (std::size_t i = 0; i < biased.size(); ++i) {
         const double count = classes_[k].counts_fine.count(i);
@@ -177,6 +215,9 @@ PreferenceResult StreamingAutoSens::snapshot() const {
 
   auto preference = compute_preference(biased, unbiased_time_, options_);
   preference.biased_samples = used_;
+  streaming_metrics().snapshots.inc();
+  streaming_metrics().cadence.set(static_cast<double>(used_ - used_at_last_snapshot_));
+  used_at_last_snapshot_ = used_;
   return preference;
 }
 

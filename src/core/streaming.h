@@ -65,6 +65,9 @@ class StreamingAutoSens {
   std::optional<telemetry::ActionRecord> previous_;
   std::size_t seen_ = 0;
   std::size_t used_ = 0;
+  /// records_used() at the previous snapshot — feeds the snapshot-cadence
+  /// gauge (records per snapshot) in the obs registry.
+  mutable std::size_t used_at_last_snapshot_ = 0;
 };
 
 }  // namespace autosens::core

@@ -5,6 +5,8 @@
 
 #include "core/biased.h"
 #include "core/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/sampling.h"
 
 namespace autosens::core {
@@ -12,6 +14,12 @@ namespace {
 
 void merge_histograms(stats::Histogram& accumulator, stats::Histogram&& partial) {
   accumulator.merge(partial);
+}
+
+obs::Counter& mc_draw_counter() {
+  static obs::Counter& counter = obs::registry().counter(
+      "autosens_unbiased_mc_draws_total", "Monte-Carlo nearest-sample draws performed");
+  return counter;
 }
 
 }  // namespace
@@ -23,6 +31,9 @@ stats::Histogram unbiased_histogram_mc(std::span<const std::int64_t> times,
   if (times.size() != latencies.size()) {
     throw std::invalid_argument("unbiased_histogram_mc: size mismatch");
   }
+  obs::Span span("unbiased_mc_draws");
+  span.attr("draws", static_cast<std::int64_t>(options.unbiased_draws));
+  mc_draw_counter().inc(options.unbiased_draws);
   // One draw from the caller's stream anchors the whole estimate; each chunk
   // of draws then runs its own counter-seeded substream, so the draw
   // sequences (and the merged histogram) are independent of thread count.
@@ -50,6 +61,8 @@ stats::Histogram unbiased_histogram_voronoi(std::span<const std::int64_t> times,
   if (times.size() != latencies.size()) {
     throw std::invalid_argument("unbiased_histogram_voronoi: size mismatch");
   }
+  obs::Span span("unbiased_voronoi");
+  span.attr("samples", static_cast<std::int64_t>(times.size()));
   const auto weights =
       stats::voronoi_weights(times, window.begin_ms, window.end_ms, options.threads);
   const std::span<const double> weight_span(weights);

@@ -9,9 +9,40 @@
 #include <vector>
 
 #include "net/wire.h"
+#include "obs/log.h"
 #include "telemetry/binlog.h"
 
 namespace autosens::net {
+namespace {
+
+/// Global registry mirrors of the per-instance collector counters, so a
+/// process-wide metrics snapshot sees the ingest path without holding a
+/// reference to any particular Collector.
+struct CollectorMetrics {
+  obs::Counter& connections = obs::registry().counter(
+      "autosens_collector_connections_total", "Emitter connections accepted");
+  obs::Counter& frames = obs::registry().counter(
+      "autosens_collector_frames_total", "Wire frames decoded");
+  obs::Counter& records = obs::registry().counter(
+      "autosens_collector_records_total", "Telemetry records ingested");
+  obs::Counter& flushes = obs::registry().counter(
+      "autosens_collector_flushes_total", "Flush markers received");
+  obs::Counter& drops = obs::registry().counter(
+      "autosens_collector_dropped_connections_total",
+      "Connections dropped on protocol or transport error");
+  obs::Counter& bytes = obs::registry().counter(
+      "autosens_collector_bytes_total", "Payload bytes received");
+  obs::Counter& backpressure = obs::registry().counter(
+      "autosens_collector_backpressure_reads_total",
+      "recv() calls that filled the whole buffer (ingest running behind)");
+};
+
+CollectorMetrics& collector_metrics() {
+  static CollectorMetrics handles;
+  return handles;
+}
+
+}  // namespace
 
 struct Collector::Connection {
   Socket socket;
@@ -19,21 +50,39 @@ struct Collector::Connection {
   bool saw_goodbye = false;
 };
 
-Collector::Collector(std::uint16_t port) { listener_ = listen_tcp(port, port_); }
+Collector::Collector(std::uint16_t port) {
+  listener_ = listen_tcp(port, port_);
+  obs::log_debug("collector.listen", {{"port", port_}});
+}
+
+CollectorStats Collector::stats() const noexcept {
+  return CollectorStats{
+      .connections = static_cast<std::size_t>(stats_.connections.get()),
+      .frames = static_cast<std::size_t>(stats_.frames.get()),
+      .records = static_cast<std::size_t>(stats_.records.get()),
+      .flushes = static_cast<std::size_t>(stats_.flushes.get()),
+      .dropped_connections = static_cast<std::size_t>(stats_.dropped_connections.get()),
+      .bytes = static_cast<std::size_t>(stats_.bytes.get()),
+      .backpressure_reads = static_cast<std::size_t>(stats_.backpressure_reads.get()),
+  };
+}
 
 std::size_t Collector::drain_frames(Connection& connection) {
   std::size_t goodbyes = 0;
   while (auto frame = connection.decoder.next()) {
-    ++stats_.frames;
+    stats_.frames.add();
+    collector_metrics().frames.inc();
     switch (frame->type) {
       case FrameType::kData: {
         const auto records = telemetry::codec::decode_batch(frame->payload);
-        stats_.records += records.size();
+        stats_.records.add(records.size());
+        collector_metrics().records.inc(records.size());
         for (const auto& r : records) dataset_.add(r);
         break;
       }
       case FrameType::kFlush:
-        ++stats_.flushes;
+        stats_.flushes.add();
+        collector_metrics().flushes.inc();
         break;
       case FrameType::kGoodbye:
         connection.saw_goodbye = true;
@@ -61,14 +110,20 @@ bool Collector::serve_until_goodbye(std::size_t expected_goodbyes, int timeout_m
       if (errno == EINTR) continue;
       throw SocketError("poll()", errno);
     }
-    if (ready == 0) return false;  // idle timeout
+    if (ready == 0) {
+      obs::log_debug("collector.idle_timeout", {{"timeout_ms", timeout_ms},
+                                                {"goodbyes", goodbyes}});
+      return false;  // idle timeout
+    }
 
     // New connection?
     if (fds[0].revents & POLLIN) {
       const int fd = ::accept(listener_.fd(), nullptr, nullptr);
       if (fd >= 0) {
         connections.push_back({Socket(fd), FrameDecoder{}, false});
-        ++stats_.connections;
+        stats_.connections.add();
+        collector_metrics().connections.inc();
+        obs::log_debug("collector.accept", {{"fd", fd}});
       } else if (errno != EINTR && errno != EAGAIN) {
         throw SocketError("accept()", errno);
       }
@@ -84,20 +139,36 @@ bool Collector::serve_until_goodbye(std::size_t expected_goodbyes, int timeout_m
       std::array<std::uint8_t, 16384> buffer;
       const ssize_t n = ::recv(connection.socket.fd(), buffer.data(), buffer.size(), 0);
       if (n > 0) {
+        stats_.bytes.add(static_cast<std::uint64_t>(n));
+        collector_metrics().bytes.inc(static_cast<std::uint64_t>(n));
+        if (static_cast<std::size_t>(n) == buffer.size()) {
+          // A full buffer means the kernel queue still holds data — the
+          // ingest loop is running behind the emitters.
+          stats_.backpressure_reads.add();
+          collector_metrics().backpressure.inc();
+        }
         connection.decoder.feed(
             std::span<const std::uint8_t>(buffer.data(), static_cast<std::size_t>(n)));
         try {
           goodbyes += drain_frames(connection);
-        } catch (const std::runtime_error&) {
+        } catch (const std::runtime_error& error) {
           // Malformed stream: drop the connection, keep decoded records.
-          ++stats_.dropped_connections;
+          stats_.dropped_connections.add();
+          collector_metrics().drops.inc();
+          obs::log_info("collector.drop_connection",
+                        {{"reason", "malformed"}, {"error", error.what()}});
           to_close.push_back(i);
           continue;
         }
         if (connection.saw_goodbye) to_close.push_back(i);
       } else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
         // Peer closed (with or without goodbye) or hard error.
-        if (n < 0) ++stats_.dropped_connections;
+        if (n < 0) {
+          stats_.dropped_connections.add();
+          collector_metrics().drops.inc();
+          obs::log_info("collector.drop_connection",
+                        {{"reason", "transport"}, {"errno", errno}});
+        }
         to_close.push_back(i);
       }
     }
@@ -133,7 +204,8 @@ telemetry::Dataset CollectorThread::join() {
 }
 
 CollectorStats CollectorThread::stats() const {
-  std::lock_guard lock(mutex_);
+  // No lock needed: Collector::stats() reads relaxed atomics, which is the
+  // point of the migration — this is safe while the serve loop is live.
   return collector_.stats();
 }
 

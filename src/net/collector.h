@@ -12,17 +12,22 @@
 #include <vector>
 
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "telemetry/dataset.h"
 
 namespace autosens::net {
 
-/// Collection statistics.
+/// Collection statistics: a plain snapshot taken from the collector's
+/// atomic counters, safe to read while the collector is serving on another
+/// thread (CollectorThread::stats()).
 struct CollectorStats {
   std::size_t connections = 0;
   std::size_t frames = 0;
   std::size_t records = 0;
   std::size_t flushes = 0;
   std::size_t dropped_connections = 0;  ///< Closed on protocol/transport error.
+  std::size_t bytes = 0;                ///< Payload bytes received.
+  std::size_t backpressure_reads = 0;   ///< recv() filled the whole buffer.
 };
 
 /// Synchronous collector over an already-listening socket. Serves any number
@@ -45,10 +50,25 @@ class Collector {
 
   const telemetry::Dataset& dataset() const noexcept { return dataset_; }
   telemetry::Dataset take_dataset();
-  const CollectorStats& stats() const noexcept { return stats_; }
+  /// Snapshot of the counters. Safe concurrently with the serving thread:
+  /// every cell is an ungated relaxed atomic (obs::RawCounter).
+  CollectorStats stats() const noexcept;
 
  private:
   struct Connection;
+
+  /// The live counters behind stats(). RawCounter (not registry Counter):
+  /// these are functional collector state, counted even when the obs layer
+  /// is disabled; the registry mirrors them via global gated counters.
+  struct AtomicStats {
+    obs::RawCounter connections;
+    obs::RawCounter frames;
+    obs::RawCounter records;
+    obs::RawCounter flushes;
+    obs::RawCounter dropped_connections;
+    obs::RawCounter bytes;
+    obs::RawCounter backpressure_reads;
+  };
 
   /// Drain complete frames from one connection; returns the number of
   /// goodbye frames seen (0 or 1).
@@ -57,7 +77,7 @@ class Collector {
   Socket listener_;
   std::uint16_t port_ = 0;
   telemetry::Dataset dataset_;
-  CollectorStats stats_;
+  AtomicStats stats_;
 };
 
 /// Runs a Collector on a background thread; join() returns the dataset.

@@ -3,8 +3,19 @@
 #include <stdexcept>
 
 #include "net/wire.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace autosens::net {
+namespace {
+
+obs::Counter& emitted_records_counter() {
+  static obs::Counter& counter = obs::registry().counter(
+      "autosens_emitter_records_total", "Records shipped by emitters");
+  return counter;
+}
+
+}  // namespace
 
 Emitter::Emitter(std::uint16_t port, EmitterOptions options)
     : socket_(connect_tcp(port)), options_(options) {
@@ -12,6 +23,7 @@ Emitter::Emitter(std::uint16_t port, EmitterOptions options)
     throw std::invalid_argument("Emitter: batch_size must be nonzero");
   }
   pending_.reserve(options_.batch_size);
+  obs::log_debug("emitter.connect", {{"port", port}, {"batch", options_.batch_size}});
 }
 
 Emitter::~Emitter() {
@@ -34,6 +46,7 @@ void Emitter::send_pending() {
   send_records(socket_, pending_);
   sent_records_ += pending_.size();
   ++sent_frames_;
+  emitted_records_counter().inc(pending_.size());
   pending_.clear();
 }
 
@@ -51,6 +64,8 @@ void Emitter::close() {
   ++sent_frames_;
   closed_ = true;
   socket_.close();
+  obs::log_debug("emitter.close",
+                 {{"records", sent_records_}, {"frames", sent_frames_}});
 }
 
 }  // namespace autosens::net

@@ -1,0 +1,102 @@
+// Minimal structured logger (header-only): a global level, an event name,
+// and key=value fields on one line. Replaces the ad-hoc std::cerr prints in
+// the CLI and the net layer so verbosity is controlled in one place
+// (CLI --log-level {quiet,info,debug}).
+//
+//   obs::log_info("collector.listen", {{"port", port}});
+//     -> info: collector.listen port=9091
+//
+// Thread-safe: the level is a relaxed atomic and each message is a single
+// formatted write to the sink (no interleaving within one line).
+#pragma once
+
+#include <atomic>
+#include <initializer_list>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace autosens::obs {
+
+enum class LogLevel : int { kQuiet = 0, kInfo = 1, kDebug = 2 };
+
+namespace detail {
+inline std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+inline std::atomic<std::ostream*> g_log_sink{&std::cerr};
+}  // namespace detail
+
+inline LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(detail::g_log_level.load(std::memory_order_relaxed));
+}
+inline void set_log_level(LogLevel level) noexcept {
+  detail::g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+/// Redirect output (tests); nullptr restores std::cerr.
+inline void set_log_sink(std::ostream* sink) noexcept {
+  detail::g_log_sink.store(sink != nullptr ? sink : &std::cerr, std::memory_order_relaxed);
+}
+
+inline std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  if (name == "quiet") return LogLevel::kQuiet;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug") return LogLevel::kDebug;
+  return std::nullopt;
+}
+
+/// One key=value field. Values with spaces or quotes are double-quoted.
+struct LogField {
+  std::string key;
+  std::string value;
+
+  LogField(std::string_view k, std::string_view v) : key(k), value(v) {}
+  LogField(std::string_view k, const char* v) : key(k), value(v) {}
+  LogField(std::string_view k, const std::string& v) : key(k), value(v) {}
+  LogField(std::string_view k, bool v) : key(k), value(v ? "true" : "false") {}
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  LogField(std::string_view k, T v) : key(k) {
+    std::ostringstream out;
+    out << v;
+    value = out.str();
+  }
+};
+
+inline void log(LogLevel level, std::string_view event,
+                std::initializer_list<LogField> fields = {}) {
+  if (static_cast<int>(level) > static_cast<int>(log_level()) ||
+      level == LogLevel::kQuiet) {
+    return;
+  }
+  std::ostringstream line;
+  line << (level == LogLevel::kDebug ? "debug: " : "info: ") << event;
+  for (const auto& field : fields) {
+    line << ' ' << field.key << '=';
+    const bool quote =
+        field.value.empty() ||
+        field.value.find_first_of(" \t\"=") != std::string::npos;
+    if (!quote) {
+      line << field.value;
+    } else {
+      line << '"';
+      for (const char c : field.value) {
+        if (c == '"' || c == '\\') line << '\\';
+        line << c;
+      }
+      line << '"';
+    }
+  }
+  line << '\n';
+  *detail::g_log_sink.load(std::memory_order_relaxed) << line.str() << std::flush;
+}
+
+inline void log_info(std::string_view event, std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kInfo, event, fields);
+}
+inline void log_debug(std::string_view event, std::initializer_list<LogField> fields = {}) {
+  log(LogLevel::kDebug, event, fields);
+}
+
+}  // namespace autosens::obs

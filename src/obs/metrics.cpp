@@ -1,0 +1,325 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace autosens::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+/// Format a double the way Prometheus expects: shortest form that
+/// round-trips integers exactly ("42" not "42.000000").
+std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    std::ostringstream out;
+    out << static_cast<std::int64_t>(v);
+    return out.str();
+  }
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+std::string bucket_label(const std::string& labels, double bound) {
+  std::string le = std::isinf(bound) ? "+Inf" : format_value(bound);
+  if (labels.empty()) return "le=\"" + le + "\"";
+  return labels + ",le=\"" + le + "\"";
+}
+
+std::string with_labels(const std::string& base, const std::string& labels) {
+  return labels.empty() ? base : base + "{" + labels + "}";
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) noexcept { g_enabled.store(on, std::memory_order_relaxed); }
+
+std::uint64_t Gauge::encode(double v) noexcept { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::decode(std::uint64_t bits) noexcept { return std::bit_cast<double>(bits); }
+
+void Gauge::add(double delta) noexcept {
+  if (!enabled()) return;
+  std::uint64_t expected = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(expected, encode(decode(expected) + delta),
+                                      std::memory_order_relaxed,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) throw std::invalid_argument("obs::Histogram: no buckets");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("obs::Histogram: bounds must be strictly increasing");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double value) noexcept {
+  if (!enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  // Fixed-point (1/1000) sum so concurrent observes stay a single atomic
+  // add; sub-microsecond latency truncation is irrelevant at this grain.
+  const double clamped = std::max(value, 0.0);
+  sum_millis_.fetch_add(static_cast<std::uint64_t>(clamped * 1000.0 + 0.5),
+                        std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  return static_cast<double>(sum_millis_.load(std::memory_order_relaxed)) / 1000.0;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::vector<double> default_latency_buckets_ms() {
+  return {0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000};
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Entry& Registry::find_or_create(Kind kind, std::string_view name,
+                                          std::string_view help) {
+  const auto brace = name.find('{');
+  std::string base(name.substr(0, brace));
+  std::string labels;
+  if (brace != std::string_view::npos) {
+    if (name.back() != '}' || brace + 2 > name.size() - 1) {
+      throw std::invalid_argument("obs::Registry: malformed label set in " +
+                                  std::string(name));
+    }
+    labels = std::string(name.substr(brace + 1, name.size() - brace - 2));
+  }
+  for (auto& entry : entries_) {
+    if (entry.base == base && entry.labels == labels) {
+      if (entry.kind != kind) {
+        throw std::invalid_argument("obs::Registry: " + std::string(name) +
+                                    " re-registered with a different type");
+      }
+      return entry;
+    }
+  }
+  entries_.push_back(Entry{.kind = kind,
+                           .base = std::move(base),
+                           .labels = std::move(labels),
+                           .help = std::string(help),
+                           .counter = nullptr,
+                           .gauge = nullptr,
+                           .histogram = nullptr});
+  return entries_.back();
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = find_or_create(Kind::kCounter, name, help);
+  if (!entry.counter) entry.counter.reset(new Counter());
+  return *entry.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = find_or_create(Kind::kGauge, name, help);
+  if (!entry.gauge) entry.gauge.reset(new Gauge());
+  return *entry.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  Entry& entry = find_or_create(Kind::kHistogram, name, help);
+  if (!entry.histogram) entry.histogram.reset(new Histogram(std::move(bounds)));
+  return *entry.histogram;
+}
+
+std::vector<Sample> Registry::samples() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Sample> out;
+  for (const auto& entry : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out.push_back({with_labels(entry.base, entry.labels),
+                       static_cast<double>(entry.counter->value())});
+        break;
+      case Kind::kGauge:
+        out.push_back({with_labels(entry.base, entry.labels), entry.gauge->value()});
+        break;
+      case Kind::kHistogram: {
+        const auto counts = entry.histogram->bucket_counts();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          cumulative += counts[i];
+          const double bound = i < entry.histogram->bounds().size()
+                                   ? entry.histogram->bounds()[i]
+                                   : std::numeric_limits<double>::infinity();
+          out.push_back({entry.base + "_bucket{" + bucket_label(entry.labels, bound) + "}",
+                         static_cast<double>(cumulative)});
+        }
+        out.push_back({with_labels(entry.base + "_sum", entry.labels),
+                       entry.histogram->sum()});
+        out.push_back({with_labels(entry.base + "_count", entry.labels),
+                       static_cast<double>(cumulative)});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void Registry::write_prometheus(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  std::string last_family;
+  for (const auto& entry : entries_) {
+    if (entry.base != last_family) {
+      last_family = entry.base;
+      if (!entry.help.empty()) out << "# HELP " << entry.base << " " << entry.help << "\n";
+      out << "# TYPE " << entry.base << " "
+          << (entry.kind == Kind::kCounter
+                  ? "counter"
+                  : entry.kind == Kind::kGauge ? "gauge" : "histogram")
+          << "\n";
+    }
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out << with_labels(entry.base, entry.labels) << " " << entry.counter->value()
+            << "\n";
+        break;
+      case Kind::kGauge:
+        out << with_labels(entry.base, entry.labels) << " "
+            << format_value(entry.gauge->value()) << "\n";
+        break;
+      case Kind::kHistogram: {
+        const auto counts = entry.histogram->bucket_counts();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          cumulative += counts[i];
+          const double bound = i < entry.histogram->bounds().size()
+                                   ? entry.histogram->bounds()[i]
+                                   : std::numeric_limits<double>::infinity();
+          out << entry.base << "_bucket{" << bucket_label(entry.labels, bound) << "} "
+              << cumulative << "\n";
+        }
+        out << with_labels(entry.base + "_sum", entry.labels) << " "
+            << format_value(entry.histogram->sum()) << "\n";
+        out << with_labels(entry.base + "_count", entry.labels) << " " << cumulative
+            << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void Registry::write_json(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  const auto escape = [](const std::string& s) {
+    std::string r;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') r += '\\';
+      r += c;
+    }
+    return r;
+  };
+  out << "[";
+  bool first = true;
+  for (const auto& entry : entries_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\": \"" << escape(with_labels(entry.base, entry.labels))
+        << "\", \"help\": \"" << escape(entry.help) << "\", ";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out << "\"type\": \"counter\", \"value\": " << entry.counter->value() << "}";
+        break;
+      case Kind::kGauge:
+        out << "\"type\": \"gauge\", \"value\": " << format_value(entry.gauge->value())
+            << "}";
+        break;
+      case Kind::kHistogram: {
+        out << "\"type\": \"histogram\", \"sum\": "
+            << format_value(entry.histogram->sum()) << ", \"count\": "
+            << entry.histogram->count() << ", \"buckets\": [";
+        const auto counts = entry.histogram->bucket_counts();
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+          if (i > 0) out << ", ";
+          out << "{\"le\": ";
+          if (i < entry.histogram->bounds().size()) {
+            out << format_value(entry.histogram->bounds()[i]);
+          } else {
+            out << "\"+Inf\"";
+          }
+          out << ", \"count\": " << counts[i] << "}";
+        }
+        out << "]}";
+        break;
+      }
+    }
+  }
+  out << "\n]\n";
+}
+
+std::vector<Sample> parse_prometheus(std::istream& in) {
+  std::vector<Sample> samples;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    // A sample is `name[{labels}] value [timestamp]`; the name may contain
+    // a quoted label set with spaces, so split at the first space outside
+    // quotes after the closing brace (labels themselves contain no spaces
+    // in our output, but be permissive: find the last space).
+    const auto space = line.find_last_of(' ');
+    const auto value_pos = line.find_first_not_of(' ', space);
+    if (space == std::string::npos || value_pos == std::string::npos) {
+      throw std::invalid_argument("parse_prometheus: malformed line " +
+                                  std::to_string(line_number) + ": " + line);
+    }
+    Sample sample;
+    sample.name = line.substr(0, space);
+    while (!sample.name.empty() && sample.name.back() == ' ') sample.name.pop_back();
+    const std::string value_text = line.substr(value_pos);
+    try {
+      std::size_t consumed = 0;
+      sample.value = std::stod(value_text, &consumed);
+      if (consumed != value_text.size()) throw std::invalid_argument(value_text);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("parse_prometheus: bad value on line " +
+                                  std::to_string(line_number) + ": " + value_text);
+    }
+    if (sample.name.empty()) {
+      throw std::invalid_argument("parse_prometheus: empty metric name on line " +
+                                  std::to_string(line_number));
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace autosens::obs

@@ -1,0 +1,161 @@
+// Lock-cheap metrics registry: counters, gauges, and fixed-bucket latency
+// histograms behind pre-registered handles. Registration (cold path) takes a
+// mutex; every hot-path update is one enabled() branch plus one relaxed
+// atomic add, so instrumented-but-disabled code costs a predictable branch.
+//
+// The whole subsystem is off by default (enabled() == false): instrumented
+// hot loops in the analysis pipeline, the collector, and the thread pool pay
+// near-zero overhead until a caller opts in (CLI --metrics-out / --stats).
+// Snapshots serialize as Prometheus text exposition format or JSON;
+// parse_prometheus() round-trips the text form (and powers the `metrics`
+// CLI subcommand).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autosens::obs {
+
+/// Process-wide instrumentation switch. Relaxed-atomic read; updates made
+/// while disabled are dropped, not buffered.
+bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// An ungated relaxed atomic counter cell — always counts, independent of
+/// enabled(). Use directly where the count is functional state rather than
+/// telemetry (e.g. CollectorStats); Registry counters wrap one behind the
+/// enabled() gate.
+class RawCounter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t get() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Monotonic event counter (Prometheus `counter`).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    if (enabled()) cell_.add(n);
+  }
+  std::uint64_t value() const noexcept { return cell_.get(); }
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  RawCounter cell_;
+};
+
+/// Last-write-wins instantaneous value (Prometheus `gauge`).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (enabled()) bits_.store(encode(v), std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept;
+  double value() const noexcept { return decode(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  static std::uint64_t encode(double v) noexcept;
+  static double decode(std::uint64_t bits) noexcept;
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket latency histogram (Prometheus `histogram`). Bucket upper
+/// bounds are set at registration; observations clamp into the implicit
+/// +Inf bucket. Each observe() is one branchy bucket search (typically
+/// <= 16 bounds) plus two relaxed atomic adds.
+class Histogram {
+ public:
+  void observe(double value) noexcept;
+
+  std::uint64_t count() const noexcept;
+  double sum() const noexcept;
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; index bounds_.size() is +Inf.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<double> bounds);
+  std::vector<double> bounds_;  ///< Strictly increasing upper bounds.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  ///< bounds+1 cells.
+  std::atomic<std::uint64_t> sum_millis_{0};  ///< Sum scaled by 1000 (fixed point).
+};
+
+/// Default latency bucket ladder (milliseconds), a 1-2-5 decade series.
+std::vector<double> default_latency_buckets_ms();
+
+/// One exported sample: a metric (with its label set baked into the name,
+/// e.g. `autosens_stage_latency_ms_bucket{stage="unbiased",le="50"}`) and
+/// its value at snapshot time.
+struct Sample {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Named-handle registry. Handles returned by counter()/gauge()/histogram()
+/// are valid for the registry's lifetime; registering the same full name
+/// (including any `{label="..."}` suffix) twice returns the same handle.
+class Registry {
+ public:
+  /// The process-global registry used by the library's instrumentation.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// `name` may carry a fixed label set: `requests_total{path="/x"}`.
+  Counter& counter(std::string_view name, std::string_view help = "");
+  Gauge& gauge(std::string_view name, std::string_view help = "");
+  Histogram& histogram(std::string_view name, std::string_view help = "",
+                       std::vector<double> bounds = default_latency_buckets_ms());
+
+  /// Flat list of samples in registration order (histograms expand into
+  /// cumulative _bucket/_sum/_count series as in the text exposition).
+  std::vector<Sample> samples() const;
+
+  /// Prometheus text exposition format (# HELP / # TYPE + samples).
+  void write_prometheus(std::ostream& out) const;
+  /// JSON: an array of {"name","type","help","value"| "buckets"} objects.
+  void write_json(std::ostream& out) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string base;    ///< Metric family name, no labels.
+    std::string labels;  ///< Label set without braces ("" if none).
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry& find_or_create(Kind kind, std::string_view name, std::string_view help);
+
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;  ///< deque: handles stay put as entries grow.
+};
+
+/// Shorthand for the global registry.
+inline Registry& registry() { return Registry::global(); }
+
+/// Parse Prometheus text exposition format back into samples (comment and
+/// blank lines skipped). Throws std::invalid_argument on a malformed sample
+/// line. Round-trips Registry::write_prometheus output.
+std::vector<Sample> parse_prometheus(std::istream& in);
+
+}  // namespace autosens::obs

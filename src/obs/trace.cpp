@@ -1,0 +1,179 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace autosens::obs {
+namespace {
+
+std::uint64_t monotonic_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Dense per-thread index for trace "tid" fields (stable across spans on
+/// the same thread, small enough to read in the Chrome UI).
+std::uint64_t thread_index() noexcept {
+  static std::atomic<std::uint64_t> next{0};
+  thread_local const std::uint64_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+/// The innermost open span id on this thread (parent for new spans).
+thread_local std::vector<std::uint64_t> t_span_stack;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+void Tracer::set_enabled(bool on) {
+  if (on) {
+    std::uint64_t expected = 0;
+    epoch_ns_.compare_exchange_strong(expected, monotonic_ns());
+  }
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  spans_.clear();
+}
+
+std::uint64_t Tracer::now_us() const noexcept {
+  return (monotonic_ns() - epoch_ns_.load(std::memory_order_relaxed)) / 1000;
+}
+
+void Tracer::record(SpanRecord&& span) {
+  std::lock_guard lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return spans_;
+}
+
+void Tracer::write_chrome_trace(std::ostream& out) const {
+  const auto spans = snapshot();
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const auto& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  {\"name\": \"" << json_escape(span.name)
+        << "\", \"cat\": \"autosens\", \"ph\": \"X\", \"ts\": " << span.start_us
+        << ", \"dur\": " << span.duration_us << ", \"pid\": 1, \"tid\": " << span.thread
+        << ", \"args\": {\"id\": " << span.id << ", \"parent\": " << span.parent;
+    for (const auto& [key, value] : span.attributes) {
+      out << ", \"" << json_escape(key) << "\": \"" << json_escape(value) << "\"";
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+}
+
+std::vector<SpanAggregate> Tracer::aggregate() const {
+  const auto spans = snapshot();
+  std::vector<SpanAggregate> out;
+  // Spans are recorded at destruction, so record order lists children before
+  // their parents; keep the first *start* per (name, depth) to order the
+  // summary the way the stages actually ran.
+  std::vector<std::uint64_t> first_start;
+  for (const auto& span : spans) {
+    const double ms = static_cast<double>(span.duration_us) / 1000.0;
+    std::size_t slot = out.size();
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].name == span.name && out[i].depth == span.depth) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == out.size()) {
+      out.push_back({span.name, span.depth, 0, 0.0, ms, ms});
+      first_start.push_back(span.start_us);
+    }
+    ++out[slot].count;
+    out[slot].total_ms += ms;
+    out[slot].min_ms = std::min(out[slot].min_ms, ms);
+    out[slot].max_ms = std::max(out[slot].max_ms, ms);
+    first_start[slot] = std::min(first_start[slot], span.start_us);
+  }
+  std::vector<std::size_t> order(out.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Tie-break equal starts (parent and child can open in the same
+  // microsecond) by depth so parents list before their children.
+  std::stable_sort(order.begin(), order.end(),
+                   [&first_start, &out](std::size_t a, std::size_t b) {
+                     if (first_start[a] != first_start[b]) {
+                       return first_start[a] < first_start[b];
+                     }
+                     return out[a].depth < out[b].depth;
+                   });
+  std::vector<SpanAggregate> sorted;
+  sorted.reserve(out.size());
+  for (const std::size_t i : order) sorted.push_back(std::move(out[i]));
+  return sorted;
+}
+
+Span::Span(std::string_view name, Histogram* latency_ms) : latency_ms_(latency_ms) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  record_.name = std::string(name);
+  record_.id = tracer.next_id();
+  record_.parent = t_span_stack.empty() ? 0 : t_span_stack.back();
+  record_.depth = static_cast<std::uint32_t>(t_span_stack.size());
+  record_.thread = thread_index();
+  record_.start_us = tracer.now_us();
+  t_span_stack.push_back(record_.id);
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::global();
+  const std::uint64_t end_us = tracer.now_us();
+  record_.duration_us = end_us >= record_.start_us ? end_us - record_.start_us : 0;
+  if (!t_span_stack.empty() && t_span_stack.back() == record_.id) t_span_stack.pop_back();
+  if (latency_ms_ != nullptr) {
+    latency_ms_->observe(static_cast<double>(record_.duration_us) / 1000.0);
+  }
+  tracer.record(std::move(record_));
+}
+
+void Span::attr(std::string_view key, std::string value) {
+  if (!active_) return;
+  record_.attributes.emplace_back(std::string(key), std::move(value));
+}
+
+void Span::attr(std::string_view key, std::int64_t value) {
+  if (!active_) return;
+  record_.attributes.emplace_back(std::string(key), std::to_string(value));
+}
+
+void Span::attr(std::string_view key, double value) {
+  if (!active_) return;
+  std::ostringstream out;
+  out << value;
+  record_.attributes.emplace_back(std::string(key), out.str());
+}
+
+}  // namespace autosens::obs

@@ -1,0 +1,108 @@
+// Pipeline stage tracing: RAII spans with monotonic-clock timing and
+// parent/child nesting (per-thread span stack). Completed spans collect in
+// the global Tracer, which can emit a Chrome `trace_event` JSON file
+// (chrome://tracing / Perfetto loadable) or aggregate per-stage totals for
+// an ASCII flame summary.
+//
+// Off by default: a Span constructed while the tracer is disabled is inert
+// (one relaxed atomic load, no clock reads, no allocation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace autosens::obs {
+
+class Histogram;  // metrics.h
+
+/// One finished span, times in microseconds since the tracer's epoch.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root.
+  std::uint32_t depth = 0;   ///< Nesting depth at start (root = 0).
+  std::uint64_t thread = 0;  ///< Small dense per-thread index.
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+/// Per-stage rollup for the flame summary, ordered by first start.
+struct SpanAggregate {
+  std::string name;
+  std::uint32_t depth = 0;
+  std::size_t count = 0;
+  double total_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+class Tracer {
+ public:
+  static Tracer& global();
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const noexcept { return enabled_.load(std::memory_order_relaxed); }
+  /// Enabling (re)starts the epoch; spans already open stay inert.
+  void set_enabled(bool on);
+
+  /// Drop all collected spans (epoch is kept).
+  void clear();
+
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Chrome trace_event JSON ("traceEvents" array of complete "X" events).
+  void write_chrome_trace(std::ostream& out) const;
+
+  /// Rollup by (name, depth), ordered by first occurrence.
+  std::vector<SpanAggregate> aggregate() const;
+
+  /// Microseconds since the tracer epoch (monotonic clock).
+  std::uint64_t now_us() const noexcept;
+
+ private:
+  friend class Span;
+  void record(SpanRecord&& span);
+  std::uint64_t next_id() noexcept { return ids_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> ids_{0};
+  std::atomic<std::uint64_t> epoch_ns_{0};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII span on the global tracer. Construct at stage entry; the destructor
+/// stamps the duration and files the record. When a metrics::Histogram is
+/// supplied the duration (ms) is also observed there, so stage latency
+/// distributions accumulate across runs without a second clock read.
+class Span {
+ public:
+  explicit Span(std::string_view name, Histogram* latency_ms = nullptr);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a key/value attribute (shows in the Chrome trace "args").
+  void attr(std::string_view key, std::string value);
+  void attr(std::string_view key, std::int64_t value);
+  void attr(std::string_view key, double value);
+
+  bool active() const noexcept { return active_; }
+
+ private:
+  bool active_ = false;
+  SpanRecord record_;
+  Histogram* latency_ms_ = nullptr;
+};
+
+}  // namespace autosens::obs

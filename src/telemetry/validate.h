@@ -1,10 +1,14 @@
 // Dataset sanity validation. Real telemetry is messy: negative or absurd
 // latencies, clock skew, error rows. The paper's pipeline keeps only
 // successful actions (§3.1); this module implements that scrub and reports
-// exactly what was dropped and why.
+// exactly what was dropped and why. Drop counts are also mirrored into the
+// obs metrics registry (autosens_validate_dropped_total{reason=...}) so a
+// silently lossy measurement path shows up in any metrics snapshot.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <string>
 
 #include "telemetry/dataset.h"
@@ -16,6 +20,12 @@ struct ValidationOptions {
   double min_latency_ms = 0.0;       ///< Drop below this (exclusive of 0: <= 0 drops).
   double max_latency_ms = 60'000.0;  ///< Drop above this (client timeouts, skew).
   bool successful_only = true;       ///< Drop records with status == kError.
+  /// Timestamps before this are clock-skew garbage (pre-epoch by default).
+  std::int64_t min_time_ms = 0;
+  /// Optional observation window: records outside [window_begin_ms,
+  /// window_end_ms) are dropped. Disabled by default.
+  std::int64_t window_begin_ms = std::numeric_limits<std::int64_t>::min();
+  std::int64_t window_end_ms = std::numeric_limits<std::int64_t>::max();
 };
 
 /// Per-reason drop accounting.
@@ -26,9 +36,15 @@ struct ValidationReport {
   std::size_t dropped_nonpositive_latency = 0;
   std::size_t dropped_excessive_latency = 0;
   std::size_t dropped_nonfinite_latency = 0;
+  std::size_t dropped_bad_timestamp = 0;
+  std::size_t dropped_out_of_window = 0;
 
   std::size_t dropped() const noexcept { return total - kept; }
   std::string summary() const;
+  /// Compact single-line form for end-of-run stderr reporting:
+  /// `kept 120/128 (dropped: error-status 5, bad-timestamp 3)` — zero-count
+  /// reasons are omitted.
+  std::string one_line() const;
 };
 
 /// Result of scrubbing.

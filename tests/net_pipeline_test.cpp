@@ -120,6 +120,28 @@ TEST(NetPipelineTest, CollectorStatsAreAccurate) {
   EXPECT_EQ(stats.flushes, 1u);
   // 2 full batches + flush marker + final partial batch + goodbye.
   EXPECT_EQ(stats.frames, 5u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(NetPipelineTest, StatsSnapshotIsReadableWhileServing) {
+  // The stats cells are atomics precisely so this poll-while-serving pattern
+  // is race-free; the TSan harness proves it, this checks the values.
+  constexpr std::size_t kRecords = 500;
+  CollectorThread collector(1);
+  std::thread client([port = collector.port()] {
+    Emitter emitter(port, {.batch_size = 32});
+    for (const auto& r : make_records(kRecords, 3)) emitter.record(r);
+    emitter.close();
+  });
+  std::size_t max_seen = 0;
+  while (max_seen < kRecords) {
+    const auto snapshot = collector.stats();
+    EXPECT_GE(snapshot.records, max_seen);  // Counters are monotonic.
+    max_seen = snapshot.records;
+  }
+  client.join();
+  EXPECT_EQ(collector.join().size(), kRecords);
+  EXPECT_EQ(collector.stats().records, kRecords);
 }
 
 TEST(NetPipelineTest, ConcurrentEmittersInterleave) {

@@ -1,0 +1,241 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace autosens::obs {
+namespace {
+
+/// Instrumentation is globally gated; these tests need it on (and must not
+/// leave it on for other tests in the binary).
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_enabled(true); }
+  void TearDown() override { set_enabled(false); }
+};
+
+TEST_F(ObsMetricsTest, CounterCountsAndGateDropsUpdatesWhenDisabled) {
+  Registry registry;
+  auto& counter = registry.counter("requests_total", "Requests");
+  counter.inc();
+  counter.inc(4);
+  EXPECT_EQ(counter.value(), 5u);
+  set_enabled(false);
+  counter.inc(100);
+  EXPECT_EQ(counter.value(), 5u);
+}
+
+TEST_F(ObsMetricsTest, RawCounterIgnoresTheGate) {
+  set_enabled(false);
+  RawCounter raw;
+  raw.add(3);
+  EXPECT_EQ(raw.get(), 3u);
+  raw.reset();
+  EXPECT_EQ(raw.get(), 0u);
+}
+
+TEST_F(ObsMetricsTest, SameFullNameReturnsSameHandle) {
+  Registry registry;
+  auto& a = registry.counter("x_total");
+  auto& b = registry.counter("x_total");
+  EXPECT_EQ(&a, &b);
+  auto& labeled = registry.counter("x_total{reason=\"a\"}");
+  auto& labeled_again = registry.counter("x_total{reason=\"a\"}");
+  EXPECT_EQ(&labeled, &labeled_again);
+  EXPECT_NE(&a, &labeled);
+}
+
+TEST_F(ObsMetricsTest, TypeConflictThrows) {
+  Registry registry;
+  registry.counter("m");
+  EXPECT_THROW(registry.gauge("m"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("m"), std::invalid_argument);
+}
+
+TEST_F(ObsMetricsTest, MalformedLabelSetThrows) {
+  Registry registry;
+  EXPECT_THROW(registry.counter("bad{"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("bad{}"), std::invalid_argument);
+}
+
+TEST_F(ObsMetricsTest, ConcurrentIncrementsAreExact) {
+  Registry registry;
+  auto& counter = registry.counter("c_total");
+  auto& gauge = registry.gauge("g");
+  auto& histogram = registry.histogram("h_ms", "", {1.0, 10.0});
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &gauge, &histogram] {
+      for (int i = 0; i < kIterations; ++i) {
+        counter.inc();
+        gauge.add(1.0);
+        histogram.observe(0.5);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kIterations);
+  EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kThreads) * kIterations);
+  EXPECT_EQ(histogram.count(), static_cast<std::uint64_t>(kThreads) * kIterations);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketBoundariesAreInclusive) {
+  Registry registry;
+  auto& histogram = registry.histogram("lat_ms", "", {1.0, 5.0, 10.0});
+  histogram.observe(0.5);    // <= 1
+  histogram.observe(1.0);    // le="1" is inclusive, Prometheus-style
+  histogram.observe(1.001);  // <= 5
+  histogram.observe(5.0);    // <= 5
+  histogram.observe(7.0);    // <= 10
+  histogram.observe(100.0);  // +Inf
+  const std::vector<std::uint64_t> expected{2, 2, 1, 1};
+  EXPECT_EQ(histogram.bucket_counts(), expected);
+  EXPECT_EQ(histogram.count(), 6u);
+  EXPECT_NEAR(histogram.sum(), 0.5 + 1.0 + 1.001 + 5.0 + 7.0 + 100.0, 1e-2);
+}
+
+TEST_F(ObsMetricsTest, HistogramRejectsBadBounds) {
+  Registry registry;
+  EXPECT_THROW(registry.histogram("empty_ms", "", {}), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("unsorted_ms", "", {5.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("dup_ms", "", {1.0, 1.0}), std::invalid_argument);
+}
+
+TEST_F(ObsMetricsTest, DefaultBucketLadder) {
+  const auto bounds = default_latency_buckets_ms();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+  EXPECT_DOUBLE_EQ(bounds.front(), 0.1);
+  EXPECT_DOUBLE_EQ(bounds.back(), 10'000.0);
+}
+
+TEST_F(ObsMetricsTest, GaugeSetAndAdd) {
+  Registry registry;
+  auto& gauge = registry.gauge("queue_depth");
+  gauge.set(4.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 4.0);
+  gauge.add(2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 6.5);
+  gauge.add(-6.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST_F(ObsMetricsTest, PrometheusGolden) {
+  Registry registry;
+  auto& counter = registry.counter("autosens_demo_total{reason=\"x\"}", "Demo counter");
+  auto& gauge = registry.gauge("autosens_depth", "Queue depth");
+  auto& histogram = registry.histogram("autosens_lat_ms", "Latency", {1.0, 10.0});
+  counter.inc(3);
+  gauge.set(2.0);
+  histogram.observe(0.5);
+  histogram.observe(3.0);
+  histogram.observe(30.0);
+
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  EXPECT_EQ(out.str(),
+            "# HELP autosens_demo_total Demo counter\n"
+            "# TYPE autosens_demo_total counter\n"
+            "autosens_demo_total{reason=\"x\"} 3\n"
+            "# HELP autosens_depth Queue depth\n"
+            "# TYPE autosens_depth gauge\n"
+            "autosens_depth 2\n"
+            "# HELP autosens_lat_ms Latency\n"
+            "# TYPE autosens_lat_ms histogram\n"
+            "autosens_lat_ms_bucket{le=\"1\"} 1\n"
+            "autosens_lat_ms_bucket{le=\"10\"} 2\n"
+            "autosens_lat_ms_bucket{le=\"+Inf\"} 3\n"
+            "autosens_lat_ms_sum 33.5\n"
+            "autosens_lat_ms_count 3\n");
+}
+
+TEST_F(ObsMetricsTest, LabeledSeriesShareOneTypeHeader) {
+  Registry registry;
+  registry.counter("dropped_total{reason=\"a\"}", "Drops").inc();
+  registry.counter("dropped_total{reason=\"b\"}", "Drops").inc(2);
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  EXPECT_EQ(out.str(),
+            "# HELP dropped_total Drops\n"
+            "# TYPE dropped_total counter\n"
+            "dropped_total{reason=\"a\"} 1\n"
+            "dropped_total{reason=\"b\"} 2\n");
+}
+
+TEST_F(ObsMetricsTest, JsonGolden) {
+  Registry registry;
+  registry.counter("a_total", "A").inc(2);
+  registry.histogram("h_ms", "", {1.0}).observe(0.5);
+  std::ostringstream out;
+  registry.write_json(out);
+  EXPECT_EQ(out.str(),
+            "[\n"
+            "  {\"name\": \"a_total\", \"help\": \"A\", \"type\": \"counter\", "
+            "\"value\": 2},\n"
+            "  {\"name\": \"h_ms\", \"help\": \"\", \"type\": \"histogram\", "
+            "\"sum\": 0.5, \"count\": 1, \"buckets\": "
+            "[{\"le\": 1, \"count\": 1}, {\"le\": \"+Inf\", \"count\": 0}]}\n"
+            "]\n");
+}
+
+TEST_F(ObsMetricsTest, PrometheusRoundTripsThroughParser) {
+  Registry registry;
+  registry.counter("autosens_demo_total{reason=\"x\"}", "Demo").inc(7);
+  registry.gauge("autosens_alpha{class=\"Business\"}").set(1.25);
+  auto& histogram = registry.histogram("autosens_lat_ms", "", {1.0, 10.0});
+  histogram.observe(0.25);
+  histogram.observe(4.0);
+
+  std::stringstream text;
+  registry.write_prometheus(text);
+  const auto parsed = parse_prometheus(text);
+  const auto samples = registry.samples();
+  ASSERT_EQ(parsed.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, samples[i].name) << "sample " << i;
+    EXPECT_DOUBLE_EQ(parsed[i].value, samples[i].value) << "sample " << i;
+  }
+}
+
+TEST_F(ObsMetricsTest, ParseSkipsCommentsAndRejectsMalformedLines) {
+  std::istringstream good("# HELP x y\n# TYPE x counter\n\nx 4\n");
+  const auto samples = parse_prometheus(good);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].name, "x");
+  EXPECT_DOUBLE_EQ(samples[0].value, 4.0);
+
+  std::istringstream no_value("just_a_name\n");
+  EXPECT_THROW(parse_prometheus(no_value), std::invalid_argument);
+  std::istringstream bad_value("x not-a-number\n");
+  EXPECT_THROW(parse_prometheus(bad_value), std::invalid_argument);
+}
+
+TEST_F(ObsMetricsTest, SamplesExpandHistogramsCumulatively) {
+  Registry registry;
+  auto& histogram = registry.histogram("h_ms", "", {1.0, 10.0});
+  histogram.observe(0.5);
+  histogram.observe(5.0);
+  histogram.observe(50.0);
+  const auto samples = registry.samples();
+  ASSERT_EQ(samples.size(), 5u);  // 3 buckets + _sum + _count.
+  EXPECT_EQ(samples[0].name, "h_ms_bucket{le=\"1\"}");
+  EXPECT_DOUBLE_EQ(samples[0].value, 1.0);
+  EXPECT_EQ(samples[1].name, "h_ms_bucket{le=\"10\"}");
+  EXPECT_DOUBLE_EQ(samples[1].value, 2.0);
+  EXPECT_EQ(samples[2].name, "h_ms_bucket{le=\"+Inf\"}");
+  EXPECT_DOUBLE_EQ(samples[2].value, 3.0);
+  EXPECT_EQ(samples[3].name, "h_ms_sum");
+  EXPECT_EQ(samples[4].name, "h_ms_count");
+  EXPECT_DOUBLE_EQ(samples[4].value, 3.0);
+}
+
+}  // namespace
+}  // namespace autosens::obs

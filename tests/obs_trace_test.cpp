@@ -1,0 +1,154 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace autosens::obs {
+namespace {
+
+/// Spans always file into the global tracer; enable it per test and scrub
+/// the collected spans afterwards.
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().set_enabled(true);
+    Tracer::global().clear();
+  }
+  void TearDown() override {
+    Tracer::global().set_enabled(false);
+    Tracer::global().clear();
+  }
+};
+
+const SpanRecord* find(const std::vector<SpanRecord>& spans, const std::string& name) {
+  for (const auto& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+TEST_F(ObsTraceTest, DisabledSpansAreInert) {
+  Tracer::global().set_enabled(false);
+  {
+    Span span("noop");
+    span.attr("key", "value");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(Tracer::global().snapshot().empty());
+}
+
+TEST_F(ObsTraceTest, NestingRecordsParentAndDepth) {
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+      Span leaf("leaf");
+    }
+    Span sibling("sibling");
+  }
+  const auto spans = Tracer::global().snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  const auto* outer = find(spans, "outer");
+  const auto* inner = find(spans, "inner");
+  const auto* leaf = find(spans, "leaf");
+  const auto* sibling = find(spans, "sibling");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(leaf, nullptr);
+  ASSERT_NE(sibling, nullptr);
+
+  EXPECT_EQ(outer->parent, 0u);
+  EXPECT_EQ(outer->depth, 0u);
+  EXPECT_EQ(inner->parent, outer->id);
+  EXPECT_EQ(inner->depth, 1u);
+  EXPECT_EQ(leaf->parent, inner->id);
+  EXPECT_EQ(leaf->depth, 2u);
+  EXPECT_EQ(sibling->parent, outer->id);
+  EXPECT_EQ(sibling->depth, 1u);
+}
+
+TEST_F(ObsTraceTest, TimingIsMonotonicAndNested) {
+  {
+    Span outer("outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    Span inner("inner");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto spans = Tracer::global().snapshot();
+  const auto* outer = find(spans, "outer");
+  const auto* inner = find(spans, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+
+  EXPECT_GE(inner->start_us, outer->start_us);
+  EXPECT_GE(inner->duration_us, 1000u);  // slept 2 ms inside.
+  EXPECT_GE(outer->duration_us, inner->duration_us);
+  // The child interval is contained in the parent interval.
+  EXPECT_LE(inner->start_us + inner->duration_us, outer->start_us + outer->duration_us);
+}
+
+TEST_F(ObsTraceTest, SpanObservesLatencyHistogram) {
+  set_enabled(true);
+  Registry registry;
+  auto& histogram = registry.histogram("span_ms", "", {1000.0});
+  { Span span("timed", &histogram); }
+  EXPECT_EQ(histogram.count(), 1u);
+  set_enabled(false);
+}
+
+TEST_F(ObsTraceTest, AggregateRollsUpByNameAndOrdersParentsFirst) {
+  {
+    Span outer("outer");
+    for (int i = 0; i < 3; ++i) {
+      Span inner("inner");
+    }
+  }
+  const auto aggregates = Tracer::global().aggregate();
+  ASSERT_EQ(aggregates.size(), 2u);
+  // Children close (and record) first; the rollup re-orders by start time
+  // with parents before their children on ties.
+  EXPECT_EQ(aggregates[0].name, "outer");
+  EXPECT_EQ(aggregates[0].depth, 0u);
+  EXPECT_EQ(aggregates[0].count, 1u);
+  EXPECT_EQ(aggregates[1].name, "inner");
+  EXPECT_EQ(aggregates[1].depth, 1u);
+  EXPECT_EQ(aggregates[1].count, 3u);
+  EXPECT_GE(aggregates[1].max_ms, aggregates[1].min_ms);
+  EXPECT_GE(aggregates[0].total_ms, 0.0);
+}
+
+TEST_F(ObsTraceTest, ChromeTraceJsonShape) {
+  {
+    Span span("stage \"one\"");
+    span.attr("records", std::int64_t{42});
+    span.attr("method", "mc");
+  }
+  std::ostringstream out;
+  Tracer::global().write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"stage \\\"one\\\"\""), std::string::npos);
+  EXPECT_NE(json.find("\"records\": \"42\""), std::string::npos);
+  EXPECT_NE(json.find("\"method\": \"mc\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  // Balanced and terminated.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+}
+
+TEST_F(ObsTraceTest, ClearDropsSpans) {
+  { Span span("a"); }
+  EXPECT_EQ(Tracer::global().snapshot().size(), 1u);
+  Tracer::global().clear();
+  EXPECT_TRUE(Tracer::global().snapshot().empty());
+}
+
+}  // namespace
+}  // namespace autosens::obs

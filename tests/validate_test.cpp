@@ -95,6 +95,42 @@ TEST(ValidateTest, ReportAccounting) {
   EXPECT_NE(summary.find("dropped 2"), std::string::npos);
 }
 
+TEST(ValidateTest, DropsBadTimestamps) {
+  Dataset d;
+  d.add({.time_ms = -5, .user_id = 1, .latency_ms = 100.0});
+  d.add({.time_ms = 10, .user_id = 1, .latency_ms = 100.0});
+  const auto result = validate(d);
+  EXPECT_EQ(result.dataset.size(), 1u);
+  EXPECT_EQ(result.report.dropped_bad_timestamp, 1u);
+}
+
+TEST(ValidateTest, DropsOutOfWindowRecords) {
+  Dataset d;
+  d.add({.time_ms = 50, .user_id = 1, .latency_ms = 100.0});
+  d.add({.time_ms = 100, .user_id = 1, .latency_ms = 100.0});  // Begin is inclusive.
+  d.add({.time_ms = 150, .user_id = 1, .latency_ms = 100.0});
+  d.add({.time_ms = 200, .user_id = 1, .latency_ms = 100.0});  // End is exclusive.
+  const auto result = validate(d, {.window_begin_ms = 100, .window_end_ms = 200});
+  EXPECT_EQ(result.dataset.size(), 2u);
+  EXPECT_EQ(result.report.dropped_out_of_window, 2u);
+  EXPECT_EQ(result.dataset[0].time_ms, 100);
+  EXPECT_EQ(result.dataset[1].time_ms, 150);
+}
+
+TEST(ValidateTest, OneLineSummaryOmitsZeroReasons) {
+  Dataset d;
+  d.add(make_record(100.0));
+  d.add(make_record(-1.0));
+  d.add(make_record(100.0, ActionStatus::kError));
+  const auto result = validate(d);
+  EXPECT_EQ(result.report.one_line(),
+            "kept 1/3 (dropped: error-status 1, nonpositive-latency 1)");
+
+  Dataset clean;
+  clean.add(make_record(100.0));
+  EXPECT_EQ(validate(clean).report.one_line(), "kept 1/1");
+}
+
 TEST(ValidateTest, OutputIsSorted) {
   Dataset d;
   d.add({.time_ms = 100, .user_id = 1, .latency_ms = 5.0});

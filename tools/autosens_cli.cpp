@@ -19,13 +19,25 @@
 //   autosens_cli collect   --out log.bin [--port 0] [--expect 1]
 //                          [--timeout-ms 30000]
 //   autosens_cli replay    --in log.bin --port PORT [--batch 1024]
+//   autosens_cli metrics   --in metrics.txt [--filter substr]
+//
+// Every command additionally accepts the observability flags (all off by
+// default):
+//   --metrics-out FILE   write a Prometheus text metrics snapshot on exit
+//   --trace-out FILE     write a Chrome trace_event JSON file on exit
+//   --stats              print a per-stage flame summary + metrics to stderr
+//   --log-level LEVEL    quiet | info (default) | debug
 //
 // Input files ending in .bin are read as AutoSens binary logs, anything else
 // as CSV. Every analysis subcommand scrubs the input (successful actions,
 // sane latencies) before running.
+#include <cmath>
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -38,6 +50,9 @@
 #include "core/slices.h"
 #include "net/collector.h"
 #include "net/emitter.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "report/ascii_chart.h"
 #include "report/csvout.h"
 #include "report/table.h"
@@ -68,40 +83,137 @@ commands:
   alpha      time-of-day and weekday/weekend activity factors (paper Fig 8)
   collect    run a telemetry collector server, write a binary log
   replay     stream an existing log to a collector
+  metrics    pretty-print a Prometheus metrics snapshot written by --metrics-out
 
+every command also accepts --metrics-out FILE, --trace-out FILE, --stats,
+and --log-level {quiet,info,debug} (all observability is off by default).
 run a command with wrong flags to see its flag list.
 )";
   return 2;
 }
 
+/// Adds the observability flags accepted by every subcommand to a command's
+/// allow-list.
+std::set<std::string> with_obs(std::set<std::string> allowed) {
+  allowed.insert({"metrics-out", "trace-out", "stats", "log-level"});
+  return allowed;
+}
+
+/// Turns the instrumentation on before the command runs, driven by flags.
+void setup_observability(const cli::Args& args) {
+  if (const auto level = args.get("log-level")) {
+    const auto parsed = obs::parse_log_level(*level);
+    if (!parsed) {
+      throw std::invalid_argument("unknown --log-level: " + *level +
+                                  " (expected quiet, info, or debug)");
+    }
+    obs::set_log_level(*parsed);
+  }
+  if (args.has("metrics-out") || args.has("stats")) obs::set_enabled(true);
+  if (args.has("trace-out") || args.has("stats")) obs::Tracer::global().set_enabled(true);
+}
+
+/// Counters and histogram counts are integral; print them without decimals.
+std::string metric_value(double value) {
+  if (std::abs(value) < 1e15 &&
+      value == static_cast<double>(static_cast<std::int64_t>(value))) {
+    return std::to_string(static_cast<std::int64_t>(value));
+  }
+  return report::Table::num(value);
+}
+
+/// The --stats flame summary: per-stage span rollup (indented by nesting
+/// depth) plus every nonzero metric, both on stderr so stdout stays
+/// machine-readable.
+void print_stats(std::ostream& out) {
+  const auto aggregates = obs::Tracer::global().aggregate();
+  if (!aggregates.empty()) {
+    double root_total_ms = 0.0;
+    for (const auto& agg : aggregates) {
+      if (agg.depth == 0) root_total_ms += agg.total_ms;
+    }
+    out << "stage timing:\n";
+    report::Table table({"stage", "count", "total (ms)", "mean (ms)", "max (ms)", "% run"});
+    for (const auto& agg : aggregates) {
+      const double share = root_total_ms > 0.0 ? 100.0 * agg.total_ms / root_total_ms : 0.0;
+      table.add_row({std::string(2 * agg.depth, ' ') + agg.name, std::to_string(agg.count),
+                     report::Table::num(agg.total_ms, 2),
+                     report::Table::num(agg.total_ms / static_cast<double>(agg.count)),
+                     report::Table::num(agg.max_ms), report::Table::num(share, 1)});
+    }
+    table.print(out);
+  }
+
+  report::Table metric_table({"metric", "value"});
+  std::size_t rows = 0;
+  for (const auto& sample : obs::registry().samples()) {
+    if (sample.value == 0.0) continue;
+    // Bucket series are noise at a glance; _sum/_count still show up.
+    if (sample.name.find("_bucket{") != std::string::npos) continue;
+    metric_table.add_row({sample.name, metric_value(sample.value)});
+    ++rows;
+  }
+  if (rows > 0) {
+    out << "metrics:\n";
+    metric_table.print(out);
+  }
+}
+
+/// Writes the --metrics-out / --trace-out files and prints --stats after the
+/// command body finished.
+void finish_observability(const cli::Args& args) {
+  if (const auto path = args.get("metrics-out")) {
+    std::ofstream out(*path);
+    if (!out) throw std::runtime_error("cannot write --metrics-out file: " + *path);
+    obs::registry().write_prometheus(out);
+    obs::log_debug("metrics.written", {{"path", *path}});
+  }
+  if (const auto path = args.get("trace-out")) {
+    std::ofstream out(*path);
+    if (!out) throw std::runtime_error("cannot write --trace-out file: " + *path);
+    obs::Tracer::global().write_chrome_trace(out);
+    obs::log_debug("trace.written",
+                   {{"path", *path}, {"spans", obs::Tracer::global().snapshot().size()}});
+  }
+  if (args.has("stats")) print_stats(std::cerr);
+}
+
 telemetry::Dataset load(const std::string& path) {
+  obs::Span span("load");
+  span.attr("path", path);
   telemetry::Dataset dataset;
   if (path.ends_with(".bin")) {
     dataset = telemetry::read_binlog_file(path);
   } else if (path.ends_with(".jsonl")) {
     auto read = telemetry::read_jsonl_file(path);
     for (const auto& error : read.errors) {
-      std::cerr << "warning: line " << error.line << ": " << error.message << "\n";
+      obs::log_info("load.parse_error", {{"line", error.line}, {"message", error.message}});
     }
     dataset = std::move(read.dataset);
   } else {
     auto read = telemetry::read_csv_file(path);
     for (const auto& error : read.errors) {
-      std::cerr << "warning: line " << error.line << ": " << error.message << "\n";
+      obs::log_info("load.parse_error", {{"line", error.line}, {"message", error.message}});
     }
     dataset = std::move(read.dataset);
   }
+  span.attr("records", static_cast<std::int64_t>(dataset.size()));
   return dataset;
 }
 
-telemetry::Dataset load_scrubbed(const std::string& path) {
-  auto validated = telemetry::validate(load(path));
-  std::cerr << validated.report.summary() << "\n";
-  return std::move(validated.dataset);
+telemetry::ValidatedDataset load_scrubbed(const std::string& path) {
+  auto loaded = load(path);
+  obs::Span span("validate");
+  auto validated = telemetry::validate(loaded);
+  span.attr("kept", static_cast<std::int64_t>(validated.report.kept));
+  span.attr("dropped", static_cast<std::int64_t>(validated.report.dropped()));
+  obs::log_debug("validate", {{"summary", validated.report.summary()}});
+  return validated;
 }
 
 telemetry::Dataset apply_slice_flags(const telemetry::Dataset& dataset,
                                      const cli::Args& args) {
+  obs::Span span("slice");
   std::vector<telemetry::RecordPredicate> predicates;
   if (const auto action = args.get("action")) {
     const auto type = telemetry::parse_action_type(*action);
@@ -140,7 +252,7 @@ void print_curve(const core::PreferenceResult& result) {
 }
 
 int cmd_generate(const cli::Args& args) {
-  args.allow_only({"out", "scale", "seed", "days", "users", "format"});
+  args.allow_only(with_obs({"out", "scale", "seed", "days", "users", "format"}));
   const std::string out = args.require("out");
   const std::string scale_name = args.get_or("scale", "small");
   simulate::Scale scale = simulate::Scale::kSmall;
@@ -159,10 +271,16 @@ int cmd_generate(const cli::Args& args) {
     config.population.user_count = static_cast<std::size_t>(users);
   }
 
-  std::cerr << "generating " << config.population.user_count << " users x "
-            << (config.end_ms - config.begin_ms) / telemetry::kMillisPerDay << " days...\n";
-  auto generated = simulate::WorkloadGenerator(config).generate();
-  std::cerr << generated.accepted << " actions\n";
+  obs::log_info("generate.start",
+                {{"users", config.population.user_count},
+                 {"days", (config.end_ms - config.begin_ms) / telemetry::kMillisPerDay}});
+  simulate::GeneratorResult generated;
+  {
+    obs::Span span("generate");
+    generated = simulate::WorkloadGenerator(config).generate();
+    span.attr("actions", static_cast<std::int64_t>(generated.accepted));
+  }
+  obs::log_info("generate.done", {{"actions", generated.accepted}});
 
   const std::string format = args.get_or(
       "format",
@@ -181,12 +299,20 @@ int cmd_generate(const cli::Args& args) {
 }
 
 int cmd_analyze(const cli::Args& args) {
-  args.allow_only({"in", "action", "class", "ref", "bin", "max-latency", "no-normalize",
-                   "mc", "confidence", "replicates", "threads", "out"});
-  const auto dataset = load_scrubbed(args.require("in"));
+  args.allow_only(with_obs({"in", "action", "class", "ref", "bin", "max-latency",
+                            "no-normalize", "mc", "confidence", "replicates", "threads",
+                            "out"}));
+  const auto validated = load_scrubbed(args.require("in"));
+  const auto& dataset = validated.dataset;
   const auto slice = apply_slice_flags(dataset, args);
-  std::cerr << "slice: " << slice.size() << " records\n";
+  obs::log_debug("analyze.slice", {{"records", slice.size()}});
   const auto options = options_from_flags(args);
+  // Satellite: always report what the validation scrub dropped, one line on
+  // stderr, however the analysis itself ends.
+  struct ValidationSummary {
+    const telemetry::ValidationReport& report;
+    ~ValidationSummary() { std::cerr << "validation: " << report.one_line() << "\n"; }
+  } summary_on_exit{validated.report};
 
   if (args.has("confidence")) {
     stats::Random random(17);
@@ -220,9 +346,9 @@ int cmd_analyze(const cli::Args& args) {
 }
 
 int cmd_slices(const cli::Args& args) {
-  args.allow_only({"in", "by", "action", "class", "ref", "bin", "max-latency",
-                   "no-normalize", "mc", "threads", "out"});
-  const auto dataset = load_scrubbed(args.require("in"));
+  args.allow_only(with_obs({"in", "by", "action", "class", "ref", "bin", "max-latency",
+                            "no-normalize", "mc", "threads", "out"}));
+  const auto dataset = load_scrubbed(args.require("in")).dataset;
   const std::string by = args.require("by");
   const auto options = options_from_flags(args);
 
@@ -296,9 +422,9 @@ int cmd_slices(const cli::Args& args) {
 }
 
 int cmd_summary(const cli::Args& args) {
-  args.allow_only({"in", "action", "class", "ref", "bin", "max-latency", "no-normalize",
-                   "mc", "threads"});
-  const auto dataset = load_scrubbed(args.require("in"));
+  args.allow_only(with_obs({"in", "action", "class", "ref", "bin", "max-latency",
+                            "no-normalize", "mc", "threads"}));
+  const auto dataset = load_scrubbed(args.require("in")).dataset;
   const auto slice = apply_slice_flags(dataset, args);
   const auto options = options_from_flags(args);
   const auto result = core::analyze(slice, options);
@@ -320,8 +446,9 @@ int cmd_summary(const cli::Args& args) {
 }
 
 int cmd_screen(const cli::Args& args) {
-  args.allow_only({"in", "action", "class", "ref", "bin", "max-latency", "mc", "threads"});
-  const auto dataset = load_scrubbed(args.require("in"));
+  args.allow_only(
+      with_obs({"in", "action", "class", "ref", "bin", "max-latency", "mc", "threads"}));
+  const auto dataset = load_scrubbed(args.require("in")).dataset;
   const auto slice = apply_slice_flags(dataset, args);
   const auto report = core::screen(slice, options_from_flags(args));
   report::Table table({"metric", "value"});
@@ -334,8 +461,8 @@ int cmd_screen(const cli::Args& args) {
 }
 
 int cmd_locality(const cli::Args& args) {
-  args.allow_only({"in", "action", "class", "window-min"});
-  const auto dataset = load_scrubbed(args.require("in"));
+  args.allow_only(with_obs({"in", "action", "class", "window-min"}));
+  const auto dataset = load_scrubbed(args.require("in")).dataset;
   const auto slice = apply_slice_flags(dataset, args);
   stats::Random random(7);
   core::LocalityOptions options;
@@ -355,8 +482,8 @@ int cmd_locality(const cli::Args& args) {
 }
 
 int cmd_alpha(const cli::Args& args) {
-  args.allow_only({"in", "action", "class", "threads"});
-  const auto dataset = load_scrubbed(args.require("in"));
+  args.allow_only(with_obs({"in", "action", "class", "threads"}));
+  const auto dataset = load_scrubbed(args.require("in")).dataset;
   const auto slice = apply_slice_flags(dataset, args);
   core::AutoSensOptions options;
   options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
@@ -381,7 +508,7 @@ int cmd_alpha(const cli::Args& args) {
 }
 
 int cmd_collect(const cli::Args& args) {
-  args.allow_only({"out", "port", "expect", "timeout-ms"});
+  args.allow_only(with_obs({"out", "port", "expect", "timeout-ms"}));
   const std::string out = args.require("out");
   net::Collector collector(static_cast<std::uint16_t>(args.get_int("port", 0)));
   std::cout << "listening on 127.0.0.1:" << collector.port() << "\n" << std::flush;
@@ -399,7 +526,7 @@ int cmd_collect(const cli::Args& args) {
 }
 
 int cmd_replay(const cli::Args& args) {
-  args.allow_only({"in", "port", "batch"});
+  args.allow_only(with_obs({"in", "port", "batch"}));
   const auto dataset = load(args.require("in"));
   net::Emitter emitter(
       static_cast<std::uint16_t>(args.get_int("port", 0)),
@@ -411,24 +538,52 @@ int cmd_replay(const cli::Args& args) {
   return 0;
 }
 
+int cmd_metrics(const cli::Args& args) {
+  args.allow_only(with_obs({"in", "filter"}));
+  const std::string path = args.require("in");
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open metrics file: " + path);
+  const auto samples = obs::parse_prometheus(in);
+  const std::string filter = args.get_or("filter", "");
+
+  report::Table table({"metric", "value"});
+  std::size_t shown = 0;
+  for (const auto& sample : samples) {
+    if (!filter.empty() && sample.name.find(filter) == std::string::npos) continue;
+    table.add_row({sample.name, metric_value(sample.value)});
+    ++shown;
+  }
+  table.print(std::cout);
+  std::cout << shown << "/" << samples.size() << " samples\n";
+  return 0;
+}
+
+int dispatch(const std::string& command, const cli::Args& args) {
+  if (command == "generate") return cmd_generate(args);
+  if (command == "analyze") return cmd_analyze(args);
+  if (command == "slices") return cmd_slices(args);
+  if (command == "summary") return cmd_summary(args);
+  if (command == "screen") return cmd_screen(args);
+  if (command == "locality") return cmd_locality(args);
+  if (command == "alpha") return cmd_alpha(args);
+  if (command == "collect") return cmd_collect(args);
+  if (command == "replay") return cmd_replay(args);
+  if (command == "metrics") return cmd_metrics(args);
+  std::cerr << "unknown command: " << command << "\n";
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
-    const cli::Args args(argc, argv, 2, {"no-normalize", "mc", "confidence"});
-    if (command == "generate") return cmd_generate(args);
-    if (command == "analyze") return cmd_analyze(args);
-    if (command == "slices") return cmd_slices(args);
-    if (command == "summary") return cmd_summary(args);
-    if (command == "screen") return cmd_screen(args);
-    if (command == "locality") return cmd_locality(args);
-    if (command == "alpha") return cmd_alpha(args);
-    if (command == "collect") return cmd_collect(args);
-    if (command == "replay") return cmd_replay(args);
-    std::cerr << "unknown command: " << command << "\n";
-    return usage();
+    const cli::Args args(argc, argv, 2, {"no-normalize", "mc", "confidence", "stats"});
+    setup_observability(args);
+    const int code = dispatch(command, args);
+    finish_observability(args);
+    return code;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
     return 1;

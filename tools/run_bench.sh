@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
-# Run the --threads scaling benchmarks and record the results as
-# BENCH_parallel.json (google-benchmark JSON format) in the repo root.
+# Run the --threads scaling benchmarks and the observability-overhead
+# benchmark, recording the results as BENCH_parallel.json and BENCH_obs.json
+# (google-benchmark JSON format) in the repo root.
 #
-# Usage: tools/run_bench.sh [build-dir] [out-file]
+# BENCH_obs.json compares the fig3-scale analyze pipeline with
+# instrumentation disabled (the shipping default: hooks compiled in, gated
+# off) against metrics-enabled and metrics+trace-enabled runs, so the
+# overhead budget in DESIGN.md "Observability" is checkable from the numbers.
+#
+# Usage: tools/run_bench.sh [build-dir] [parallel-out] [obs-out]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${1:-$ROOT/build}"
 OUT="${2:-$ROOT/BENCH_parallel.json}"
+OBS_OUT="${3:-$ROOT/BENCH_obs.json}"
 
 if [[ ! -x "$BUILD/bench/micro_kernels" ]]; then
   echo "error: $BUILD/bench/micro_kernels not built" >&2
@@ -23,3 +30,12 @@ fi
 
 mv "$OUT.tmp" "$OUT"
 echo "wrote $OUT"
+
+"$BUILD/bench/micro_kernels" \
+  --benchmark_filter='ObsAnalyzeOverhead' \
+  --benchmark_format=json \
+  --benchmark_out_format=json \
+  --benchmark_out="$OBS_OUT.tmp" >/dev/null
+
+mv "$OBS_OUT.tmp" "$OBS_OUT"
+echo "wrote $OBS_OUT"
