@@ -8,6 +8,7 @@
 #include <sstream>
 #include <vector>
 
+#include "core/confidence.h"
 #include "core/pipeline.h"
 #include "core/slices.h"
 #include "obs/metrics.h"
@@ -265,6 +266,78 @@ void BM_ObsAnalyzeOverhead(benchmark::State& state) {
 }
 BENCHMARK(BM_ObsAnalyzeOverhead)
     ->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Columnar data-plane kernels (BENCH_columnar.json): zero-copy column access,
+// the index-view day-block bootstrap, and the bootstrap replicate loop that
+// they feed.
+
+/// Column access: the legacy copy-out (materialize both columns as fresh
+/// vectors, what times()/latencies() used to do) vs the span accessors.
+void BM_DatasetColumns(benchmark::State& state) {
+  const auto& dataset = million_record_dataset();
+  const bool zero_copy = state.range(0) != 0;
+  for (auto _ : state) {
+    if (zero_copy) {
+      const auto columns = dataset.columns();
+      benchmark::DoNotOptimize(columns.times.data());
+      benchmark::DoNotOptimize(columns.latencies.data());
+    } else {
+      const auto times = dataset.times();
+      const auto latencies = dataset.latencies();
+      std::vector<std::int64_t> time_copy(times.begin(), times.end());
+      std::vector<double> latency_copy(latencies.begin(), latencies.end());
+      benchmark::DoNotOptimize(time_copy.data());
+      benchmark::DoNotOptimize(latency_copy.data());
+    }
+  }
+  state.SetLabel(zero_copy ? "span" : "copy");
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dataset.size()));
+}
+BENCHMARK(BM_DatasetColumns)->Arg(0)->Arg(1)->UseRealTime();
+
+/// One bootstrap resample: the materializing legacy path (copy every record,
+/// re-sort) vs the index view (O(days) block table).
+void BM_DayBlockResample(benchmark::State& state) {
+  const auto& dataset = million_record_dataset();
+  const bool by_view = state.range(0) != 0;
+  stats::Random random(13);
+  for (auto _ : state) {
+    if (by_view) {
+      auto view = core::day_block_resample(dataset, random);
+      benchmark::DoNotOptimize(view.size());
+    } else {
+      auto copy = core::day_block_resample_copy(dataset, random);
+      benchmark::DoNotOptimize(copy.size());
+    }
+  }
+  state.SetLabel(by_view ? "view" : "copy");
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dataset.size()));
+}
+BENCHMARK(BM_DayBlockResample)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// The confidence-interval replicate loop end to end: resample + analyze,
+/// 8 replicates per iteration, view vs copy resampling (byte-identical
+/// intervals, very different allocation profiles).
+void BM_ConfidenceReplicates(benchmark::State& state) {
+  const auto& dataset = million_record_dataset();
+  core::AutoSensOptions options;
+  core::ConfidenceOptions confidence;
+  confidence.replicates = 8;
+  confidence.resample_by_view = state.range(0) != 0;
+  for (auto _ : state) {
+    stats::Random random(17);
+    auto result = core::analyze_with_confidence(dataset, options, {300.0, 500.0, 1000.0},
+                                                confidence, random);
+    benchmark::DoNotOptimize(result.intervals.data());
+  }
+  state.SetLabel(confidence.resample_by_view ? "view" : "copy");
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(confidence.replicates));
+}
+BENCHMARK(BM_ConfidenceReplicates)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_EndToEndAnalysis(benchmark::State& state) {

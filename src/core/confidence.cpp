@@ -10,37 +10,72 @@
 #include "telemetry/clock.h"
 
 namespace autosens::core {
+namespace {
 
-telemetry::Dataset day_block_resample(const telemetry::Dataset& dataset,
-                                      stats::Random& random) {
-  if (dataset.empty()) throw std::invalid_argument("day_block_resample: empty dataset");
-  const auto records = dataset.records();
+/// One non-empty day of the dataset: its calendar day index and the record
+/// range [first, last) covering it.
+struct DayRange {
+  std::int64_t day = 0;
+  std::size_t first = 0;
+  std::size_t last = 0;
+};
 
-  // Index record ranges per day (records are time-sorted).
-  struct DayRange {
-    std::int64_t day = 0;
-    std::size_t first = 0;
-    std::size_t last = 0;
-  };
+/// Non-empty day ranges via binary search over the sorted times column —
+/// O(days · log records) rather than a full record scan.
+std::vector<DayRange> day_ranges(const telemetry::Dataset& dataset) {
+  const auto times = dataset.times();
+  const std::int64_t first_day = telemetry::day_index(times.front());
+  const std::int64_t last_day = telemetry::day_index(times.back());
   std::vector<DayRange> days;
-  std::size_t i = 0;
-  while (i < records.size()) {
-    const std::int64_t day = telemetry::day_index(records[i].time_ms);
-    std::size_t j = i;
-    while (j < records.size() && telemetry::day_index(records[j].time_ms) == day) ++j;
-    days.push_back({day, i, j});
-    i = j;
+  days.reserve(static_cast<std::size_t>(last_day - first_day) + 1);
+  std::size_t cursor = 0;
+  for (std::int64_t day = first_day; day <= last_day; ++day) {
+    const auto it = std::lower_bound(times.begin() + static_cast<std::ptrdiff_t>(cursor),
+                                     times.end(), (day + 1) * telemetry::kMillisPerDay);
+    const auto next = static_cast<std::size_t>(it - times.begin());
+    if (next > cursor) days.push_back({day, cursor, next});
+    cursor = next;
   }
+  return days;
+}
 
-  telemetry::Dataset resampled;
-  resampled.reserve(records.size());
+/// Draw the day-slot assignment shared by the view and copy resamplers.
+/// Slot s is filled with a uniformly drawn source day, shifted onto day s
+/// (keeping time-of-day); slot-major order is globally time-sorted.
+std::vector<telemetry::DatasetView::Block> draw_blocks(std::span<const DayRange> days,
+                                                       stats::Random& random) {
+  std::vector<telemetry::DatasetView::Block> blocks;
+  blocks.reserve(days.size());
   for (std::size_t slot = 0; slot < days.size(); ++slot) {
     const auto& source = days[random.uniform_index(days.size())];
     const std::int64_t day_shift =
         (static_cast<std::int64_t>(slot) - source.day) * telemetry::kMillisPerDay;
-    for (std::size_t k = source.first; k < source.last; ++k) {
-      auto record = records[k];
-      record.time_ms += day_shift;  // keeps time-of-day, moves the day
+    blocks.push_back({source.first, source.last, day_shift});
+  }
+  return blocks;
+}
+
+}  // namespace
+
+telemetry::DatasetView day_block_resample(const telemetry::Dataset& dataset,
+                                          stats::Random& random) {
+  if (dataset.empty()) throw std::invalid_argument("day_block_resample: empty dataset");
+  const auto days = day_ranges(dataset);
+  return telemetry::DatasetView(dataset, draw_blocks(days, random));
+}
+
+telemetry::Dataset day_block_resample_copy(const telemetry::Dataset& dataset,
+                                           stats::Random& random) {
+  if (dataset.empty()) throw std::invalid_argument("day_block_resample: empty dataset");
+  const auto days = day_ranges(dataset);
+  const auto blocks = draw_blocks(days, random);
+
+  telemetry::Dataset resampled;
+  resampled.reserve(dataset.size());
+  for (const auto& block : blocks) {
+    for (std::size_t k = block.first; k < block.last; ++k) {
+      auto record = dataset[k];
+      record.time_ms += block.time_shift;  // keeps time-of-day, moves the day
       resampled.add(record);
     }
   }
@@ -80,9 +115,14 @@ PreferenceWithConfidence analyze_with_confidence(const telemetry::Dataset& datas
         stats::Random substream(stats::substream_seed(stream_base, r));
         auto& slot = replicate_draws[r];
         slot.at_probe.assign(result.probe_latency_ms.size(), std::nullopt);
-        const auto resampled = day_block_resample(dataset, substream);
         try {
-          const auto curve = analyze(resampled, options);
+          // View path: the replicate is an index view over `dataset` —
+          // O(days) setup, no record copy or re-sort. The legacy copy path
+          // produces byte-identical curves (same draws, same sample order).
+          const auto curve = confidence.resample_by_view
+                                 ? analyze(day_block_resample(dataset, substream), options)
+                                 : analyze(day_block_resample_copy(dataset, substream),
+                                           options);
           slot.usable = true;
           for (std::size_t p = 0; p < result.probe_latency_ms.size(); ++p) {
             if (curve.covers(result.probe_latency_ms[p])) {

@@ -59,14 +59,14 @@ DayClassActivity day_class_activity(const telemetry::Dataset& dataset,
   for (int c = 0; c < kDayClassCount; ++c) {
     const auto windows = day_class_windows(dataset, static_cast<DayClass>(c));
     auto& cd = data[static_cast<std::size_t>(c)];
-    cd.fractions = unbiased_histogram_over_windows(times, latencies, windows,
-                                                   options.alpha_bin_width_ms,
-                                                   options.max_latency_ms);
+    cd.fractions = unbiased_histogram_over_windows_sorted(times, latencies, windows,
+                                                          options.alpha_bin_width_ms,
+                                                          options.max_latency_ms);
     for (const auto& w : windows) cd.total_time += static_cast<double>(w.length());
   }
-  for (const auto& record : dataset.records()) {
-    auto& cd = data[static_cast<std::size_t>(day_class(record.time_ms))];
-    cd.counts.add(record.latency_ms);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    auto& cd = data[static_cast<std::size_t>(day_class(times[i]))];
+    cd.counts.add(latencies[i]);
     ++cd.records;
   }
 

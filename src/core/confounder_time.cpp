@@ -7,9 +7,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/biased.h"
 #include "core/parallel.h"
 #include "obs/trace.h"
 #include "stats/sampling.h"
+#include "stats/scratch.h"
 
 namespace autosens::core {
 namespace {
@@ -68,58 +70,81 @@ std::vector<TimeWindow> class_windows(int slot, std::int64_t slot_ms, std::int64
   return windows;
 }
 
-/// One pass over the records, classifying each into `class_count` groups via
-/// `classify` and accumulating per-group α-bin counts + record totals. The
-/// per-chunk partials merge in chunk order (counts are unit weights, so the
-/// sums are exact regardless, but the fixed order keeps the guarantee
-/// uniform across the codebase).
+/// One pass over the columns, classifying each record's time into
+/// `class_count` groups via `classify` and accumulating per-group α-bin
+/// counts + record totals. The per-chunk partials merge in chunk order
+/// (counts are unit weights, so the sums are exact regardless, but the fixed
+/// order keeps the guarantee uniform across the codebase). Templated on the
+/// classifier so the per-record call inlines instead of going through a
+/// std::function dispatch.
 struct ClassCounts {
   std::vector<stats::Histogram> counts;
   std::vector<std::size_t> records;
 };
 
-ClassCounts classify_records(std::span<const telemetry::ActionRecord> records,
-                             std::size_t class_count, const AutoSensOptions& options,
-                             const std::function<std::size_t(const telemetry::ActionRecord&)>&
-                                 classify) {
+template <typename ClassifyFn>
+ClassCounts classify_records(telemetry::SampleColumns columns, std::size_t class_count,
+                             const AutoSensOptions& options, const ClassifyFn& classify) {
+  const auto times = columns.times;
+  const auto latencies = columns.latencies;
   const auto make_partial = [&] {
     ClassCounts partial;
     partial.counts.reserve(class_count);
     for (std::size_t k = 0; k < class_count; ++k) {
-      partial.counts.push_back(stats::Histogram::covering(0.0, options.max_latency_ms,
-                                                          options.alpha_bin_width_ms));
+      partial.counts.push_back(
+          stats::Histogram::covering(0.0, options.max_latency_ms,
+                                     options.alpha_bin_width_ms,
+                                     stats::ScratchPool<double>::take()));
     }
     partial.records.assign(class_count, 0);
     return partial;
   };
   return parallel_map_reduce<ClassCounts>(
-      records.size(), options.threads, kRecordChunk,
+      times.size(), options.threads, kRecordChunk,
       [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
         auto partial = make_partial();
         for (std::size_t i = begin; i < end; ++i) {
-          const std::size_t k = classify(records[i]);
-          partial.counts[k].add(records[i].latency_ms);
+          const std::size_t k = classify(times[i]);
+          partial.counts[k].add(latencies[i]);
           ++partial.records[k];
         }
         return partial;
       },
       [class_count](ClassCounts& accumulator, ClassCounts&& partial) {
         for (std::size_t k = 0; k < class_count; ++k) {
-          accumulator.counts[k].merge(partial.counts[k]);
+          merge_and_recycle(accumulator.counts[k], std::move(partial.counts[k]));
           accumulator.records[k] += partial.records[k];
         }
       });
+}
+
+/// Time-of-day class of `time_ms` for `slot_ms`-wide slots (robust to
+/// negative timestamps).
+inline std::size_t time_of_day_class(std::int64_t time_ms, std::int64_t slot_ms) noexcept {
+  return static_cast<std::size_t>(((time_ms % telemetry::kMillisPerDay) +
+                                   telemetry::kMillisPerDay) %
+                                  telemetry::kMillisPerDay / slot_ms);
 }
 
 }  // namespace
 
 TimeNormalizer::TimeNormalizer(const telemetry::Dataset& dataset,
                                const AutoSensOptions& options)
+    : TimeNormalizer(
+          [&] {
+            if (!dataset.empty() && !dataset.is_sorted()) {
+              throw std::invalid_argument("TimeNormalizer: dataset not sorted");
+            }
+            return dataset.columns();
+          }(),
+          options) {}
+
+TimeNormalizer::TimeNormalizer(telemetry::SampleColumns columns,
+                               const AutoSensOptions& options)
     : options_(options) {
   obs::Span span("alpha_estimate");
-  span.attr("records", static_cast<std::int64_t>(dataset.size()));
-  if (dataset.empty()) throw std::invalid_argument("TimeNormalizer: empty dataset");
-  if (!dataset.is_sorted()) throw std::invalid_argument("TimeNormalizer: dataset not sorted");
+  span.attr("records", static_cast<std::int64_t>(columns.size()));
+  if (columns.empty()) throw std::invalid_argument("TimeNormalizer: empty dataset");
   if (options_.alpha_slot_ms <= 0 ||
       telemetry::kMillisPerDay % options_.alpha_slot_ms != 0) {
     throw std::invalid_argument("TimeNormalizer: alpha_slot_ms must evenly divide a day");
@@ -127,10 +152,10 @@ TimeNormalizer::TimeNormalizer(const telemetry::Dataset& dataset,
   const int class_count =
       static_cast<int>(telemetry::kMillisPerDay / options_.alpha_slot_ms);
 
-  const std::int64_t data_begin = dataset.begin_time();
-  const std::int64_t data_end = dataset.end_time();
-  const auto times = dataset.times();
-  const auto latencies = dataset.latencies();
+  const std::int64_t data_begin = columns.begin_time();
+  const std::int64_t data_end = columns.end_time();
+  const auto times = columns.times;
+  const auto latencies = columns.latencies;
 
   // Per-class counts and unbiased time fractions, pooled across days. Each
   // time-of-day class builds its windows and fraction histogram
@@ -150,7 +175,7 @@ TimeNormalizer::TimeNormalizer(const telemetry::Dataset& dataset,
                        const auto windows = class_windows(static_cast<int>(k),
                                                           options_.alpha_slot_ms, data_begin,
                                                           data_end);
-                       data[k].fractions = unbiased_histogram_over_windows(
+                       data[k].fractions = unbiased_histogram_over_windows_sorted(
                            times, latencies, windows, options_.alpha_bin_width_ms,
                            options_.max_latency_ms);
                        for (const auto& w : windows) {
@@ -160,12 +185,8 @@ TimeNormalizer::TimeNormalizer(const telemetry::Dataset& dataset,
 
   const std::int64_t slot_ms = options_.alpha_slot_ms;
   auto classified = classify_records(
-      dataset.records(), static_cast<std::size_t>(class_count), options_,
-      [slot_ms](const telemetry::ActionRecord& record) {
-        return static_cast<std::size_t>(
-            ((record.time_ms % telemetry::kMillisPerDay) + telemetry::kMillisPerDay) %
-            telemetry::kMillisPerDay / slot_ms);
-      });
+      columns, static_cast<std::size_t>(class_count), options_,
+      [slot_ms](std::int64_t time_ms) { return time_of_day_class(time_ms, slot_ms); });
   for (int k = 0; k < class_count; ++k) {
     auto& sd = data[static_cast<std::size_t>(k)];
     sd.counts = std::move(classified.counts[static_cast<std::size_t>(k)]);
@@ -226,43 +247,42 @@ TimeNormalizer::TimeNormalizer(const telemetry::Dataset& dataset,
 }
 
 double TimeNormalizer::alpha_at(std::int64_t time_ms) const noexcept {
-  const auto k = static_cast<std::size_t>(
-      ((time_ms % telemetry::kMillisPerDay) + telemetry::kMillisPerDay) %
-      telemetry::kMillisPerDay / options_.alpha_slot_ms);
+  const auto k = time_of_day_class(time_ms, options_.alpha_slot_ms);
   return k < slots_.size() ? slots_[k].alpha : 1.0;
 }
 
 stats::Histogram TimeNormalizer::normalized_biased(const telemetry::Dataset& dataset) const {
-  const auto records = dataset.records();
-  // Hoist the per-slot 1/α into a table; each chunk gathers its latencies
-  // and weights into flat arrays and bulk-adds them.
+  return normalized_biased(dataset.columns());
+}
+
+stats::Histogram TimeNormalizer::normalized_biased(telemetry::SampleColumns columns) const {
+  const auto times = columns.times;
+  const auto latencies = columns.latencies;
+  // Hoist the per-slot 1/α into a table; each chunk gathers its weights into
+  // a pooled flat array and bulk-adds the latency sub-span against it.
   std::vector<double> inverse_alpha(slots_.size(), 1.0);
   for (std::size_t k = 0; k < slots_.size(); ++k) {
     inverse_alpha[k] = 1.0 / slots_[k].alpha;
   }
   const std::int64_t slot_ms = options_.alpha_slot_ms;
   return parallel_map_reduce<stats::Histogram>(
-      records.size(), options_.threads, kRecordChunk,
+      times.size(), options_.threads, kRecordChunk,
       [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
         auto histogram =
-            stats::Histogram::covering(0.0, options_.max_latency_ms, options_.bin_width_ms);
-        std::vector<double> values;
-        std::vector<double> weights;
-        values.reserve(end - begin);
+            stats::Histogram::covering(0.0, options_.max_latency_ms, options_.bin_width_ms,
+                                       stats::ScratchPool<double>::take());
+        std::vector<double> weights = stats::ScratchPool<double>::take();
+        weights.clear();
         weights.reserve(end - begin);
         for (std::size_t i = begin; i < end; ++i) {
-          const auto k = static_cast<std::size_t>(
-              ((records[i].time_ms % telemetry::kMillisPerDay) + telemetry::kMillisPerDay) %
-              telemetry::kMillisPerDay / slot_ms);
-          values.push_back(records[i].latency_ms);
+          const auto k = time_of_day_class(times[i], slot_ms);
           weights.push_back(k < inverse_alpha.size() ? inverse_alpha[k] : 1.0);
         }
-        histogram.add_all(values, weights);
+        histogram.add_all(latencies.subspan(begin, end - begin), weights);
+        stats::ScratchPool<double>::give(std::move(weights));
         return histogram;
       },
-      [](stats::Histogram& accumulator, stats::Histogram&& partial) {
-        accumulator.merge(partial);
-      });
+      merge_and_recycle);
 }
 
 std::vector<TimeWindow> period_windows(const telemetry::Dataset& dataset,
@@ -304,18 +324,16 @@ std::array<PeriodAlpha, telemetry::kDayPeriodCount> alpha_by_period(
   }
   parallel_for_items(telemetry::kDayPeriodCount, options.threads, [&](std::size_t p) {
     const auto windows = period_windows(dataset, static_cast<telemetry::DayPeriod>(p));
-    data[p].fractions =
-        unbiased_histogram_over_windows(times, latencies, windows,
-                                        options.alpha_bin_width_ms, options.max_latency_ms);
+    data[p].fractions = unbiased_histogram_over_windows_sorted(
+        times, latencies, windows, options.alpha_bin_width_ms, options.max_latency_ms);
     for (const auto& w : windows) data[p].total_time += static_cast<double>(w.length());
   });
 
   // Classify every record's period ONCE in a single pass (the old code
   // rescanned the whole dataset for each of the four periods).
   auto classified = classify_records(
-      dataset.records(), telemetry::kDayPeriodCount, options,
-      [](const telemetry::ActionRecord& record) {
-        return static_cast<std::size_t>(telemetry::day_period(record.time_ms));
+      dataset.columns(), telemetry::kDayPeriodCount, options, [](std::int64_t time_ms) {
+        return static_cast<std::size_t>(telemetry::day_period(time_ms));
       });
   for (int p = 0; p < telemetry::kDayPeriodCount; ++p) {
     data[static_cast<std::size_t>(p)].counts =

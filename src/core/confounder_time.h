@@ -47,6 +47,10 @@ class TimeNormalizer {
   /// std::invalid_argument otherwise.
   TimeNormalizer(const telemetry::Dataset& dataset, const AutoSensOptions& options);
 
+  /// Column-view variant for bootstrap views and other sorted-by-construction
+  /// columns. Precondition (not checked): columns.times sorted ascending.
+  TimeNormalizer(telemetry::SampleColumns columns, const AutoSensOptions& options);
+
   /// One entry per time-of-day class (even classes without records).
   const std::vector<SlotStat>& slots() const noexcept { return slots_; }
 
@@ -56,6 +60,9 @@ class TimeNormalizer {
   /// The α-normalized biased histogram: each record weighted 1/α of its
   /// slot, in the analysis bin width (options.bin_width_ms).
   stats::Histogram normalized_biased(const telemetry::Dataset& dataset) const;
+
+  /// Column-view variant of normalized_biased (same math, same output).
+  stats::Histogram normalized_biased(telemetry::SampleColumns columns) const;
 
  private:
   AutoSensOptions options_;

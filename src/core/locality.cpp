@@ -16,11 +16,12 @@ LocalityReport analyze_locality(const telemetry::Dataset& dataset,
 
   LocalityReport report;
   report.samples = dataset.size();
-  auto latencies = dataset.latencies();
+  const auto latencies = dataset.latencies();
   report.msd_mad_actual = stats::msd_mad_ratio(latencies);
 
   // Shuffled baseline: expectation of the ratio under exchangeability.
-  std::vector<double> shuffled = latencies;
+  // (The shuffle and sort need owned copies; the span itself is read-only.)
+  std::vector<double> shuffled(latencies.begin(), latencies.end());
   double sum = 0.0;
   for (std::size_t s = 0; s < options.shuffles; ++s) {
     random.shuffle(std::span<double>(shuffled));
@@ -30,7 +31,7 @@ LocalityReport analyze_locality(const telemetry::Dataset& dataset,
                                                  : 0.0;
 
   // Sorted baseline: the most local arrangement possible.
-  std::vector<double> sorted = latencies;
+  std::vector<double> sorted(latencies.begin(), latencies.end());
   std::sort(sorted.begin(), sorted.end());
   report.msd_mad_sorted = stats::msd_mad_ratio(sorted);
 

@@ -11,6 +11,7 @@
 #include "core/unbiased.h"
 #include "stats/histogram.h"
 #include "telemetry/dataset.h"
+#include "telemetry/dataset_view.h"
 
 namespace autosens::core {
 
@@ -30,6 +31,14 @@ AnalysisResult analyze_detailed(const telemetry::Dataset& dataset,
 
 /// Convenience: just the preference curve.
 PreferenceResult analyze(const telemetry::Dataset& dataset, const AutoSensOptions& options);
+
+/// Run AutoSens on a bootstrap view (day_block_resample output) without
+/// materializing a Dataset: the estimators stream the view's shifted
+/// columns. Identical math — a view and its materialize()d dataset produce
+/// byte-identical results.
+AnalysisResult analyze_detailed(const telemetry::DatasetView& view,
+                                const AutoSensOptions& options);
+PreferenceResult analyze(const telemetry::DatasetView& view, const AutoSensOptions& options);
 
 /// Run AutoSens on a dataset observed only during `windows` (sorted,
 /// disjoint) — e.g. the daily 6-hour chunks of a time-of-day slice (§3.6).

@@ -95,8 +95,11 @@ std::vector<NamedPreference> preference_by_quartile(const Dataset& dataset,
       if (user_class) {
         predicate = telemetry::all_of({predicate, telemetry::by_user_class(*user_class)});
       }
-      return try_analyze("Q" + std::to_string(q + 1), dataset.filtered(predicate),
-                         options);
+      // Built by append (not operator+) to dodge a GCC 12 -Wrestrict false
+      // positive at -O3 that breaks Release -Werror builds.
+      std::string name("Q");
+      name += std::to_string(q + 1);
+      return try_analyze(std::move(name), dataset.filtered(predicate), options);
     });
   }
   return collect_slices(tasks, options.threads);
@@ -139,7 +142,9 @@ std::vector<NamedPreference> preference_by_month(const Dataset& dataset,
     tasks.push_back([&, m] {
       const auto slice = dataset.filtered(
           telemetry::all_of({telemetry::by_action(action), telemetry::by_month(m)}));
-      return try_analyze("Month" + std::to_string(m + 1), slice, options);
+      std::string name("Month");
+      name += std::to_string(m + 1);
+      return try_analyze(std::move(name), slice, options);
     });
   }
   return collect_slices(tasks, options.threads);

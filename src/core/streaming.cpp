@@ -78,8 +78,9 @@ std::size_t StreamingAutoSens::class_of(std::int64_t time_ms) const noexcept {
       telemetry::kMillisPerDay / options_.alpha_slot_ms);
 }
 
-void StreamingAutoSens::feed(const telemetry::ActionRecord& record) {
-  if (previous_ && record.time_ms < previous_->time_ms) {
+void StreamingAutoSens::feed_sample(std::int64_t time_ms, double latency_ms,
+                                    telemetry::ActionStatus status) {
+  if (previous_ && time_ms < previous_->time_ms) {
     throw std::invalid_argument("StreamingAutoSens::feed: records must be time-ordered");
   }
   ++seen_;
@@ -91,11 +92,11 @@ void StreamingAutoSens::feed(const telemetry::ActionRecord& record) {
   if (previous_) {
     std::int64_t t = previous_->time_ms;
     const double latency = previous_->latency_ms;
-    unbiased_time_.add(latency, static_cast<double>(record.time_ms - t));
-    while (t < record.time_ms) {
+    unbiased_time_.add(latency, static_cast<double>(time_ms - t));
+    while (t < time_ms) {
       const std::int64_t class_end =
           (t / options_.alpha_slot_ms + 1) * options_.alpha_slot_ms;
-      const std::int64_t segment_end = std::min(class_end, record.time_ms);
+      const std::int64_t segment_end = std::min(class_end, time_ms);
       auto& cls = classes_[class_of(t)];
       cls.time_alpha.add(latency, static_cast<double>(segment_end - t));
       cls.total_time_ms += static_cast<double>(segment_end - t);
@@ -104,19 +105,32 @@ void StreamingAutoSens::feed(const telemetry::ActionRecord& record) {
   }
 
   // Scrub policy mirrors telemetry::validate defaults.
-  if (record.status == telemetry::ActionStatus::kError || !(record.latency_ms > 0.0) ||
-      !std::isfinite(record.latency_ms)) {
+  if (status == telemetry::ActionStatus::kError || !(latency_ms > 0.0) ||
+      !std::isfinite(latency_ms)) {
     // Excluded from counts but still advances the clock for time weighting
     // only if usable as a latency sample — it is not, so keep previous_.
     return;
   }
-  previous_ = record;
+  previous_ = PrevSample{time_ms, latency_ms};
   ++used_;
   streaming_metrics().used.inc();
-  auto& cls = classes_[class_of(record.time_ms)];
-  cls.counts_fine.add(record.latency_ms);
-  cls.counts_alpha.add(record.latency_ms);
+  auto& cls = classes_[class_of(time_ms)];
+  cls.counts_fine.add(latency_ms);
+  cls.counts_alpha.add(latency_ms);
   ++cls.records;
+}
+
+void StreamingAutoSens::feed(const telemetry::ActionRecord& record) {
+  feed_sample(record.time_ms, record.latency_ms, record.status);
+}
+
+void StreamingAutoSens::feed_all(const telemetry::Dataset& dataset) {
+  const auto times = dataset.times();
+  const auto latencies = dataset.latencies();
+  const auto statuses = dataset.statuses();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    feed_sample(times[i], latencies[i], statuses[i]);
+  }
 }
 
 std::vector<double> StreamingAutoSens::compute_alpha() const {

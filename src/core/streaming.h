@@ -21,6 +21,7 @@
 #include "core/options.h"
 #include "core/preference.h"
 #include "stats/histogram.h"
+#include "telemetry/dataset.h"
 #include "telemetry/record.h"
 
 namespace autosens::core {
@@ -35,6 +36,12 @@ class StreamingAutoSens {
   /// sorted log). Error-status records are counted but excluded, matching
   /// telemetry::validate's default policy.
   void feed(const telemetry::ActionRecord& record);
+
+  /// Feed an entire sorted dataset by scanning its time / latency / status
+  /// columns — equivalent to feed() on every record in order, without
+  /// materializing ActionRecords. Throws like feed() if the dataset starts
+  /// before the last fed record.
+  void feed_all(const telemetry::Dataset& dataset);
 
   std::size_t records_seen() const noexcept { return seen_; }
   std::size_t records_used() const noexcept { return used_; }
@@ -56,13 +63,21 @@ class StreamingAutoSens {
     std::size_t records = 0;
   };
 
+  /// The last usable sample — all the hold-last weighting needs from it.
+  struct PrevSample {
+    std::int64_t time_ms = 0;
+    double latency_ms = 0.0;
+  };
+
   std::size_t class_of(std::int64_t time_ms) const noexcept;
+  void feed_sample(std::int64_t time_ms, double latency_ms,
+                   telemetry::ActionStatus status);
   std::vector<double> compute_alpha() const;
 
   AutoSensOptions options_;
   std::vector<ClassState> classes_;
   stats::Histogram unbiased_time_;  ///< Global U: time-weighted, analysis bins.
-  std::optional<telemetry::ActionRecord> previous_;
+  std::optional<PrevSample> previous_;
   std::size_t seen_ = 0;
   std::size_t used_ = 0;
   /// records_used() at the previous snapshot — feeds the snapshot-cadence

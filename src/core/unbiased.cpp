@@ -8,18 +8,33 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/sampling.h"
+#include "stats/scratch.h"
 
 namespace autosens::core {
 namespace {
-
-void merge_histograms(stats::Histogram& accumulator, stats::Histogram&& partial) {
-  accumulator.merge(partial);
-}
 
 obs::Counter& mc_draw_counter() {
   static obs::Counter& counter = obs::registry().counter(
       "autosens_unbiased_mc_draws_total", "Monte-Carlo nearest-sample draws performed");
   return counter;
+}
+
+/// Voronoi fill from precomputed weights (shared by the direct and cached
+/// entry points).
+stats::Histogram voronoi_fill(std::span<const double> latencies,
+                              std::span<const double> weights,
+                              const AutoSensOptions& options) {
+  obs::Span span("unbiased_voronoi");
+  span.attr("samples", static_cast<std::int64_t>(latencies.size()));
+  return parallel_map_reduce<stats::Histogram>(
+      latencies.size(), options.threads, kRecordChunk,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        auto histogram = make_latency_histogram_pooled(options);
+        histogram.add_all(latencies.subspan(begin, end - begin),
+                          weights.subspan(begin, end - begin));
+        return histogram;
+      },
+      merge_and_recycle);
 }
 
 }  // namespace
@@ -41,7 +56,7 @@ stats::Histogram unbiased_histogram_mc(std::span<const std::int64_t> times,
   return parallel_map_reduce<stats::Histogram>(
       options.unbiased_draws, options.threads, kDrawChunk,
       [&](std::size_t begin, std::size_t end, std::size_t chunk) {
-        auto histogram = make_latency_histogram(options);
+        auto histogram = make_latency_histogram_pooled(options);
         if (end > begin) {
           stats::Random substream(stats::substream_seed(stream_base, chunk));
           const auto draws = stats::nearest_sample_draws(times, window.begin_ms,
@@ -51,7 +66,7 @@ stats::Histogram unbiased_histogram_mc(std::span<const std::int64_t> times,
         }
         return histogram;
       },
-      merge_histograms);
+      merge_and_recycle);
 }
 
 stats::Histogram unbiased_histogram_voronoi(std::span<const std::int64_t> times,
@@ -61,20 +76,9 @@ stats::Histogram unbiased_histogram_voronoi(std::span<const std::int64_t> times,
   if (times.size() != latencies.size()) {
     throw std::invalid_argument("unbiased_histogram_voronoi: size mismatch");
   }
-  obs::Span span("unbiased_voronoi");
-  span.attr("samples", static_cast<std::int64_t>(times.size()));
   const auto weights =
       stats::voronoi_weights(times, window.begin_ms, window.end_ms, options.threads);
-  const std::span<const double> weight_span(weights);
-  return parallel_map_reduce<stats::Histogram>(
-      times.size(), options.threads, kRecordChunk,
-      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
-        auto histogram = make_latency_histogram(options);
-        histogram.add_all(latencies.subspan(begin, end - begin),
-                          weight_span.subspan(begin, end - begin));
-        return histogram;
-      },
-      merge_histograms);
+  return voronoi_fill(latencies, weights, options);
 }
 
 stats::Histogram unbiased_histogram_over_windows(std::span<const std::int64_t> times,
@@ -82,6 +86,17 @@ stats::Histogram unbiased_histogram_over_windows(std::span<const std::int64_t> t
                                                  std::span<const TimeWindow> windows,
                                                  double bin_width_ms, double max_latency_ms,
                                                  std::size_t threads) {
+  if (!std::is_sorted(times.begin(), times.end())) {
+    throw std::invalid_argument("unbiased_histogram_over_windows: times not sorted");
+  }
+  return unbiased_histogram_over_windows_sorted(times, latencies, windows, bin_width_ms,
+                                                max_latency_ms, threads);
+}
+
+stats::Histogram unbiased_histogram_over_windows_sorted(
+    std::span<const std::int64_t> times, std::span<const double> latencies,
+    std::span<const TimeWindow> windows, double bin_width_ms, double max_latency_ms,
+    std::size_t threads) {
   if (times.size() != latencies.size()) {
     throw std::invalid_argument("unbiased_histogram_over_windows: size mismatch");
   }
@@ -94,7 +109,8 @@ stats::Histogram unbiased_histogram_over_windows(std::span<const std::int64_t> t
   return parallel_map_reduce<stats::Histogram>(
       windows.size(), threads, 1,
       [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
-        auto histogram = stats::Histogram::covering(0.0, max_latency_ms, bin_width_ms);
+        auto histogram = stats::Histogram::covering(0.0, max_latency_ms, bin_width_ms,
+                                                    stats::ScratchPool<double>::take());
         for (std::size_t w = begin; w < end; ++w) {
           const auto& window = windows[w];
           // Samples inside this window only.
@@ -112,20 +128,34 @@ stats::Histogram unbiased_histogram_over_windows(std::span<const std::int64_t> t
         }
         return histogram;
       },
-      merge_histograms);
+      merge_and_recycle);
+}
+
+stats::Histogram unbiased_histogram(telemetry::SampleColumns columns,
+                                    const AutoSensOptions& options) {
+  if (columns.empty()) throw std::invalid_argument("unbiased_histogram: empty dataset");
+  const TimeWindow window{.begin_ms = columns.begin_time(), .end_ms = columns.end_time()};
+  if (options.unbiased_method == UnbiasedMethod::kMonteCarlo) {
+    stats::Random random(options.seed);
+    return unbiased_histogram_mc(columns.times, columns.latencies, window, options, random);
+  }
+  return unbiased_histogram_voronoi(columns.times, columns.latencies, window, options);
 }
 
 stats::Histogram unbiased_histogram(const telemetry::Dataset& dataset,
                                     const AutoSensOptions& options) {
   if (dataset.empty()) throw std::invalid_argument("unbiased_histogram: empty dataset");
-  const auto times = dataset.times();
-  const auto latencies = dataset.latencies();
   const TimeWindow window{.begin_ms = dataset.begin_time(), .end_ms = dataset.end_time()};
   if (options.unbiased_method == UnbiasedMethod::kMonteCarlo) {
     stats::Random random(options.seed);
-    return unbiased_histogram_mc(times, latencies, window, options, random);
+    return unbiased_histogram_mc(dataset.times(), dataset.latencies(), window, options,
+                                 random);
   }
-  return unbiased_histogram_voronoi(times, latencies, window, options);
+  // Voronoi weights over the dataset's own window are memoized on the
+  // dataset, so repeated analyses skip the O(n) weight pass.
+  const auto weights =
+      dataset.voronoi_weights_cached(window.begin_ms, window.end_ms, options.threads);
+  return voronoi_fill(dataset.latencies(), weights, options);
 }
 
 }  // namespace autosens::core

@@ -154,10 +154,15 @@ bool get_u32(std::istream& in, std::uint32_t& value) {
 void write_binlog(std::ostream& out, const Dataset& dataset, std::size_t batch_size) {
   if (batch_size == 0) throw std::invalid_argument("write_binlog: batch_size must be nonzero");
   out.write(kMagic.data(), kMagic.size());
-  const auto records = dataset.records();
-  for (std::size_t start = 0; start < records.size(); start += batch_size) {
-    const std::size_t count = std::min(batch_size, records.size() - start);
-    const auto payload = codec::encode_batch(records.subspan(start, count));
+  // Gather one batch at a time from the columns instead of materializing the
+  // whole dataset as records up front.
+  std::vector<ActionRecord> batch;
+  batch.reserve(std::min(batch_size, dataset.size()));
+  for (std::size_t start = 0; start < dataset.size(); start += batch_size) {
+    const std::size_t count = std::min(batch_size, dataset.size() - start);
+    batch.clear();
+    for (std::size_t k = start; k < start + count; ++k) batch.push_back(dataset[k]);
+    const auto payload = codec::encode_batch(batch);
     put_u32(out, static_cast<std::uint32_t>(payload.size()));
     out.write(reinterpret_cast<const char*>(payload.data()),
               static_cast<std::streamsize>(payload.size()));

@@ -1,78 +1,211 @@
 #include "telemetry/dataset.h"
 
 #include <algorithm>
+#include <mutex>
+#include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "stats/descriptive.h"
+#include "stats/sampling.h"
+#include "stats/scratch.h"
 
 namespace autosens::telemetry {
 
-Dataset::Dataset(std::vector<ActionRecord> records) : records_(std::move(records)) {
-  sorted_ = std::is_sorted(records_.begin(), records_.end(),
-                           [](const ActionRecord& a, const ActionRecord& b) {
-                             return a.time_ms < b.time_ms;
-                           });
+/// Memoized full-window Voronoi weights (see voronoi_weights_cached). The
+/// cache is per-dataset state, not shared between copies.
+struct Dataset::VoronoiCache {
+  std::mutex mutex;
+  bool valid = false;
+  std::int64_t begin_ms = 0;
+  std::int64_t end_ms = 0;
+  std::vector<double> weights;
+};
+
+// Invariant: voronoi_ is always allocated (so the cache's lazy fill can be
+// guarded by its own mutex without racing on the pointer itself). Moved-from
+// datasets get a fresh empty cache.
+Dataset::Dataset() : voronoi_(std::make_unique<VoronoiCache>()) {}
+Dataset::~Dataset() = default;
+
+Dataset::Dataset(std::vector<ActionRecord> records) : Dataset() {
+  reserve(records.size());
+  for (const auto& r : records) add(r);
+}
+
+Dataset::Dataset(const Dataset& other)
+    : time_ms_(other.time_ms_),
+      latency_ms_(other.latency_ms_),
+      user_id_(other.user_id_),
+      action_(other.action_),
+      user_class_(other.user_class_),
+      status_(other.status_),
+      sorted_(other.sorted_),
+      voronoi_(std::make_unique<VoronoiCache>()) {}
+
+Dataset& Dataset::operator=(const Dataset& other) {
+  if (this != &other) {
+    time_ms_ = other.time_ms_;
+    latency_ms_ = other.latency_ms_;
+    user_id_ = other.user_id_;
+    action_ = other.action_;
+    user_class_ = other.user_class_;
+    status_ = other.status_;
+    sorted_ = other.sorted_;
+    invalidate_cache();
+  }
+  return *this;
+}
+
+Dataset::Dataset(Dataset&& other) noexcept
+    : time_ms_(std::move(other.time_ms_)),
+      latency_ms_(std::move(other.latency_ms_)),
+      user_id_(std::move(other.user_id_)),
+      action_(std::move(other.action_)),
+      user_class_(std::move(other.user_class_)),
+      status_(std::move(other.status_)),
+      sorted_(other.sorted_),
+      voronoi_(std::move(other.voronoi_)) {
+  other.sorted_ = true;
+  other.voronoi_ = std::make_unique<VoronoiCache>();
+}
+
+Dataset& Dataset::operator=(Dataset&& other) noexcept {
+  if (this != &other) {
+    time_ms_ = std::move(other.time_ms_);
+    latency_ms_ = std::move(other.latency_ms_);
+    user_id_ = std::move(other.user_id_);
+    action_ = std::move(other.action_);
+    user_class_ = std::move(other.user_class_);
+    status_ = std::move(other.status_);
+    sorted_ = other.sorted_;
+    voronoi_ = std::move(other.voronoi_);
+    other.sorted_ = true;
+    other.voronoi_ = std::make_unique<VoronoiCache>();
+  }
+  return *this;
+}
+
+void Dataset::reserve(std::size_t capacity) {
+  time_ms_.reserve(capacity);
+  latency_ms_.reserve(capacity);
+  user_id_.reserve(capacity);
+  action_.reserve(capacity);
+  user_class_.reserve(capacity);
+  status_.reserve(capacity);
 }
 
 void Dataset::add(ActionRecord record) {
-  if (sorted_ && !records_.empty() && record.time_ms < records_.back().time_ms) {
+  if (sorted_ && !time_ms_.empty() && record.time_ms < time_ms_.back()) {
     sorted_ = false;
   }
-  records_.push_back(record);
+  time_ms_.push_back(record.time_ms);
+  latency_ms_.push_back(record.latency_ms);
+  user_id_.push_back(record.user_id);
+  action_.push_back(record.action);
+  user_class_.push_back(record.user_class);
+  status_.push_back(record.status);
+  invalidate_cache();
 }
+
+void Dataset::append_from(const Dataset& source, std::size_t i) {
+  if (sorted_ && !time_ms_.empty() && source.time_ms_[i] < time_ms_.back()) {
+    sorted_ = false;
+  }
+  time_ms_.push_back(source.time_ms_[i]);
+  latency_ms_.push_back(source.latency_ms_[i]);
+  user_id_.push_back(source.user_id_[i]);
+  action_.push_back(source.action_[i]);
+  user_class_.push_back(source.user_class_[i]);
+  status_.push_back(source.status_[i]);
+  invalidate_cache();
+}
+
+std::vector<ActionRecord> Dataset::records() const {
+  std::vector<ActionRecord> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back((*this)[i]);
+  return out;
+}
+
+namespace {
+
+/// out[i] = column[perm[i]], through a pooled scratch buffer.
+template <typename T>
+void apply_permutation(std::vector<T>& column, std::span<const std::uint64_t> perm) {
+  std::vector<T> scratch = stats::ScratchPool<T>::take();
+  scratch.resize(column.size());
+  for (std::size_t i = 0; i < column.size(); ++i) {
+    scratch[i] = column[static_cast<std::size_t>(perm[i])];
+  }
+  column.swap(scratch);
+  stats::ScratchPool<T>::give(std::move(scratch));
+}
+
+}  // namespace
 
 void Dataset::sort_by_time() {
   if (sorted_) return;
-  std::stable_sort(records_.begin(), records_.end(),
-                   [](const ActionRecord& a, const ActionRecord& b) {
-                     return a.time_ms < b.time_ms;
-                   });
+  // Permutation sort: order indices by time, then gather every column once.
+  // Moves 8-byte indices through the comparator instead of 48-byte records.
+  std::vector<std::uint64_t> perm = stats::ScratchPool<std::uint64_t>::take();
+  perm.resize(size());
+  std::iota(perm.begin(), perm.end(), std::uint64_t{0});
+  std::stable_sort(perm.begin(), perm.end(), [this](std::uint64_t a, std::uint64_t b) {
+    return time_ms_[static_cast<std::size_t>(a)] < time_ms_[static_cast<std::size_t>(b)];
+  });
+  apply_permutation(time_ms_, perm);
+  apply_permutation(latency_ms_, perm);
+  apply_permutation(user_id_, perm);
+  apply_permutation(action_, perm);
+  apply_permutation(user_class_, perm);
+  apply_permutation(status_, perm);
+  stats::ScratchPool<std::uint64_t>::give(std::move(perm));
   sorted_ = true;
+  invalidate_cache();
 }
 
 std::int64_t Dataset::begin_time() const {
-  if (records_.empty()) throw std::runtime_error("Dataset::begin_time: empty dataset");
+  if (time_ms_.empty()) throw std::runtime_error("Dataset::begin_time: empty dataset");
   if (!sorted_) throw std::runtime_error("Dataset::begin_time: dataset not sorted");
-  return records_.front().time_ms;
+  return time_ms_.front();
 }
 
 std::int64_t Dataset::end_time() const {
-  if (records_.empty()) throw std::runtime_error("Dataset::end_time: empty dataset");
+  if (time_ms_.empty()) throw std::runtime_error("Dataset::end_time: empty dataset");
   if (!sorted_) throw std::runtime_error("Dataset::end_time: dataset not sorted");
-  return records_.back().time_ms + 1;
-}
-
-std::vector<std::int64_t> Dataset::times() const {
-  std::vector<std::int64_t> out;
-  out.reserve(records_.size());
-  for (const auto& r : records_) out.push_back(r.time_ms);
-  return out;
-}
-
-std::vector<double> Dataset::latencies() const {
-  std::vector<double> out;
-  out.reserve(records_.size());
-  for (const auto& r : records_) out.push_back(r.latency_ms);
-  return out;
-}
-
-Dataset Dataset::filtered(const std::function<bool(const ActionRecord&)>& predicate) const {
-  std::vector<ActionRecord> kept;
-  for (const auto& r : records_) {
-    if (predicate(r)) kept.push_back(r);
-  }
-  return Dataset(std::move(kept));
+  return time_ms_.back() + 1;
 }
 
 std::unordered_map<std::uint64_t, double> Dataset::per_user_median_latency() const {
   std::unordered_map<std::uint64_t, std::vector<double>> per_user;
-  for (const auto& r : records_) per_user[r.user_id].push_back(r.latency_ms);
+  for (std::size_t i = 0; i < size(); ++i) {
+    per_user[user_id_[i]].push_back(latency_ms_[i]);
+  }
   std::unordered_map<std::uint64_t, double> medians;
   medians.reserve(per_user.size());
   for (auto& [user, latencies] : per_user) {
     medians.emplace(user, stats::median(latencies));
   }
   return medians;
+}
+
+std::span<const double> Dataset::voronoi_weights_cached(std::int64_t begin_ms,
+                                                        std::int64_t end_ms,
+                                                        std::size_t threads) const {
+  if (!voronoi_) voronoi_ = std::make_unique<VoronoiCache>();
+  std::lock_guard<std::mutex> lock(voronoi_->mutex);
+  if (!voronoi_->valid || voronoi_->begin_ms != begin_ms || voronoi_->end_ms != end_ms) {
+    voronoi_->weights = stats::voronoi_weights(time_ms_, begin_ms, end_ms, threads);
+    voronoi_->begin_ms = begin_ms;
+    voronoi_->end_ms = end_ms;
+    voronoi_->valid = true;
+  }
+  return voronoi_->weights;
+}
+
+void Dataset::invalidate_cache() noexcept {
+  if (voronoi_) voronoi_->valid = false;
 }
 
 }  // namespace autosens::telemetry

@@ -2,11 +2,18 @@
 // paths AutoSens needs — time range, parallel time/latency views, per-user
 // grouping (for the conditioning-to-speed quartiles, §3.4), and cheap
 // filtered copies.
+//
+// Storage is structure-of-arrays: every record field lives in its own
+// contiguous column, so the estimator hot loops (which only touch time and
+// latency) stream exactly the bytes they need and times()/latencies() are
+// zero-copy spans rather than per-call vector copies. See DESIGN.md
+// "Data layout & memory model" for the view-lifetime rules.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <span>
+#include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
@@ -14,20 +21,59 @@
 
 namespace autosens::telemetry {
 
+/// Non-owning view of the two analysis-plane columns. The whole estimator
+/// pipeline (biased/unbiased fills, α-normalization) consumes this instead of
+/// a concrete Dataset, so bootstrap views and datasets share one hot path.
+/// `times` must be sorted ascending and aligned with `latencies`.
+struct SampleColumns {
+  std::span<const std::int64_t> times;
+  std::span<const double> latencies;
+
+  std::size_t size() const noexcept { return times.size(); }
+  bool empty() const noexcept { return times.empty(); }
+  /// First sample time; [begin_time, end_time) is the observation window.
+  /// Throws std::runtime_error when the view is empty.
+  std::int64_t begin_time() const {
+    if (times.empty()) throw std::runtime_error("SampleColumns::begin_time: empty view");
+    return times.front();
+  }
+  std::int64_t end_time() const {
+    if (times.empty()) throw std::runtime_error("SampleColumns::end_time: empty view");
+    return times.back() + 1;
+  }
+};
+
 class Dataset {
  public:
-  Dataset() = default;
+  Dataset();
   explicit Dataset(std::vector<ActionRecord> records);
+  Dataset(const Dataset& other);
+  Dataset& operator=(const Dataset& other);
+  Dataset(Dataset&& other) noexcept;
+  Dataset& operator=(Dataset&& other) noexcept;
+  ~Dataset();
 
   /// Append one record. Invalidates sortedness; sort happens lazily via
   /// ensure_sorted() or eagerly through sort_by_time().
   void add(ActionRecord record);
-  void reserve(std::size_t capacity) { records_.reserve(capacity); }
+  /// Append record i of `source` column-wise (no AoS round-trip).
+  void append_from(const Dataset& source, std::size_t i);
+  void reserve(std::size_t capacity);
 
-  std::size_t size() const noexcept { return records_.size(); }
-  bool empty() const noexcept { return records_.empty(); }
-  std::span<const ActionRecord> records() const noexcept { return records_; }
-  const ActionRecord& operator[](std::size_t i) const noexcept { return records_[i]; }
+  std::size_t size() const noexcept { return time_ms_.size(); }
+  bool empty() const noexcept { return time_ms_.empty(); }
+  /// Gather record i from the columns (a cheap by-value assembly).
+  ActionRecord operator[](std::size_t i) const noexcept {
+    return ActionRecord{.time_ms = time_ms_[i],
+                        .user_id = user_id_[i],
+                        .latency_ms = latency_ms_[i],
+                        .action = action_[i],
+                        .user_class = user_class_[i],
+                        .status = status_[i]};
+  }
+  /// Materialized AoS copy, for serialization and compatibility call sites.
+  /// O(n) gather — hot loops should take the column spans instead.
+  std::vector<ActionRecord> records() const;
 
   /// Sort records ascending by time (stable, so equal-time order is
   /// insertion order). Idempotent.
@@ -39,19 +85,54 @@ class Dataset {
   /// One past the last record time (so [begin_time, end_time) is non-empty).
   std::int64_t end_time() const;
 
-  /// Column extraction (records must be sorted for `times` to be monotone).
-  std::vector<std::int64_t> times() const;
-  std::vector<double> latencies() const;
+  /// Zero-copy column views (records must be sorted for `times` to be
+  /// monotone). The spans alias this dataset's storage: they are valid until
+  /// the next add()/sort_by_time()/destruction, and the data pointer is
+  /// stable across calls.
+  std::span<const std::int64_t> times() const noexcept { return time_ms_; }
+  std::span<const double> latencies() const noexcept { return latency_ms_; }
+  std::span<const std::uint64_t> user_ids() const noexcept { return user_id_; }
+  std::span<const ActionType> actions() const noexcept { return action_; }
+  std::span<const UserClass> user_classes() const noexcept { return user_class_; }
+  std::span<const ActionStatus> statuses() const noexcept { return status_; }
+  /// The analysis-plane view (same lifetime rules as the column spans).
+  SampleColumns columns() const noexcept { return {time_ms_, latency_ms_}; }
 
-  /// A new dataset containing records matching `predicate`, preserving order.
-  Dataset filtered(const std::function<bool(const ActionRecord&)>& predicate) const;
+  /// A new dataset containing records matching `predicate`, preserving
+  /// order. Templated so lambda predicates run devirtualized; the predicate
+  /// sees a gathered ActionRecord.
+  template <typename Predicate>
+  Dataset filtered(const Predicate& predicate) const {
+    Dataset kept;
+    for (std::size_t i = 0; i < size(); ++i) {
+      if (predicate((*this)[i])) kept.append_from(*this, i);
+    }
+    return kept;
+  }
 
   /// Per-user median latency over this dataset (for quartile conditioning).
   std::unordered_map<std::uint64_t, double> per_user_median_latency() const;
 
+  /// Exact Voronoi selection weights over [begin_ms, end_ms), memoized on
+  /// the dataset: repeated analyses of the same window (bench loops, slice
+  /// re-reads) reuse the cached weights instead of recomputing them. The
+  /// span follows the column-span lifetime rules; add()/sort_by_time()
+  /// invalidate the cache. Thread-safe.
+  std::span<const double> voronoi_weights_cached(std::int64_t begin_ms, std::int64_t end_ms,
+                                                 std::size_t threads) const;
+
  private:
-  std::vector<ActionRecord> records_;
+  struct VoronoiCache;
+  void invalidate_cache() noexcept;
+
+  std::vector<std::int64_t> time_ms_;
+  std::vector<double> latency_ms_;
+  std::vector<std::uint64_t> user_id_;
+  std::vector<ActionType> action_;
+  std::vector<UserClass> user_class_;
+  std::vector<ActionStatus> status_;
   bool sorted_ = true;  // vacuously sorted when empty
+  mutable std::unique_ptr<VoronoiCache> voronoi_;
 };
 
 }  // namespace autosens::telemetry

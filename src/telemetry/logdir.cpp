@@ -21,18 +21,17 @@ std::vector<std::string> write_sharded(const std::string& directory, const Datas
   }
   std::filesystem::create_directories(directory);
   std::vector<std::string> paths;
-  const auto records = dataset.records();
   std::size_t shard = 0;
-  for (std::size_t start = 0; start < records.size() || shard == 0;
+  for (std::size_t start = 0; start < dataset.size() || shard == 0;
        start += records_per_shard, ++shard) {
-    const std::size_t count = std::min(records_per_shard, records.size() - start);
+    const std::size_t count = std::min(records_per_shard, dataset.size() - start);
     Dataset chunk;
     chunk.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) chunk.add(records[start + i]);
+    for (std::size_t i = 0; i < count; ++i) chunk.append_from(dataset, start + i);
     const auto path = (std::filesystem::path(directory) / shard_name(shard)).string();
     write_binlog_file(path, chunk);
     paths.push_back(path);
-    if (records.empty()) break;  // wrote one empty shard as a marker
+    if (dataset.empty()) break;  // wrote one empty shard as a marker
   }
   return paths;
 }
@@ -51,7 +50,8 @@ Dataset read_sharded(const std::string& directory) {
   Dataset merged;
   for (const auto& path : paths) {
     const auto shard = read_binlog_file(path);
-    for (const auto& record : shard.records()) merged.add(record);
+    merged.reserve(merged.size() + shard.size());
+    for (std::size_t i = 0; i < shard.size(); ++i) merged.append_from(shard, i);
   }
   merged.sort_by_time();
   return merged;

@@ -1,5 +1,7 @@
 #include "telemetry/user_stats.h"
 
+#include "telemetry/dataset.h"
+
 namespace autosens::telemetry {
 
 void UserAccumulator::add(const ActionRecord& record) {
@@ -7,6 +9,18 @@ void UserAccumulator::add(const ActionRecord& record) {
   state.median.add(record.latency_ms);
   state.moments.add(record.latency_ms);
   state.user_class = record.user_class;
+}
+
+void UserAccumulator::add_all(const Dataset& dataset) {
+  const auto user_ids = dataset.user_ids();
+  const auto latencies = dataset.latencies();
+  const auto user_classes = dataset.user_classes();
+  for (std::size_t i = 0; i < user_ids.size(); ++i) {
+    auto& state = users_[user_ids[i]];
+    state.median.add(latencies[i]);
+    state.moments.add(latencies[i]);
+    state.user_class = user_classes[i];
+  }
 }
 
 std::vector<UserSummary> UserAccumulator::summaries() const {

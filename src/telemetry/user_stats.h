@@ -15,6 +15,8 @@
 
 namespace autosens::telemetry {
 
+class Dataset;
+
 /// Streaming summary of one user's latency experience.
 struct UserSummary {
   std::uint64_t user_id = 0;
@@ -29,6 +31,11 @@ class UserAccumulator {
  public:
   /// Consume one record (order-independent; no buffering).
   void add(const ActionRecord& record);
+
+  /// Consume a whole dataset, reading the user-id / latency / class columns
+  /// directly — equivalent to add() on every record, without materializing
+  /// ActionRecords.
+  void add_all(const Dataset& dataset);
 
   std::size_t user_count() const noexcept { return users_.size(); }
 

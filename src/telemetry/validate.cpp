@@ -77,32 +77,38 @@ std::string ValidationReport::one_line() const {
 ValidatedDataset validate(const Dataset& input, const ValidationOptions& options) {
   ValidatedDataset result;
   result.report.total = input.size();
-  for (const auto& r : input.records()) {
-    if (r.time_ms < options.min_time_ms) {
+  // Every check reads only time, latency, and status, so scan those columns
+  // directly and copy survivors column-to-column — no ActionRecord
+  // materialization on the hot path.
+  const auto times = input.times();
+  const auto latencies = input.latencies();
+  const auto statuses = input.statuses();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] < options.min_time_ms) {
       ++result.report.dropped_bad_timestamp;
       continue;
     }
-    if (r.time_ms < options.window_begin_ms || r.time_ms >= options.window_end_ms) {
+    if (times[i] < options.window_begin_ms || times[i] >= options.window_end_ms) {
       ++result.report.dropped_out_of_window;
       continue;
     }
-    if (!std::isfinite(r.latency_ms)) {
+    if (!std::isfinite(latencies[i])) {
       ++result.report.dropped_nonfinite_latency;
       continue;
     }
-    if (options.successful_only && r.status == ActionStatus::kError) {
+    if (options.successful_only && statuses[i] == ActionStatus::kError) {
       ++result.report.dropped_error_status;
       continue;
     }
-    if (r.latency_ms <= options.min_latency_ms) {
+    if (latencies[i] <= options.min_latency_ms) {
       ++result.report.dropped_nonpositive_latency;
       continue;
     }
-    if (r.latency_ms > options.max_latency_ms) {
+    if (latencies[i] > options.max_latency_ms) {
       ++result.report.dropped_excessive_latency;
       continue;
     }
-    result.dataset.add(r);
+    result.dataset.append_from(input, i);
   }
   result.report.kept = result.dataset.size();
   result.dataset.sort_by_time();

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "simulate/generator.h"
@@ -30,15 +31,17 @@ TEST(DayBlockResampleTest, PreservesSizeOrderAndTimeOfDay) {
   const auto slice = small_slice(61);
   stats::Random random(2);
   const auto resampled = day_block_resample(slice, random);
-  // Same day count → similar (not necessarily equal) record count; sorted.
-  EXPECT_TRUE(resampled.is_sorted());
+  // Same day count → similar (not necessarily equal) record count; the
+  // view's slot-major order is globally time-sorted.
+  const auto times = resampled.times();
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
   EXPECT_GT(resampled.size(), slice.size() / 2);
   EXPECT_LT(resampled.size(), slice.size() * 2);
   // Every record keeps a valid hour-of-day distribution: daytime-heavy.
   std::size_t day = 0;
   std::size_t night = 0;
-  for (const auto& r : resampled.records()) {
-    const int hour = telemetry::hour_of_day(r.time_ms);
+  for (const std::int64_t t : times) {
+    const int hour = telemetry::hour_of_day(t);
     if (hour >= 9 && hour < 15) ++day;
     if (hour >= 1 && hour < 7) ++night;
   }
@@ -61,6 +64,90 @@ TEST(DayBlockResampleTest, ActuallyResamples) {
   const auto a = day_block_resample(slice, random);
   const auto b = day_block_resample(slice, random);
   EXPECT_NE(a.size(), b.size());  // overwhelmingly likely with 14 days
+}
+
+TEST(DayBlockResampleTest, ViewMatchesLegacyCopyExactly) {
+  // Golden determinism check: with equal generator state the index view and
+  // the deep-copying resampler describe byte-identical datasets.
+  const auto slice = small_slice(68);
+  stats::Random view_rng(9);
+  stats::Random copy_rng(9);
+  const auto view = day_block_resample(slice, view_rng);
+  const auto copy = day_block_resample_copy(slice, copy_rng);
+  ASSERT_EQ(view.size(), copy.size());
+  const auto view_times = view.times();
+  const auto view_latencies = view.latencies();
+  const auto copy_times = copy.times();
+  const auto copy_latencies = copy.latencies();
+  EXPECT_TRUE(std::equal(view_times.begin(), view_times.end(), copy_times.begin()));
+  EXPECT_TRUE(std::equal(view_latencies.begin(), view_latencies.end(),
+                         copy_latencies.begin()));
+  // Spot-check the full record gather (ids, enums) and the materialization.
+  for (const std::size_t i : {std::size_t{0}, view.size() / 2, view.size() - 1}) {
+    const auto a = view[i];
+    const auto b = copy[i];
+    EXPECT_EQ(a.time_ms, b.time_ms);
+    EXPECT_EQ(a.user_id, b.user_id);
+    EXPECT_DOUBLE_EQ(a.latency_ms, b.latency_ms);
+    EXPECT_EQ(a.action, b.action);
+    EXPECT_EQ(a.user_class, b.user_class);
+    EXPECT_EQ(a.status, b.status);
+  }
+  const auto materialized = view.materialize();
+  ASSERT_EQ(materialized.size(), copy.size());
+  EXPECT_TRUE(materialized.is_sorted());
+  const auto mat_times = materialized.times();
+  EXPECT_TRUE(std::equal(mat_times.begin(), mat_times.end(), copy_times.begin()));
+}
+
+TEST(DayBlockResampleTest, SingleDayDatasetResamplesToItself) {
+  // One non-empty day → every draw picks it; the only effect is the rebase
+  // onto day 0 (time-of-day preserved).
+  telemetry::Dataset d;
+  const std::int64_t day5 = 5 * telemetry::kMillisPerDay;
+  for (int i = 0; i < 10; ++i) {
+    d.add({.time_ms = day5 + i * 1000, .user_id = 1, .latency_ms = 100.0 + i,
+           .action = telemetry::ActionType::kSelectMail,
+           .user_class = telemetry::UserClass::kBusiness,
+           .status = telemetry::ActionStatus::kSuccess});
+  }
+  stats::Random random(10);
+  const auto view = day_block_resample(d, random);
+  ASSERT_EQ(view.size(), d.size());
+  EXPECT_EQ(view.block_count(), 1u);
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(view[i].time_ms, static_cast<std::int64_t>(i) * 1000);
+    EXPECT_DOUBLE_EQ(view[i].latency_ms, 100.0 + static_cast<double>(i));
+  }
+}
+
+TEST(DayBlockResampleTest, EmptyMiddleDaysAreSqueezedOut) {
+  // Records on days 0 and 3 only: two slots, re-based onto days 0 and 1 —
+  // the empty middle days vanish, exactly as the copying resampler always
+  // behaved.
+  telemetry::Dataset d;
+  for (const std::int64_t day : {std::int64_t{0}, std::int64_t{3}}) {
+    for (int i = 0; i < 5; ++i) {
+      d.add({.time_ms = day * telemetry::kMillisPerDay + i * 60'000, .user_id = 2,
+             .latency_ms = 50.0,
+             .action = telemetry::ActionType::kSelectMail,
+             .user_class = telemetry::UserClass::kConsumer,
+             .status = telemetry::ActionStatus::kSuccess});
+    }
+  }
+  stats::Random random(11);
+  const auto view = day_block_resample(d, random);
+  EXPECT_EQ(view.block_count(), 2u);
+  EXPECT_EQ(view.size(), 10u);
+  EXPECT_LE(telemetry::day_index(view.end_time() - 1), 1);
+  const auto times = view.times();
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  // And the copy path squeezes identically under the same draws.
+  stats::Random copy_rng(11);
+  const auto copy = day_block_resample_copy(d, copy_rng);
+  const auto copy_times = copy.times();
+  ASSERT_EQ(copy.size(), view.size());
+  EXPECT_TRUE(std::equal(times.begin(), times.end(), copy_times.begin()));
 }
 
 TEST(AnalyzeWithConfidenceTest, Validation) {
@@ -90,6 +177,25 @@ TEST(AnalyzeWithConfidenceTest, IntervalsCoverPointEstimate) {
     EXPECT_LT(point, result.intervals[p].hi + 0.1);
     // A real interval, not degenerate.
     EXPECT_GT(result.intervals[p].hi - result.intervals[p].lo, 1e-6);
+  }
+}
+
+TEST(AnalyzeWithConfidenceTest, ViewAndCopyPathsAreByteIdentical) {
+  const auto slice = small_slice(67);
+  stats::Random view_rng(8);
+  stats::Random copy_rng(8);
+  const auto via_view = analyze_with_confidence(
+      slice, AutoSensOptions{}, {500.0, 1000.0},
+      {.replicates = 8, .resample_by_view = true}, view_rng);
+  const auto via_copy = analyze_with_confidence(
+      slice, AutoSensOptions{}, {500.0, 1000.0},
+      {.replicates = 8, .resample_by_view = false}, copy_rng);
+  EXPECT_EQ(via_view.usable_replicates, via_copy.usable_replicates);
+  ASSERT_EQ(via_view.intervals.size(), via_copy.intervals.size());
+  for (std::size_t p = 0; p < via_view.intervals.size(); ++p) {
+    // Bit-for-bit, not approximately: the view is the same resample.
+    EXPECT_EQ(via_view.intervals[p].lo, via_copy.intervals[p].lo);
+    EXPECT_EQ(via_view.intervals[p].hi, via_copy.intervals[p].hi);
   }
 }
 

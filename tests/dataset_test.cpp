@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace autosens::telemetry {
@@ -69,8 +70,64 @@ TEST(DatasetTest, TimeRangeRequiresSorted) {
 
 TEST(DatasetTest, ColumnExtraction) {
   const Dataset d({make_record(1, 10.0), make_record(2, 20.0)});
-  EXPECT_EQ(d.times(), (std::vector<std::int64_t>{1, 2}));
-  EXPECT_EQ(d.latencies(), (std::vector<double>{10.0, 20.0}));
+  const auto times = d.times();
+  const auto latencies = d.latencies();
+  EXPECT_TRUE(std::equal(times.begin(), times.end(),
+                         std::vector<std::int64_t>{1, 2}.begin()));
+  EXPECT_TRUE(std::equal(latencies.begin(), latencies.end(),
+                         std::vector<double>{10.0, 20.0}.begin()));
+  ASSERT_EQ(times.size(), 2u);
+  ASSERT_EQ(latencies.size(), 2u);
+}
+
+TEST(DatasetTest, ColumnSpansAreZeroCopyAndStable) {
+  Dataset d;
+  for (int i = 0; i < 64; ++i) d.add(make_record(i, 10.0 * i));
+  // times()/latencies() are views into the dataset's own storage: repeated
+  // calls return the same pointers, no per-call allocation or copy.
+  const auto t1 = d.times();
+  const auto t2 = d.times();
+  EXPECT_EQ(t1.data(), t2.data());
+  EXPECT_EQ(d.latencies().data(), d.latencies().data());
+  EXPECT_EQ(t1.size(), d.size());
+  // Reads through old and new spans agree while the dataset is unmodified.
+  const auto l1 = d.latencies();
+  EXPECT_DOUBLE_EQ(l1[63], 630.0);
+  EXPECT_EQ(t1[63], 63);
+}
+
+TEST(DatasetTest, ColumnsBundleMatchesAccessors) {
+  const Dataset d({make_record(1, 10.0), make_record(2, 20.0)});
+  const auto columns = d.columns();
+  EXPECT_EQ(columns.times.data(), d.times().data());
+  EXPECT_EQ(columns.latencies.data(), d.latencies().data());
+  EXPECT_EQ(columns.size(), d.size());
+  EXPECT_EQ(columns.begin_time(), d.begin_time());
+  EXPECT_EQ(columns.end_time(), d.end_time());
+}
+
+TEST(DatasetTest, RecordsRoundTripsAllColumns) {
+  Dataset d;
+  d.add(make_record(7, 70.0, 42));
+  const auto records = d.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].time_ms, 7);
+  EXPECT_EQ(records[0].user_id, 42u);
+  EXPECT_DOUBLE_EQ(records[0].latency_ms, 70.0);
+  EXPECT_EQ(records[0].action, ActionType::kSelectMail);
+  EXPECT_EQ(records[0].user_class, UserClass::kBusiness);
+  EXPECT_EQ(records[0].status, ActionStatus::kSuccess);
+}
+
+TEST(DatasetTest, AppendFromCopiesWholeRows) {
+  const Dataset source({make_record(1, 10.0, 5), make_record(2, 20.0, 6)});
+  Dataset out;
+  out.append_from(source, 1);
+  out.append_from(source, 0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].time_ms, 2);
+  EXPECT_EQ(out[1].user_id, 5u);
+  EXPECT_FALSE(out.is_sorted());
 }
 
 TEST(DatasetTest, FilteredKeepsMatchingRecords) {

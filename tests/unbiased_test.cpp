@@ -100,6 +100,20 @@ TEST(UnbiasedTest, OverWindowsValidatesWindows) {
                std::invalid_argument);
 }
 
+TEST(UnbiasedTest, OverWindowsRejectsUnsortedTimes) {
+  // The duration weights come from lower_bound scans over `times`; unsorted
+  // input would silently misattribute mass, so the public entry point
+  // validates sortedness up front.
+  const std::vector<std::int64_t> times = {500, 100};
+  const std::vector<double> latencies = {100.0, 200.0};
+  const std::vector<TimeWindow> windows = {{0, 1000}};
+  EXPECT_THROW(unbiased_histogram_over_windows(times, latencies, windows, 10.0, 1000.0),
+               std::invalid_argument);
+  // Sorted input with identical content is accepted.
+  const std::vector<std::int64_t> ok = {100, 500};
+  EXPECT_NO_THROW(unbiased_histogram_over_windows(ok, latencies, windows, 10.0, 1000.0));
+}
+
 TEST(UnbiasedTest, SampleOnlyAffectsItsOwnWindow) {
   // A sample in window A must not soak up time from window B.
   const std::vector<std::int64_t> times = {50, 260};

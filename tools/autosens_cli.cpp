@@ -325,10 +325,16 @@ int cmd_analyze(const cli::Args& args) {
     for (std::size_t p = 0; p < result.probe_latency_ms.size(); ++p) {
       const double latency = result.probe_latency_ms[p];
       if (!result.point.covers(latency)) continue;
+      // Built by append (not operator+) to dodge a GCC 12 -Wrestrict false
+      // positive at -O3 that breaks Release -Werror builds.
+      std::string interval("[");
+      interval += report::Table::num(result.intervals[p].lo);
+      interval += ", ";
+      interval += report::Table::num(result.intervals[p].hi);
+      interval += "]";
       table.add_row({report::Table::num(latency, 0),
                      report::Table::num(result.point.at(latency)),
-                     "[" + report::Table::num(result.intervals[p].lo) + ", " +
-                         report::Table::num(result.intervals[p].hi) + "]"});
+                     std::move(interval)});
     }
     table.print(std::cout);
     std::cout << "(" << result.usable_replicates << " usable bootstrap replicates)\n";

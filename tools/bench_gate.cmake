@@ -1,0 +1,30 @@
+# CTest driver for the opt-in benchmark regression gate (AUTOSENS_BENCH_GATE).
+# Reruns the columnar data-plane kernels and diffs them against the committed
+# baseline with tools/check_bench_regression.py.
+#
+# Expects: BENCH_BIN, BASELINE, CHECKER, PYTHON, WORK_DIR.
+
+set(current_json "${WORK_DIR}/bench_gate_current.json")
+
+execute_process(
+  COMMAND "${BENCH_BIN}"
+          "--benchmark_filter=DatasetColumns|DayBlockResample|ConfidenceReplicates"
+          "--benchmark_format=json"
+          "--benchmark_out_format=json"
+          "--benchmark_out=${current_json}"
+  RESULT_VARIABLE bench_result
+  OUTPUT_QUIET)
+if(NOT bench_result EQUAL 0)
+  message(FATAL_ERROR "bench gate: micro_kernels failed (${bench_result})")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${CHECKER}" "${BASELINE}" "${current_json}"
+          --threshold 0.15
+          --kernel BM_DatasetColumns
+          --kernel BM_DayBlockResample
+          --kernel BM_ConfidenceReplicates
+  RESULT_VARIABLE check_result)
+if(NOT check_result EQUAL 0)
+  message(FATAL_ERROR "bench gate: regression check failed (${check_result})")
+endif()

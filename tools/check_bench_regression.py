@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on real_time regressions.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.15]
+                              [--kernel NAME ...]
+
+Benchmarks are matched by their full name (e.g. "BM_DayBlockResample/1/
+real_time"). With --kernel, only benchmarks whose name contains one of the
+given substrings are gated; without it, every benchmark present in both
+files is checked. A benchmark regresses when
+
+    current.real_time > baseline.real_time * (1 + threshold)
+
+for the same time_unit. Benchmarks where both sides run faster than
+--min-time-us are reported but never fail: at microsecond scale a relative
+threshold measures scheduler noise, not the kernel. Benchmarks present in
+only one file are reported but do not fail the check (the suite is allowed
+to grow). Exit status: 0 when no gated kernel regressed, 1 otherwise, 2 on
+malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_benchmarks(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        print(f"error: {path} has no 'benchmarks' array", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for entry in benchmarks:
+        name = entry.get("name")
+        real_time = entry.get("real_time")
+        if name is None or real_time is None:
+            continue
+        if entry.get("run_type") == "aggregate":
+            continue
+        out[name] = (float(real_time), entry.get("time_unit", "ns"))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional real_time growth (default 0.15)")
+    parser.add_argument("--kernel", action="append", default=[],
+                        help="gate only benchmarks whose name contains this "
+                             "substring (repeatable)")
+    parser.add_argument("--min-time-us", type=float, default=100.0,
+                        help="benchmarks faster than this on both sides are "
+                             "reported but cannot fail (default 100us)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    def gated(name):
+        return not args.kernel or any(k in name for k in args.kernel)
+
+    regressions = []
+    checked = 0
+    for name, (base_time, base_unit) in sorted(baseline.items()):
+        if not gated(name):
+            continue
+        if name not in current:
+            print(f"note: {name} only in baseline (skipped)")
+            continue
+        cur_time, cur_unit = current[name]
+        if cur_unit != base_unit:
+            print(f"error: {name}: time_unit mismatch ({base_unit} vs {cur_unit})",
+                  file=sys.stderr)
+            sys.exit(2)
+        checked += 1
+        ratio = cur_time / base_time if base_time > 0 else float("inf")
+        unit_ns = NS_PER_UNIT.get(base_unit, 1.0)
+        floor_hit = max(base_time, cur_time) * unit_ns < args.min_time_us * 1e3
+        status = "ok"
+        if cur_time > base_time * (1.0 + args.threshold):
+            if floor_hit:
+                status = "noise"  # too fast to gate on a relative threshold
+            else:
+                status = "REGRESSION"
+                regressions.append(name)
+        print(f"{status:>10}  {name}: {base_time:.3f} -> {cur_time:.3f} {base_unit} "
+              f"({ratio:+.1%} of baseline)")
+    for name in sorted(current):
+        if gated(name) and name not in baseline:
+            print(f"note: {name} only in current (skipped)")
+
+    if checked == 0:
+        print("error: no benchmarks matched the gate", file=sys.stderr)
+        sys.exit(2)
+    if regressions:
+        print(f"\n{len(regressions)} kernel(s) regressed beyond "
+              f"{args.threshold:.0%}: {', '.join(regressions)}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nall {checked} gated kernel(s) within {args.threshold:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()

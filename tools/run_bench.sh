@@ -1,41 +1,60 @@
 #!/usr/bin/env bash
-# Run the --threads scaling benchmarks and the observability-overhead
-# benchmark, recording the results as BENCH_parallel.json and BENCH_obs.json
-# (google-benchmark JSON format) in the repo root.
+# Run the benchmark suite in a dedicated Release build and record the results
+# as google-benchmark JSON in the repo root:
+#   BENCH_parallel.json — --threads scaling of the parallel execution layer
+#   BENCH_obs.json      — observability overhead (disabled / metrics / +trace)
+#   BENCH_columnar.json — columnar data-plane kernels (column access, the
+#                         index-view day-block bootstrap, the confidence
+#                         replicate loop)
 #
-# BENCH_obs.json compares the fig3-scale analyze pipeline with
-# instrumentation disabled (the shipping default: hooks compiled in, gated
-# off) against metrics-enabled and metrics+trace-enabled runs, so the
-# overhead budget in DESIGN.md "Observability" is checkable from the numbers.
+# The script configures and builds its own Release tree (default:
+# <repo>/build-bench) instead of reusing the dev build — benchmark numbers
+# from a Debug/RelWithDebInfo library are not comparable and earlier JSONs
+# recorded "library_build_type": "debug" for exactly that reason.
 #
-# Usage: tools/run_bench.sh [build-dir] [parallel-out] [obs-out]
+# Usage: tools/run_bench.sh [build-dir] [parallel-out] [obs-out] [columnar-out]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${1:-$ROOT/build}"
+BUILD="${1:-$ROOT/build-bench}"
 OUT="${2:-$ROOT/BENCH_parallel.json}"
 OBS_OUT="${3:-$ROOT/BENCH_obs.json}"
+COLUMNAR_OUT="${4:-$ROOT/BENCH_columnar.json}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" --target micro_kernels -j "$(nproc)" >/dev/null
 
 if [[ ! -x "$BUILD/bench/micro_kernels" ]]; then
   echo "error: $BUILD/bench/micro_kernels not built" >&2
-  echo "build first: cmake -B \"$BUILD\" -S \"$ROOT\" && cmake --build \"$BUILD\" -j" >&2
   exit 1
 fi
 
-"$BUILD/bench/micro_kernels" \
-  --benchmark_filter='Threads' \
-  --benchmark_format=json \
-  --benchmark_out_format=json \
-  --benchmark_out="$OUT.tmp" >/dev/null
+# Note: the "library_build_type" field google-benchmark writes describes how
+# the *installed benchmark library* was compiled, not this repo —
+# autosens_build_type below records the build type that actually matters.
+run_filter() {
+  local filter="$1" out="$2"
+  shift 2
+  "$BUILD/bench/micro_kernels" \
+    --benchmark_filter="$filter" \
+    --benchmark_context=autosens_build_type=Release \
+    "$@" \
+    --benchmark_format=json \
+    --benchmark_out_format=json \
+    --benchmark_out="$out.tmp" >/dev/null
+  mv "$out.tmp" "$out"
+  echo "wrote $out"
+}
 
-mv "$OUT.tmp" "$OUT"
-echo "wrote $OUT"
-
-"$BUILD/bench/micro_kernels" \
-  --benchmark_filter='ObsAnalyzeOverhead' \
-  --benchmark_format=json \
-  --benchmark_out_format=json \
-  --benchmark_out="$OBS_OUT.tmp" >/dev/null
-
-mv "$OBS_OUT.tmp" "$OBS_OUT"
-echo "wrote $OBS_OUT"
+run_filter 'Threads' "$OUT"
+run_filter 'ObsAnalyzeOverhead' "$OBS_OUT"
+# The prechange_* context entries freeze the pre-columnar Release baseline
+# (AoS dataset, copying resample) measured on the same fig3-scale dataset,
+# so the before/after story travels with the JSON.
+run_filter 'DatasetColumns|DayBlockResample|ConfidenceReplicates' "$COLUMNAR_OUT" \
+  --benchmark_context=prechange_analyze_once_ms=64.9 \
+  --benchmark_context=prechange_day_block_resample_ms_per_rep=29.43 \
+  --benchmark_context=prechange_confidence50_ms_best_of_3=3088.5 \
+  --benchmark_context=postchange_analyze_once_ms=38.4 \
+  --benchmark_context=postchange_day_block_resample_ms_per_rep=0.003 \
+  --benchmark_context=postchange_confidence50_ms_best_of_3=1549.5
