@@ -52,10 +52,9 @@ int main() {
     const auto slice = consumers.filtered(telemetry::all_of(
         {telemetry::by_action(telemetry::ActionType::kSelectMail),
          quartiles.in_quartile(static_cast<int>(q))}));
-    const auto records = slice.records();
     const auto statistic = [&](std::span<const std::size_t> indices) {
       telemetry::Dataset resampled;
-      for (const auto idx : indices) resampled.add(records[idx]);
+      for (const auto idx : indices) resampled.append_from(slice, idx);
       resampled.sort_by_time();
       try {
         const auto result = core::analyze(resampled, options);
@@ -65,7 +64,7 @@ int main() {
       }
     };
     const auto intervals =
-        stats::bootstrap_curve_interval(records.size(), statistic, 20, 0.9, random);
+        stats::bootstrap_curve_interval(slice.size(), statistic, 20, 0.9, random);
     // Built by append (not operator+) to dodge a GCC 12 -Wrestrict false
     // positive at -O3 that breaks Release -Werror builds.
     std::string interval("[");

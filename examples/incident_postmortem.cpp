@@ -48,12 +48,12 @@ int main() {
     const int from_hour = telemetry::hour_of_day(incident.begin_ms);
     const int hours = static_cast<int>((incident.end_ms - incident.begin_ms) / kHour);
     const std::int64_t incident_day = telemetry::day_index(incident.begin_ms);
-    for (const auto& r : slice.records()) {
-      const int hour = telemetry::hour_of_day(r.time_ms);
+    for (const std::int64_t time_ms : slice.times()) {
+      const int hour = telemetry::hour_of_day(time_ms);
       if (hour < from_hour || hour >= from_hour + hours) continue;
-      if (telemetry::day_index(r.time_ms) == incident_day) {
+      if (telemetry::day_index(time_ms) == incident_day) {
         ++during;
-      } else if (telemetry::day_of_week(r.time_ms) ==
+      } else if (telemetry::day_of_week(time_ms) ==
                  telemetry::day_of_week(incident.begin_ms)) {
         ++typical_total;
         // count this day once per record; day count tracked separately

@@ -30,14 +30,14 @@ int main() {
   auto generated =
       simulate::WorkloadGenerator(simulate::paper_config(simulate::Scale::kTiny, 29))
           .generate();
-  const auto records = generated.dataset.records();
-  std::cout << "replaying " << records.size() << " actions through " << kClientCount
+  const auto& generated_dataset = generated.dataset;
+  std::cout << "replaying " << generated_dataset.size() << " actions through " << kClientCount
             << " emitters\n";
 
   for (std::size_t c = 0; c < kClientCount; ++c) {
     net::Emitter emitter(collector.port(), {.batch_size = 256});
-    for (std::size_t i = c; i < records.size(); i += kClientCount) {
-      emitter.record(records[i]);
+    for (std::size_t i = c; i < generated_dataset.size(); i += kClientCount) {
+      emitter.record(generated_dataset[i]);
     }
     emitter.flush();
     emitter.close();

@@ -1,13 +1,32 @@
-// Compact binary log format for ActionRecords, plus the byte-level codec
+// Compact binary log formats for ActionRecords, plus the byte-level codec
 // primitives (varint, zigzag, CRC32) shared with the network wire format.
 //
-// File layout:
-//   magic "ASL1" (4 bytes)
+// Two file formats share one frame envelope:
+//
+//   magic (4 bytes, "ASL1" or "ASL2")
 //   frames: [u32 payload_len][payload][u32 crc32(payload)] ...
-// Each payload holds a batch of records, delta-encoded: the first record's
-// time/user are varint-encoded absolutely, subsequent records store zigzag
-// deltas. Latency is stored as a varint of round(latency_ms * 100), i.e.
-// 10 µs resolution — far below the 10 ms analysis bin width.
+//
+// ASL1 (legacy, row-oriented): each payload is a delta/varint batch of
+// records — codec::encode_batch / decode_batch, also the network wire
+// payload. Latency is quantized to round(latency_ms * 100), 10 µs
+// resolution.
+//
+// ASL2 (current, column-oriented): each payload is
+//   varint record_count
+//   time_ms   block: record_count × int64  (little-endian)
+//   latency   block: record_count × double (IEEE-754 bits, little-endian)
+//   user_id   block: record_count × uint64 (little-endian)
+//   action / user_class / status blocks: record_count × uint8 each
+// i.e. exactly the Dataset's structure-of-arrays layout. Loading an ASL2
+// file is zero-copy in the row sense: the reader memory-maps the file,
+// CRC-checks and memcpy's each column block straight into the SoA column
+// vectors — no per-record materialization — with frames processed in
+// parallel on the shared thread pool (deterministic: every frame's
+// destination slice is precomputed from the frame headers alone). Latency
+// round-trips exactly (raw double bits).
+//
+// write_binlog emits ASL2; read_binlog reads both. write_binlog_v1 is kept
+// for compatibility fixtures, parity tests, and the seed-path benchmark.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +36,7 @@
 #include <vector>
 
 #include "telemetry/dataset.h"
+#include "telemetry/ingest.h"
 
 namespace autosens::telemetry {
 namespace codec {
@@ -33,22 +53,31 @@ std::int64_t zigzag_decode(std::uint64_t value) noexcept;
 /// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF).
 std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
 
-/// Encode / decode a whole record batch (the frame payload format above).
+/// Encode / decode a whole record batch (the ASL1/wire payload format).
 std::vector<std::uint8_t> encode_batch(std::span<const ActionRecord> records);
 /// Throws std::runtime_error on malformed payloads.
 std::vector<ActionRecord> decode_batch(std::span<const std::uint8_t> payload);
 
 }  // namespace codec
 
-/// Write `dataset` to a binary log stream, batching `batch_size` records per
-/// frame. Throws std::runtime_error on IO failure.
+/// Write `dataset` as an ASL2 columnar binary log, batching `batch_size`
+/// records per frame. Column blocks are copied straight out of the SoA
+/// columns. Throws std::runtime_error on IO failure.
 void write_binlog(std::ostream& out, const Dataset& dataset, std::size_t batch_size = 4096);
 void write_binlog_file(const std::string& path, const Dataset& dataset,
                        std::size_t batch_size = 4096);
 
-/// Read a binary log. Throws std::runtime_error on bad magic, CRC mismatch,
-/// or truncation (this format is checksummed; errors are never silent).
-Dataset read_binlog(std::istream& in);
-Dataset read_binlog_file(const std::string& path);
+/// Write the legacy ASL1 row format (delta/varint batches).
+void write_binlog_v1(std::ostream& out, const Dataset& dataset, std::size_t batch_size = 4096);
+
+/// Read a binary log (either magic). Throws std::runtime_error on bad
+/// magic, CRC mismatch, or truncation (these formats are checksummed;
+/// errors are never silent). The buffer form parses a mapped or in-memory
+/// image in place; the stream form slurps first; the file form
+/// memory-maps. Output is identical for every `options.threads` value.
+Dataset read_binlog_buffer(std::span<const std::uint8_t> data,
+                           const IngestOptions& options = {});
+Dataset read_binlog(std::istream& in, const IngestOptions& options = {});
+Dataset read_binlog_file(const std::string& path, const IngestOptions& options = {});
 
 }  // namespace autosens::telemetry

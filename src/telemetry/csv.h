@@ -2,25 +2,31 @@
 // telemetry of the paper (§2.1): time_ms,user_id,action,latency_ms,
 // user_class,status — with a header row. Parsing is strict: malformed rows
 // are reported with line numbers rather than silently dropped.
+//
+// Reads go through the parallel zero-copy ingest engine (ingest.h): files
+// are memory-mapped and parsed in newline-aligned chunks with
+// std::from_chars over string_view slices, no per-line heap allocations.
+// The result is byte-identical for every thread count. A UTF-8 BOM before
+// the header, CRLF line endings, and a missing trailing newline are all
+// tolerated, identically in the chunked and scalar paths.
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "telemetry/dataset.h"
+#include "telemetry/ingest.h"
 
 namespace autosens::telemetry {
 
 /// The canonical header row.
 inline constexpr const char* kCsvHeader = "time_ms,user_id,action,latency_ms,user_class,status";
 
-/// One rejected input row.
-struct CsvError {
-  std::size_t line = 0;     ///< 1-based line number in the input.
-  std::string message;      ///< What was wrong.
-};
+/// One rejected input row (shared shape with the other text readers).
+using CsvError = IngestError;
 
 /// Result of a CSV read: accepted records plus per-row errors.
 struct CsvReadResult {
@@ -35,7 +41,18 @@ void write_csv_file(const std::string& path, const Dataset& dataset);
 /// Read records from CSV. The header row is validated; a wrong header is a
 /// fatal std::runtime_error (it means the file is not this schema at all),
 /// while individually malformed data rows are collected into `errors`.
-CsvReadResult read_csv(std::istream& in);
-CsvReadResult read_csv_file(const std::string& path);
+///
+/// The buffer entry point parses in place (zero copies); the stream entry
+/// point slurps the stream first (pipes and string streams welcome); the
+/// file entry point memory-maps. All three produce identical results for
+/// every `options.threads` value.
+CsvReadResult read_csv_buffer(std::string_view text, const IngestOptions& options = {});
+CsvReadResult read_csv(std::istream& in, const IngestOptions& options = {});
+CsvReadResult read_csv_file(const std::string& path, const IngestOptions& options = {});
+
+/// The pre-ingest-engine scalar reference reader (std::getline, row-by-row
+/// appends). Kept as the independent oracle for the parser-parity property
+/// tests and the seed-path benchmark baseline; not a hot path.
+CsvReadResult read_csv_scalar(std::istream& in);
 
 }  // namespace autosens::telemetry

@@ -121,6 +121,54 @@ void Dataset::append_from(const Dataset& source, std::size_t i) {
   invalidate_cache();
 }
 
+void Dataset::append_columns(std::span<const std::int64_t> times,
+                             std::span<const double> latencies,
+                             std::span<const std::uint64_t> user_ids,
+                             std::span<const ActionType> actions,
+                             std::span<const UserClass> user_classes,
+                             std::span<const ActionStatus> statuses) {
+  const std::size_t n = times.size();
+  if (latencies.size() != n || user_ids.size() != n || actions.size() != n ||
+      user_classes.size() != n || statuses.size() != n) {
+    throw std::invalid_argument("Dataset::append_columns: column length mismatch");
+  }
+  if (n == 0) return;
+  if (sorted_) {
+    if (!time_ms_.empty() && times.front() < time_ms_.back()) {
+      sorted_ = false;
+    } else if (!std::is_sorted(times.begin(), times.end())) {
+      sorted_ = false;
+    }
+  }
+  time_ms_.insert(time_ms_.end(), times.begin(), times.end());
+  latency_ms_.insert(latency_ms_.end(), latencies.begin(), latencies.end());
+  user_id_.insert(user_id_.end(), user_ids.begin(), user_ids.end());
+  action_.insert(action_.end(), actions.begin(), actions.end());
+  user_class_.insert(user_class_.end(), user_classes.begin(), user_classes.end());
+  status_.insert(status_.end(), statuses.begin(), statuses.end());
+  invalidate_cache();
+}
+
+void Dataset::adopt_columns(std::vector<std::int64_t> times, std::vector<double> latencies,
+                            std::vector<std::uint64_t> user_ids,
+                            std::vector<ActionType> actions,
+                            std::vector<UserClass> user_classes,
+                            std::vector<ActionStatus> statuses) {
+  const std::size_t n = times.size();
+  if (latencies.size() != n || user_ids.size() != n || actions.size() != n ||
+      user_classes.size() != n || statuses.size() != n) {
+    throw std::invalid_argument("Dataset::adopt_columns: column length mismatch");
+  }
+  time_ms_ = std::move(times);
+  latency_ms_ = std::move(latencies);
+  user_id_ = std::move(user_ids);
+  action_ = std::move(actions);
+  user_class_ = std::move(user_classes);
+  status_ = std::move(statuses);
+  sorted_ = std::is_sorted(time_ms_.begin(), time_ms_.end());
+  invalidate_cache();
+}
+
 std::vector<ActionRecord> Dataset::records() const {
   std::vector<ActionRecord> out;
   out.reserve(size());

@@ -58,6 +58,24 @@ class Dataset {
   void add(ActionRecord record);
   /// Append record i of `source` column-wise (no AoS round-trip).
   void append_from(const Dataset& source, std::size_t i);
+  /// Bulk append: splice whole column slices onto the dataset (the ingest
+  /// engine's shard-concatenation path). All spans must have equal length;
+  /// throws std::invalid_argument otherwise. The sorted flag survives only
+  /// when the incoming times are ascending and start at or after the
+  /// current last time.
+  void append_columns(std::span<const std::int64_t> times, std::span<const double> latencies,
+                      std::span<const std::uint64_t> user_ids,
+                      std::span<const ActionType> actions,
+                      std::span<const UserClass> user_classes,
+                      std::span<const ActionStatus> statuses);
+  /// Bulk load: take ownership of fully-formed columns without copying (the
+  /// binlog zero-copy path). All vectors must have equal length; throws
+  /// std::invalid_argument otherwise. Replaces the current contents;
+  /// sortedness is determined by scanning the times once.
+  void adopt_columns(std::vector<std::int64_t> times, std::vector<double> latencies,
+                     std::vector<std::uint64_t> user_ids, std::vector<ActionType> actions,
+                     std::vector<UserClass> user_classes,
+                     std::vector<ActionStatus> statuses);
   void reserve(std::size_t capacity);
 
   std::size_t size() const noexcept { return time_ms_.size(); }

@@ -1,0 +1,311 @@
+#include "telemetry/ingest.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <istream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace autosens::telemetry {
+
+// ---------------------------------------------------------------------------
+// MappedFile
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      map_base_(other.map_base_),
+      map_length_(other.map_length_),
+      buffer_(std::move(other.buffer_)) {
+  // The buffer move can relocate nothing (vector storage is stable), but the
+  // moved-from object must not unmap what we now own.
+  other.data_ = "";
+  other.size_ = 0;
+  other.map_base_ = nullptr;
+  other.map_length_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    map_base_ = other.map_base_;
+    map_length_ = other.map_length_;
+    buffer_ = std::move(other.buffer_);
+    other.data_ = "";
+    other.size_ = 0;
+    other.map_base_ = nullptr;
+    other.map_length_ = 0;
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+void MappedFile::reset() noexcept {
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, map_length_);
+    map_base_ = nullptr;
+    map_length_ = 0;
+  }
+  buffer_.clear();
+  data_ = "";
+  size_ = 0;
+}
+
+namespace {
+
+/// RAII fd so every throw path closes the descriptor.
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// Read everything `fd` has to offer into `out` (the non-mmap fallback).
+bool read_all(int fd, std::vector<char>& out) {
+  char block[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, block, sizeof block);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return true;
+    out.insert(out.end(), block, block + n);
+  }
+}
+
+}  // namespace
+
+MappedFile MappedFile::map(const std::string& path) {
+  FdGuard guard{::open(path.c_str(), O_RDONLY)};
+  if (guard.fd < 0) {
+    throw std::runtime_error("MappedFile::map: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  struct stat info {};
+  if (::fstat(guard.fd, &info) != 0) {
+    throw std::runtime_error("MappedFile::map: fstat failed for " + path);
+  }
+
+  MappedFile file;
+  if (S_ISREG(info.st_mode) && info.st_size > 0) {
+    const auto length = static_cast<std::size_t>(info.st_size);
+    void* base = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, guard.fd, 0);
+    if (base != MAP_FAILED) {
+#ifdef MADV_SEQUENTIAL
+      ::madvise(base, length, MADV_SEQUENTIAL);
+#endif
+      file.map_base_ = base;
+      file.map_length_ = length;
+      file.data_ = base;
+      file.size_ = length;
+      return file;
+    }
+    // mmap can fail for exotic filesystems; fall through to the read path.
+  }
+
+  if (!read_all(guard.fd, file.buffer_)) {
+    throw std::runtime_error("MappedFile::map: read failed for " + path + ": " +
+                             std::strerror(errno));
+  }
+  if (!file.buffer_.empty()) {
+    file.data_ = file.buffer_.data();
+    file.size_ = file.buffer_.size();
+  }
+  return file;
+}
+
+MappedFile MappedFile::read_stream(std::istream& in) {
+  MappedFile file;
+  char block[1 << 16];
+  while (in.read(block, sizeof block) || in.gcount() > 0) {
+    file.buffer_.insert(file.buffer_.end(), block, block + in.gcount());
+  }
+  if (!file.buffer_.empty()) {
+    file.data_ = file.buffer_.data();
+    file.size_ = file.buffer_.size();
+  }
+  return file;
+}
+
+// ---------------------------------------------------------------------------
+// Chunking
+
+std::vector<std::size_t> newline_chunk_bounds(std::string_view text,
+                                              std::size_t chunk_bytes,
+                                              std::size_t max_chunks) {
+  const core::ChunkGrid grid =
+      core::make_chunk_grid(text.size(), chunk_bytes == 0 ? 1 : chunk_bytes, max_chunks);
+  std::vector<std::size_t> bounds;
+  bounds.reserve(grid.chunks + 1);
+  bounds.push_back(0);
+  for (std::size_t c = 1; c < grid.chunks; ++c) {
+    // Snap the grid boundary forward to just past the next newline so no
+    // line straddles two chunks. A long line can swallow whole grid cells,
+    // leaving empty chunks — harmless, and still thread-count independent.
+    const std::size_t raw = grid.begin(c);
+    const std::size_t newline = text.find('\n', std::max(raw, bounds.back()));
+    bounds.push_back(newline == std::string_view::npos ? text.size() : newline + 1);
+  }
+  bounds.push_back(text.size());
+  return bounds;
+}
+
+std::string_view strip_utf8_bom(std::string_view text) noexcept {
+  if (text.size() >= 3 && text[0] == '\xef' && text[1] == '\xbb' && text[2] == '\xbf') {
+    text.remove_prefix(3);
+  }
+  return text;
+}
+
+// ---------------------------------------------------------------------------
+// Shard concatenation
+
+namespace detail {
+
+void concat_shards(std::vector<ColumnShard>& shards, std::size_t first_line,
+                   Dataset& dataset, std::vector<IngestError>& errors) {
+  std::size_t total_records = 0;
+  std::size_t total_errors = 0;
+  for (const auto& shard : shards) {
+    total_records += shard.size();
+    total_errors += shard.errors.size();
+  }
+  dataset.reserve(dataset.size() + total_records);
+  errors.reserve(errors.size() + total_errors);
+  std::size_t lines_before = 0;
+  for (auto& shard : shards) {
+    dataset.append_columns(shard.time_ms, shard.latency_ms, shard.user_id, shard.action,
+                           shard.user_class, shard.status);
+    for (auto& error : shard.errors) {
+      // Chunk-local (1-based) -> global line number.
+      errors.push_back({first_line + lines_before + error.line - 1,
+                        std::move(error.message)});
+    }
+    lines_before += shard.lines;
+  }
+}
+
+namespace {
+
+bool from_chars_fallback(std::string_view text, double& out) noexcept {
+  const auto result = std::from_chars(text.data(), text.data() + text.size(), out);
+  return result.ec == std::errc{} && result.ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+bool parse_double(std::string_view text, double& out) noexcept {
+  // Fast path: [-]digits[.digits] with at most 15 significant digits. The
+  // mantissa then fits a double exactly and 10^-frac_digits is one of the
+  // exactly-representable powers below, so a single divide/multiply is
+  // correctly rounded — the same bits std::from_chars produces.
+  static constexpr double kPow10[] = {1e0, 1e1, 1e2,  1e3,  1e4,  1e5,  1e6,  1e7,
+                                      1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15};
+  const char* p = text.data();
+  const char* const end = p + text.size();
+  const bool negative = p != end && *p == '-';
+  if (negative) ++p;
+  std::uint64_t mantissa = 0;
+  int digits = 0;
+  int frac_digits = 0;
+  const char* int_start = p;
+  while (p != end && *p >= '0' && *p <= '9') {
+    mantissa = mantissa * 10 + static_cast<std::uint64_t>(*p - '0');
+    ++digits;
+    ++p;
+  }
+  if (p == int_start) return from_chars_fallback(text, out);
+  if (p != end && *p == '.') {
+    ++p;
+    const char* frac_start = p;
+    while (p != end && *p >= '0' && *p <= '9') {
+      mantissa = mantissa * 10 + static_cast<std::uint64_t>(*p - '0');
+      ++digits;
+      ++frac_digits;
+      ++p;
+    }
+    if (p == frac_start) return from_chars_fallback(text, out);
+  }
+  if (p != end || digits > 15) return from_chars_fallback(text, out);
+  double value = static_cast<double>(mantissa);
+  if (frac_digits > 0) value /= kPow10[frac_digits];
+  out = negative ? -value : value;
+  return true;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Observability
+
+namespace {
+
+/// Per-format ingest instrumentation handles (registered once, then one
+/// relaxed atomic op per use — see DESIGN.md "Observability").
+struct IngestMetrics {
+  obs::Counter& bytes;
+  obs::Counter& records;
+  obs::Counter& parse_errors;
+  obs::Counter& loads;
+  obs::Gauge& bytes_per_second;
+  obs::Gauge& records_per_second;
+
+  explicit IngestMetrics(const std::string& format)
+      : bytes(obs::registry().counter("autosens_ingest_bytes_total{format=\"" + format + "\"}",
+                                      "Input bytes consumed by the ingest engine")),
+        records(obs::registry().counter(
+            "autosens_ingest_records_total{format=\"" + format + "\"}",
+            "Records accepted by the ingest engine")),
+        parse_errors(obs::registry().counter(
+            "autosens_ingest_parse_errors_total{format=\"" + format + "\"}",
+            "Lines or frames rejected by the ingest engine")),
+        loads(obs::registry().counter("autosens_ingest_loads_total{format=\"" + format + "\"}",
+                                      "Completed ingest calls")),
+        bytes_per_second(obs::registry().gauge(
+            "autosens_ingest_bytes_per_second{format=\"" + format + "\"}",
+            "Parse throughput of the most recent ingest")),
+        records_per_second(obs::registry().gauge(
+            "autosens_ingest_records_per_second{format=\"" + format + "\"}",
+            "Record throughput of the most recent ingest")) {}
+};
+
+IngestMetrics& metrics_for(std::string_view format) {
+  static IngestMetrics csv("csv");
+  static IngestMetrics jsonl("jsonl");
+  static IngestMetrics binlog("binlog");
+  static IngestMetrics logdir("logdir");
+  if (format == "csv") return csv;
+  if (format == "jsonl") return jsonl;
+  if (format == "binlog") return binlog;
+  return logdir;
+}
+
+}  // namespace
+
+void note_ingest(std::string_view format, const IngestStats& stats) {
+  if (!obs::enabled()) return;
+  IngestMetrics& handles = metrics_for(format);
+  handles.bytes.inc(stats.bytes);
+  handles.records.inc(stats.records);
+  handles.parse_errors.inc(stats.errors);
+  handles.loads.inc();
+  if (stats.seconds > 0.0) {
+    handles.bytes_per_second.set(static_cast<double>(stats.bytes) / stats.seconds);
+    handles.records_per_second.set(static_cast<double>(stats.records) / stats.seconds);
+  }
+}
+
+}  // namespace autosens::telemetry

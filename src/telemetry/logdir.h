@@ -2,6 +2,11 @@
 // rotating by size) produces many binary logs; analyses want one time-sorted
 // Dataset. This module writes fixed-size shards ("autosens-00000.bin", ...)
 // and reads a whole directory back, merging and sorting.
+//
+// Reads are a sharded multi-file load on the shared thread pool: every shard
+// is memory-mapped and decoded concurrently (the binlog zero-copy path),
+// then the per-shard columns are concatenated in lexicographic path order —
+// so the merged dataset is identical for every thread count.
 #pragma once
 
 #include <cstddef>
@@ -9,6 +14,7 @@
 #include <vector>
 
 #include "telemetry/dataset.h"
+#include "telemetry/ingest.h"
 
 namespace autosens::telemetry {
 
@@ -23,8 +29,10 @@ std::vector<std::string> write_sharded(const std::string& directory, const Datas
                                        std::size_t records_per_shard = 500'000);
 
 /// Read every "*.bin" file in `directory` (non-recursive) and merge into a
-/// single time-sorted dataset. Throws std::runtime_error if the directory
-/// does not exist or any shard is unreadable/corrupt.
-Dataset read_sharded(const std::string& directory);
+/// single time-sorted dataset. Shards load in parallel per
+/// `options.threads`; the result is identical for every value. Throws
+/// std::runtime_error if the directory does not exist or any shard is
+/// unreadable/corrupt.
+Dataset read_sharded(const std::string& directory, const IngestOptions& options = {});
 
 }  // namespace autosens::telemetry

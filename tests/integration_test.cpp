@@ -32,7 +32,7 @@ TEST(IntegrationTest, TransportAndStoragePreserveAnalysis) {
   net::CollectorThread collector(1);
   {
     net::Emitter emitter(collector.port(), {.batch_size = 512});
-    for (const auto& r : original.records()) emitter.record(r);
+    for (std::size_t i = 0; i < original.size(); ++i) emitter.record(original[i]);
     emitter.close();
   }
   const auto collected = collector.join();

@@ -7,9 +7,10 @@
 //                          [--no-normalize] [--mc] [--confidence]
 //                          [--threads N] [--out curve.csv]
 //
-// --threads N runs the analysis on N worker threads (0 = all hardware
-// threads, 1 = serial); results are byte-identical for every value. Also
-// accepted by slices, summary, screen, and alpha.
+// --threads N runs the analysis — and the parallel file ingest — on N worker
+// threads (0 = all hardware threads, 1 = serial); results are byte-identical
+// for every value. Also accepted by slices, summary, screen, locality,
+// alpha, and replay.
 //   autosens_cli slices    --in telemetry.csv --by action|class|quartile|
 //                          period|month|dayclass [--action A] [--class C]
 //   autosens_cli summary   --in telemetry.csv [--action A] [--class C]
@@ -178,20 +179,28 @@ void finish_observability(const cli::Args& args) {
   if (args.has("stats")) print_stats(std::cerr);
 }
 
-telemetry::Dataset load(const std::string& path) {
+/// --threads also drives the parallel ingest engine, so one flag controls
+/// both the parse and the analysis thread counts.
+telemetry::IngestOptions ingest_options_from_flags(const cli::Args& args) {
+  telemetry::IngestOptions options;
+  options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  return options;
+}
+
+telemetry::Dataset load(const std::string& path, const telemetry::IngestOptions& ingest = {}) {
   obs::Span span("load");
   span.attr("path", path);
   telemetry::Dataset dataset;
   if (path.ends_with(".bin")) {
-    dataset = telemetry::read_binlog_file(path);
+    dataset = telemetry::read_binlog_file(path, ingest);
   } else if (path.ends_with(".jsonl")) {
-    auto read = telemetry::read_jsonl_file(path);
+    auto read = telemetry::read_jsonl_file(path, ingest);
     for (const auto& error : read.errors) {
       obs::log_info("load.parse_error", {{"line", error.line}, {"message", error.message}});
     }
     dataset = std::move(read.dataset);
   } else {
-    auto read = telemetry::read_csv_file(path);
+    auto read = telemetry::read_csv_file(path, ingest);
     for (const auto& error : read.errors) {
       obs::log_info("load.parse_error", {{"line", error.line}, {"message", error.message}});
     }
@@ -201,8 +210,9 @@ telemetry::Dataset load(const std::string& path) {
   return dataset;
 }
 
-telemetry::ValidatedDataset load_scrubbed(const std::string& path) {
-  auto loaded = load(path);
+telemetry::ValidatedDataset load_scrubbed(const std::string& path,
+                                          const telemetry::IngestOptions& ingest = {}) {
+  auto loaded = load(path, ingest);
   obs::Span span("validate");
   auto validated = telemetry::validate(loaded);
   span.attr("kept", static_cast<std::int64_t>(validated.report.kept));
@@ -302,7 +312,7 @@ int cmd_analyze(const cli::Args& args) {
   args.allow_only(with_obs({"in", "action", "class", "ref", "bin", "max-latency",
                             "no-normalize", "mc", "confidence", "replicates", "threads",
                             "out"}));
-  const auto validated = load_scrubbed(args.require("in"));
+  const auto validated = load_scrubbed(args.require("in"), ingest_options_from_flags(args));
   const auto& dataset = validated.dataset;
   const auto slice = apply_slice_flags(dataset, args);
   obs::log_debug("analyze.slice", {{"records", slice.size()}});
@@ -354,7 +364,7 @@ int cmd_analyze(const cli::Args& args) {
 int cmd_slices(const cli::Args& args) {
   args.allow_only(with_obs({"in", "by", "action", "class", "ref", "bin", "max-latency",
                             "no-normalize", "mc", "threads", "out"}));
-  const auto dataset = load_scrubbed(args.require("in")).dataset;
+  const auto dataset = load_scrubbed(args.require("in"), ingest_options_from_flags(args)).dataset;
   const std::string by = args.require("by");
   const auto options = options_from_flags(args);
 
@@ -430,7 +440,7 @@ int cmd_slices(const cli::Args& args) {
 int cmd_summary(const cli::Args& args) {
   args.allow_only(with_obs({"in", "action", "class", "ref", "bin", "max-latency",
                             "no-normalize", "mc", "threads"}));
-  const auto dataset = load_scrubbed(args.require("in")).dataset;
+  const auto dataset = load_scrubbed(args.require("in"), ingest_options_from_flags(args)).dataset;
   const auto slice = apply_slice_flags(dataset, args);
   const auto options = options_from_flags(args);
   const auto result = core::analyze(slice, options);
@@ -454,7 +464,7 @@ int cmd_summary(const cli::Args& args) {
 int cmd_screen(const cli::Args& args) {
   args.allow_only(
       with_obs({"in", "action", "class", "ref", "bin", "max-latency", "mc", "threads"}));
-  const auto dataset = load_scrubbed(args.require("in")).dataset;
+  const auto dataset = load_scrubbed(args.require("in"), ingest_options_from_flags(args)).dataset;
   const auto slice = apply_slice_flags(dataset, args);
   const auto report = core::screen(slice, options_from_flags(args));
   report::Table table({"metric", "value"});
@@ -467,8 +477,8 @@ int cmd_screen(const cli::Args& args) {
 }
 
 int cmd_locality(const cli::Args& args) {
-  args.allow_only(with_obs({"in", "action", "class", "window-min"}));
-  const auto dataset = load_scrubbed(args.require("in")).dataset;
+  args.allow_only(with_obs({"in", "action", "class", "window-min", "threads"}));
+  const auto dataset = load_scrubbed(args.require("in"), ingest_options_from_flags(args)).dataset;
   const auto slice = apply_slice_flags(dataset, args);
   stats::Random random(7);
   core::LocalityOptions options;
@@ -489,7 +499,7 @@ int cmd_locality(const cli::Args& args) {
 
 int cmd_alpha(const cli::Args& args) {
   args.allow_only(with_obs({"in", "action", "class", "threads"}));
-  const auto dataset = load_scrubbed(args.require("in")).dataset;
+  const auto dataset = load_scrubbed(args.require("in"), ingest_options_from_flags(args)).dataset;
   const auto slice = apply_slice_flags(dataset, args);
   core::AutoSensOptions options;
   options.threads = static_cast<std::size_t>(args.get_int("threads", 0));
@@ -532,12 +542,12 @@ int cmd_collect(const cli::Args& args) {
 }
 
 int cmd_replay(const cli::Args& args) {
-  args.allow_only(with_obs({"in", "port", "batch"}));
-  const auto dataset = load(args.require("in"));
+  args.allow_only(with_obs({"in", "port", "batch", "threads"}));
+  const auto dataset = load(args.require("in"), ingest_options_from_flags(args));
   net::Emitter emitter(
       static_cast<std::uint16_t>(args.get_int("port", 0)),
       {.batch_size = static_cast<std::size_t>(args.get_int("batch", 1024))});
-  for (const auto& record : dataset.records()) emitter.record(record);
+  for (std::size_t i = 0; i < dataset.size(); ++i) emitter.record(dataset[i]);
   emitter.close();
   std::cout << "replayed " << emitter.sent_records() << " records in "
             << emitter.sent_frames() << " frames\n";

@@ -1,14 +1,15 @@
 # CTest driver for the opt-in benchmark regression gate (AUTOSENS_BENCH_GATE).
-# Reruns the columnar data-plane kernels and diffs them against the committed
-# baseline with tools/check_bench_regression.py.
+# Reruns one benchmark suite and diffs it against its committed baseline with
+# tools/check_bench_regression.py.
 #
-# Expects: BENCH_BIN, BASELINE, CHECKER, PYTHON, WORK_DIR.
+# Expects: BENCH_BIN, BASELINE, CHECKER, PYTHON, WORK_DIR, GATE_NAME,
+#          FILTER (benchmark_filter regex), KERNELS (;-list of BM_ names).
 
-set(current_json "${WORK_DIR}/bench_gate_current.json")
+set(current_json "${WORK_DIR}/bench_gate_${GATE_NAME}_current.json")
 
 execute_process(
   COMMAND "${BENCH_BIN}"
-          "--benchmark_filter=DatasetColumns|DayBlockResample|ConfidenceReplicates"
+          "--benchmark_filter=${FILTER}"
           "--benchmark_format=json"
           "--benchmark_out_format=json"
           "--benchmark_out=${current_json}"
@@ -18,12 +19,15 @@ if(NOT bench_result EQUAL 0)
   message(FATAL_ERROR "bench gate: micro_kernels failed (${bench_result})")
 endif()
 
+set(kernel_flags "")
+foreach(kernel IN LISTS KERNELS)
+  list(APPEND kernel_flags --kernel "${kernel}")
+endforeach()
+
 execute_process(
   COMMAND "${PYTHON}" "${CHECKER}" "${BASELINE}" "${current_json}"
           --threshold 0.15
-          --kernel BM_DatasetColumns
-          --kernel BM_DayBlockResample
-          --kernel BM_ConfidenceReplicates
+          ${kernel_flags}
   RESULT_VARIABLE check_result)
 if(NOT check_result EQUAL 0)
   message(FATAL_ERROR "bench gate: regression check failed (${check_result})")

@@ -6,6 +6,9 @@
 #   BENCH_columnar.json — columnar data-plane kernels (column access, the
 #                         index-view day-block bootstrap, the confidence
 #                         replicate loop)
+#   BENCH_ingest.json   — the parallel zero-copy ingest engine (chunked
+#                         CSV/JSONL parse and the ASL2 columnar binlog load
+#                         vs the seed getline / ASL1-row paths)
 #
 # The script configures and builds its own Release tree (default:
 # <repo>/build-bench) instead of reusing the dev build — benchmark numbers
@@ -13,6 +16,7 @@
 # recorded "library_build_type": "debug" for exactly that reason.
 #
 # Usage: tools/run_bench.sh [build-dir] [parallel-out] [obs-out] [columnar-out]
+#        [ingest-out]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,6 +24,7 @@ BUILD="${1:-$ROOT/build-bench}"
 OUT="${2:-$ROOT/BENCH_parallel.json}"
 OBS_OUT="${3:-$ROOT/BENCH_obs.json}"
 COLUMNAR_OUT="${4:-$ROOT/BENCH_columnar.json}"
+INGEST_OUT="${5:-$ROOT/BENCH_ingest.json}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target micro_kernels -j "$(nproc)" >/dev/null
@@ -51,6 +56,9 @@ run_filter 'ObsAnalyzeOverhead' "$OBS_OUT"
 # The prechange_* context entries freeze the pre-columnar Release baseline
 # (AoS dataset, copying resample) measured on the same fig3-scale dataset,
 # so the before/after story travels with the JSON.
+# Arg(0) rows are the seed paths (getline / serial ASL1 decode), so the
+# before/after ratio is computable from the JSON alone.
+run_filter 'Ingest' "$INGEST_OUT"
 run_filter 'DatasetColumns|DayBlockResample|ConfidenceReplicates' "$COLUMNAR_OUT" \
   --benchmark_context=prechange_analyze_once_ms=64.9 \
   --benchmark_context=prechange_day_block_resample_ms_per_rep=29.43 \
