@@ -218,7 +218,11 @@ std::vector<ActionRecord> decode_batch(std::span<const std::uint8_t> payload) {
     throw std::runtime_error("decode_batch: truncated count");
   }
   std::vector<ActionRecord> records;
-  records.reserve(count);
+  // `count` is attacker-controlled; every record needs >= 6 payload bytes
+  // (three varints + three enum bytes), so clamp the reserve to that bound
+  // rather than letting a bogus huge count throw bad_alloc instead of the
+  // documented runtime_error from the per-record truncation check below.
+  records.reserve(std::min<std::uint64_t>(count, payload.size() / 6));
   std::int64_t prev_time = 0;
   std::uint64_t prev_user = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -340,7 +344,12 @@ Dataset read_binlog_v2(std::span<const std::uint8_t> data,
     if (!codec::get_varint(payload, offset, count)) {
       throw std::runtime_error("read_binlog: truncated record count");
     }
-    if (payload.size() - offset != count * kV2RecordBytes) {
+    // Validate by division, not multiplication: `count * kV2RecordBytes` can
+    // wrap uint64 for attacker-chosen counts and pass an equality check while
+    // the real block is tiny. With this form count is bounded by
+    // payload.size() / kV2RecordBytes, so the running total cannot wrap either.
+    const std::size_t block_bytes = payload.size() - offset;
+    if (block_bytes % kV2RecordBytes != 0 || count != block_bytes / kV2RecordBytes) {
       throw std::runtime_error("read_binlog: frame size does not match record count");
     }
     plans[i] = {offset, static_cast<std::size_t>(count), total};
@@ -360,6 +369,9 @@ Dataset read_binlog_v2(std::span<const std::uint8_t> data,
       throw std::runtime_error("read_binlog: crc mismatch");
     }
     const FramePlan& plan = plans[i];
+    // Empty frames have nothing to copy; also keeps memcpy away from the
+    // nullptr data() of all-empty column vectors (UB even with length 0).
+    if (plan.count == 0) return;
     const std::uint8_t* p = payload.data() + plan.blocks_offset;
     std::memcpy(times.data() + plan.dest, p, plan.count * sizeof(std::int64_t));
     p += plan.count * sizeof(std::int64_t);

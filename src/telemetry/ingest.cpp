@@ -96,7 +96,8 @@ MappedFile MappedFile::map(const std::string& path) {
   }
   struct stat info {};
   if (::fstat(guard.fd, &info) != 0) {
-    throw std::runtime_error("MappedFile::map: fstat failed for " + path);
+    throw std::runtime_error("MappedFile::map: fstat failed for " + path + ": " +
+                             std::strerror(errno));
   }
 
   MappedFile file;

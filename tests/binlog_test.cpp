@@ -204,6 +204,71 @@ TEST(BinlogTest, TruncatedFileThrows) {
   EXPECT_THROW(read_binlog(in), std::runtime_error);
 }
 
+TEST(CodecTest, DecodeRejectsHugeClaimedCount) {
+  // A tiny payload claiming 2^60 records must fail the per-record truncation
+  // check (runtime_error), not die in reserve() with bad_alloc/length_error.
+  std::vector<std::uint8_t> payload;
+  codec::put_varint(payload, std::uint64_t{1} << 60);
+  EXPECT_THROW(codec::decode_batch(payload), std::runtime_error);
+}
+
+namespace {
+
+/// Assembles one ASL2 envelope frame (length + payload + CRC) from raw bytes.
+std::string frame_bytes(const std::vector<std::uint8_t>& payload) {
+  std::string out;
+  const auto put_u32 = [&out](std::uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      out.push_back(static_cast<char>((v >> shift) & 0xff));
+    }
+  };
+  put_u32(static_cast<std::uint32_t>(payload.size()));
+  out.append(payload.begin(), payload.end());
+  put_u32(codec::crc32(payload));
+  return out;
+}
+
+}  // namespace
+
+TEST(BinlogTest, RejectsOverflowingV2RecordCount) {
+  // Because 27 (the fixed bytes-per-record) is odd, it is invertible mod
+  // 2^64: for any payload remainder L there is a huge count whose product
+  // `count * 27` wraps to exactly L. A multiplication-based size check
+  // accepts such frames and the loader then reads ~1e18 records out of
+  // bounds. Craft the two-frame variant of that attack (counts summing to
+  // 2 mod 2^64, so even the total looks sane) and require a clean throw.
+  std::uint64_t inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - 27 * inv;  // Newton: 27^{-1} mod 2^64
+  ASSERT_EQ(inv * 27, 1u);
+
+  std::vector<std::uint8_t> payload1;
+  codec::put_varint(payload1, inv);  // inv * 27 == 1 (mod 2^64)
+  payload1.push_back(0);             // 1 byte of "records"
+
+  const std::uint64_t count2 = 2 - inv;  // count2 * 27 == 53 (mod 2^64)
+  std::vector<std::uint8_t> payload2;
+  codec::put_varint(payload2, count2);
+  payload2.insert(payload2.end(), 53, 0);
+
+  std::string bytes = "ASL2";
+  bytes += frame_bytes(payload1);
+  bytes += frame_bytes(payload2);
+  std::istringstream in(bytes);
+  EXPECT_THROW(read_binlog(in), std::runtime_error);
+}
+
+TEST(BinlogTest, V2EmptyFramesProduceEmptyDataset) {
+  // write_binlog never emits count-0 frames, but the format allows them;
+  // reading them must not touch the (possibly nullptr) column buffers.
+  std::vector<std::uint8_t> empty_payload;
+  codec::put_varint(empty_payload, 0);
+  std::string bytes = "ASL2";
+  bytes += frame_bytes(empty_payload);
+  bytes += frame_bytes(empty_payload);
+  std::istringstream in(bytes);
+  EXPECT_TRUE(read_binlog(in).empty());
+}
+
 TEST(BinlogTest, FileRoundtrip) {
   const auto dataset = random_dataset(300, 7);
   const std::string path = ::testing::TempDir() + "/autosens_binlog_test.bin";
