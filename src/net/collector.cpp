@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -14,6 +15,12 @@
 
 namespace autosens::net {
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t ms_between(Clock::time_point earlier, Clock::time_point later) noexcept {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(later - earlier).count();
+}
 
 /// Global registry mirrors of the per-instance collector counters, so a
 /// process-wide metrics snapshot sees the ingest path without holding a
@@ -35,6 +42,30 @@ struct CollectorMetrics {
   obs::Counter& backpressure = obs::registry().counter(
       "autosens_collector_backpressure_reads_total",
       "recv() calls that filled the whole buffer (ingest running behind)");
+  obs::Counter& resyncs = obs::registry().counter(
+      "autosens_net_resyncs_total",
+      "Damaged byte runs scanned past to the next valid frame");
+  obs::Counter& resync_bytes = obs::registry().counter(
+      "autosens_net_resync_bytes_total", "Garbage bytes discarded by frame resync");
+  obs::Counter& duplicates = obs::registry().counter(
+      "autosens_net_duplicate_frames_total",
+      "Retransmitted frames dropped by (session, seq) dedup");
+  obs::Counter& sessions = obs::registry().counter(
+      "autosens_collector_sessions_total", "Distinct emitter sessions seen");
+  obs::Counter& session_reconnects = obs::registry().counter(
+      "autosens_collector_session_reconnects_total",
+      "Hello frames for an already-known session (emitter reconnects)");
+  obs::Counter& deadline_drops = obs::registry().counter(
+      "autosens_net_deadline_drops_total",
+      "Connections dropped by the per-connection read deadline");
+  obs::Counter& interrupted = obs::registry().counter(
+      "autosens_collector_interrupted_connections_total",
+      "Session connections that ended without a goodbye (retry artifacts "
+      "or emitters that died)");
+  obs::Gauge& idle_timeout_outcome = obs::registry().gauge(
+      "autosens_collector_idle_timeout_outcome",
+      "1 when the last serve loop ended on idle timeout, 0 when all "
+      "goodbyes arrived");
 };
 
 CollectorMetrics& collector_metrics() {
@@ -47,11 +78,18 @@ CollectorMetrics& collector_metrics() {
 struct Collector::Connection {
   Socket socket;
   FrameDecoder decoder;
+  std::uint64_t session_id = 0;  ///< 0 until (unless) a hello arrives.
   bool saw_goodbye = false;
+  bool received_bytes = false;
+  bool malformed = false;  ///< Drop decided inside drain_frames.
+  std::size_t reported_resyncs = 0;
+  std::size_t reported_skipped = 0;
+  Clock::time_point last_activity;
 };
 
-Collector::Collector(std::uint16_t port) {
-  listener_ = listen_tcp(port, port_);
+Collector::Collector(const CollectorOptions& options)
+    : options_(options), ops_(options.ops) {
+  listener_ = listen_tcp(options.port, port_);
   obs::log_debug("collector.listen", {{"port", port_}});
 }
 
@@ -64,6 +102,14 @@ CollectorStats Collector::stats() const noexcept {
       .dropped_connections = static_cast<std::size_t>(stats_.dropped_connections.get()),
       .bytes = static_cast<std::size_t>(stats_.bytes.get()),
       .backpressure_reads = static_cast<std::size_t>(stats_.backpressure_reads.get()),
+      .resyncs = static_cast<std::size_t>(stats_.resyncs.get()),
+      .resync_bytes = static_cast<std::size_t>(stats_.resync_bytes.get()),
+      .duplicate_frames = static_cast<std::size_t>(stats_.duplicate_frames.get()),
+      .sessions = static_cast<std::size_t>(stats_.sessions.get()),
+      .session_reconnects = static_cast<std::size_t>(stats_.session_reconnects.get()),
+      .deadline_drops = static_cast<std::size_t>(stats_.deadline_drops.get()),
+      .interrupted_connections =
+          static_cast<std::size_t>(stats_.interrupted_connections.get()),
   };
 }
 
@@ -72,12 +118,64 @@ std::size_t Collector::drain_frames(Connection& connection) {
   while (auto frame = connection.decoder.next()) {
     stats_.frames.add();
     collector_metrics().frames.inc();
+
+    if (frame->type == FrameType::kHello) {
+      const auto id = parse_hello(frame->payload);
+      if (!id || *id == 0) {
+        obs::log_info("collector.drop_connection", {{"reason", "bad_hello"}});
+        connection.malformed = true;
+        return goodbyes;
+      }
+      connection.session_id = *id;
+      auto& session = sessions_[*id];
+      ++session.connections_seen;
+      if (session.connections_seen == 1) {
+        stats_.sessions.add();
+        collector_metrics().sessions.inc();
+      } else {
+        stats_.session_reconnects.add();
+        collector_metrics().session_reconnects.inc();
+        if (session.connections_seen > options_.max_session_reconnects + 1) {
+          obs::log_info("collector.drop_connection",
+                        {{"reason", "reconnect_budget"}, {"session", *id}});
+          connection.malformed = true;
+          return goodbyes;
+        }
+        obs::log_debug("collector.session_reconnect",
+                       {{"session", *id}, {"count", session.connections_seen - 1}});
+      }
+      continue;
+    }
+
+    Session* session =
+        connection.session_id != 0 ? &sessions_[connection.session_id] : nullptr;
+    if (session != nullptr && frame->seq != 0) {
+      if (frame->seq <= session->last_seq) {
+        // A retransmission of a frame that did arrive the first time: the
+        // emitter could not know, the dedup is what makes its retry safe.
+        stats_.duplicate_frames.add();
+        collector_metrics().duplicates.inc();
+        if (frame->type == FrameType::kGoodbye) connection.saw_goodbye = true;
+        continue;
+      }
+      session->last_seq = frame->seq;
+    }
+
     switch (frame->type) {
       case FrameType::kData: {
-        const auto records = telemetry::codec::decode_batch(frame->payload);
-        stats_.records.add(records.size());
-        collector_metrics().records.inc(records.size());
-        for (const auto& r : records) dataset_.add(r);
+        try {
+          const auto records = telemetry::codec::decode_batch(frame->payload);
+          stats_.records.add(records.size());
+          collector_metrics().records.inc(records.size());
+          for (const auto& r : records) dataset_.add(r);
+        } catch (const std::runtime_error& error) {
+          // CRC-valid but undecodable payload: a sender bug, not line
+          // noise. Resync cannot help; drop the connection.
+          obs::log_info("collector.drop_connection",
+                        {{"reason", "bad_payload"}, {"error", error.what()}});
+          connection.malformed = true;
+          return goodbyes;
+        }
         break;
       }
       case FrameType::kFlush:
@@ -86,18 +184,95 @@ std::size_t Collector::drain_frames(Connection& connection) {
         break;
       case FrameType::kGoodbye:
         connection.saw_goodbye = true;
-        ++goodbyes;
+        if (session != nullptr) {
+          if (!session->said_goodbye) {
+            session->said_goodbye = true;
+            ++goodbyes;
+          }
+        } else {
+          ++goodbyes;
+        }
         break;
+      case FrameType::kHello:
+        break;  // handled above
     }
+  }
+
+  // Resync accounting: export the decoder's deltas and enforce the garbage
+  // budget — a peer streaming pure noise is cut off, not buffered forever.
+  const std::size_t resyncs = connection.decoder.resyncs();
+  if (resyncs > connection.reported_resyncs) {
+    const auto delta = resyncs - connection.reported_resyncs;
+    stats_.resyncs.add(delta);
+    collector_metrics().resyncs.inc(delta);
+    connection.reported_resyncs = resyncs;
+  }
+  const std::size_t skipped = connection.decoder.skipped_bytes();
+  if (skipped > connection.reported_skipped) {
+    const auto delta = skipped - connection.reported_skipped;
+    stats_.resync_bytes.add(delta);
+    collector_metrics().resync_bytes.inc(delta);
+    connection.reported_skipped = skipped;
+  }
+  if (skipped > options_.max_resync_bytes) {
+    obs::log_info("collector.drop_connection",
+                  {{"reason", "resync_budget"}, {"skipped_bytes", skipped}});
+    connection.malformed = true;
   }
   return goodbyes;
 }
 
 bool Collector::serve_until_goodbye(std::size_t expected_goodbyes, int timeout_ms) {
+  SocketOps& ops = ops_ != nullptr ? *ops_ : real_socket_ops();
   std::vector<Connection> connections;
   std::size_t goodbyes = 0;
+  auto last_any_activity = Clock::now();
+  collector_metrics().idle_timeout_outcome.set(0.0);
 
   while (goodbyes < expected_goodbyes) {
+    const auto now = Clock::now();
+
+    // Per-connection read deadlines run off the poll clock: a connection
+    // silent past the deadline is cut so one stalled emitter cannot hold
+    // the collection open forever.
+    if (options_.read_deadline_ms >= 0) {
+      for (std::size_t i = connections.size(); i-- > 0;) {
+        if (ms_between(connections[i].last_activity, now) >= options_.read_deadline_ms) {
+          stats_.deadline_drops.add();
+          collector_metrics().deadline_drops.inc();
+          stats_.dropped_connections.add();
+          collector_metrics().drops.inc();
+          obs::log_info("collector.drop_connection",
+                        {{"reason", "read_deadline"},
+                         {"session", connections[i].session_id},
+                         {"deadline_ms", options_.read_deadline_ms}});
+          connections.erase(connections.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+      }
+    }
+
+    int poll_timeout = timeout_ms;
+    if (timeout_ms >= 0) {
+      const std::int64_t idle_ms = ms_between(last_any_activity, now);
+      if (idle_ms >= timeout_ms) {
+        collector_metrics().idle_timeout_outcome.set(1.0);
+        obs::log_info("collector.idle_timeout", {{"timeout_ms", timeout_ms},
+                                                 {"goodbyes", goodbyes},
+                                                 {"expected", expected_goodbyes}});
+        return false;  // idle timeout
+      }
+      poll_timeout = static_cast<int>(timeout_ms - idle_ms);
+    }
+    if (options_.read_deadline_ms >= 0 && !connections.empty()) {
+      std::int64_t nearest = options_.read_deadline_ms;
+      for (const auto& connection : connections) {
+        nearest = std::min(
+            nearest, options_.read_deadline_ms - ms_between(connection.last_activity, now));
+      }
+      const int wake = static_cast<int>(std::max<std::int64_t>(nearest, 1));
+      poll_timeout = poll_timeout < 0 ? wake : std::min(poll_timeout, wake);
+    }
+
     std::vector<pollfd> fds;
     fds.reserve(connections.size() + 1);
     fds.push_back({.fd = listener_.fd(), .events = POLLIN, .revents = 0});
@@ -105,22 +280,22 @@ bool Collector::serve_until_goodbye(std::size_t expected_goodbyes, int timeout_m
       fds.push_back({.fd = connection.socket.fd(), .events = POLLIN, .revents = 0});
     }
 
-    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    const int ready = ::poll(fds.data(), fds.size(), poll_timeout);
     if (ready < 0) {
       if (errno == EINTR) continue;
       throw SocketError("poll()", errno);
     }
-    if (ready == 0) {
-      obs::log_debug("collector.idle_timeout", {{"timeout_ms", timeout_ms},
-                                                {"goodbyes", goodbyes}});
-      return false;  // idle timeout
-    }
+    if (ready == 0) continue;  // re-evaluate deadlines and the idle timer
+    last_any_activity = Clock::now();
 
     // New connection?
     if (fds[0].revents & POLLIN) {
       const int fd = ::accept(listener_.fd(), nullptr, nullptr);
       if (fd >= 0) {
-        connections.push_back({Socket(fd), FrameDecoder{}, false});
+        Connection connection;
+        connection.socket = Socket(fd);
+        connection.last_activity = last_any_activity;
+        connections.push_back(std::move(connection));
         stats_.connections.add();
         collector_metrics().connections.inc();
         obs::log_debug("collector.accept", {{"fd", fd}});
@@ -137,7 +312,8 @@ bool Collector::serve_until_goodbye(std::size_t expected_goodbyes, int timeout_m
       if (!(fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) continue;
       auto& connection = connections[i];
       std::array<std::uint8_t, 16384> buffer;
-      const ssize_t n = ::recv(connection.socket.fd(), buffer.data(), buffer.size(), 0);
+      const std::int64_t n =
+          ops.recv(connection.socket.fd(), buffer.data(), buffer.size());
       if (n > 0) {
         stats_.bytes.add(static_cast<std::uint64_t>(n));
         collector_metrics().bytes.inc(static_cast<std::uint64_t>(n));
@@ -147,29 +323,47 @@ bool Collector::serve_until_goodbye(std::size_t expected_goodbyes, int timeout_m
           stats_.backpressure_reads.add();
           collector_metrics().backpressure.inc();
         }
+        connection.received_bytes = true;
+        connection.last_activity = last_any_activity;
         connection.decoder.feed(
             std::span<const std::uint8_t>(buffer.data(), static_cast<std::size_t>(n)));
-        try {
-          goodbyes += drain_frames(connection);
-        } catch (const std::runtime_error& error) {
-          // Malformed stream: drop the connection, keep decoded records.
+        goodbyes += drain_frames(connection);
+        if (connection.malformed) {
           stats_.dropped_connections.add();
           collector_metrics().drops.inc();
-          obs::log_info("collector.drop_connection",
-                        {{"reason", "malformed"}, {"error", error.what()}});
           to_close.push_back(i);
-          continue;
+        } else if (connection.saw_goodbye) {
+          to_close.push_back(i);
         }
-        if (connection.saw_goodbye) to_close.push_back(i);
-      } else if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN)) {
-        // Peer closed (with or without goodbye) or hard error.
-        if (n < 0) {
-          stats_.dropped_connections.add();
-          collector_metrics().drops.inc();
-          obs::log_info("collector.drop_connection",
-                        {{"reason", "transport"}, {"errno", errno}});
+      } else if (n == 0) {
+        // Peer closed. Clean after a goodbye; a session that vanishes
+        // without one may yet resume on a reconnect (counted interrupted);
+        // a sessionless stream that sent bytes but never finished a
+        // goodbye is a protocol failure.
+        if (!connection.saw_goodbye) {
+          if (connection.session_id != 0 &&
+              !sessions_[connection.session_id].said_goodbye) {
+            stats_.interrupted_connections.add();
+            collector_metrics().interrupted.inc();
+            obs::log_debug("collector.interrupted",
+                           {{"session", connection.session_id},
+                            {"pending_bytes", connection.decoder.pending_bytes()}});
+          } else if (connection.session_id == 0 && connection.received_bytes) {
+            stats_.dropped_connections.add();
+            collector_metrics().drops.inc();
+            obs::log_info("collector.drop_connection", {{"reason", "no_goodbye"}});
+          }
         }
         to_close.push_back(i);
+      } else {
+        const int err = static_cast<int>(-n);
+        if (err != EINTR && err != EAGAIN && err != EWOULDBLOCK) {
+          stats_.dropped_connections.add();
+          collector_metrics().drops.inc();
+          obs::log_info("collector.drop_connection",
+                        {{"reason", "transport"}, {"errno", err}});
+          to_close.push_back(i);
+        }
       }
     }
     // Close back-to-front so indices stay valid.
@@ -185,10 +379,20 @@ telemetry::Dataset Collector::take_dataset() {
   return std::exchange(dataset_, telemetry::Dataset{});
 }
 
-CollectorThread::CollectorThread(std::size_t expected_goodbyes, std::uint16_t port)
-    : collector_(port), port_(collector_.port()) {
-  thread_ = std::thread([this, expected_goodbyes] {
-    collector_.serve_until_goodbye(expected_goodbyes, /*timeout_ms=*/30'000);
+std::size_t Collector::checkpoint(const std::string& path) const {
+  telemetry::Dataset copy = dataset_;
+  copy.sort_by_time();
+  telemetry::write_binlog_file(path, copy);
+  obs::log_info("collector.checkpoint", {{"path", path}, {"records", copy.size()}});
+  return copy.size();
+}
+
+CollectorThread::CollectorThread(std::size_t expected_goodbyes,
+                                 const CollectorOptions& options, int timeout_ms)
+    : collector_(options), port_(collector_.port()) {
+  thread_ = std::thread([this, expected_goodbyes, timeout_ms] {
+    const bool complete = collector_.serve_until_goodbye(expected_goodbyes, timeout_ms);
+    complete_.store(complete, std::memory_order_release);
     done_.store(true, std::memory_order_release);
   });
 }

@@ -3,12 +3,23 @@
 // accumulates them into a Dataset (the analysis input). Single-threaded,
 // poll()-driven; runs either inline (serve_until_goodbye) or on a background
 // thread via CollectorThread.
+//
+// Resilience: per-connection errors never kill the serve loop. Damaged
+// bytes are scanned past to the next valid frame (FrameDecoder resync,
+// bounded by max_resync_bytes); retransmitted frames are dropped by
+// (session, seq) so emitter retries stay exactly-once; reconnects of the
+// same session are folded into one logical stream (with bounded
+// accounting); silent connections can be cut by a per-connection read
+// deadline; and an idle timeout ends the loop with the partial Dataset
+// intact plus counters that say exactly what was lost on the way.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "net/socket.h"
@@ -28,6 +39,26 @@ struct CollectorStats {
   std::size_t dropped_connections = 0;  ///< Closed on protocol/transport error.
   std::size_t bytes = 0;                ///< Payload bytes received.
   std::size_t backpressure_reads = 0;   ///< recv() filled the whole buffer.
+  std::size_t resyncs = 0;              ///< Damaged runs scanned past.
+  std::size_t resync_bytes = 0;         ///< Garbage bytes discarded by resync.
+  std::size_t duplicate_frames = 0;     ///< Retransmissions deduped by seq.
+  std::size_t sessions = 0;             ///< Distinct hello session ids seen.
+  std::size_t session_reconnects = 0;   ///< Hellos for an already-seen session.
+  std::size_t deadline_drops = 0;       ///< Connections cut by read deadline.
+  std::size_t interrupted_connections = 0;  ///< Session EOF without goodbye.
+};
+
+/// Collector configuration beyond the bind port; all defaults reproduce the
+/// permissive seed-era behaviour.
+struct CollectorOptions {
+  std::uint16_t port = 0;     ///< 0 = ephemeral.
+  int read_deadline_ms = -1;  ///< Drop a connection silent this long (-1 = never).
+  /// Drop a connection once resync has discarded this much garbage.
+  std::size_t max_resync_bytes = 1 << 20;
+  /// Reconnect budget per session; beyond it new hellos are refused.
+  std::size_t max_session_reconnects = 1024;
+  /// Syscall surface for reads; nullptr = real syscalls (fault injection).
+  SocketOps* ops = nullptr;
 };
 
 /// Synchronous collector over an already-listening socket. Serves any number
@@ -37,25 +68,38 @@ struct CollectorStats {
 class Collector {
  public:
   /// Binds 127.0.0.1:port (0 = ephemeral).
-  explicit Collector(std::uint16_t port = 0);
+  explicit Collector(std::uint16_t port = 0) : Collector(CollectorOptions{.port = port}) {}
+  explicit Collector(const CollectorOptions& options);
 
   std::uint16_t port() const noexcept { return port_; }
 
-  /// Serve until `expected_goodbyes` clients have sent kGoodbye, or until
-  /// `timeout_ms` elapses with no socket activity at all (whichever first).
-  /// Returns true if all goodbyes arrived. Malformed or error-ing
-  /// connections are dropped (their already-decoded records are kept) and
-  /// counted in stats().dropped_connections.
+  /// Serve until `expected_goodbyes` sessions (or sessionless connections)
+  /// have sent kGoodbye, or until `timeout_ms` elapses with no socket
+  /// activity at all (whichever first). Returns true if all goodbyes
+  /// arrived. Malformed or error-ing connections are dropped (their
+  /// already-decoded records are kept) and counted in
+  /// stats().dropped_connections; the idle-timeout outcome is exported as
+  /// the autosens_collector_idle_timeout_outcome gauge.
   bool serve_until_goodbye(std::size_t expected_goodbyes, int timeout_ms = 5000);
 
   const telemetry::Dataset& dataset() const noexcept { return dataset_; }
   telemetry::Dataset take_dataset();
+  /// Graceful degradation: persist a time-sorted copy of whatever has been
+  /// collected so far as a binary log (without consuming the dataset).
+  /// Returns the number of records written.
+  std::size_t checkpoint(const std::string& path) const;
   /// Snapshot of the counters. Safe concurrently with the serving thread:
   /// every cell is an ungated relaxed atomic (obs::RawCounter).
   CollectorStats stats() const noexcept;
 
  private:
   struct Connection;
+  /// Per-session state, stable across that session's reconnects.
+  struct Session {
+    std::uint32_t last_seq = 0;  ///< Highest frame seq applied.
+    bool said_goodbye = false;
+    std::size_t connections_seen = 0;
+  };
 
   /// The live counters behind stats(). RawCounter (not registry Counter):
   /// these are functional collector state, counted even when the obs layer
@@ -68,22 +112,37 @@ class Collector {
     obs::RawCounter dropped_connections;
     obs::RawCounter bytes;
     obs::RawCounter backpressure_reads;
+    obs::RawCounter resyncs;
+    obs::RawCounter resync_bytes;
+    obs::RawCounter duplicate_frames;
+    obs::RawCounter sessions;
+    obs::RawCounter session_reconnects;
+    obs::RawCounter deadline_drops;
+    obs::RawCounter interrupted_connections;
   };
 
   /// Drain complete frames from one connection; returns the number of
-  /// goodbye frames seen (0 or 1).
+  /// newly-credited goodbye frames (0 or 1). Sets connection.malformed
+  /// when the stream must be dropped (undecodable payload, resync budget
+  /// exhausted, reconnect budget exhausted).
   std::size_t drain_frames(Connection& connection);
 
   Socket listener_;
   std::uint16_t port_ = 0;
+  CollectorOptions options_;
+  SocketOps* ops_ = nullptr;
   telemetry::Dataset dataset_;
+  std::unordered_map<std::uint64_t, Session> sessions_;
   AtomicStats stats_;
 };
 
 /// Runs a Collector on a background thread; join() returns the dataset.
 class CollectorThread {
  public:
-  explicit CollectorThread(std::size_t expected_goodbyes, std::uint16_t port = 0);
+  explicit CollectorThread(std::size_t expected_goodbyes, std::uint16_t port = 0)
+      : CollectorThread(expected_goodbyes, CollectorOptions{.port = port}) {}
+  CollectorThread(std::size_t expected_goodbyes, const CollectorOptions& options,
+                  int timeout_ms = 30'000);
   ~CollectorThread();
 
   CollectorThread(const CollectorThread&) = delete;
@@ -94,12 +153,16 @@ class CollectorThread {
   /// Wait for the collector to finish and take its dataset + stats.
   telemetry::Dataset join();
   CollectorStats stats() const;
+  /// True when serve_until_goodbye saw every expected goodbye (valid after
+  /// join()).
+  bool complete() const noexcept { return complete_.load(std::memory_order_acquire); }
 
  private:
   Collector collector_;
   std::uint16_t port_;
   std::thread thread_;
   std::atomic<bool> done_{false};
+  std::atomic<bool> complete_{false};
   mutable std::mutex mutex_;
 };
 

@@ -1,29 +1,87 @@
 #include "net/emitter.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <stdexcept>
 
-#include "net/wire.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "stats/rng.h"
+#include "telemetry/binlog.h"
 
 namespace autosens::net {
 namespace {
 
-obs::Counter& emitted_records_counter() {
-  static obs::Counter& counter = obs::registry().counter(
+/// Global registry mirrors of the emitter-side resilience counters, so a
+/// process-wide metrics snapshot sees retry pressure without a handle on
+/// any particular Emitter.
+struct EmitterMetrics {
+  obs::Counter& records = obs::registry().counter(
       "autosens_emitter_records_total", "Records shipped by emitters");
-  return counter;
+  obs::Counter& retries = obs::registry().counter(
+      "autosens_net_retries_total", "Frame send/connect attempts that were retried");
+  obs::Counter& reconnects = obs::registry().counter(
+      "autosens_net_reconnects_total", "Emitter reconnects after a dropped connection");
+  obs::Counter& degraded_drops = obs::registry().counter(
+      "autosens_net_degraded_drops_total",
+      "Records abandoned after retry exhaustion (declared loss)");
+  obs::Gauge& backoff_last = obs::registry().gauge(
+      "autosens_net_backoff_ms", "Most recent retry backoff delay");
+  obs::Gauge& backoff_total = obs::registry().gauge(
+      "autosens_net_backoff_total_ms", "Cumulative retry backoff requested");
+};
+
+EmitterMetrics& emitter_metrics() {
+  static EmitterMetrics handles;
+  return handles;
+}
+
+std::uint64_t derive_session_id() {
+  // Process-unique, deterministic order: mix a monotonic counter so ids are
+  // well-spread and never 0 (0 marks a sessionless legacy sender).
+  static std::atomic<std::uint64_t> next{1};
+  const std::uint64_t id =
+      stats::SplitMix64(0xa575e55'1d5eedULL + next.fetch_add(1)).next();
+  return id != 0 ? id : 1;
 }
 
 }  // namespace
 
 Emitter::Emitter(std::uint16_t port, EmitterOptions options)
-    : socket_(connect_tcp(port)), options_(options) {
+    : ops_(options.ops != nullptr ? *options.ops : real_socket_ops()),
+      port_(port),
+      options_(options),
+      session_id_(options.session_id != 0 ? options.session_id : derive_session_id()),
+      jitter_state_(0) {
   if (options_.batch_size == 0) {
     throw std::invalid_argument("Emitter: batch_size must be nonzero");
   }
   pending_.reserve(options_.batch_size);
-  obs::log_debug("emitter.connect", {{"port", port}, {"batch", options_.batch_size}});
+  // Eager connect under the retry policy, so construction fails fast (or
+  // degrades explicitly) instead of deferring the error to the first batch.
+  const std::size_t attempts = std::max<std::size_t>(1, options_.retry.max_attempts);
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      emitter_metrics().retries.inc();
+      backoff_sleep(attempt - 1);
+    }
+    try {
+      ensure_connected();
+      break;
+    } catch (const SocketError&) {
+      socket_.close();
+      connected_ = false;
+      if (attempt + 1 == attempts && options_.on_give_up == EmitterOptions::GiveUp::kThrow) {
+        throw;
+      }
+    }
+  }
+  obs::log_debug("emitter.connect", {{"port", port},
+                                     {"batch", options_.batch_size},
+                                     {"session", session_id_},
+                                     {"connected", connected_}});
 }
 
 Emitter::~Emitter() {
@@ -35,6 +93,75 @@ Emitter::~Emitter() {
   }
 }
 
+void Emitter::ensure_connected() {
+  if (connected_) return;
+  socket_ = connect_tcp(port_, ops_);
+  // A hello opens every connection: the stable session id is what lets the
+  // collector fold reconnects into one logical stream and dedup resends.
+  write_all(socket_, encode_frame(make_hello(session_id_)), ops_);
+  connected_ = true;
+  if (ever_connected_) {
+    ++stats_.reconnects;
+    emitter_metrics().reconnects.inc();
+    obs::log_debug("emitter.reconnect", {{"session", session_id_}});
+  }
+  ever_connected_ = true;
+}
+
+void Emitter::backoff_sleep(std::size_t attempt) {
+  const auto& retry = options_.retry;
+  double delay = static_cast<double>(retry.backoff_initial_ms) *
+                 std::pow(retry.backoff_multiplier, static_cast<double>(attempt));
+  delay = std::min(delay, static_cast<double>(retry.backoff_max_ms));
+  if (retry.jitter > 0.0) {
+    // Counter-seeded draw: jitter depends on (seed, draw index) only, so a
+    // rerun with the same seed waits the same schedule.
+    stats::Random draw(stats::substream_seed(retry.seed, jitter_state_++));
+    delay *= 1.0 - retry.jitter * draw.uniform();
+  }
+  const auto delay_ms = static_cast<std::uint32_t>(std::lround(std::max(delay, 0.0)));
+  stats_.backoff_ms += delay_ms;
+  emitter_metrics().backoff_last.set(static_cast<double>(delay_ms));
+  emitter_metrics().backoff_total.add(static_cast<double>(delay_ms));
+  ops_.sleep_ms(delay_ms);
+}
+
+bool Emitter::send_frame_with_retry(const Frame& frame, std::size_t record_count) {
+  const auto bytes = encode_frame(frame);
+  const std::size_t attempts = std::max<std::size_t>(1, options_.retry.max_attempts);
+  std::exception_ptr last_error;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      emitter_metrics().retries.inc();
+      backoff_sleep(attempt - 1);
+    }
+    try {
+      ensure_connected();
+      write_all(socket_, bytes, ops_);
+      return true;
+    } catch (const SocketError& error) {
+      last_error = std::current_exception();
+      socket_.close();
+      connected_ = false;
+      obs::log_debug("emitter.send_failed", {{"session", session_id_},
+                                             {"seq", frame.seq},
+                                             {"attempt", attempt + 1},
+                                             {"error", error.what()}});
+    }
+  }
+  if (options_.on_give_up == EmitterOptions::GiveUp::kThrow) {
+    std::rethrow_exception(last_error);
+  }
+  ++stats_.dropped_frames;
+  stats_.dropped_records += record_count;
+  emitter_metrics().degraded_drops.inc(record_count);
+  obs::log_info("emitter.degraded_drop", {{"session", session_id_},
+                                          {"seq", frame.seq},
+                                          {"records", record_count}});
+  return false;
+}
+
 void Emitter::record(const telemetry::ActionRecord& record) {
   if (closed_) throw std::logic_error("Emitter::record: emitter already closed");
   pending_.push_back(record);
@@ -43,29 +170,40 @@ void Emitter::record(const telemetry::ActionRecord& record) {
 
 void Emitter::send_pending() {
   if (pending_.empty()) return;
-  send_records(socket_, pending_);
-  sent_records_ += pending_.size();
-  ++sent_frames_;
-  emitted_records_counter().inc(pending_.size());
+  Frame frame{.type = FrameType::kData,
+              .seq = next_seq_++,
+              .payload = telemetry::codec::encode_batch(pending_)};
+  if (send_frame_with_retry(frame, pending_.size())) {
+    sent_records_ += pending_.size();
+    ++sent_frames_;
+    emitter_metrics().records.inc(pending_.size());
+  }
   pending_.clear();
 }
 
 void Emitter::flush() {
   if (closed_) throw std::logic_error("Emitter::flush: emitter already closed");
   send_pending();
-  send_frame(socket_, Frame{.type = FrameType::kFlush, .payload = {}});
-  ++sent_frames_;
+  if (send_frame_with_retry(
+          Frame{.type = FrameType::kFlush, .seq = next_seq_++, .payload = {}}, 0)) {
+    ++sent_frames_;
+  }
 }
 
 void Emitter::close() {
   if (closed_) return;
   send_pending();
-  send_frame(socket_, Frame{.type = FrameType::kGoodbye, .payload = {}});
-  ++sent_frames_;
+  if (send_frame_with_retry(
+          Frame{.type = FrameType::kGoodbye, .seq = next_seq_++, .payload = {}}, 0)) {
+    ++sent_frames_;
+  }
   closed_ = true;
   socket_.close();
-  obs::log_debug("emitter.close",
-                 {{"records", sent_records_}, {"frames", sent_frames_}});
+  connected_ = false;
+  obs::log_debug("emitter.close", {{"records", sent_records_},
+                                   {"frames", sent_frames_},
+                                   {"retries", stats_.retries},
+                                   {"dropped_records", stats_.dropped_records}});
 }
 
 }  // namespace autosens::net

@@ -1,23 +1,67 @@
 // Telemetry emitter: the "client side" of the measurement path. Buffers
 // ActionRecords and ships them to a Collector in batched frames, mirroring
 // how a web client batches beacons back to the service (§3.1).
+//
+// Resilience: every frame send (and the connect behind it) runs under a
+// deterministic retry policy — exponential backoff with seeded jitter,
+// capped attempts. Each connection opens with a kHello carrying a session
+// id that is stable across reconnects, and every frame carries a sequence
+// number, so a retransmitted frame (sent because the emitter cannot know
+// whether a failed send was delivered) is dropped as a duplicate by the
+// collector rather than double-counted. When attempts are exhausted the
+// emitter either throws (kThrow) or — the graceful-degradation contract —
+// drops the frame, counts every lost record in dropped_records() and the
+// autosens_net_degraded_drops_total counter, and keeps going (kDropFrame).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "net/socket.h"
+#include "net/wire.h"
 #include "telemetry/record.h"
 
 namespace autosens::net {
 
+/// Deterministic retry schedule for connects and sends. Attempt k (0-based)
+/// waits min(backoff_initial_ms * multiplier^k, backoff_max_ms), scaled by
+/// a seeded jitter draw in [1 - jitter, 1]. With max_attempts = 1 every
+/// failure is terminal (the seed-era behaviour).
+struct RetryPolicy {
+  std::size_t max_attempts = 5;
+  std::uint32_t backoff_initial_ms = 1;
+  std::uint32_t backoff_max_ms = 1000;
+  double backoff_multiplier = 2.0;
+  double jitter = 0.5;           ///< Fraction of the delay randomized away.
+  std::uint64_t seed = 0x5eed;   ///< Jitter RNG seed (per-emitter stream).
+};
+
 struct EmitterOptions {
   std::size_t batch_size = 1024;  ///< Records per data frame.
+  RetryPolicy retry{};
+  /// What to do with a frame once retries are exhausted.
+  enum class GiveUp { kThrow, kDropFrame };
+  GiveUp on_give_up = GiveUp::kThrow;
+  /// Syscall surface; nullptr = real syscalls. A FaultySocketOps here is
+  /// how tests drive every failure mode deterministically.
+  SocketOps* ops = nullptr;
+  /// Session id sent in kHello; 0 = derive a process-unique one.
+  std::uint64_t session_id = 0;
+};
+
+/// Functional (always-on) emitter-side resilience counters; mirrored into
+/// the obs registry when instrumentation is enabled.
+struct EmitterStats {
+  std::size_t retries = 0;          ///< Failed attempts that were retried.
+  std::size_t reconnects = 0;       ///< Successful connects after the first.
+  std::size_t dropped_frames = 0;   ///< Frames abandoned after exhaustion.
+  std::size_t dropped_records = 0;  ///< Records inside abandoned data frames.
+  std::uint64_t backoff_ms = 0;     ///< Total backoff wall-clock requested.
 };
 
 class Emitter {
  public:
-  /// Connects to a collector on 127.0.0.1:port.
+  /// Connects to a collector on 127.0.0.1:port (with the retry policy).
   explicit Emitter(std::uint16_t port, EmitterOptions options = {});
   ~Emitter();
 
@@ -35,15 +79,32 @@ class Emitter {
 
   std::size_t sent_records() const noexcept { return sent_records_; }
   std::size_t sent_frames() const noexcept { return sent_frames_; }
+  /// Records lost to exhausted retries under GiveUp::kDropFrame.
+  std::size_t dropped_records() const noexcept { return stats_.dropped_records; }
+  std::uint64_t session_id() const noexcept { return session_id_; }
+  const EmitterStats& stats() const noexcept { return stats_; }
 
  private:
   void send_pending();
+  /// Encode + send under the retry policy. `record_count` is the loss to
+  /// declare if the frame is abandoned. Returns false when dropped.
+  bool send_frame_with_retry(const Frame& frame, std::size_t record_count);
+  void ensure_connected();
+  void backoff_sleep(std::size_t attempt);
 
+  SocketOps& ops_;
   Socket socket_;
+  bool connected_ = false;
+  bool ever_connected_ = false;
+  std::uint16_t port_ = 0;
   EmitterOptions options_;
+  std::uint64_t session_id_ = 0;
+  std::uint32_t next_seq_ = 1;
+  std::uint64_t jitter_state_;  ///< Counter-seeded jitter stream position.
   std::vector<telemetry::ActionRecord> pending_;
   std::size_t sent_records_ = 0;
   std::size_t sent_frames_ = 0;
+  EmitterStats stats_;
   bool closed_ = false;
 };
 

@@ -1,0 +1,103 @@
+#include "net/fault.h"
+
+#include <cerrno>
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace autosens::net {
+
+FaultPlan::FaultPlan(std::uint64_t seed, std::vector<FaultSpec> specs) : seed_(seed) {
+  for (const auto& spec : specs) {
+    auto& state = classes_[static_cast<std::size_t>(spec.fault)];
+    state.configured = true;
+    state.probability = spec.probability;
+    state.skip_ops = spec.skip_ops;
+    state.max_injections = spec.max_injections;
+    state.latency_ms = spec.latency_ms;
+  }
+}
+
+bool FaultPlan::fire(FaultClass fault) noexcept {
+  auto& state = classes_[static_cast<std::size_t>(fault)];
+  if (!state.configured) return false;
+  const std::size_t op = state.ops_seen++;
+  if (op < state.skip_ops) return false;
+  if (injected_[static_cast<std::size_t>(fault)] >= state.max_injections) return false;
+  if (state.probability < 1.0) {
+    // Substream per (class, op index): the draw depends on nothing else, so
+    // the schedule is identical however operations interleave in time.
+    const std::uint64_t stream =
+        seed_ ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(fault) + 1));
+    stats::Random draw(stats::substream_seed(stream, op));
+    if (draw.uniform() >= state.probability) return false;
+  }
+  ++injected_[static_cast<std::size_t>(fault)];
+  return true;
+}
+
+std::uint32_t FaultPlan::latency_ms() const noexcept {
+  return classes_[static_cast<std::size_t>(FaultClass::kLatency)].latency_ms;
+}
+
+std::size_t FaultPlan::total_injected() const noexcept {
+  std::size_t total = 0;
+  for (const auto count : injected_) total += count;
+  return total;
+}
+
+int FaultySocketOps::connect_tcp_fd(std::uint16_t port) noexcept {
+  if (plan_.fire(FaultClass::kLatency)) base_.sleep_ms(plan_.latency_ms());
+  if (plan_.fire(FaultClass::kConnectRefused)) return -ECONNREFUSED;
+  return base_.connect_tcp_fd(port);
+}
+
+std::int64_t FaultySocketOps::send(int fd, const std::uint8_t* data,
+                                   std::size_t len) noexcept {
+  if (plan_.fire(FaultClass::kLatency)) base_.sleep_ms(plan_.latency_ms());
+  if (plan_.fire(FaultClass::kEagain)) return -EAGAIN;
+  if (plan_.fire(FaultClass::kDisconnect)) {
+    // Model a connection cut mid-frame: the peer receives a strict prefix of
+    // the buffer, the sender sees a reset. Best-effort delivery of the
+    // prefix; the error is what matters to the caller.
+    if (len > 1) base_.send(fd, data, len / 2);
+    return -ECONNRESET;
+  }
+  if (plan_.fire(FaultClass::kCorrupt)) {
+    // Flip one deterministic bit, deliver the damaged bytes in full, then
+    // report an I/O error so the sender knows this frame needs resending.
+    // The receiver sees a CRC-invalid frame followed by a retransmission —
+    // exactly the double-delivery the (session, seq) dedup exists for.
+    std::vector<std::uint8_t> damaged(data, data + len);
+    const std::size_t bit = (len * 8) / 2;
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    std::size_t sent = 0;
+    while (sent < damaged.size()) {
+      const std::int64_t n = base_.send(fd, damaged.data() + sent, damaged.size() - sent);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    return -EIO;
+  }
+  if (plan_.fire(FaultClass::kShortWrite) && len > 1) {
+    return base_.send(fd, data, 1 + len / 2);
+  }
+  return base_.send(fd, data, len);
+}
+
+std::int64_t FaultySocketOps::recv(int fd, std::uint8_t* data, std::size_t len) noexcept {
+  if (plan_.fire(FaultClass::kLatency)) base_.sleep_ms(plan_.latency_ms());
+  if (plan_.fire(FaultClass::kEagain)) return -EAGAIN;
+  if (plan_.fire(FaultClass::kShortRead) && len > 1) {
+    return base_.recv(fd, data, 1 + len / 2);
+  }
+  return base_.recv(fd, data, len);
+}
+
+void FaultySocketOps::sleep_ms(std::uint32_t ms) noexcept {
+  slept_ms_ += ms;
+  const double scaled = static_cast<double>(ms) * sleep_scale_;
+  base_.sleep_ms(static_cast<std::uint32_t>(std::lround(scaled)));
+}
+
+}  // namespace autosens::net

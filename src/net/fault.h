@@ -1,0 +1,115 @@
+// Deterministic fault-injection layer for the net pipeline.
+//
+// Telemetry loss biases the biased PDF B exactly the way the measurement
+// literature warns (silently dropped beacons skew client-side latency
+// telemetry), so the emitter/collector recovery paths are not optional —
+// and recovery code that is only exercised by timing luck is recovery code
+// that does not work. This layer makes every failure mode reproducible from
+// a seed: a FaultPlan decides, per operation index, whether to refuse a
+// connect, cut the connection mid-frame, shorten a read/write, stall with
+// EAGAIN, delay, or flip bits in flight. The decision for operation k of
+// fault class c is a pure function of (seed, c, k) via the same
+// counter-seeded substream discipline as core/parallel — never of wall
+// clock or scheduling — so a fault-matrix test that passes once passes
+// always.
+//
+// One FaultPlan (via one FaultySocketOps) serves one connection/emitter;
+// per-plan operation counters are what make the sequence deterministic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace autosens::net {
+
+/// The injectable failure modes, each gating a specific syscall site.
+enum class FaultClass : std::uint8_t {
+  kConnectRefused = 0,  ///< connect_tcp_fd returns -ECONNREFUSED.
+  kDisconnect,          ///< send delivers a partial frame, then -ECONNRESET.
+  kShortWrite,          ///< send delivers a strict prefix (loop must resume).
+  kShortRead,           ///< recv returns fewer bytes than asked.
+  kEagain,              ///< send/recv returns -EAGAIN (stall).
+  kLatency,             ///< send/recv delayed by latency_ms first.
+  kCorrupt,             ///< send flips one bit on the wire, then -EIO, so the
+                        ///< sender knows to retransmit; the receiver must
+                        ///< CRC-reject and resync past the damaged frame.
+};
+inline constexpr std::size_t kFaultClassCount = 7;
+
+/// When and how often one fault class fires. `probability` is evaluated
+/// against a counter-seeded draw per eligible operation, so "0.25" means a
+/// deterministic, seed-chosen 25% of that class's operation indices.
+struct FaultSpec {
+  FaultClass fault = FaultClass::kEagain;
+  double probability = 1.0;
+  std::size_t skip_ops = 0;  ///< Eligible ops to leave untouched first.
+  std::size_t max_injections = std::numeric_limits<std::size_t>::max();
+  std::uint32_t latency_ms = 0;  ///< kLatency only.
+};
+
+/// Seeded schedule of faults. fire() is the only mutator; it advances the
+/// per-class operation counter and reports whether the fault triggers at
+/// this index. Copyable so a test can replay the identical schedule.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(std::uint64_t seed, std::vector<FaultSpec> specs);
+
+  /// Should fault `fault` fire for its next eligible operation?
+  /// Deterministic in (seed, fault, call index).
+  bool fire(FaultClass fault) noexcept;
+
+  /// Latency to inject when kLatency fires (0 when unconfigured).
+  std::uint32_t latency_ms() const noexcept;
+
+  std::size_t injected(FaultClass fault) const noexcept {
+    return injected_[static_cast<std::size_t>(fault)];
+  }
+  std::size_t total_injected() const noexcept;
+
+ private:
+  struct ClassState {
+    bool configured = false;
+    double probability = 0.0;
+    std::size_t skip_ops = 0;
+    std::size_t max_injections = 0;
+    std::uint32_t latency_ms = 0;
+    std::size_t ops_seen = 0;
+  };
+
+  std::uint64_t seed_ = 0;
+  std::array<ClassState, kFaultClassCount> classes_{};
+  std::array<std::size_t, kFaultClassCount> injected_{};
+};
+
+/// SocketOps decorator that consults a FaultPlan before forwarding to the
+/// real syscalls. `sleep_scale` compresses backoff waits (0 disables real
+/// sleeping entirely) while still accounting them in slept_ms(), so retry
+/// tests assert exponential backoff without paying for it in wall clock.
+class FaultySocketOps final : public SocketOps {
+ public:
+  explicit FaultySocketOps(FaultPlan plan, SocketOps& base = real_socket_ops(),
+                           double sleep_scale = 1.0) noexcept
+      : plan_(std::move(plan)), base_(base), sleep_scale_(sleep_scale) {}
+
+  int connect_tcp_fd(std::uint16_t port) noexcept override;
+  std::int64_t send(int fd, const std::uint8_t* data, std::size_t len) noexcept override;
+  std::int64_t recv(int fd, std::uint8_t* data, std::size_t len) noexcept override;
+  void sleep_ms(std::uint32_t ms) noexcept override;
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  /// Total milliseconds callers asked to sleep (before sleep_scale).
+  std::uint64_t slept_ms() const noexcept { return slept_ms_; }
+
+ private:
+  FaultPlan plan_;
+  SocketOps& base_;
+  double sleep_scale_;
+  std::uint64_t slept_ms_ = 0;
+};
+
+}  // namespace autosens::net

@@ -8,7 +8,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace autosens::net {
@@ -40,6 +42,61 @@ SocketError::SocketError(std::string what, int saved_errno)
   message_ += std::strerror(saved_errno);
 }
 
+std::string peer_address(int fd) noexcept {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0 ||
+      addr.sin_family != AF_INET) {
+    return "unknown-peer";
+  }
+  char ip[INET_ADDRSTRLEN] = {};
+  if (::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip) == nullptr) return "unknown-peer";
+  return std::string(ip) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+int SocketOps::connect_tcp_fd(std::uint16_t port) noexcept {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -errno;
+
+  const int enable = 1;
+  // Telemetry batches are small; disable Nagle so latency samples flush.
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    return -saved;
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    return -saved;
+  }
+  return fd;
+}
+
+std::int64_t SocketOps::send(int fd, const std::uint8_t* data, std::size_t len) noexcept {
+  const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+  return n >= 0 ? n : -static_cast<std::int64_t>(errno);
+}
+
+std::int64_t SocketOps::recv(int fd, std::uint8_t* data, std::size_t len) noexcept {
+  const ssize_t n = ::recv(fd, data, len, 0);
+  return n >= 0 ? n : -static_cast<std::int64_t>(errno);
+}
+
+void SocketOps::sleep_ms(std::uint32_t ms) noexcept {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+SocketOps& real_socket_ops() noexcept {
+  static SocketOps ops;
+  return ops;
+}
+
 Socket listen_tcp(std::uint16_t port, std::uint16_t& bound_port, int backlog) {
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) throw SocketError("socket()", errno);
@@ -54,7 +111,7 @@ Socket listen_tcp(std::uint16_t port, std::uint16_t& bound_port, int backlog) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
-    throw SocketError("bind()", errno);
+    throw SocketError("bind(127.0.0.1:" + std::to_string(port) + ")", errno);
   }
   if (::listen(sock.fd(), backlog) < 0) throw SocketError("listen()", errno);
 
@@ -67,24 +124,13 @@ Socket listen_tcp(std::uint16_t port, std::uint16_t& bound_port, int backlog) {
   return sock;
 }
 
-Socket connect_tcp(std::uint16_t port) {
-  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
-  if (!sock.valid()) throw SocketError("socket()", errno);
-
-  const int enable = 1;
-  // Telemetry batches are small; disable Nagle so latency samples flush.
-  if (::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable) < 0) {
-    throw SocketError("setsockopt(TCP_NODELAY)", errno);
+Socket connect_tcp(std::uint16_t port, SocketOps& ops) {
+  const int fd = ops.connect_tcp_fd(port);
+  if (fd < 0) {
+    throw SocketError("connect(127.0.0.1:" + std::to_string(port) + ")",
+                      static_cast<int>(-fd));
   }
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
-    throw SocketError("connect()", errno);
-  }
-  return sock;
+  return Socket(fd);
 }
 
 std::optional<Socket> accept_with_timeout(const Socket& listener, int timeout_ms) {
@@ -103,30 +149,44 @@ std::optional<Socket> accept_with_timeout(const Socket& listener, int timeout_ms
   return Socket(fd);
 }
 
-void write_all(const Socket& socket, std::span<const std::uint8_t> data) {
+void write_all(const Socket& socket, std::span<const std::uint8_t> data, SocketOps& ops) {
   std::size_t written = 0;
   while (written < data.size()) {
-    const ssize_t n = ::send(socket.fd(), data.data() + written, data.size() - written,
-                             MSG_NOSIGNAL);
+    const std::int64_t n =
+        ops.send(socket.fd(), data.data() + written, data.size() - written);
     if (n < 0) {
-      if (errno == EINTR) continue;
-      throw SocketError("send()", errno);
+      const int err = static_cast<int>(-n);
+      if (err == EINTR) continue;
+      if (err == EAGAIN || err == EWOULDBLOCK) {
+        // Blocking sockets only hit this under injected stalls or
+        // SO_SNDTIMEO; yield briefly and retry rather than failing.
+        ops.sleep_ms(1);
+        continue;
+      }
+      throw SocketError("send() to " + peer_address(socket.fd()), err);
     }
     written += static_cast<std::size_t>(n);
   }
 }
 
-bool read_exact(const Socket& socket, std::span<std::uint8_t> data) {
+bool read_exact(const Socket& socket, std::span<std::uint8_t> data, SocketOps& ops) {
   std::size_t got = 0;
   while (got < data.size()) {
-    const ssize_t n = ::recv(socket.fd(), data.data() + got, data.size() - got, 0);
+    const std::int64_t n = ops.recv(socket.fd(), data.data() + got, data.size() - got);
     if (n < 0) {
-      if (errno == EINTR) continue;
-      throw SocketError("recv()", errno);
+      const int err = static_cast<int>(-n);
+      if (err == EINTR) continue;
+      if (err == EAGAIN || err == EWOULDBLOCK) {
+        ops.sleep_ms(1);
+        continue;
+      }
+      throw SocketError("recv() from " + peer_address(socket.fd()), err);
     }
     if (n == 0) {
       if (got == 0) return false;  // clean EOF at a message boundary
-      throw SocketError("recv(): unexpected EOF mid-message", ECONNRESET);
+      throw SocketError(
+          "recv() from " + peer_address(socket.fd()) + ": unexpected EOF mid-message",
+          ECONNRESET);
     }
     got += static_cast<std::size_t>(n);
   }

@@ -1,8 +1,9 @@
 // RAII socket primitives for the telemetry collection pipeline. The paper's
 // latency is measured at the client and conveyed to the server where it is
 // logged (§3.1); `collector` and `emitter` reproduce that path over loopback
-// TCP. This header provides the owning fd wrapper and the small set of TCP
-// operations they need — nothing more.
+// TCP. This header provides the owning fd wrapper, the small set of TCP
+// operations they need, and the SocketOps seam that lets the deterministic
+// fault-injection layer (net/fault.h) stand in for the raw syscalls.
 #pragma once
 
 #include <cstdint>
@@ -34,7 +35,8 @@ class Socket {
   int fd_ = -1;
 };
 
-/// Thrown by socket operations on unrecoverable errors; carries errno text.
+/// Thrown by socket operations on unrecoverable errors; carries errno text
+/// and, where the caller knows it, the peer address.
 class SocketError : public std::exception {
  public:
   SocketError(std::string what, int saved_errno);
@@ -46,23 +48,63 @@ class SocketError : public std::exception {
   int errno_;
 };
 
+/// "127.0.0.1:port" of the connected peer of `fd`, or "unknown-peer" when
+/// getpeername fails (e.g. the socket was never connected). Used to build
+/// SocketError messages that identify which connection failed.
+std::string peer_address(int fd) noexcept;
+
+/// The syscall surface the emitter/collector I/O paths go through. The
+/// default implementation (real_socket_ops) forwards to the kernel; the
+/// fault-injection layer (net/fault.h) wraps it to force connect refusals,
+/// short reads/writes, EAGAIN stalls, disconnects, injected latency, and
+/// bit corruption at seed-chosen operation indices.
+///
+/// Error convention: send/recv return the syscall result with errno already
+/// folded in as a negative value (-EAGAIN, -ECONNRESET, ...), so injected
+/// errors need no thread-local errno games. connect_tcp_fd returns a
+/// connected fd >= 0 or -errno.
+class SocketOps {
+ public:
+  virtual ~SocketOps() = default;
+
+  /// Create a TCP socket and connect it to 127.0.0.1:port.
+  /// Returns the fd, or -errno on failure.
+  virtual int connect_tcp_fd(std::uint16_t port) noexcept;
+
+  /// send(2) with MSG_NOSIGNAL. Returns bytes written or -errno.
+  virtual std::int64_t send(int fd, const std::uint8_t* data, std::size_t len) noexcept;
+
+  /// recv(2). Returns bytes read (0 = EOF) or -errno.
+  virtual std::int64_t recv(int fd, std::uint8_t* data, std::size_t len) noexcept;
+
+  /// Sleep used by retry backoff; overridable so tests can compress or
+  /// record the waits instead of paying them in wall-clock time.
+  virtual void sleep_ms(std::uint32_t ms) noexcept;
+};
+
+/// The pass-through SocketOps singleton (plain syscalls).
+SocketOps& real_socket_ops() noexcept;
+
 /// Create a TCP listener bound to 127.0.0.1:port (port 0 = ephemeral).
 /// Returns the socket; the bound port is written to `bound_port`.
 Socket listen_tcp(std::uint16_t port, std::uint16_t& bound_port, int backlog = 16);
 
-/// Blocking connect to 127.0.0.1:port.
-Socket connect_tcp(std::uint16_t port);
+/// Blocking connect to 127.0.0.1:port through `ops`.
+Socket connect_tcp(std::uint16_t port, SocketOps& ops = real_socket_ops());
 
 /// Accept one connection, waiting up to timeout_ms (-1 = forever).
 /// Returns nullopt on timeout.
 std::optional<Socket> accept_with_timeout(const Socket& listener, int timeout_ms);
 
-/// Write the whole buffer, retrying on partial writes / EINTR.
-/// Throws SocketError on failure (including peer reset).
-void write_all(const Socket& socket, std::span<const std::uint8_t> data);
+/// Write the whole buffer through `ops`, retrying on partial writes, EINTR,
+/// and EAGAIN. Throws SocketError (with the peer address) on failure.
+void write_all(const Socket& socket, std::span<const std::uint8_t> data,
+               SocketOps& ops = real_socket_ops());
 
-/// Read exactly data.size() bytes. Returns false on clean EOF at a message
-/// boundary (no bytes read); throws SocketError on mid-message EOF or error.
-bool read_exact(const Socket& socket, std::span<std::uint8_t> data);
+/// Read exactly data.size() bytes through `ops`. Returns false on clean EOF
+/// at a message boundary (no bytes read); throws SocketError (with the peer
+/// address) on mid-message EOF or error.
+bool read_exact(const Socket& socket, std::span<std::uint8_t> data,
+                SocketOps& ops = real_socket_ops());
 
 }  // namespace autosens::net

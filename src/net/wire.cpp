@@ -21,25 +21,51 @@ std::uint32_t read_u32(std::span<const std::uint8_t, 4> bytes) {
          (static_cast<std::uint32_t>(bytes[3]) << 24);
 }
 
+bool valid_type(std::uint8_t raw) noexcept { return raw >= 1 && raw <= 4; }
+
 }  // namespace
 
 std::vector<std::uint8_t> encode_frame(const Frame& frame) {
   std::vector<std::uint8_t> out;
-  out.reserve(frame.payload.size() + 9);
+  out.reserve(frame.payload.size() + kFrameOverheadBytes);
+  out.push_back(kFrameMagic0);
+  out.push_back(kFrameMagic1);
   out.push_back(static_cast<std::uint8_t>(frame.type));
+  put_u32(out, frame.seq);
   put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
   out.insert(out.end(), frame.payload.begin(), frame.payload.end());
-  put_u32(out, telemetry::codec::crc32(frame.payload));
+  // CRC over type..payload: a flipped length or sequence byte fails the
+  // check the same way a flipped payload byte does.
+  put_u32(out, telemetry::codec::crc32(
+                   std::span<const std::uint8_t>(out.data() + 2, out.size() - 2)));
   return out;
 }
 
-void send_frame(const Socket& socket, const Frame& frame) {
+Frame make_hello(std::uint64_t session_id) {
+  Frame frame{.type = FrameType::kHello, .seq = 0, .payload = {}};
+  frame.payload.reserve(8);
+  for (int shift = 0; shift < 64; shift += 8) {
+    frame.payload.push_back(static_cast<std::uint8_t>(session_id >> shift));
+  }
+  return frame;
+}
+
+std::optional<std::uint64_t> parse_hello(std::span<const std::uint8_t> payload) noexcept {
+  if (payload.size() != 8) return std::nullopt;
+  std::uint64_t id = 0;
+  for (int i = 7; i >= 0; --i) id = (id << 8) | payload[static_cast<std::size_t>(i)];
+  return id;
+}
+
+void send_frame(const Socket& socket, const Frame& frame, SocketOps& ops) {
   const auto bytes = encode_frame(frame);
-  write_all(socket, bytes);
+  write_all(socket, bytes, ops);
 }
 
 void send_records(const Socket& socket, std::span<const telemetry::ActionRecord> records) {
-  Frame frame{.type = FrameType::kData, .payload = telemetry::codec::encode_batch(records)};
+  Frame frame{.type = FrameType::kData,
+              .seq = 0,
+              .payload = telemetry::codec::encode_batch(records)};
   send_frame(socket, frame);
 }
 
@@ -53,52 +79,84 @@ void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
 }
 
 std::optional<Frame> FrameDecoder::next() {
-  const std::size_t available = buffer_.size() - consumed_;
-  if (available < 5) return std::nullopt;
-  const std::uint8_t raw_type = buffer_[consumed_];
-  if (raw_type < 1 || raw_type > 3) {
-    throw std::runtime_error("FrameDecoder: unknown frame type");
-  }
-  const std::uint32_t len = read_u32(
-      std::span<const std::uint8_t, 4>(buffer_.data() + consumed_ + 1, 4));
-  if (len > max_payload_) throw std::runtime_error("FrameDecoder: payload exceeds limit");
-  const std::size_t total = 5 + static_cast<std::size_t>(len) + 4;
-  if (available < total) return std::nullopt;
+  while (buffer_.size() - consumed_ >= kFrameHeaderBytes) {
+    const std::uint8_t* at = buffer_.data() + consumed_;
+    const std::size_t available = buffer_.size() - consumed_;
 
-  Frame frame;
-  frame.type = static_cast<FrameType>(raw_type);
-  frame.payload.assign(buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 5),
-                       buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 5 + len));
-  const std::uint32_t crc = read_u32(
-      std::span<const std::uint8_t, 4>(buffer_.data() + consumed_ + 5 + len, 4));
-  if (crc != telemetry::codec::crc32(frame.payload)) {
-    throw std::runtime_error("FrameDecoder: crc mismatch");
+    // Candidate frame at the current offset? Anything that fails a header
+    // check is definitively not a frame start: skip one byte and rescan.
+    if (at[0] != kFrameMagic0 || at[1] != kFrameMagic1 || !valid_type(at[2])) {
+      ++consumed_;
+      ++skipped_bytes_;
+      skipping_ = true;
+      continue;
+    }
+    const std::uint32_t len = read_u32(std::span<const std::uint8_t, 4>(at + 7, 4));
+    if (len > max_payload_) {
+      ++consumed_;
+      ++skipped_bytes_;
+      skipping_ = true;
+      continue;
+    }
+    const std::size_t total = kFrameOverheadBytes + static_cast<std::size_t>(len);
+    if (available < total) return std::nullopt;  // plausible frame, need more bytes
+
+    const std::uint32_t crc = read_u32(
+        std::span<const std::uint8_t, 4>(at + kFrameHeaderBytes + len, 4));
+    if (crc != telemetry::codec::crc32(std::span<const std::uint8_t>(
+                   at + 2, kFrameHeaderBytes - 2 + len))) {
+      ++consumed_;
+      ++skipped_bytes_;
+      skipping_ = true;
+      continue;
+    }
+
+    Frame frame;
+    frame.type = static_cast<FrameType>(at[2]);
+    frame.seq = read_u32(std::span<const std::uint8_t, 4>(at + 3, 4));
+    frame.payload.assign(at + kFrameHeaderBytes, at + kFrameHeaderBytes + len);
+    consumed_ += total;
+    if (skipping_) {
+      ++resyncs_;
+      skipping_ = false;
+    }
+    return frame;
   }
-  consumed_ += total;
-  return frame;
+  return std::nullopt;
 }
 
 std::optional<Frame> recv_frame(const Socket& socket, std::size_t max_payload) {
-  std::array<std::uint8_t, 5> header{};
+  std::array<std::uint8_t, kFrameHeaderBytes> header{};
   if (!read_exact(socket, header)) return std::nullopt;
-  const auto raw_type = header[0];
-  if (raw_type < 1 || raw_type > 3) {
-    throw std::runtime_error("recv_frame: unknown frame type");
+  if (header[0] != kFrameMagic0 || header[1] != kFrameMagic1) {
+    throw std::runtime_error("recv_frame: bad frame magic");
   }
-  Frame frame;
-  frame.type = static_cast<FrameType>(raw_type);
-  const std::uint32_t len = read_u32(std::span<const std::uint8_t, 4>(header.data() + 1, 4));
+  if (!valid_type(header[2])) throw std::runtime_error("recv_frame: unknown frame type");
+  const std::uint32_t len =
+      read_u32(std::span<const std::uint8_t, 4>(header.data() + 7, 4));
   if (len > max_payload) throw std::runtime_error("recv_frame: payload exceeds limit");
-  frame.payload.resize(len);
-  if (len > 0 && !read_exact(socket, frame.payload)) {
+
+  // The CRC covers type..payload; rebuild that region contiguously so the
+  // check runs over one span (this blocking path is tests/tools only — the
+  // collector's FrameDecoder checks in place without the copy).
+  std::vector<std::uint8_t> checked(kFrameHeaderBytes - 2 + len);
+  std::copy(header.begin() + 2, header.end(), checked.begin());
+  if (len > 0 &&
+      !read_exact(socket, std::span<std::uint8_t>(checked.data() + kFrameHeaderBytes - 2,
+                                                  len))) {
     throw std::runtime_error("recv_frame: truncated payload");
   }
   std::array<std::uint8_t, 4> crc_bytes{};
   if (!read_exact(socket, crc_bytes)) throw std::runtime_error("recv_frame: truncated crc");
   const std::uint32_t crc = read_u32(std::span<const std::uint8_t, 4>(crc_bytes));
-  if (crc != telemetry::codec::crc32(frame.payload)) {
+  if (crc != telemetry::codec::crc32(checked)) {
     throw std::runtime_error("recv_frame: crc mismatch");
   }
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(header[2]);
+  frame.seq = read_u32(std::span<const std::uint8_t, 4>(header.data() + 3, 4));
+  frame.payload.assign(checked.begin() + kFrameHeaderBytes - 2, checked.end());
   return frame;
 }
 

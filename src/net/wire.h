@@ -1,12 +1,24 @@
-// Wire protocol for the telemetry pipeline: length-prefixed, CRC-checked
-// frames carrying batches of ActionRecords (the same batch payload format as
-// the binary log, so collector output and on-disk logs are interchangeable).
+// Wire protocol for the telemetry pipeline: magic-prefixed, length-prefixed,
+// CRC-checked, sequence-numbered frames carrying batches of ActionRecords
+// (the same batch payload format as the binary log, so collector output and
+// on-disk logs are interchangeable).
 //
-// Frame layout (little-endian):
-//   u8  type        (kData = 1, kFlush = 2, kGoodbye = 3)
+// Frame layout (little-endian), version 2:
+//   u8  magic0 = 0xA5, u8 magic1 = 0x5E
+//   u8  type        (kData = 1, kFlush = 2, kGoodbye = 3, kHello = 4)
+//   u32 seq         (per-session frame sequence; 0 for unsequenced senders)
 //   u32 payload_len
-//   payload (payload_len bytes; empty for kFlush / kGoodbye)
-//   u32 crc32(payload)
+//   payload (payload_len bytes)
+//   u32 crc32(type..payload)   — covers the header after the magic, so a
+//                                 corrupted length or sequence number cannot
+//                                 pass as a valid frame
+//
+// The magic makes mid-stream recovery possible: after damage, a receiver
+// scans forward to the next byte position where magic + type + bounded
+// length + CRC all hold (FrameDecoder resync) instead of killing the
+// connection. The sequence number makes retransmission idempotent: an
+// emitter that cannot know whether a failed send was delivered resends the
+// frame, and the collector drops the duplicate by (session, seq).
 #pragma once
 
 #include <cstdint>
@@ -19,34 +31,61 @@
 
 namespace autosens::net {
 
+inline constexpr std::uint8_t kFrameMagic0 = 0xA5;
+inline constexpr std::uint8_t kFrameMagic1 = 0x5E;
+/// magic(2) + type(1) + seq(4) + len(4).
+inline constexpr std::size_t kFrameHeaderBytes = 11;
+/// Header + trailing CRC: the wire overhead of an empty frame.
+inline constexpr std::size_t kFrameOverheadBytes = kFrameHeaderBytes + 4;
+
 enum class FrameType : std::uint8_t {
   kData = 1,     ///< Payload is an encoded record batch.
   kFlush = 2,    ///< Sender requests durability point (no payload).
   kGoodbye = 3,  ///< Orderly end of stream (no payload).
+  kHello = 4,    ///< First frame of a connection: payload is a u64 session
+                 ///< id, stable across the emitter's reconnects.
 };
 
 struct Frame {
   FrameType type = FrameType::kData;
+  std::uint32_t seq = 0;
   std::vector<std::uint8_t> payload;
 };
 
 /// Serialize a frame (computes the CRC).
 std::vector<std::uint8_t> encode_frame(const Frame& frame);
 
+/// A kHello frame carrying `session_id`.
+Frame make_hello(std::uint64_t session_id);
+
+/// Extract the session id from a kHello payload; nullopt if malformed.
+std::optional<std::uint64_t> parse_hello(std::span<const std::uint8_t> payload) noexcept;
+
 /// Write one frame to the socket.
-void send_frame(const Socket& socket, const Frame& frame);
+void send_frame(const Socket& socket, const Frame& frame,
+                SocketOps& ops = real_socket_ops());
 
 /// Convenience: encode records into a kData frame and send.
 void send_records(const Socket& socket, std::span<const telemetry::ActionRecord> records);
 
 /// Read one frame. Returns std::nullopt on clean EOF before a frame starts.
-/// Throws std::runtime_error on CRC mismatch / malformed frame, SocketError
-/// on transport errors. `max_payload` bounds memory against corrupt lengths.
+/// Throws std::runtime_error on bad magic / CRC mismatch / malformed frame,
+/// SocketError on transport errors. `max_payload` bounds memory against
+/// corrupt lengths. Strict (no resync): this is the simple blocking API;
+/// stream recovery lives in FrameDecoder.
 std::optional<Frame> recv_frame(const Socket& socket, std::size_t max_payload = 16 << 20);
 
 /// Incremental frame decoder for non-blocking IO: feed() whatever bytes
 /// arrived, then drain complete frames with next(). Used by the concurrent
 /// collector, where a read may deliver half a frame or three of them.
+///
+/// Damage tolerance: next() never throws. Bytes that do not parse as a
+/// valid frame (wrong magic, unknown type, oversized length, CRC mismatch)
+/// are skipped one position at a time until the next byte offset where a
+/// whole valid frame sits. Each contiguous skipped run that ends in a valid
+/// frame counts as one resync; skipped_bytes() totals the garbage so the
+/// caller can bound it (a peer streaming pure noise is cut off by the
+/// collector's max_resync_bytes, not by unbounded buffering here).
 class FrameDecoder {
  public:
   explicit FrameDecoder(std::size_t max_payload = 16 << 20) : max_payload_(max_payload) {}
@@ -54,17 +93,23 @@ class FrameDecoder {
   /// Append received bytes to the internal buffer.
   void feed(std::span<const std::uint8_t> bytes);
 
-  /// Extract the next complete frame, if any. Throws std::runtime_error on
-  /// malformed input (unknown type, oversized payload, CRC mismatch).
+  /// Extract the next complete valid frame, if any.
   std::optional<Frame> next();
 
   /// Bytes buffered but not yet consumed by a complete frame.
   std::size_t pending_bytes() const noexcept { return buffer_.size() - consumed_; }
+  /// Contiguous damaged runs skipped over (each ending in a valid frame).
+  std::size_t resyncs() const noexcept { return resyncs_; }
+  /// Total bytes discarded while scanning for valid frames.
+  std::size_t skipped_bytes() const noexcept { return skipped_bytes_; }
 
  private:
   std::size_t max_payload_;
   std::vector<std::uint8_t> buffer_;
-  std::size_t consumed_ = 0;  ///< Prefix of buffer_ already decoded.
+  std::size_t consumed_ = 0;  ///< Prefix of buffer_ already decoded/rejected.
+  std::size_t resyncs_ = 0;
+  std::size_t skipped_bytes_ = 0;
+  bool skipping_ = false;  ///< In the middle of a damaged run.
 };
 
 }  // namespace autosens::net

@@ -1,0 +1,94 @@
+// Determinism tests for the fault-injection layer itself: the fault matrix
+// is only as reproducible as the FaultPlan behind it.
+#include "net/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace autosens::net {
+namespace {
+
+std::vector<bool> schedule(FaultPlan plan, FaultClass fault, std::size_t n) {
+  std::vector<bool> fired;
+  fired.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) fired.push_back(plan.fire(fault));
+  return fired;
+}
+
+TEST(FaultPlanTest, SameSeedSameSchedule) {
+  const std::vector<FaultSpec> specs = {
+      {.fault = FaultClass::kEagain, .probability = 0.3}};
+  const auto a = schedule(FaultPlan(42, specs), FaultClass::kEagain, 200);
+  const auto b = schedule(FaultPlan(42, specs), FaultClass::kEagain, 200);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, std::vector<bool>(200, false));  // something actually fires
+  EXPECT_NE(a, std::vector<bool>(200, true));
+}
+
+TEST(FaultPlanTest, DifferentSeedDifferentSchedule) {
+  const std::vector<FaultSpec> specs = {
+      {.fault = FaultClass::kEagain, .probability = 0.3}};
+  EXPECT_NE(schedule(FaultPlan(1, specs), FaultClass::kEagain, 200),
+            schedule(FaultPlan(2, specs), FaultClass::kEagain, 200));
+}
+
+TEST(FaultPlanTest, ScheduleIndependentOfClassInterleaving) {
+  // The draw for operation k of class c depends on (seed, c, k) only: firing
+  // other classes between calls must not shift the schedule.
+  const std::vector<FaultSpec> specs = {
+      {.fault = FaultClass::kEagain, .probability = 0.4},
+      {.fault = FaultClass::kShortRead, .probability = 0.4}};
+  FaultPlan interleaved(9, specs);
+  std::vector<bool> eagain_fired;
+  for (std::size_t i = 0; i < 100; ++i) {
+    eagain_fired.push_back(interleaved.fire(FaultClass::kEagain));
+    interleaved.fire(FaultClass::kShortRead);
+    interleaved.fire(FaultClass::kShortRead);
+  }
+  EXPECT_EQ(eagain_fired, schedule(FaultPlan(9, specs), FaultClass::kEagain, 100));
+}
+
+TEST(FaultPlanTest, UnconfiguredClassNeverFires) {
+  FaultPlan plan(3, {{.fault = FaultClass::kEagain}});
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(plan.fire(FaultClass::kDisconnect));
+  EXPECT_EQ(plan.injected(FaultClass::kDisconnect), 0u);
+}
+
+TEST(FaultPlanTest, SkipOpsAndMaxInjectionsBound) {
+  FaultPlan plan(5, {{.fault = FaultClass::kConnectRefused,
+                      .probability = 1.0,
+                      .skip_ops = 3,
+                      .max_injections = 2}});
+  std::vector<bool> fired = schedule(std::move(plan), FaultClass::kConnectRefused, 10);
+  const std::vector<bool> expected = {false, false, false, true, true,
+                                      false, false, false, false, false};
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(FaultPlanTest, CopyReplaysIdentically) {
+  FaultPlan plan(11, {{.fault = FaultClass::kCorrupt, .probability = 0.5}});
+  const FaultPlan replay = plan;  // copy before any fire()
+  EXPECT_EQ(schedule(std::move(plan), FaultClass::kCorrupt, 64),
+            schedule(replay, FaultClass::kCorrupt, 64));
+}
+
+TEST(FaultPlanTest, InjectionCountsAreExact) {
+  FaultPlan plan(13, {{.fault = FaultClass::kEagain, .probability = 0.25}});
+  std::size_t fired = 0;
+  for (std::size_t i = 0; i < 400; ++i) {
+    if (plan.fire(FaultClass::kEagain)) ++fired;
+  }
+  EXPECT_EQ(plan.injected(FaultClass::kEagain), fired);
+  EXPECT_EQ(plan.total_injected(), fired);
+}
+
+TEST(FaultySocketOpsTest, SleepScaleAccountsWithoutSleeping) {
+  FaultySocketOps ops(FaultPlan{}, real_socket_ops(), /*sleep_scale=*/0.0);
+  ops.sleep_ms(50);
+  ops.sleep_ms(70);
+  EXPECT_EQ(ops.slept_ms(), 120u);  // accounted in full despite scale 0
+}
+
+}  // namespace
+}  // namespace autosens::net

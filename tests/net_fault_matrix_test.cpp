@@ -1,0 +1,235 @@
+// The fault matrix: every injectable failure class, crossed with 1/2/8
+// concurrent emitter threads, must leave the collected Dataset byte-identical
+// to a no-fault run — the paper's pipeline treats telemetry loss as bias
+// (PAPER.md §3), so recovery has to be exact, not approximate. When retries
+// are exhausted instead, the loss must be *declared*: the emitters'
+// dropped-record counters account for every missing record exactly.
+//
+// Determinism: every fault schedule is a FaultPlan seeded per emitter;
+// backoff sleeps are compressed to zero wall clock (sleep_scale = 0), so the
+// matrix runs fast and identically every time.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "net/collector.h"
+#include "net/emitter.h"
+#include "net/fault.h"
+#include "telemetry/binlog.h"
+#include "telemetry/record.h"
+
+namespace autosens::net {
+namespace {
+
+using telemetry::ActionRecord;
+
+/// Records for emitter `t` of `emitters`, with globally unique time_ms
+/// (striped across emitters) so the time-sorted Dataset has one
+/// deterministic order regardless of arrival interleaving.
+std::vector<ActionRecord> striped_records(std::size_t per_emitter, std::size_t emitters,
+                                          std::size_t t) {
+  std::vector<ActionRecord> records;
+  records.reserve(per_emitter);
+  for (std::size_t i = 0; i < per_emitter; ++i) {
+    const auto k = i * emitters + t;
+    records.push_back({.time_ms = static_cast<std::int64_t>(k + 1),
+                       .user_id = 1 + k % 7,
+                       .latency_ms = 1.0 + 0.01 * static_cast<double>(k % 1000),
+                       .action = telemetry::ActionType::kSearch,
+                       .user_class = telemetry::UserClass::kConsumer,
+                       .status = telemetry::ActionStatus::kSuccess});
+  }
+  return records;
+}
+
+std::vector<std::uint8_t> dataset_bytes(const telemetry::Dataset& dataset) {
+  std::vector<ActionRecord> records;
+  records.reserve(dataset.size());
+  for (std::size_t i = 0; i < dataset.size(); ++i) records.push_back(dataset[i]);
+  return telemetry::codec::encode_batch(records);
+}
+
+struct MatrixCase {
+  const char* name;
+  FaultSpec spec;
+  bool collector_side = false;  ///< Inject on the collector's recv path.
+};
+
+/// One full pipeline run: `emitters` threads, each shipping `per_emitter`
+/// striped records through its own seeded FaultySocketOps (or a clean one
+/// when `spec` is empty). Returns the collected dataset.
+telemetry::Dataset run_pipeline(std::size_t emitters, std::size_t per_emitter,
+                                const std::optional<MatrixCase>& fault,
+                                std::uint64_t seed_base) {
+  std::unique_ptr<FaultySocketOps> collector_ops;
+  CollectorOptions collector_options;
+  if (fault && fault->collector_side) {
+    collector_ops = std::make_unique<FaultySocketOps>(
+        FaultPlan(seed_base, {fault->spec}), real_socket_ops(), 0.0);
+    collector_options.ops = collector_ops.get();
+  }
+  CollectorThread collector(emitters, collector_options, /*timeout_ms=*/10'000);
+
+  std::vector<std::thread> threads;
+  threads.reserve(emitters);
+  for (std::size_t t = 0; t < emitters; ++t) {
+    threads.emplace_back([&, t] {
+      std::unique_ptr<FaultySocketOps> faulty;
+      EmitterOptions options{
+          .batch_size = 32,
+          .retry = {.max_attempts = 10, .backoff_initial_ms = 1, .seed = seed_base + t},
+          .on_give_up = EmitterOptions::GiveUp::kThrow,
+      };
+      if (fault && !fault->collector_side) {
+        faulty = std::make_unique<FaultySocketOps>(
+            FaultPlan(seed_base + 100 * (t + 1), {fault->spec}), real_socket_ops(), 0.0);
+        options.ops = faulty.get();
+      }
+      Emitter emitter(collector.port(), options);
+      for (const auto& r : striped_records(per_emitter, emitters, t)) emitter.record(r);
+      emitter.close();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  auto dataset = collector.join();
+  EXPECT_TRUE(collector.complete());
+  return dataset;
+}
+
+const MatrixCase kMatrix[] = {
+    {"connect_refused",
+     {.fault = FaultClass::kConnectRefused, .probability = 1.0, .max_injections = 2}},
+    {"disconnect_mid_frame",
+     {.fault = FaultClass::kDisconnect,
+      .probability = 0.2,
+      .skip_ops = 1,
+      .max_injections = 6}},
+    {"short_write", {.fault = FaultClass::kShortWrite, .probability = 0.5}},
+    {"short_read",
+     {.fault = FaultClass::kShortRead, .probability = 0.5},
+     /*collector_side=*/true},
+    {"eagain_stall", {.fault = FaultClass::kEagain, .probability = 0.4}},
+    {"latency",
+     {.fault = FaultClass::kLatency,
+      .probability = 0.2,
+      .max_injections = 3,
+      .latency_ms = 1}},
+    {"corrupt_frame",
+     {.fault = FaultClass::kCorrupt,
+      .probability = 0.1,
+      .skip_ops = 1,
+      .max_injections = 4}},
+};
+
+TEST(NetFaultMatrixTest, EveryFaultClassRecoversByteIdentical) {
+  constexpr std::size_t kPerEmitter = 240;
+  for (const std::size_t emitters : {1u, 2u, 8u}) {
+    SCOPED_TRACE(testing::Message() << "emitters=" << emitters);
+    const auto baseline =
+        dataset_bytes(run_pipeline(emitters, kPerEmitter, std::nullopt, 0x5eed0));
+    ASSERT_FALSE(baseline.empty());
+    for (const auto& matrix_case : kMatrix) {
+      SCOPED_TRACE(matrix_case.name);
+      const auto dataset = run_pipeline(emitters, kPerEmitter, matrix_case, 0x5eed0);
+      EXPECT_EQ(dataset.size(), emitters * kPerEmitter);
+      EXPECT_EQ(dataset_bytes(dataset), baseline)
+          << "recovered dataset must be byte-identical to the fault-free run";
+    }
+  }
+}
+
+TEST(NetFaultMatrixTest, ExhaustedRetriesAccountLossExactly) {
+  // Retries all but disabled, kDropFrame: the run degrades instead of
+  // throwing, and emitters declare every lost record.
+  constexpr std::size_t kPerEmitter = 200;
+  for (const std::size_t emitters : {1u, 2u}) {
+    SCOPED_TRACE(testing::Message() << "emitters=" << emitters);
+    CollectorThread collector(emitters, CollectorOptions{}, /*timeout_ms=*/5'000);
+    std::vector<std::size_t> dropped(emitters, 0);
+    std::vector<std::size_t> delivered(emitters, 0);
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < emitters; ++t) {
+      threads.emplace_back([&, t] {
+        FaultySocketOps faulty(
+            FaultPlan(0xdead + t, {{.fault = FaultClass::kDisconnect,
+                                    .probability = 1.0,
+                                    .skip_ops = 1,
+                                    .max_injections = 6}}),
+            real_socket_ops(), 0.0);
+        Emitter emitter(collector.port(),
+                        {.batch_size = 16,
+                         .retry = {.max_attempts = 2, .backoff_initial_ms = 1, .seed = t},
+                         .on_give_up = EmitterOptions::GiveUp::kDropFrame,
+                         .ops = &faulty});
+        for (const auto& r : striped_records(kPerEmitter, emitters, t)) emitter.record(r);
+        emitter.close();
+        dropped[t] = emitter.dropped_records();
+        delivered[t] = emitter.sent_records();
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    const auto dataset = collector.join();
+
+    std::size_t total_dropped = 0;
+    std::size_t total_delivered = 0;
+    for (std::size_t t = 0; t < emitters; ++t) {
+      EXPECT_GT(dropped[t], 0u) << "emitter " << t << " should have exhausted retries";
+      total_dropped += dropped[t];
+      total_delivered += delivered[t];
+    }
+    // The degradation contract: collected + declared-lost == offered, per
+    // record, with nothing double-counted (dedup) and nothing silent.
+    EXPECT_EQ(dataset.size(), total_delivered);
+    EXPECT_EQ(emitters * kPerEmitter - dataset.size(), total_dropped);
+  }
+}
+
+TEST(NetFaultMatrixTest, SoakCombinedFaults) {
+  // Opt-in soak (ctest -L slow / AUTOSENS_SOAK=1): a longer run with several
+  // fault classes active at once per emitter.
+  if (std::getenv("AUTOSENS_SOAK") == nullptr) {
+    GTEST_SKIP() << "set AUTOSENS_SOAK=1 to run the soak fault matrix";
+  }
+  constexpr std::size_t kPerEmitter = 4000;
+  constexpr std::size_t kEmitters = 4;
+  const auto baseline =
+      dataset_bytes(run_pipeline(kEmitters, kPerEmitter, std::nullopt, 0x50a4));
+
+  CollectorThread collector(kEmitters, CollectorOptions{}, /*timeout_ms=*/30'000);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kEmitters; ++t) {
+    threads.emplace_back([&, t] {
+      FaultySocketOps faulty(
+          FaultPlan(0x50a4 + 31 * t,
+                    {{.fault = FaultClass::kDisconnect,
+                      .probability = 0.02,
+                      .skip_ops = 1,
+                      .max_injections = 20},
+                     {.fault = FaultClass::kEagain, .probability = 0.2},
+                     {.fault = FaultClass::kShortWrite, .probability = 0.3},
+                     {.fault = FaultClass::kCorrupt,
+                      .probability = 0.01,
+                      .skip_ops = 1,
+                      .max_injections = 10}}),
+          real_socket_ops(), 0.0);
+      Emitter emitter(collector.port(),
+                      {.batch_size = 64,
+                       .retry = {.max_attempts = 12, .backoff_initial_ms = 1, .seed = t},
+                       .on_give_up = EmitterOptions::GiveUp::kThrow,
+                       .ops = &faulty});
+      for (const auto& r : striped_records(kPerEmitter, kEmitters, t)) emitter.record(r);
+      emitter.close();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto dataset = collector.join();
+  EXPECT_TRUE(collector.complete());
+  EXPECT_EQ(dataset_bytes(dataset), baseline);
+}
+
+}  // namespace
+}  // namespace autosens::net

@@ -9,6 +9,7 @@
 
 #include "net/collector.h"
 #include "net/emitter.h"
+#include "net/fault.h"
 #include "net/wire.h"
 #include "stats/rng.h"
 #include "telemetry/record.h"
@@ -118,8 +119,8 @@ TEST(NetPipelineTest, CollectorStatsAreAccurate) {
   EXPECT_EQ(stats.connections, 1u);
   EXPECT_EQ(stats.records, 25u);
   EXPECT_EQ(stats.flushes, 1u);
-  // 2 full batches + flush marker + final partial batch + goodbye.
-  EXPECT_EQ(stats.frames, 5u);
+  // hello + 2 full batches + flush marker + final partial batch + goodbye.
+  EXPECT_EQ(stats.frames, 6u);
   EXPECT_GT(stats.bytes, 0u);
 }
 
@@ -184,6 +185,160 @@ TEST(NetPipelineTest, MalformedStreamIsDroppedNotFatal) {
   const auto dataset = collector.join();
   EXPECT_EQ(dataset.size(), 10u);
   EXPECT_EQ(collector.stats().dropped_connections, 1u);
+}
+
+// --- Fault-injected resilience scenarios (satellite: deterministic via
+// FaultPlan seeds; sleep_scale = 0 keeps backoff out of wall clock). ---
+
+EmitterOptions faulty_options(FaultySocketOps& ops, std::size_t batch_size = 16) {
+  return EmitterOptions{
+      .batch_size = batch_size,
+      .retry = {.max_attempts = 10, .backoff_initial_ms = 1, .seed = 0xabc},
+      .on_give_up = EmitterOptions::GiveUp::kThrow,
+      .ops = &ops,
+  };
+}
+
+TEST(NetPipelineTest, DisconnectMidFrameIsRetriedToExactDelivery) {
+  // Connections die mid-frame (half the frame delivered, then ECONNRESET).
+  // The emitter reconnects and retransmits; (session, seq) dedup keeps the
+  // dataset exactly-once; the collector resyncs past the torn half-frames.
+  CollectorThread collector(/*expected_goodbyes=*/1);
+  const auto records = make_records(800, 21);
+  FaultySocketOps faulty(
+      FaultPlan(0xfa117, {{.fault = FaultClass::kDisconnect,
+                           .probability = 0.15,
+                           .skip_ops = 1,  // let the first hello through
+                           .max_injections = 12}}),
+      real_socket_ops(), /*sleep_scale=*/0.0);
+  {
+    Emitter emitter(collector.port(), faulty_options(faulty));
+    for (const auto& r : records) emitter.record(r);
+    emitter.close();
+    EXPECT_GT(faulty.plan().injected(FaultClass::kDisconnect), 0u);
+    EXPECT_GT(emitter.stats().reconnects, 0u);
+    EXPECT_GT(emitter.stats().retries, 0u);
+    EXPECT_EQ(emitter.dropped_records(), 0u);
+  }
+  const auto dataset = collector.join();
+  EXPECT_TRUE(collector.complete());
+  ASSERT_EQ(dataset.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) EXPECT_EQ(dataset[i], records[i]);
+  // Every reconnect is the sequel of a connection that ended mid-stream.
+  EXPECT_EQ(collector.stats().interrupted_connections,
+            collector.stats().session_reconnects);
+}
+
+TEST(NetPipelineTest, ConnectRefusedIsRetried) {
+  CollectorThread collector(1);
+  FaultySocketOps faulty(
+      FaultPlan(7, {{.fault = FaultClass::kConnectRefused, .max_injections = 3}}),
+      real_socket_ops(), 0.0);
+  Emitter emitter(collector.port(), faulty_options(faulty));
+  for (const auto& r : make_records(20, 22)) emitter.record(r);
+  emitter.close();
+  EXPECT_EQ(faulty.plan().injected(FaultClass::kConnectRefused), 3u);
+  EXPECT_GE(emitter.stats().retries, 3u);
+  EXPECT_GT(emitter.stats().backoff_ms, 0u);  // exponential backoff accounted
+  EXPECT_EQ(collector.join().size(), 20u);
+}
+
+TEST(NetPipelineTest, SlowWriterEagainStallsAreAbsorbed) {
+  // EAGAIN stalls on send: write_all must spin (with ops-mediated sleeps,
+  // compressed to zero wall clock here) until the kernel accepts the bytes.
+  CollectorThread collector(1);
+  const auto records = make_records(300, 23);
+  FaultySocketOps faulty(
+      FaultPlan(0xea9a1, {{.fault = FaultClass::kEagain, .probability = 0.5}}),
+      real_socket_ops(), 0.0);
+  {
+    Emitter emitter(collector.port(), faulty_options(faulty, 32));
+    for (const auto& r : records) emitter.record(r);
+    emitter.close();
+  }
+  EXPECT_GT(faulty.plan().injected(FaultClass::kEagain), 0u);
+  const auto dataset = collector.join();
+  EXPECT_TRUE(collector.complete());
+  ASSERT_EQ(dataset.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) EXPECT_EQ(dataset[i], records[i]);
+}
+
+TEST(NetPipelineTest, ClientExitsWithoutGoodbyeKeepsRecordsAndCounts) {
+  // A raw sender that vanishes after valid data: its records are kept, the
+  // connection is counted dropped (no goodbye), and later clients still work.
+  CollectorThread collector(/*expected_goodbyes=*/1);
+  const auto abandoned = make_records(30, 24);
+  {
+    Socket raw = connect_tcp(collector.port());
+    send_records(raw, abandoned);
+  }  // closes without kGoodbye
+  Emitter emitter(collector.port());
+  for (const auto& r : make_records(10, 25)) emitter.record(r);
+  emitter.close();
+  const auto dataset = collector.join();
+  EXPECT_EQ(dataset.size(), 40u);
+  EXPECT_EQ(collector.stats().dropped_connections, 1u);
+}
+
+TEST(NetPipelineTest, TwoEmittersOneFaultyBothDeliver) {
+  // A healthy emitter must be unaffected by a faulty sibling sharing the
+  // collector; both streams arrive complete.
+  constexpr std::size_t kPerClient = 400;
+  CollectorThread collector(/*expected_goodbyes=*/2);
+  std::thread healthy([port = collector.port()] {
+    Emitter emitter(port, {.batch_size = 32});
+    for (const auto& r : make_records(kPerClient, 26)) emitter.record(r);
+    emitter.close();
+  });
+  std::thread flaky([port = collector.port()] {
+    FaultySocketOps faulty(
+        FaultPlan(0xbad, {{.fault = FaultClass::kDisconnect,
+                           .probability = 0.2,
+                           .skip_ops = 1,
+                           .max_injections = 8}}),
+        real_socket_ops(), 0.0);
+    Emitter emitter(port, faulty_options(faulty, 32));
+    for (const auto& r : make_records(kPerClient, 27)) emitter.record(r);
+    emitter.close();
+  });
+  healthy.join();
+  flaky.join();
+  const auto dataset = collector.join();
+  EXPECT_TRUE(collector.complete());
+  EXPECT_EQ(dataset.size(), 2 * kPerClient);
+  EXPECT_TRUE(dataset.is_sorted());
+}
+
+TEST(NetPipelineTest, RetryExhaustionDropsWithExactAccounting) {
+  // With retries effectively disabled and kDropFrame, every lost frame's
+  // records are declared in dropped_records — the degradation contract.
+  CollectorThread collector(/*expected_goodbyes=*/1, CollectorOptions{},
+                            /*timeout_ms=*/2000);
+  const auto records = make_records(200, 28);
+  FaultySocketOps faulty(
+      FaultPlan(0xdead, {{.fault = FaultClass::kDisconnect,
+                          .probability = 1.0,
+                          .skip_ops = 1,
+                          .max_injections = 4}}),
+      real_socket_ops(), 0.0);
+  std::size_t delivered = 0;
+  std::size_t dropped = 0;
+  {
+    Emitter emitter(collector.port(),
+                    {.batch_size = 16,
+                     .retry = {.max_attempts = 2, .backoff_initial_ms = 1, .seed = 1},
+                     .on_give_up = EmitterOptions::GiveUp::kDropFrame,
+                     .ops = &faulty});
+    for (const auto& r : records) emitter.record(r);
+    emitter.close();
+    delivered = emitter.sent_records();
+    dropped = emitter.dropped_records();
+  }
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(delivered + dropped, records.size());
+  const auto dataset = collector.join();
+  EXPECT_EQ(dataset.size(), delivered);
+  EXPECT_EQ(records.size() - dataset.size(), dropped);
 }
 
 TEST(NetPipelineTest, EmitterValidatesBatchSize) {

@@ -1,0 +1,161 @@
+// Seeded fuzz corpus for the wire decode path (satellite of the fault
+// tentpole): mutated byte streams — truncations, garbage prefixes, bit
+// flips, pure noise — must never crash, over-read, or throw out of
+// FrameDecoder, and the accounting invariants must hold on every input.
+// Deterministic: every mutation is drawn from a fixed-seed RNG, so a
+// failure reproduces from the iteration index alone. Run under
+// ASan/UBSan (tools/run_sanitizers.sh) this is the memory-safety net for
+// the resync scanner.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/collector.h"
+#include "net/emitter.h"
+#include "net/wire.h"
+#include "stats/rng.h"
+#include "telemetry/record.h"
+
+namespace autosens::net {
+namespace {
+
+std::vector<std::uint8_t> valid_stream(stats::Random& random, std::size_t frames) {
+  std::vector<std::uint8_t> stream;
+  for (std::size_t i = 0; i < frames; ++i) {
+    Frame frame;
+    const auto pick = random.uniform_index(4);
+    frame.type = static_cast<FrameType>(1 + pick);
+    frame.seq = static_cast<std::uint32_t>(i + 1);
+    if (frame.type == FrameType::kHello) {
+      frame = make_hello(1 + random.uniform_index(1 << 20));
+      frame.seq = static_cast<std::uint32_t>(i + 1);
+    } else if (frame.type == FrameType::kData) {
+      frame.payload.resize(random.uniform_index(64));
+      for (auto& b : frame.payload) b = static_cast<std::uint8_t>(random.uniform_index(256));
+    }
+    const auto bytes = encode_frame(frame);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  return stream;
+}
+
+/// Feed `stream` to a decoder in randomly-sized chunks, draining after each
+/// feed; returns the number of decoded frames. Asserts the accounting
+/// invariants that hold for ANY input.
+std::size_t drain_all(stats::Random& random, const std::vector<std::uint8_t>& stream) {
+  FrameDecoder decoder;
+  std::size_t decoded = 0;
+  std::size_t offset = 0;
+  while (offset < stream.size()) {
+    const std::size_t chunk =
+        std::min(stream.size() - offset, 1 + random.uniform_index(97));
+    decoder.feed(std::span<const std::uint8_t>(stream.data() + offset, chunk));
+    offset += chunk;
+    while (auto frame = decoder.next()) {
+      ++decoded;
+      EXPECT_GE(static_cast<std::uint8_t>(frame->type), 1u);
+      EXPECT_LE(static_cast<std::uint8_t>(frame->type), 4u);
+    }
+  }
+  EXPECT_LE(decoder.skipped_bytes(), stream.size());
+  EXPECT_LE(decoder.resyncs(), decoder.skipped_bytes());
+  EXPECT_LE(decoder.pending_bytes(), stream.size());
+  return decoded;
+}
+
+TEST(WireFuzzTest, PureNoiseDecodesNothing) {
+  stats::Random random(0xf022);
+  for (int iter = 0; iter < 50; ++iter) {
+    SCOPED_TRACE(iter);
+    std::vector<std::uint8_t> noise(random.uniform_index(4096));
+    for (auto& b : noise) b = static_cast<std::uint8_t>(random.uniform_index(256));
+    // A valid frame needs a matching CRC; noise passing it is ~2^-32.
+    drain_all(random, noise);
+  }
+}
+
+TEST(WireFuzzTest, TruncatedStreamsNeverThrow) {
+  stats::Random random(0xf023);
+  for (int iter = 0; iter < 60; ++iter) {
+    SCOPED_TRACE(iter);
+    auto stream = valid_stream(random, 1 + random.uniform_index(8));
+    stream.resize(random.uniform_index(stream.size() + 1));  // cut anywhere
+    drain_all(random, stream);
+  }
+}
+
+TEST(WireFuzzTest, GarbagePrefixIsSkippedToFirstFrame) {
+  stats::Random random(0xf024);
+  for (int iter = 0; iter < 60; ++iter) {
+    SCOPED_TRACE(iter);
+    const std::size_t frames = 1 + random.uniform_index(6);
+    std::vector<std::uint8_t> stream(1 + random.uniform_index(512));
+    for (auto& b : stream) b = static_cast<std::uint8_t>(random.uniform_index(256));
+    const auto tail = valid_stream(random, frames);
+    stream.insert(stream.end(), tail.begin(), tail.end());
+    // The garbage may or may not swallow the first real frame boundary (a
+    // random prefix can end in a plausible-but-incomplete header); the
+    // guarantee is no crash, bounded skipping, and at most `frames` frames.
+    const std::size_t decoded = drain_all(random, stream);
+    EXPECT_LE(decoded, frames + stream.size() / kFrameOverheadBytes);
+  }
+}
+
+TEST(WireFuzzTest, BitFlippedStreamsKeepInvariants) {
+  stats::Random random(0xf025);
+  for (int iter = 0; iter < 80; ++iter) {
+    SCOPED_TRACE(iter);
+    const std::size_t frames = 1 + random.uniform_index(8);
+    auto stream = valid_stream(random, frames);
+    const std::size_t flips = 1 + random.uniform_index(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t bit = random.uniform_index(stream.size() * 8);
+      stream[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    const std::size_t decoded = drain_all(random, stream);
+    // Flips can only destroy frames (CRC), never mint extra valid ones
+    // beyond vanishing odds; every surviving frame was in the original.
+    EXPECT_LE(decoded, frames);
+  }
+}
+
+TEST(WireFuzzTest, CollectorSurvivesFuzzedConnections) {
+  // End-to-end: garbage connections against a live collector must neither
+  // kill the serve loop nor poison the clean emitter that follows.
+  stats::Random random(0xf026);
+  CollectorThread collector(/*expected_goodbyes=*/1);
+  for (int iter = 0; iter < 10; ++iter) {
+    Socket bad = connect_tcp(collector.port());
+    // kData/kFlush only: a goodbye surviving its flips would end the serve
+    // loop before the clean emitter gets its turn.
+    std::vector<std::uint8_t> stream;
+    const std::size_t frames = 1 + random.uniform_index(3);
+    for (std::size_t i = 0; i < frames; ++i) {
+      Frame frame{.type = random.uniform_index(2) == 0 ? FrameType::kFlush
+                                                       : FrameType::kData,
+                  .seq = 0,
+                  .payload = {}};
+      frame.payload.resize(random.uniform_index(64));
+      for (auto& b : frame.payload) {
+        b = static_cast<std::uint8_t>(random.uniform_index(256));
+      }
+      const auto bytes = encode_frame(frame);
+      stream.insert(stream.end(), bytes.begin(), bytes.end());
+    }
+    for (int f = 0; f < 12; ++f) {
+      const std::size_t bit = random.uniform_index(stream.size() * 8);
+      stream[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    write_all(bad, stream);
+  }
+  Emitter emitter(collector.port());
+  emitter.record(telemetry::ActionRecord{.time_ms = 1, .user_id = 1, .latency_ms = 5.0});
+  emitter.close();
+  const auto dataset = collector.join();
+  EXPECT_TRUE(collector.complete());
+  EXPECT_GE(dataset.size(), 1u);  // fuzzed kData frames may decode or not
+}
+
+}  // namespace
+}  // namespace autosens::net

@@ -22,13 +22,35 @@ std::pair<Socket, Socket> socket_pair() {
 }
 
 TEST(WireTest, EncodeFrameLayout) {
-  Frame frame{.type = FrameType::kData, .payload = {1, 2, 3}};
+  Frame frame{.type = FrameType::kData, .seq = 0x01020304, .payload = {1, 2, 3}};
   const auto bytes = encode_frame(frame);
-  // 1 type + 4 length + 3 payload + 4 crc.
-  ASSERT_EQ(bytes.size(), 12u);
-  EXPECT_EQ(bytes[0], 1u);
-  EXPECT_EQ(bytes[1], 3u);  // little-endian length
-  EXPECT_EQ(bytes[2], 0u);
+  // 2 magic + 1 type + 4 seq + 4 length + 3 payload + 4 crc.
+  ASSERT_EQ(bytes.size(), kFrameOverheadBytes + 3);
+  EXPECT_EQ(bytes[0], kFrameMagic0);
+  EXPECT_EQ(bytes[1], kFrameMagic1);
+  EXPECT_EQ(bytes[2], 1u);     // type
+  EXPECT_EQ(bytes[3], 0x04u);  // little-endian seq
+  EXPECT_EQ(bytes[6], 0x01u);
+  EXPECT_EQ(bytes[7], 3u);  // little-endian length
+  EXPECT_EQ(bytes[8], 0u);
+}
+
+TEST(WireTest, HelloRoundtrip) {
+  const std::uint64_t id = 0xdeadbeefcafe1234ULL;
+  const Frame hello = make_hello(id);
+  EXPECT_EQ(hello.type, FrameType::kHello);
+  const auto parsed = parse_hello(hello.payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, id);
+  EXPECT_EQ(parse_hello(std::vector<std::uint8_t>{1, 2, 3}), std::nullopt);
+}
+
+TEST(WireTest, SeqSurvivesRoundtrip) {
+  auto [client, server] = socket_pair();
+  send_frame(client, Frame{.type = FrameType::kData, .seq = 77, .payload = {5}});
+  const auto received = recv_frame(server);
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(received->seq, 77u);
 }
 
 TEST(WireTest, FrameRoundtripOverLoopback) {
@@ -63,14 +85,31 @@ TEST(WireTest, CorruptCrcThrows) {
   auto [client, server] = socket_pair();
   Frame frame{.type = FrameType::kData, .payload = {1, 2, 3, 4, 5}};
   auto bytes = encode_frame(frame);
-  bytes[7] ^= 0xff;  // corrupt payload byte
+  bytes[kFrameHeaderBytes + 1] ^= 0xff;  // corrupt payload byte
+  write_all(client, bytes);
+  EXPECT_THROW(recv_frame(server), std::runtime_error);
+}
+
+TEST(WireTest, CorruptLengthThrows) {
+  auto [client, server] = socket_pair();
+  auto bytes = encode_frame({.type = FrameType::kData, .payload = {1, 2, 3}});
+  bytes[7] ^= 0x01;  // length no longer matches the CRC
+  write_all(client, bytes);
+  client.close();
+  EXPECT_THROW(recv_frame(server), std::runtime_error);
+}
+
+TEST(WireTest, BadMagicThrows) {
+  auto [client, server] = socket_pair();
+  std::vector<std::uint8_t> bytes = {42, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
   write_all(client, bytes);
   EXPECT_THROW(recv_frame(server), std::runtime_error);
 }
 
 TEST(WireTest, UnknownFrameTypeThrows) {
   auto [client, server] = socket_pair();
-  std::vector<std::uint8_t> bytes = {42, 0, 0, 0, 0, 0, 0, 0, 0};
+  std::vector<std::uint8_t> bytes = {kFrameMagic0, kFrameMagic1, 42,
+                                     0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
   write_all(client, bytes);
   EXPECT_THROW(recv_frame(server), std::runtime_error);
 }
@@ -142,20 +181,69 @@ TEST(FrameDecoderTest, DecodesMultipleFramesFromOneFeed) {
   EXPECT_EQ(decoder.next(), std::nullopt);
 }
 
-TEST(FrameDecoderTest, RejectsCorruptInput) {
+TEST(FrameDecoderTest, SkipsCorruptInputWithoutThrowing) {
+  // A corrupted frame is scanned past, never thrown on; nothing valid means
+  // nothing decoded, and skipped_bytes accounts for the damage.
   FrameDecoder decoder;
   auto bytes = encode_frame({.type = FrameType::kData, .payload = {1, 2, 3, 4}});
-  bytes[6] ^= 0xff;  // corrupt payload
+  bytes[kFrameHeaderBytes] ^= 0xff;  // corrupt payload
   decoder.feed(bytes);
-  EXPECT_THROW(decoder.next(), std::runtime_error);
+  EXPECT_EQ(decoder.next(), std::nullopt);
+  EXPECT_GT(decoder.skipped_bytes(), 0u);
+  EXPECT_EQ(decoder.resyncs(), 0u);  // no valid frame followed
 
   FrameDecoder decoder2;
-  decoder2.feed(std::vector<std::uint8_t>{99, 0, 0, 0, 0});
-  EXPECT_THROW(decoder2.next(), std::runtime_error);
+  decoder2.feed(std::vector<std::uint8_t>{99, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0});
+  EXPECT_EQ(decoder2.next(), std::nullopt);
+  // Scanning stops once fewer than a header's worth of bytes remain (they
+  // could be the prefix of a frame still in flight).
+  EXPECT_EQ(decoder2.skipped_bytes(), 2u);
+  EXPECT_EQ(decoder2.pending_bytes(), 10u);
 
   FrameDecoder decoder3(/*max_payload=*/4);
   decoder3.feed(encode_frame({.type = FrameType::kData, .payload = {1, 2, 3, 4, 5}}));
-  EXPECT_THROW(decoder3.next(), std::runtime_error);
+  EXPECT_EQ(decoder3.next(), std::nullopt);
+  EXPECT_GT(decoder3.skipped_bytes(), 0u);
+}
+
+TEST(FrameDecoderTest, ResyncsToNextValidFrame) {
+  // garbage + corrupt frame + valid frame: the decoder recovers the valid
+  // frame and reports exactly one resync covering the damaged run.
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> stream = {0x00, 0xff, 0x17, 0xa5};  // noise w/ fake magic start
+  auto corrupt = encode_frame({.type = FrameType::kData, .payload = {9, 9, 9}});
+  corrupt[kFrameHeaderBytes + 1] ^= 0x40;
+  stream.insert(stream.end(), corrupt.begin(), corrupt.end());
+  const auto good = encode_frame({.type = FrameType::kData, .seq = 5, .payload = {1, 2}});
+  stream.insert(stream.end(), good.begin(), good.end());
+
+  decoder.feed(stream);
+  const auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->seq, 5u);
+  EXPECT_EQ(out->payload, (std::vector<std::uint8_t>{1, 2}));
+  EXPECT_EQ(decoder.resyncs(), 1u);
+  EXPECT_EQ(decoder.skipped_bytes(), 4u + corrupt.size());
+  EXPECT_EQ(decoder.next(), std::nullopt);
+  EXPECT_EQ(decoder.pending_bytes(), 0u);
+}
+
+TEST(FrameDecoderTest, ResyncCountsDamagedRunsNotBytes) {
+  // Two separate damaged runs, each followed by a valid frame -> 2 resyncs.
+  FrameDecoder decoder;
+  std::vector<std::uint8_t> stream(7, 0xee);
+  const auto a = encode_frame({.type = FrameType::kFlush, .payload = {}});
+  stream.insert(stream.end(), a.begin(), a.end());
+  stream.insert(stream.end(), 13, 0xdd);
+  const auto b = encode_frame({.type = FrameType::kGoodbye, .payload = {}});
+  stream.insert(stream.end(), b.begin(), b.end());
+
+  decoder.feed(stream);
+  ASSERT_TRUE(decoder.next().has_value());
+  ASSERT_TRUE(decoder.next().has_value());
+  EXPECT_EQ(decoder.next(), std::nullopt);
+  EXPECT_EQ(decoder.resyncs(), 2u);
+  EXPECT_EQ(decoder.skipped_bytes(), 20u);
 }
 
 TEST(FrameDecoderTest, InterleavedFeedAndNext) {

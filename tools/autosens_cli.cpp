@@ -18,8 +18,11 @@
 //   autosens_cli locality  --in telemetry.csv [--action A]
 //   autosens_cli alpha     --in telemetry.csv [--action A] [--class C]
 //   autosens_cli collect   --out log.bin [--port 0] [--expect 1]
-//                          [--timeout-ms 30000]
+//                          [--timeout-ms 30000] [--read-deadline-ms -1]
+//                          [--max-resync-bytes 1048576] [--checkpoint FILE]
 //   autosens_cli replay    --in log.bin --port PORT [--batch 1024]
+//                          [--retries 5] [--backoff-ms 1] [--backoff-max-ms 1000]
+//                          [--drop-on-exhausted]
 //   autosens_cli metrics   --in metrics.txt [--filter substr]
 //
 // Every command additionally accepts the observability flags (all off by
@@ -524,34 +527,69 @@ int cmd_alpha(const cli::Args& args) {
 }
 
 int cmd_collect(const cli::Args& args) {
-  args.allow_only(with_obs({"out", "port", "expect", "timeout-ms"}));
+  args.allow_only(with_obs({"out", "port", "expect", "timeout-ms", "read-deadline-ms",
+                            "max-resync-bytes", "checkpoint"}));
   const std::string out = args.require("out");
-  net::Collector collector(static_cast<std::uint16_t>(args.get_int("port", 0)));
+  net::CollectorOptions options;
+  options.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  options.read_deadline_ms = static_cast<int>(args.get_int("read-deadline-ms", -1));
+  options.max_resync_bytes =
+      static_cast<std::size_t>(args.get_int("max-resync-bytes", 1 << 20));
+  net::Collector collector(options);
   std::cout << "listening on 127.0.0.1:" << collector.port() << "\n" << std::flush;
   const bool complete = collector.serve_until_goodbye(
       static_cast<std::size_t>(args.get_int("expect", 1)),
       static_cast<int>(args.get_int("timeout-ms", 30'000)));
+  // Graceful degradation: on timeout, optionally checkpoint whatever arrived
+  // to a separate path before (also) writing the main log, so a partial
+  // collection is preserved and labelled as such.
+  if (!complete && args.has("checkpoint")) {
+    const std::string checkpoint = args.require("checkpoint");
+    const auto written = collector.checkpoint(checkpoint);
+    std::cout << "checkpointed " << written << " records to " << checkpoint << "\n";
+  }
   const auto dataset = collector.take_dataset();
   const auto& stats = collector.stats();
   std::cout << "collected " << dataset.size() << " records over " << stats.connections
             << " connections (" << (complete ? "all goodbyes received" : "timed out")
             << ")\n";
+  if (stats.resyncs > 0 || stats.duplicate_frames > 0 || stats.deadline_drops > 0) {
+    std::cout << "recovery: " << stats.resyncs << " resyncs (" << stats.resync_bytes
+              << " bytes skipped), " << stats.duplicate_frames << " duplicates dropped, "
+              << stats.session_reconnects << " reconnects, " << stats.deadline_drops
+              << " deadline drops\n";
+  }
   telemetry::write_binlog_file(out, dataset);
   std::cout << "wrote " << out << "\n";
   return complete ? 0 : 1;
 }
 
 int cmd_replay(const cli::Args& args) {
-  args.allow_only(with_obs({"in", "port", "batch", "threads"}));
+  args.allow_only(with_obs({"in", "port", "batch", "threads", "retries", "backoff-ms",
+                            "backoff-max-ms", "drop-on-exhausted"}));
   const auto dataset = load(args.require("in"), ingest_options_from_flags(args));
-  net::Emitter emitter(
-      static_cast<std::uint16_t>(args.get_int("port", 0)),
-      {.batch_size = static_cast<std::size_t>(args.get_int("batch", 1024))});
+  net::EmitterOptions options;
+  options.batch_size = static_cast<std::size_t>(args.get_int("batch", 1024));
+  options.retry.max_attempts = static_cast<std::size_t>(args.get_int("retries", 5));
+  options.retry.backoff_initial_ms =
+      static_cast<std::uint32_t>(args.get_int("backoff-ms", 1));
+  options.retry.backoff_max_ms =
+      static_cast<std::uint32_t>(args.get_int("backoff-max-ms", 1000));
+  options.on_give_up = args.has("drop-on-exhausted")
+                           ? net::EmitterOptions::GiveUp::kDropFrame
+                           : net::EmitterOptions::GiveUp::kThrow;
+  net::Emitter emitter(static_cast<std::uint16_t>(args.get_int("port", 0)), options);
   for (std::size_t i = 0; i < dataset.size(); ++i) emitter.record(dataset[i]);
   emitter.close();
   std::cout << "replayed " << emitter.sent_records() << " records in "
             << emitter.sent_frames() << " frames\n";
-  return 0;
+  const auto& stats = emitter.stats();
+  if (stats.retries > 0 || stats.dropped_records > 0) {
+    std::cout << "resilience: " << stats.retries << " retries, " << stats.reconnects
+              << " reconnects, " << stats.backoff_ms << " ms backoff, "
+              << stats.dropped_records << " records dropped after exhaustion\n";
+  }
+  return stats.dropped_records == 0 ? 0 : 1;
 }
 
 int cmd_metrics(const cli::Args& args) {
@@ -595,7 +633,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
-    const cli::Args args(argc, argv, 2, {"no-normalize", "mc", "confidence", "stats"});
+    const cli::Args args(argc, argv, 2,
+                         {"no-normalize", "mc", "confidence", "stats", "drop-on-exhausted"});
     setup_observability(args);
     const int code = dispatch(command, args);
     finish_observability(args);

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Build and run the concurrency-sensitive test suites under sanitizers, in
+# two dedicated build trees:
+#   <repo>/build-asan — AUTOSENS_SANITIZE=address + AUTOSENS_UBSAN=ON
+#   <repo>/build-tsan — AUTOSENS_SANITIZE=thread
+#
+# Each tree runs the net, parallel, and obs ctest labels (the fault-injection
+# matrix, the wire fuzz corpus, the emitter/collector pipeline, the parallel
+# execution layer, and the metrics registry) — the code where memory-safety
+# and data-race bugs would actually live. Pass --soak to also run the
+# slow-labelled soak tests (ctest -C soak -L slow) in each tree.
+#
+# Only the test targets for those labels are built, not the whole tree, so a
+# sanitizer pass stays affordable on a small machine.
+#
+# Usage: tools/run_sanitizers.sh [--soak] [--asan-dir DIR] [--tsan-dir DIR]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+asan_dir="${repo_root}/build-asan"
+tsan_dir="${repo_root}/build-tsan"
+soak=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --soak) soak=1; shift ;;
+    --asan-dir) asan_dir="$2"; shift 2 ;;
+    --tsan-dir) tsan_dir="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+# The test executables behind the net/parallel/obs ctest labels.
+targets=(wire_test net_pipeline_test fault_test wire_fuzz_test
+         net_fault_matrix_test parallel_test parallel_determinism_test
+         obs_metrics_test obs_trace_test obs_log_test)
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_tree() {
+  local dir="$1"; shift
+  local label="$1"; shift
+  echo "=== [$label] configure: $dir ==="
+  cmake -B "$dir" -S "$repo_root" "$@" > /dev/null
+  echo "=== [$label] build: ${targets[*]} ==="
+  cmake --build "$dir" -j "$jobs" --target "${targets[@]}"
+  echo "=== [$label] ctest -L 'net|parallel|obs' ==="
+  ctest --test-dir "$dir" -L 'net|parallel|obs' -LE slow --output-on-failure -j "$jobs"
+  if [[ "$soak" -eq 1 ]]; then
+    echo "=== [$label] soak: ctest -C soak -L slow ==="
+    ctest --test-dir "$dir" -C soak -L slow --output-on-failure
+  fi
+}
+
+run_tree "$asan_dir" "ASan+UBSan" \
+  -DAUTOSENS_SANITIZE=address -DAUTOSENS_UBSAN=ON
+run_tree "$tsan_dir" "TSan" \
+  -DAUTOSENS_SANITIZE=thread
+
+echo "sanitizer suites passed: ASan+UBSan ($asan_dir), TSan ($tsan_dir)"
