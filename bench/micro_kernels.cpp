@@ -4,11 +4,14 @@
 // analysis pipeline.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
+#include <optional>
 #include <span>
 #include <sstream>
 #include <stdexcept>
@@ -17,6 +20,7 @@
 
 #include "core/confidence.h"
 #include "core/pipeline.h"
+#include "core/simd.h"
 #include "core/slices.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -745,6 +749,121 @@ void BM_IngestBinlog(benchmark::State& state) {
                           static_cast<std::int64_t>(million_record_dataset().size()));
 }
 BENCHMARK(BM_IngestBinlog)->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// SIMD analysis kernels (BENCH_kernels.json), fig3-scale inputs. Arg(0) pins
+// the scalar path, Arg(1) runs the detected dispatch level, so the
+// scalar-vs-SIMD speedup is computable from one JSON. Run with
+// --benchmark_repetitions=N so every row carries per-repetition samples for
+// the robust regression gate (tools/check_bench_regression.py).
+
+/// Pin the SIMD dispatch level for one benchmark run.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(bool dispatch) {
+    core::simd::set_level_override(dispatch ? core::simd::detected_level()
+                                            : core::simd::Level::kScalar);
+  }
+  ~ScopedSimdLevel() { core::simd::set_level_override(std::nullopt); }
+};
+
+const char* simd_label(benchmark::State& state) {
+  return state.range(0) != 0 ? "dispatch" : "scalar";
+}
+
+/// Biased histogram fill: 1M unit-weight adds into the fig3 latency geometry.
+void BM_KernelBiasedFill(benchmark::State& state) {
+  const auto& dataset = million_record_dataset();
+  const auto latencies = dataset.latencies();
+  ScopedSimdLevel level(state.range(0) != 0);
+  for (auto _ : state) {
+    stats::Histogram histogram(0.0, 10.0, 300);
+    histogram.add_all(latencies);
+    benchmark::DoNotOptimize(histogram.total_weight());
+  }
+  state.SetLabel(simd_label(state));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(latencies.size()));
+}
+BENCHMARK(BM_KernelBiasedFill)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Unbiased histogram fill: 1M Voronoi-weighted adds (weights precomputed so
+/// the benchmark isolates the weighted fill, not the weight pass).
+void BM_KernelUnbiasedFill(benchmark::State& state) {
+  const auto& dataset = million_record_dataset();
+  const auto latencies = dataset.latencies();
+  static const std::vector<double> weights = [&] {
+    const auto times = dataset.times();
+    return stats::voronoi_weights(times, dataset.begin_time(), dataset.end_time());
+  }();
+  ScopedSimdLevel level(state.range(0) != 0);
+  for (auto _ : state) {
+    stats::Histogram histogram(0.0, 10.0, 300);
+    histogram.add_all(latencies, weights);
+    benchmark::DoNotOptimize(histogram.total_weight());
+  }
+  state.SetLabel(simd_label(state));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(latencies.size()));
+}
+BENCHMARK(BM_KernelUnbiasedFill)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// The fused classify+fill pass of the α estimator: per-block latency bin
+/// indices through the dispatch layer, element-order adds into one of the
+/// per-hour class histograms.
+void BM_KernelClassifyFill(benchmark::State& state) {
+  const auto& dataset = million_record_dataset();
+  const auto times = dataset.times();
+  const auto latencies = dataset.latencies();
+  const core::AutoSensOptions options;
+  const auto classes =
+      static_cast<std::size_t>(telemetry::kMillisPerDay / options.alpha_slot_ms);
+  ScopedSimdLevel level(state.range(0) != 0);
+  for (auto _ : state) {
+    std::vector<stats::Histogram> counts;
+    counts.reserve(classes);
+    for (std::size_t k = 0; k < classes; ++k) {
+      counts.push_back(stats::Histogram::covering(0.0, options.max_latency_ms,
+                                                  options.alpha_bin_width_ms));
+    }
+    const double lo = counts.front().lo();
+    const double width = counts.front().bin_width();
+    const std::size_t bins = counts.front().size();
+    constexpr std::size_t kBlock = 1024;
+    std::array<std::uint32_t, kBlock> bin;
+    for (std::size_t offset = 0; offset < times.size(); offset += kBlock) {
+      const std::size_t m = std::min(kBlock, times.size() - offset);
+      core::simd::bin_indices(latencies.subspan(offset, m), lo, width, bins,
+                              std::span<std::uint32_t>(bin.data(), m));
+      for (std::size_t i = 0; i < m; ++i) {
+        const auto slot = static_cast<std::size_t>(
+            ((times[offset + i] % telemetry::kMillisPerDay) + telemetry::kMillisPerDay) %
+            telemetry::kMillisPerDay / options.alpha_slot_ms);
+        counts[slot].add_at(bin[i]);
+      }
+    }
+    benchmark::DoNotOptimize(counts.front().total_weight());
+  }
+  state.SetLabel(simd_label(state));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(times.size()));
+}
+BENCHMARK(BM_KernelClassifyFill)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Savitzky–Golay smoothing as a FIR convolution (window 101, degree 3).
+void BM_KernelSavitzkyGolay(benchmark::State& state) {
+  const auto signal = random_values(30'000, 2);
+  const stats::SavitzkyGolay filter({.window = 101, .degree = 3});
+  ScopedSimdLevel level(state.range(0) != 0);
+  for (auto _ : state) {
+    auto smoothed = filter.smooth(signal);
+    benchmark::DoNotOptimize(smoothed.data());
+  }
+  state.SetLabel(simd_label(state));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(signal.size()));
+}
+BENCHMARK(BM_KernelSavitzkyGolay)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_EndToEndAnalysis(benchmark::State& state) {

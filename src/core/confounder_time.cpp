@@ -1,7 +1,9 @@
 #include "core/confounder_time.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <stdexcept>
@@ -9,6 +11,7 @@
 
 #include "core/biased.h"
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "obs/trace.h"
 #include "stats/sampling.h"
 #include "stats/scratch.h"
@@ -99,14 +102,30 @@ ClassCounts classify_records(telemetry::SampleColumns columns, std::size_t class
     partial.records.assign(class_count, 0);
     return partial;
   };
+  // One α-bin geometry shared by every class histogram, so the latency bin
+  // indices can be batch-computed once per block (fused classify+fill: each
+  // column element is touched exactly once on its way into a class).
+  constexpr std::size_t kClassifyBlock = 1024;
   return parallel_map_reduce<ClassCounts>(
       times.size(), options.threads, kRecordChunk,
       [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
         auto partial = make_partial();
-        for (std::size_t i = begin; i < end; ++i) {
-          const std::size_t k = classify(times[i]);
-          partial.counts[k].add(latencies[i]);
-          ++partial.records[k];
+        const auto& geometry = partial.counts.front();
+        const double lo = geometry.lo();
+        const double width = geometry.bin_width();
+        const std::size_t bins = geometry.size();
+        std::array<std::uint32_t, kClassifyBlock> bin;
+        for (std::size_t offset = begin; offset < end; offset += kClassifyBlock) {
+          const std::size_t m = std::min(kClassifyBlock, end - offset);
+          simd::bin_indices(latencies.subspan(offset, m), lo, width, bins,
+                            std::span<std::uint32_t>(bin.data(), m));
+          // Class assignment + adds replay in element order, exactly like the
+          // unfused loop, so the chunk-order determinism guarantee holds.
+          for (std::size_t i = 0; i < m; ++i) {
+            const std::size_t k = classify(times[offset + i]);
+            partial.counts[k].add_at(bin[i]);
+            ++partial.records[k];
+          }
         }
         return partial;
       },

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/simd.h"
 #include "obs/trace.h"
 #include "stats/savitzky_golay.h"
 
@@ -101,7 +102,7 @@ PreferenceResult compute_preference(const stats::Histogram& biased,
     return smoother.smooth(signal);
   }();
   // Ratios are nonnegative; smoothing overshoot below zero is clamped.
-  for (double& v : smoothed) v = std::max(v, 0.0);
+  simd::clamp_min(smoothed, 0.0);
 
   obs::Span normalize_span("nlp_normalize");
 
@@ -128,9 +129,13 @@ PreferenceResult compute_preference(const stats::Histogram& biased,
   }
 
   result.normalized.assign(bins, 0.0);
-  for (std::size_t k = 0; k < smoothed.size(); ++k) {
-    result.normalized[result.support_begin + k] = smoothed[k] / ref_value;
-  }
+  // Copy the supported span then divide in place (a true division, so the
+  // rounding matches the scalar element-by-element loop).
+  std::copy(smoothed.begin(), smoothed.end(),
+            result.normalized.begin() + static_cast<std::ptrdiff_t>(result.support_begin));
+  simd::divide(std::span<double>(result.normalized).subspan(result.support_begin,
+                                                            smoothed.size()),
+               ref_value);
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "core/biased.h"
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/sampling.h"
@@ -123,7 +124,7 @@ stats::Histogram unbiased_histogram_over_windows_sorted(
               stats::voronoi_weights(times.subspan(lo, count), window.begin_ms, window.end_ms);
           // Weight by window duration so pooled U is time-weighted across windows.
           const double duration = static_cast<double>(window.length());
-          for (double& weight : weights) weight *= duration;
+          simd::scale(weights, duration);
           histogram.add_all(latencies.subspan(lo, count), weights);
         }
         return histogram;

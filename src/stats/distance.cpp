@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/simd.h"
+
 namespace autosens::stats {
 namespace {
 
@@ -20,19 +22,15 @@ void check_compatible(const Histogram& p, const Histogram& q) {
 
 double total_variation_distance(const Histogram& p, const Histogram& q) {
   check_compatible(p, q);
-  double sum = 0.0;
-  for (std::size_t i = 0; i < p.size(); ++i) {
-    sum += std::abs(p.count(i) / p.total_weight() - q.count(i) / q.total_weight());
-  }
+  const double sum =
+      core::simd::l1_prob_diff(p.counts(), q.counts(), p.total_weight(), q.total_weight());
   return 0.5 * sum;
 }
 
 double hellinger_distance(const Histogram& p, const Histogram& q) {
   check_compatible(p, q);
-  double bc = 0.0;  // Bhattacharyya coefficient
-  for (std::size_t i = 0; i < p.size(); ++i) {
-    bc += std::sqrt(p.count(i) / p.total_weight() * q.count(i) / q.total_weight());
-  }
+  const double bc =  // Bhattacharyya coefficient
+      core::simd::bhattacharyya(p.counts(), q.counts(), p.total_weight(), q.total_weight());
   return std::sqrt(std::max(0.0, 1.0 - bc));
 }
 

@@ -1,8 +1,11 @@
 #include "stats/histogram.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "core/simd.h"
 
 namespace autosens::stats {
 
@@ -55,10 +58,7 @@ std::vector<double> Histogram::release_counts() noexcept {
 }
 
 std::size_t Histogram::bin_index(double value) const noexcept {
-  const double offset = (value - lo_) / width_;
-  if (offset <= 0.0) return 0;
-  const auto idx = static_cast<std::size_t>(offset);
-  return std::min(idx, counts_.size() - 1);
+  return core::simd::bin_index_scalar(value, lo_, width_, counts_.size());
 }
 
 void Histogram::add(double value, double weight) noexcept {
@@ -67,24 +67,22 @@ void Histogram::add(double value, double weight) noexcept {
 }
 
 void Histogram::add_all(std::span<const double> values) noexcept {
-  for (const double v : values) counts_[bin_index(v)] += 1.0;
+  core::simd::histogram_fill(values, lo_, width_, counts_);
   total_ += static_cast<double>(values.size());
 }
 
 void Histogram::add_all(std::span<const double> values, double weight) noexcept {
-  for (const double v : values) counts_[bin_index(v)] += weight;
+  core::simd::histogram_fill_const(values, weight, lo_, width_, counts_);
   total_ += weight * static_cast<double>(values.size());
 }
 
 void Histogram::add_all(std::span<const double> values,
                         std::span<const double> weights) noexcept {
+  assert(values.size() == weights.size() &&
+         "Histogram::add_all: values/weights length mismatch");
   const std::size_t n = std::min(values.size(), weights.size());
-  double added = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    counts_[bin_index(values[i])] += weights[i];
-    added += weights[i];
-  }
-  total_ += added;
+  total_ += core::simd::histogram_fill_weighted(values.first(n), weights.first(n),
+                                                lo_, width_, counts_);
 }
 
 void Histogram::set_count(std::size_t i, double weight) noexcept {
@@ -93,7 +91,7 @@ void Histogram::set_count(std::size_t i, double weight) noexcept {
 }
 
 void Histogram::scale(double factor) noexcept {
-  for (double& c : counts_) c *= factor;
+  core::simd::scale(counts_, factor);
   total_ *= factor;
 }
 
@@ -101,7 +99,7 @@ void Histogram::merge(const Histogram& other) {
   if (other.lo_ != lo_ || other.width_ != width_ || other.counts_.size() != counts_.size()) {
     throw std::invalid_argument("Histogram::merge: geometry mismatch");
   }
-  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  core::simd::add_assign(counts_, other.counts_);
   total_ += other.total_;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/simd.h"
 #include "stats/linalg.h"
 
 namespace autosens::stats {
@@ -67,12 +68,11 @@ std::vector<double> SavitzkyGolay::smooth(std::span<const double> signal) const 
 
   const std::size_t h = window / 2;
   std::vector<double> out(n, 0.0);
-  // Interior: plain convolution with the precomputed kernel.
-  for (std::size_t i = h; i + h < n; ++i) {
-    double sum = 0.0;
-    for (std::size_t j = 0; j < window; ++j) sum += kernel_[j] * signal[i - h + j];
-    out[i] = sum;
-  }
+  // Interior: valid-mode FIR convolution with the precomputed kernel
+  // (out[h + t] = sum_j kernel[j] * signal[t + j]), vectorized behind the
+  // runtime dispatch layer.
+  core::simd::fir_convolve_valid(signal, kernel_,
+                                 std::span<double>(out).subspan(h, n - window + 1));
   // Edges ("interp" mode): fit one polynomial to each terminal window and
   // evaluate it at the uncovered positions.
   std::vector<double> x(window);

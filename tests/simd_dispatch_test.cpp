@@ -1,0 +1,80 @@
+// Dispatch-level selection for the SIMD kernel layer: the
+// AUTOSENS_FORCE_SCALAR environment knob, the test override, and the
+// `autosens_simd_level` gauge published through obs.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+
+#include "core/simd.h"
+#include "obs/metrics.h"
+
+namespace autosens {
+namespace {
+
+namespace simd = core::simd;
+
+// The environment knob is read once, when the first kernel call initializes
+// the dispatch level, so each scenario runs in a freshly exec'd process
+// (threadsafe death-test style) where the static is still uninitialized.
+class SimdDispatchDeathTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(SimdDispatchDeathTest, ForceScalarEnvPinsScalarLevel) {
+  for (const char* value : {"1", "true", "yes", "on"}) {
+    EXPECT_EXIT(
+        {
+          setenv("AUTOSENS_FORCE_SCALAR", value, 1);
+          std::exit(simd::active_level() == simd::Level::kScalar ? 0 : 1);
+        },
+        testing::ExitedWithCode(0), "")
+        << "AUTOSENS_FORCE_SCALAR=" << value;
+  }
+}
+
+TEST_F(SimdDispatchDeathTest, UnrecognizedEnvValueFallsBackToDetection) {
+  EXPECT_EXIT(
+      {
+        setenv("AUTOSENS_FORCE_SCALAR", "0", 1);
+        std::exit(simd::active_level() == simd::detected_level() ? 0 : 1);
+      },
+      testing::ExitedWithCode(0), "");
+}
+
+TEST(SimdDispatchTest, OverridePinsAndRestores) {
+  simd::set_level_override(simd::Level::kScalar);
+  EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+  simd::set_level_override(simd::detected_level());
+  EXPECT_EQ(simd::active_level(), simd::detected_level());
+  simd::set_level_override(std::nullopt);
+  EXPECT_EQ(simd::active_level(), simd::detected_level());
+}
+
+TEST(SimdDispatchTest, LevelNamesAreStable) {
+  EXPECT_EQ(simd::to_string(simd::Level::kScalar), "scalar");
+  EXPECT_EQ(simd::to_string(simd::Level::kAvx2), "avx2");
+}
+
+TEST(SimdDispatchTest, PublishSetsGauge) {
+  obs::set_enabled(true);
+  simd::publish_level();
+  obs::set_enabled(false);
+  const double value = obs::registry().gauge("autosens_simd_level").value();
+  EXPECT_EQ(value, static_cast<double>(static_cast<int>(simd::active_level())));
+}
+
+TEST(SimdDispatchTest, GaugeTracksOverride) {
+  simd::set_level_override(simd::Level::kScalar);
+  obs::set_enabled(true);
+  simd::publish_level();
+  obs::set_enabled(false);
+  simd::set_level_override(std::nullopt);
+  EXPECT_EQ(obs::registry().gauge("autosens_simd_level").value(), 0.0);
+}
+
+}  // namespace
+}  // namespace autosens

@@ -4,12 +4,23 @@
 #
 # Expects: BENCH_BIN, BASELINE, CHECKER, PYTHON, WORK_DIR, GATE_NAME,
 #          FILTER (benchmark_filter regex), KERNELS (;-list of BM_ names).
+# Optional: REPETITIONS (run each benchmark N times and keep per-repetition
+#           samples so the checker's spike filter has a distribution),
+#           STAT (robust statistic to gate on: median | trimmed_mean | mean).
 
 set(current_json "${WORK_DIR}/bench_gate_${GATE_NAME}_current.json")
+
+set(rep_flags "")
+if(DEFINED REPETITIONS AND REPETITIONS)
+  list(APPEND rep_flags
+       "--benchmark_repetitions=${REPETITIONS}"
+       "--benchmark_report_aggregates_only=false")
+endif()
 
 execute_process(
   COMMAND "${BENCH_BIN}"
           "--benchmark_filter=${FILTER}"
+          ${rep_flags}
           "--benchmark_format=json"
           "--benchmark_out_format=json"
           "--benchmark_out=${current_json}"
@@ -19,10 +30,17 @@ if(NOT bench_result EQUAL 0)
   message(FATAL_ERROR "bench gate: micro_kernels failed (${bench_result})")
 endif()
 
+# KERNELS crosses the add_test -> ctest -> cmake -P boundary with escaped
+# semicolons (one string item, not a list); unescape before iterating, or
+# every name after the first reaches the checker as a bare positional.
+string(REPLACE "\\;" ";" kernels_list "${KERNELS}")
 set(kernel_flags "")
-foreach(kernel IN LISTS KERNELS)
+foreach(kernel IN LISTS kernels_list)
   list(APPEND kernel_flags --kernel "${kernel}")
 endforeach()
+if(DEFINED STAT AND STAT)
+  list(APPEND kernel_flags --stat "${STAT}")
+endif()
 
 execute_process(
   COMMAND "${PYTHON}" "${CHECKER}" "${BASELINE}" "${current_json}"

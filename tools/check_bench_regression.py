@@ -1,33 +1,149 @@
 #!/usr/bin/env python3
-"""Compare two google-benchmark JSON files and fail on real_time regressions.
+"""Compare two google-benchmark JSON files and fail on real_time regressions,
+gating on a robust statistic over per-repetition samples.
 
 Usage:
     check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.15]
-                              [--kernel NAME ...]
+                              [--kernel NAME ...] [--stat median]
+                              [--spike-window 5] [--spike-mult 5.0]
+                              [--noise-mult 3.0]
+    check_bench_regression.py --self-test
 
-Benchmarks are matched by their full name (e.g. "BM_DayBlockResample/1/
-real_time"). With --kernel, only benchmarks whose name contains one of the
-given substrings are gated; without it, every benchmark present in both
-files is checked. A benchmark regresses when
+Benchmarks are matched by their full name (e.g. "BM_KernelBiasedFill/1").
+Files written with --benchmark_repetitions=N contribute one sample per
+repetition (run_type == "iteration"); single-run files degenerate to one
+sample per name. With --kernel, only benchmarks whose name contains one of
+the given substrings are gated.
 
-    current.real_time > baseline.real_time * (1 + threshold)
+Each sample list goes through two robustness stages before the comparison:
 
-for the same time_unit. Benchmarks where both sides run faster than
---min-time-us are reported but never fail: at microsecond scale a relative
-threshold measures scheduler noise, not the kernel. Benchmarks present in
-only one file are reported but do not fail the check (the suite is allowed
-to grow). Exit status: 0 when no gated kernel regressed, 1 otherwise, 2 on
-malformed input.
+ 1. Temporal spike filter: a sliding-window (--spike-window) median tracks
+    the local level of the repetition sequence; samples sitting more than
+    --spike-mult MAD-sigmas ABOVE their local median are discarded as
+    scheduler/interrupt spikes. The filter is one-sided (a latency spike is
+    always positive) and refuses to drop more than half the samples, so a
+    genuinely bimodal kernel is never silently averaged away.
+ 2. Robust statistic (--stat): median (default), trimmed_mean (central 60%),
+    or mean (the legacy raw gate, applied after the spike filter; use
+    --spike-mult inf to reproduce the old behaviour exactly).
+
+A benchmark regresses only when BOTH hold for the same time_unit:
+
+    cur_stat > base_stat * (1 + threshold)          -- relative growth
+    cur_stat - base_stat > noise_mult * mad_sigma   -- above the noise floor
+
+where mad_sigma = 1.4826 * MAD of the filtered baseline samples (zero for
+single-sample baselines, disabling the floor). Benchmarks where both sides
+run faster than --min-time-us are reported but never fail. Benchmarks
+present in only one file are reported but do not fail the check (the suite
+is allowed to grow). Exit status: 0 when no gated kernel regressed, 1
+otherwise, 2 on malformed input. --self-test runs the embedded scenarios
+(spike rejection, genuine regression, noise floor) and exits 0/1.
 """
 
 import argparse
 import json
+import math
 import sys
 
 NS_PER_UNIT = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+MAD_TO_SIGMA = 1.4826  # MAD -> sigma for a normal distribution
+
+
+def median(values):
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def mad_sigma(values):
+    """Robust spread estimate: 1.4826 * median(|x - median(x)|)."""
+    if len(values) < 2:
+        return 0.0
+    center = median(values)
+    return MAD_TO_SIGMA * median([abs(v - center) for v in values])
+
+
+def rolling_median(values, window):
+    """Median of a centered window at each position (window clipped at the
+    edges), tracking the local level of a temporal sample sequence."""
+    half = max(1, window) // 2
+    out = []
+    for i in range(len(values)):
+        lo = max(0, i - half)
+        hi = min(len(values), i + half + 1)
+        out.append(median(values[lo:hi]))
+    return out
+
+def filter_spikes(samples, window, mult):
+    """Drop samples more than `mult` MAD-sigmas ABOVE their rolling median.
+
+    One-sided: scheduler interrupts and frequency dips only ever make a
+    repetition slower, and a too-fast sample would hide a regression if
+    dropped. Returns (kept, dropped). Never drops more than half the
+    samples; if it would, the sequence is bimodal rather than spiked and is
+    returned unfiltered.
+    """
+    if len(samples) < 4 or not math.isfinite(mult):
+        return list(samples), []
+    local = rolling_median(samples, window)
+    deviations = [s - m for s, m in zip(samples, local)]
+    sigma = mad_sigma(deviations)
+    if sigma <= 0.0:
+        # Flat sequence (MAD collapses to zero when most repetitions are
+        # identical): fall back to the mean absolute deviation, which a lone
+        # spike cannot zero out.
+        sigma = MAD_TO_SIGMA * sum(abs(d) for d in deviations) / len(deviations)
+    if sigma <= 0.0:
+        return list(samples), []
+    kept, dropped = [], []
+    for sample, level in zip(samples, local):
+        (dropped if sample - level > mult * sigma else kept).append(sample)
+    if len(kept) < (len(samples) + 1) // 2:
+        return list(samples), []
+    return kept, dropped
+
+
+def trimmed_mean(values, trim=0.2):
+    ordered = sorted(values)
+    cut = int(len(ordered) * trim)
+    core = ordered[cut:len(ordered) - cut] or ordered
+    return sum(core) / len(core)
+
+
+def statistic(values, stat):
+    if stat == "median":
+        return median(values)
+    if stat == "trimmed_mean":
+        return trimmed_mean(values)
+    return sum(values) / len(values)
+
+
+def evaluate(base_samples, cur_samples, *, threshold, stat, spike_window,
+             spike_mult, noise_mult):
+    """Gate one benchmark. Returns (regressed, detail dict)."""
+    base_kept, base_dropped = filter_spikes(base_samples, spike_window, spike_mult)
+    cur_kept, cur_dropped = filter_spikes(cur_samples, spike_window, spike_mult)
+    base_stat = statistic(base_kept, stat)
+    cur_stat = statistic(cur_kept, stat)
+    floor = noise_mult * mad_sigma(base_kept)
+    over_threshold = cur_stat > base_stat * (1.0 + threshold)
+    over_noise = cur_stat - base_stat > floor
+    return over_threshold and over_noise, {
+        "base_stat": base_stat,
+        "cur_stat": cur_stat,
+        "noise_floor": floor,
+        "dropped": len(base_dropped) + len(cur_dropped),
+        "over_threshold": over_threshold,
+        "over_noise": over_noise,
+    }
 
 
 def load_benchmarks(path):
+    """name -> (samples in repetition order, time_unit)."""
     try:
         with open(path, encoding="utf-8") as handle:
             doc = json.load(handle)
@@ -46,23 +162,104 @@ def load_benchmarks(path):
             continue
         if entry.get("run_type") == "aggregate":
             continue
-        out[name] = (float(real_time), entry.get("time_unit", "ns"))
+        # Repetition entries share a family name modulo the /repeats:N and
+        # trailing iteration suffixes google-benchmark appends; run_name is
+        # the stable key when present.
+        key = entry.get("run_name", name)
+        samples, unit = out.setdefault(key, ([], entry.get("time_unit", "ns")))
+        if entry.get("time_unit", "ns") != unit:
+            print(f"error: {path}: {key} mixes time units", file=sys.stderr)
+            sys.exit(2)
+        samples.append(float(real_time))
     return out
+
+
+def self_test():
+    """Embedded scenarios proving the robust gate behaves; exits 0/1."""
+    opts = dict(threshold=0.15, stat="median", spike_window=5, spike_mult=5.0,
+                noise_mult=3.0)
+    failures = []
+
+    def check(name, condition):
+        print(f"{'ok' if condition else 'FAIL':>6}  self-test: {name}")
+        if not condition:
+            failures.append(name)
+
+    # 1. A single scheduler spike in an otherwise-flat run: the legacy
+    #    raw-mean gate flags it, the robust gate must not.
+    base = [100.0] * 20
+    spiked = [100.0 + 0.01 * i for i in range(19)] + [500.0]
+    raw_mean = sum(spiked) / len(spiked)
+    check("raw-mean gate would flag the spike",
+          raw_mean > 100.0 * (1.0 + opts["threshold"]))
+    regressed, detail = evaluate(base, spiked, **opts)
+    check("robust gate rejects the injected spike",
+          not regressed and detail["dropped"] == 1)
+
+    # 2. A genuine 30% regression must still fail.
+    regressed, _ = evaluate(base, [130.0 + 0.01 * i for i in range(20)], **opts)
+    check("genuine 30% regression still fails", regressed)
+
+    # 3. A genuine regression with a decoy spike in the baseline: filtering
+    #    the baseline must not mask the current slowdown.
+    regressed, _ = evaluate([100.0] * 19 + [400.0],
+                            [130.0 + 0.01 * i for i in range(20)], **opts)
+    check("baseline spike does not mask a regression", regressed)
+
+    # 4. Noise floor: growth past the threshold but within the baseline's
+    #    own MAD-sigma band is noise, not a regression.
+    noisy_base = [90.0, 110.0, 95.0, 105.0, 92.0, 108.0, 94.0, 106.0, 98.0, 102.0]
+    shifted = [v + 8.0 for v in noisy_base]
+    tight = dict(opts, threshold=0.05)
+    regressed, detail = evaluate(noisy_base, shifted, **tight)
+    check("sub-noise-floor growth passes", not regressed and detail["over_threshold"])
+
+    # 5. Single-sample files (legacy JSONs) still gate on the plain ratio.
+    regressed, _ = evaluate([100.0], [130.0], **opts)
+    check("single-sample regression still fails", regressed)
+    regressed, _ = evaluate([100.0], [110.0], **opts)
+    check("single-sample within threshold passes", not regressed)
+
+    if failures:
+        print(f"\nself-test FAILED: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("\nself-test passed")
+    return 0
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
     parser.add_argument("--threshold", type=float, default=0.15,
-                        help="allowed fractional real_time growth (default 0.15)")
-    parser.add_argument("--kernel", action="append", default=[],
-                        help="gate only benchmarks whose name contains this "
-                             "substring (repeatable)")
+                        help="allowed fractional growth of the robust "
+                             "statistic (default 0.15)")
+    parser.add_argument("--kernel", action="extend", nargs="+", default=[],
+                        help="gate only benchmarks whose name contains one of "
+                             "these substrings (repeatable, multi-value)")
     parser.add_argument("--min-time-us", type=float, default=100.0,
                         help="benchmarks faster than this on both sides are "
                              "reported but cannot fail (default 100us)")
+    parser.add_argument("--stat", choices=("median", "trimmed_mean", "mean"),
+                        default="median",
+                        help="statistic compared across files (default median)")
+    parser.add_argument("--spike-window", type=int, default=5,
+                        help="sliding window (repetitions) of the temporal "
+                             "spike filter (default 5)")
+    parser.add_argument("--spike-mult", type=float, default=5.0,
+                        help="drop samples this many MAD-sigmas above their "
+                             "rolling median (default 5.0; inf disables)")
+    parser.add_argument("--noise-mult", type=float, default=3.0,
+                        help="regressions must clear this many baseline "
+                             "MAD-sigmas (default 3.0; 0 disables)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded gate scenarios and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current JSON files are required")
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
@@ -72,30 +269,37 @@ def main():
 
     regressions = []
     checked = 0
-    for name, (base_time, base_unit) in sorted(baseline.items()):
+    for name, (base_samples, base_unit) in sorted(baseline.items()):
         if not gated(name):
             continue
         if name not in current:
             print(f"note: {name} only in baseline (skipped)")
             continue
-        cur_time, cur_unit = current[name]
+        cur_samples, cur_unit = current[name]
         if cur_unit != base_unit:
             print(f"error: {name}: time_unit mismatch ({base_unit} vs {cur_unit})",
                   file=sys.stderr)
             sys.exit(2)
         checked += 1
-        ratio = cur_time / base_time if base_time > 0 else float("inf")
+        regressed, detail = evaluate(
+            base_samples, cur_samples, threshold=args.threshold, stat=args.stat,
+            spike_window=args.spike_window, spike_mult=args.spike_mult,
+            noise_mult=args.noise_mult)
+        base_stat, cur_stat = detail["base_stat"], detail["cur_stat"]
+        ratio = cur_stat / base_stat if base_stat > 0 else float("inf")
         unit_ns = NS_PER_UNIT.get(base_unit, 1.0)
-        floor_hit = max(base_time, cur_time) * unit_ns < args.min_time_us * 1e3
+        floor_hit = max(base_stat, cur_stat) * unit_ns < args.min_time_us * 1e3
         status = "ok"
-        if cur_time > base_time * (1.0 + args.threshold):
-            if floor_hit:
-                status = "noise"  # too fast to gate on a relative threshold
-            else:
-                status = "REGRESSION"
+        if regressed:
+            status = "noise" if floor_hit else "REGRESSION"
+            if not floor_hit:
                 regressions.append(name)
-        print(f"{status:>10}  {name}: {base_time:.3f} -> {cur_time:.3f} {base_unit} "
-              f"({ratio:+.1%} of baseline)")
+        elif detail["over_threshold"]:
+            status = "noise"  # inside the MAD noise floor or the time floor
+        spikes = f", {detail['dropped']} spike(s) dropped" if detail["dropped"] else ""
+        reps = f"{len(base_samples)}v{len(cur_samples)} reps"
+        print(f"{status:>10}  {name}: {args.stat} {base_stat:.3f} -> {cur_stat:.3f} "
+              f"{base_unit} ({ratio - 1.0:+.1%}, {reps}{spikes})")
     for name in sorted(current):
         if gated(name) and name not in baseline:
             print(f"note: {name} only in current (skipped)")
@@ -105,9 +309,11 @@ def main():
         sys.exit(2)
     if regressions:
         print(f"\n{len(regressions)} kernel(s) regressed beyond "
-              f"{args.threshold:.0%}: {', '.join(regressions)}", file=sys.stderr)
+              f"{args.threshold:.0%} of the {args.stat}: {', '.join(regressions)}",
+              file=sys.stderr)
         sys.exit(1)
-    print(f"\nall {checked} gated kernel(s) within {args.threshold:.0%} of baseline")
+    print(f"\nall {checked} gated kernel(s) within {args.threshold:.0%} "
+          f"of the baseline {args.stat}")
 
 
 if __name__ == "__main__":

@@ -9,6 +9,12 @@
 #   BENCH_ingest.json   — the parallel zero-copy ingest engine (chunked
 #                         CSV/JSONL parse and the ASL2 columnar binlog load
 #                         vs the seed getline / ASL1-row paths)
+#   BENCH_kernels.json  — the SIMD analysis kernels (biased/unbiased histogram
+#                         fill, fused classify+fill, Savitzky–Golay FIR),
+#                         Arg(0)=scalar vs Arg(1)=dispatch, recorded with
+#                         per-repetition samples so the robust regression gate
+#                         (tools/check_bench_regression.py) can filter
+#                         scheduler spikes instead of gating on a raw mean
 #
 # The script configures and builds its own Release tree (default:
 # <repo>/build-bench) instead of reusing the dev build — benchmark numbers
@@ -16,7 +22,7 @@
 # recorded "library_build_type": "debug" for exactly that reason.
 #
 # Usage: tools/run_bench.sh [build-dir] [parallel-out] [obs-out] [columnar-out]
-#        [ingest-out]
+#        [ingest-out] [kernels-out]
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -25,6 +31,7 @@ OUT="${2:-$ROOT/BENCH_parallel.json}"
 OBS_OUT="${3:-$ROOT/BENCH_obs.json}"
 COLUMNAR_OUT="${4:-$ROOT/BENCH_columnar.json}"
 INGEST_OUT="${5:-$ROOT/BENCH_ingest.json}"
+KERNELS_OUT="${6:-$ROOT/BENCH_kernels.json}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target micro_kernels -j "$(nproc)" >/dev/null
@@ -52,6 +59,11 @@ run_filter() {
 }
 
 run_filter 'Threads' "$OUT"
+# Per-repetition samples (not just aggregates) give the regression checker a
+# distribution to run its outlier filter and robust statistic over.
+run_filter 'BM_Kernel' "$KERNELS_OUT" \
+  --benchmark_repetitions=15 \
+  --benchmark_report_aggregates_only=false
 run_filter 'ObsAnalyzeOverhead' "$OBS_OUT"
 # The prechange_* context entries freeze the pre-columnar Release baseline
 # (AoS dataset, copying resample) measured on the same fig3-scale dataset,

@@ -4,11 +4,13 @@
 #   <repo>/build-asan — AUTOSENS_SANITIZE=address + AUTOSENS_UBSAN=ON
 #   <repo>/build-tsan — AUTOSENS_SANITIZE=thread
 #
-# Each tree runs the net, parallel, and obs ctest labels (the fault-injection
-# matrix, the wire fuzz corpus, the emitter/collector pipeline, the parallel
-# execution layer, and the metrics registry) — the code where memory-safety
-# and data-race bugs would actually live. Pass --soak to also run the
-# slow-labelled soak tests (ctest -C soak -L slow) in each tree.
+# Each tree runs the net, parallel, obs, and simd ctest labels (the
+# fault-injection matrix, the wire fuzz corpus, the emitter/collector
+# pipeline, the parallel execution layer, the metrics registry, and the
+# runtime-dispatched SIMD kernels with their scalar-vs-vector golden suite) —
+# the code where memory-safety and data-race bugs would actually live. Pass
+# --soak to also run the slow-labelled soak tests (ctest -C soak -L slow) in
+# each tree.
 #
 # Only the test targets for those labels are built, not the whole tree, so a
 # sanitizer pass stays affordable on a small machine.
@@ -30,10 +32,11 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-# The test executables behind the net/parallel/obs ctest labels.
+# The test executables behind the net/parallel/obs/simd ctest labels.
 targets=(wire_test net_pipeline_test fault_test wire_fuzz_test
          net_fault_matrix_test parallel_test parallel_determinism_test
-         obs_metrics_test obs_trace_test obs_log_test)
+         obs_metrics_test obs_trace_test obs_log_test
+         simd_kernels_test simd_dispatch_test)
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
@@ -44,8 +47,8 @@ run_tree() {
   cmake -B "$dir" -S "$repo_root" "$@" > /dev/null
   echo "=== [$label] build: ${targets[*]} ==="
   cmake --build "$dir" -j "$jobs" --target "${targets[@]}"
-  echo "=== [$label] ctest -L 'net|parallel|obs' ==="
-  ctest --test-dir "$dir" -L 'net|parallel|obs' -LE slow --output-on-failure -j "$jobs"
+  echo "=== [$label] ctest -L 'net|parallel|obs|simd' ==="
+  ctest --test-dir "$dir" -L 'net|parallel|obs|simd' -LE slow --output-on-failure -j "$jobs"
   if [[ "$soak" -eq 1 ]]; then
     echo "=== [$label] soak: ctest -C soak -L slow ==="
     ctest --test-dir "$dir" -C soak -L slow --output-on-failure
