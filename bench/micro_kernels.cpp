@@ -23,6 +23,7 @@
 #include "core/simd.h"
 #include "core/slices.h"
 #include "obs/metrics.h"
+#include "obs/server.h"
 #include "obs/trace.h"
 #include "simulate/generator.h"
 #include "simulate/presets.h"
@@ -280,6 +281,59 @@ void BM_ObsAnalyzeOverhead(benchmark::State& state) {
 BENCHMARK(BM_ObsAnalyzeOverhead)
     ->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// A registry the size of a busy process: ~1k exported series (labelled
+/// counters, gauges, and histograms whose buckets expand in the exposition).
+/// Shared by both scrape benchmarks so they price the same snapshot.
+obs::Registry& scrape_registry() {
+  static obs::Registry* registry = [] {
+    auto* r = new obs::Registry();
+    const bool was_enabled = obs::enabled();
+    obs::set_enabled(true);
+    for (int i = 0; i < 300; ++i) {
+      r->counter("autosens_bench_events_total{source=\"s" + std::to_string(i) + "\"}")
+          .inc(static_cast<std::uint64_t>(i) * 7 + 1);
+      r->gauge("autosens_bench_depth{queue=\"q" + std::to_string(i) + "\"}")
+          .set(static_cast<double>(i) * 0.5);
+    }
+    for (int i = 0; i < 40; ++i) {
+      auto& histogram =
+          r->histogram("autosens_bench_latency_ms{stage=\"p" + std::to_string(i) + "\"}");
+      for (int j = 0; j < 32; ++j) histogram.observe(static_cast<double>(j % 17) * 3.0);
+    }
+    obs::set_enabled(was_enabled);
+    return r;
+  }();
+  return *registry;
+}
+
+/// /metrics encode cost alone: the handler path (snapshot + text exposition)
+/// with no socket in the loop. This is the floor a scraper can ever see.
+void BM_ObsScrapeEncode(benchmark::State& state) {
+  obs::ObsServer server({.registry = &scrape_registry()});
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto response = server.handle("/metrics");
+    bytes = response.body.size();
+    benchmark::DoNotOptimize(response.body.data());
+  }
+  state.counters["scrape_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_ObsScrapeEncode)->Unit(benchmark::kMicrosecond);
+
+/// Full live scrape: loopback HTTP GET against the serving thread, the cost
+/// a Prometheus scraper (or `autosens watch`) actually imposes per poll.
+void BM_ObsScrapeHttp(benchmark::State& state) {
+  obs::ObsServer server({.registry = &scrape_registry()});
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto response = obs::http_get(server.port(), "/metrics");
+    if (response.status != 200) state.SkipWithError("scrape failed");
+    bytes = response.body.size();
+  }
+  state.counters["scrape_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_ObsScrapeHttp)->Unit(benchmark::kMicrosecond);
 
 // ---------------------------------------------------------------------------
 // Columnar data-plane kernels (BENCH_columnar.json): zero-copy column access,

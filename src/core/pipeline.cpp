@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/biased.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -83,6 +84,12 @@ AnalysisResult analyze_columns(telemetry::SampleColumns columns,
   // The α-normalization rescales weights; report the actual record count.
   preference.biased_samples = columns.size();
   metrics().runs.inc();
+  if (obs::enabled()) {
+    // Readiness for /healthz: the analysis pipeline has produced at least
+    // one result since instrumentation came up.
+    obs::Health::global().set_component(
+        "pipeline", true, "runs=" + std::to_string(metrics().runs.value()));
+  }
   return AnalysisResult{.preference = std::move(preference),
                         .biased = std::move(biased),
                         .unbiased = std::move(unbiased),
@@ -140,6 +147,12 @@ AnalysisResult analyze_over_windows(const telemetry::Dataset& dataset,
   auto preference = finish_preference(biased, unbiased, options);
   preference.biased_samples = dataset.size();
   metrics().runs.inc();
+  if (obs::enabled()) {
+    // Readiness for /healthz: the analysis pipeline has produced at least
+    // one result since instrumentation came up.
+    obs::Health::global().set_component(
+        "pipeline", true, "runs=" + std::to_string(metrics().runs.value()));
+  }
   return AnalysisResult{.preference = std::move(preference),
                         .biased = std::move(biased),
                         .unbiased = std::move(unbiased),

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/biased.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/savitzky_golay.h"
@@ -232,6 +233,14 @@ PreferenceResult StreamingAutoSens::snapshot() const {
   streaming_metrics().snapshots.inc();
   streaming_metrics().cadence.set(static_cast<double>(used_ - used_at_last_snapshot_));
   used_at_last_snapshot_ = used_;
+  if (obs::enabled()) {
+    // Readiness for /healthz: a streaming session that can produce
+    // snapshots is serving fresh sensitivity estimates.
+    obs::Health::global().set_component(
+        "streaming", true,
+        "records_used=" + std::to_string(used_) +
+            ", snapshots=" + std::to_string(streaming_metrics().snapshots.value()));
+  }
   return preference;
 }
 

@@ -6,11 +6,14 @@
 #include <array>
 #include <cerrno>
 #include <chrono>
+#include <sstream>
 #include <utility>
 #include <vector>
 
 #include "net/wire.h"
+#include "obs/health.h"
 #include "obs/log.h"
+#include "obs/trace.h"
 #include "telemetry/binlog.h"
 
 namespace autosens::net {
@@ -47,11 +50,14 @@ struct CollectorMetrics {
       "Damaged byte runs scanned past to the next valid frame");
   obs::Counter& resync_bytes = obs::registry().counter(
       "autosens_net_resync_bytes_total", "Garbage bytes discarded by frame resync");
-  obs::Counter& duplicates = obs::registry().counter(
-      "autosens_net_duplicate_frames_total",
+  obs::Counter& dedup_hits = obs::registry().counter(
+      "autosens_net_dedup_hits_total",
       "Retransmitted frames dropped by (session, seq) dedup");
   obs::Counter& sessions = obs::registry().counter(
       "autosens_collector_sessions_total", "Distinct emitter sessions seen");
+  obs::Gauge& sessions_active = obs::registry().gauge(
+      "autosens_net_sessions_active",
+      "Emitter sessions seen whose goodbye has not arrived yet");
   obs::Counter& session_reconnects = obs::registry().counter(
       "autosens_collector_session_reconnects_total",
       "Hello frames for an already-known session (emitter reconnects)");
@@ -90,7 +96,43 @@ struct Collector::Connection {
 Collector::Collector(const CollectorOptions& options)
     : options_(options), ops_(options.ops) {
   listener_ = listen_tcp(options.port, port_);
+  // Introspection plane: /healthz readiness plus a /statusz section with
+  // per-session state, keyed by port so concurrent collectors coexist.
+  health_name_ = "collector:" + std::to_string(port_);
+  obs::Health::global().set_component(
+      health_name_, true, "listening on 127.0.0.1:" + std::to_string(port_));
+  status_section_id_ = obs::StatusRegistry::global().add_section(
+      health_name_, [this] { return status_json(); });
   obs::log_debug("collector.listen", {{"port", port_}});
+}
+
+Collector::~Collector() {
+  obs::StatusRegistry::global().remove_section(status_section_id_);
+  obs::Health::global().remove_component(health_name_);
+}
+
+std::string Collector::status_json() const {
+  const CollectorStats s = stats();
+  std::ostringstream out;
+  out << "{\"port\": " << port_ << ", \"records\": " << s.records
+      << ", \"frames\": " << s.frames << ", \"bytes\": " << s.bytes
+      << ", \"dedup_hits\": " << s.duplicate_frames
+      << ", \"resyncs\": " << s.resyncs
+      << ", \"resync_bytes\": " << s.resync_bytes
+      << ", \"dropped_connections\": " << s.dropped_connections
+      << ", \"sessions_active\": " << s.sessions_active << ", \"sessions\": {";
+  std::lock_guard lock(sessions_mutex_);
+  bool first = true;
+  for (const auto& [id, session] : sessions_) {
+    if (!first) out << ", ";
+    first = false;
+    // Session ids can exceed 2^53: emit as strings to stay JSON-exact.
+    out << "\"" << id << "\": {\"last_seq\": " << session.last_seq
+        << ", \"goodbye\": " << (session.said_goodbye ? "true" : "false")
+        << ", \"connections\": " << session.connections_seen << "}";
+  }
+  out << "}}";
+  return out.str();
 }
 
 CollectorStats Collector::stats() const noexcept {
@@ -106,6 +148,8 @@ CollectorStats Collector::stats() const noexcept {
       .resync_bytes = static_cast<std::size_t>(stats_.resync_bytes.get()),
       .duplicate_frames = static_cast<std::size_t>(stats_.duplicate_frames.get()),
       .sessions = static_cast<std::size_t>(stats_.sessions.get()),
+      .sessions_active = static_cast<std::size_t>(stats_.sessions.get() -
+                                                  stats_.sessions_closed.get()),
       .session_reconnects = static_cast<std::size_t>(stats_.session_reconnects.get()),
       .deadline_drops = static_cast<std::size_t>(stats_.deadline_drops.get()),
       .interrupted_connections =
@@ -114,6 +158,10 @@ CollectorStats Collector::stats() const noexcept {
 }
 
 std::size_t Collector::drain_frames(Connection& connection) {
+  // One serve thread mutates sessions_; the lock only orders it against the
+  // /statusz provider reading from the obs HTTP thread, so it is
+  // uncontended on the hot path.
+  std::lock_guard sessions_lock(sessions_mutex_);
   std::size_t goodbyes = 0;
   while (auto frame = connection.decoder.next()) {
     stats_.frames.add();
@@ -132,6 +180,7 @@ std::size_t Collector::drain_frames(Connection& connection) {
       if (session.connections_seen == 1) {
         stats_.sessions.add();
         collector_metrics().sessions.inc();
+        collector_metrics().sessions_active.add(1.0);
       } else {
         stats_.session_reconnects.add();
         collector_metrics().session_reconnects.inc();
@@ -144,6 +193,18 @@ std::size_t Collector::drain_frames(Connection& connection) {
         obs::log_debug("collector.session_reconnect",
                        {{"session", *id}, {"count", session.connections_seen - 1}});
       }
+      // Extended hello: adopt the emitter's trace context so this
+      // collector's spans join the same distributed trace.
+      if (const auto trace = parse_hello_trace(frame->payload)) {
+        session.trace_span = trace->span_id;
+        if (trace->trace_id != 0) {
+          obs::Tracer::global().set_trace_id(trace->trace_id);
+        }
+        obs::Span hello_span("net.hello");
+        hello_span.link_parent(trace->span_id);
+        hello_span.attr("reconnect",
+                        static_cast<std::int64_t>(session.connections_seen - 1));
+      }
       continue;
     }
 
@@ -154,7 +215,11 @@ std::size_t Collector::drain_frames(Connection& connection) {
         // A retransmission of a frame that did arrive the first time: the
         // emitter could not know, the dedup is what makes its retry safe.
         stats_.duplicate_frames.add();
-        collector_metrics().duplicates.inc();
+        collector_metrics().dedup_hits.inc();
+        obs::Span dedup_span("net.dedup_drop");
+        dedup_span.link_parent(frame->span_id != 0 ? frame->span_id
+                                                   : session->trace_span);
+        dedup_span.attr("seq", static_cast<std::int64_t>(frame->seq));
         if (frame->type == FrameType::kGoodbye) connection.saw_goodbye = true;
         continue;
       }
@@ -163,10 +228,19 @@ std::size_t Collector::drain_frames(Connection& connection) {
 
     switch (frame->type) {
       case FrameType::kData: {
+        // Decode span parented on the emitter-side send span carried by the
+        // frame (falling back to the session's connect span): the stitch
+        // that makes the replay|collect Chrome trace one connected tree.
+        obs::Span decode_span("net.decode_frame");
+        decode_span.link_parent(frame->span_id != 0
+                                    ? frame->span_id
+                                    : (session != nullptr ? session->trace_span : 0));
+        decode_span.attr("seq", static_cast<std::int64_t>(frame->seq));
         try {
           const auto records = telemetry::codec::decode_batch(frame->payload);
           stats_.records.add(records.size());
           collector_metrics().records.inc(records.size());
+          decode_span.attr("records", static_cast<std::int64_t>(records.size()));
           for (const auto& r : records) dataset_.add(r);
         } catch (const std::runtime_error& error) {
           // CRC-valid but undecodable payload: a sender bug, not line
@@ -187,6 +261,8 @@ std::size_t Collector::drain_frames(Connection& connection) {
         if (session != nullptr) {
           if (!session->said_goodbye) {
             session->said_goodbye = true;
+            stats_.sessions_closed.add();
+            collector_metrics().sessions_active.add(-1.0);
             ++goodbyes;
           }
         } else {
@@ -340,6 +416,7 @@ bool Collector::serve_until_goodbye(std::size_t expected_goodbyes, int timeout_m
         // without one may yet resume on a reconnect (counted interrupted);
         // a sessionless stream that sent bytes but never finished a
         // goodbye is a protocol failure.
+        std::lock_guard sessions_lock(sessions_mutex_);
         if (!connection.saw_goodbye) {
           if (connection.session_id != 0 &&
               !sessions_[connection.session_id].said_goodbye) {

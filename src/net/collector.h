@@ -43,6 +43,7 @@ struct CollectorStats {
   std::size_t resync_bytes = 0;         ///< Garbage bytes discarded by resync.
   std::size_t duplicate_frames = 0;     ///< Retransmissions deduped by seq.
   std::size_t sessions = 0;             ///< Distinct hello session ids seen.
+  std::size_t sessions_active = 0;      ///< Sessions seen minus sessions that said goodbye.
   std::size_t session_reconnects = 0;   ///< Hellos for an already-seen session.
   std::size_t deadline_drops = 0;       ///< Connections cut by read deadline.
   std::size_t interrupted_connections = 0;  ///< Session EOF without goodbye.
@@ -67,9 +68,15 @@ struct CollectorOptions {
 /// connection (wire::FrameDecoder).
 class Collector {
  public:
-  /// Binds 127.0.0.1:port (0 = ephemeral).
+  /// Binds 127.0.0.1:port (0 = ephemeral). Registers itself with the obs
+  /// health registry and publishes a per-session /statusz section; both are
+  /// withdrawn on destruction.
   explicit Collector(std::uint16_t port = 0) : Collector(CollectorOptions{.port = port}) {}
   explicit Collector(const CollectorOptions& options);
+  ~Collector();
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
 
   std::uint16_t port() const noexcept { return port_; }
 
@@ -99,6 +106,7 @@ class Collector {
     std::uint32_t last_seq = 0;  ///< Highest frame seq applied.
     bool said_goodbye = false;
     std::size_t connections_seen = 0;
+    std::uint64_t trace_span = 0;  ///< Emitter connect span from the hello.
   };
 
   /// The live counters behind stats(). RawCounter (not registry Counter):
@@ -116,6 +124,7 @@ class Collector {
     obs::RawCounter resync_bytes;
     obs::RawCounter duplicate_frames;
     obs::RawCounter sessions;
+    obs::RawCounter sessions_closed;  ///< Sessions whose goodbye was credited.
     obs::RawCounter session_reconnects;
     obs::RawCounter deadline_drops;
     obs::RawCounter interrupted_connections;
@@ -127,13 +136,22 @@ class Collector {
   /// exhausted, reconnect budget exhausted).
   std::size_t drain_frames(Connection& connection);
 
+  /// The JSON value of this collector's /statusz section (port, counters,
+  /// per-session state). Takes sessions_mutex_.
+  std::string status_json() const;
+
   Socket listener_;
   std::uint16_t port_ = 0;
   CollectorOptions options_;
   SocketOps* ops_ = nullptr;
   telemetry::Dataset dataset_;
+  /// Guards sessions_: the serve thread mutates it in drain_frames while
+  /// the obs HTTP thread reads it through the /statusz section provider.
+  mutable std::mutex sessions_mutex_;
   std::unordered_map<std::uint64_t, Session> sessions_;
   AtomicStats stats_;
+  std::uint64_t status_section_id_ = 0;
+  std::string health_name_;
 };
 
 /// Runs a Collector on a background thread; join() returns the dataset.

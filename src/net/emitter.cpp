@@ -7,6 +7,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/rng.h"
 #include "telemetry/binlog.h"
 
@@ -95,10 +96,20 @@ Emitter::~Emitter() {
 
 void Emitter::ensure_connected() {
   if (connected_) return;
+  obs::Span span("net.connect");
   socket_ = connect_tcp(port_, ops_);
   // A hello opens every connection: the stable session id is what lets the
   // collector fold reconnects into one logical stream and dedup resends.
-  write_all(socket_, encode_frame(make_hello(session_id_)), ops_);
+  // With tracing on, the hello also carries the trace context (trace id +
+  // this connect span) so the collector joins the same distributed trace.
+  Frame hello = make_hello(session_id_);
+  if (span.active()) {
+    hello = make_hello(session_id_,
+                       WireTraceContext{.trace_id = obs::Tracer::global().ensure_trace_id(),
+                                        .span_id = span.id()});
+    hello.span_id = span.id();
+  }
+  write_all(socket_, encode_frame(hello), ops_);
   connected_ = true;
   if (ever_connected_) {
     ++stats_.reconnects;
@@ -126,7 +137,15 @@ void Emitter::backoff_sleep(std::size_t attempt) {
   ops_.sleep_ms(delay_ms);
 }
 
-bool Emitter::send_frame_with_retry(const Frame& frame, std::size_t record_count) {
+bool Emitter::send_frame_with_retry(Frame frame, std::size_t record_count) {
+  obs::Span span("net.send_frame");
+  if (span.active()) {
+    span.attr("seq", static_cast<std::int64_t>(frame.seq));
+    span.attr("records", static_cast<std::int64_t>(record_count));
+    // Stamp before encoding: every retransmit of this frame carries the
+    // same span id and stays byte-identical for the collector's dedup.
+    frame.span_id = span.id();
+  }
   const auto bytes = encode_frame(frame);
   const std::size_t attempts = std::max<std::size_t>(1, options_.retry.max_attempts);
   std::exception_ptr last_error;
@@ -134,6 +153,8 @@ bool Emitter::send_frame_with_retry(const Frame& frame, std::size_t record_count
     if (attempt > 0) {
       ++stats_.retries;
       emitter_metrics().retries.inc();
+      obs::Span backoff_span("net.backoff");
+      backoff_span.attr("attempt", static_cast<std::int64_t>(attempt));
       backoff_sleep(attempt - 1);
     }
     try {

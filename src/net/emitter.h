@@ -87,8 +87,11 @@ class Emitter {
  private:
   void send_pending();
   /// Encode + send under the retry policy. `record_count` is the loss to
-  /// declare if the frame is abandoned. Returns false when dropped.
-  bool send_frame_with_retry(const Frame& frame, std::size_t record_count);
+  /// declare if the frame is abandoned. Returns false when dropped. When
+  /// tracing is on the frame is stamped with the send span's id before
+  /// encoding, so retransmits stay byte-identical and the collector can
+  /// parent its decode span on the emitter-side send span.
+  bool send_frame_with_retry(Frame frame, std::size_t record_count);
   void ensure_connected();
   void backoff_sleep(std::size_t attempt);
 

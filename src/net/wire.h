@@ -5,13 +5,24 @@
 //
 // Frame layout (little-endian), version 2:
 //   u8  magic0 = 0xA5, u8 magic1 = 0x5E
-//   u8  type        (kData = 1, kFlush = 2, kGoodbye = 3, kHello = 4)
+//   u8  type        (kData = 1, kFlush = 2, kGoodbye = 3, kHello = 4;
+//                    bit 7 = kFrameTraceFlag, see below)
 //   u32 seq         (per-session frame sequence; 0 for unsequenced senders)
 //   u32 payload_len
+//   [u64 span_id]   (only when kFrameTraceFlag is set in type)
 //   payload (payload_len bytes)
 //   u32 crc32(type..payload)   — covers the header after the magic, so a
 //                                 corrupted length or sequence number cannot
 //                                 pass as a valid frame
+//
+// Trace-context extension: setting Frame::span_id stamps the sending span's
+// id onto the frame (flagged by bit 7 of the type byte, an 8-byte insert
+// between the header and the payload, covered by the CRC like everything
+// after the magic). A kHello payload may additionally be 24 bytes — session
+// id, then a WireTraceContext (trace id + emitter root span id) — so
+// collector-side decode/dedup spans stitch into emitter-side send/retry
+// spans under one trace id. Both extensions are optional; receivers accept
+// plain v2 frames unchanged, and senders only emit them while tracing is on.
 //
 // The magic makes mid-stream recovery possible: after damage, a receiver
 // scans forward to the next byte position where magic + type + bounded
@@ -37,6 +48,10 @@ inline constexpr std::uint8_t kFrameMagic1 = 0x5E;
 inline constexpr std::size_t kFrameHeaderBytes = 11;
 /// Header + trailing CRC: the wire overhead of an empty frame.
 inline constexpr std::size_t kFrameOverheadBytes = kFrameHeaderBytes + 4;
+/// Bit 7 of the type byte: the frame carries a u64 span id between the
+/// header and the payload.
+inline constexpr std::uint8_t kFrameTraceFlag = 0x80;
+inline constexpr std::size_t kFrameSpanIdBytes = 8;
 
 enum class FrameType : std::uint8_t {
   kData = 1,     ///< Payload is an encoded record batch.
@@ -49,17 +64,35 @@ enum class FrameType : std::uint8_t {
 struct Frame {
   FrameType type = FrameType::kData;
   std::uint32_t seq = 0;
+  /// Sending span's id (0 = no trace context). Nonzero values ride the wire
+  /// via the kFrameTraceFlag extension; the collector parents its
+  /// decode/dedup spans onto this id.
+  std::uint64_t span_id = 0;
   std::vector<std::uint8_t> payload;
+};
+
+/// Trace context carried by an extended (24-byte) kHello payload.
+struct WireTraceContext {
+  std::uint64_t trace_id = 0;  ///< Shared by every process of the trace.
+  std::uint64_t span_id = 0;   ///< Emitter-side root span at connect time.
 };
 
 /// Serialize a frame (computes the CRC).
 std::vector<std::uint8_t> encode_frame(const Frame& frame);
 
-/// A kHello frame carrying `session_id`.
+/// A kHello frame carrying `session_id`; the overload appends a
+/// WireTraceContext (24-byte payload).
 Frame make_hello(std::uint64_t session_id);
+Frame make_hello(std::uint64_t session_id, const WireTraceContext& trace);
 
-/// Extract the session id from a kHello payload; nullopt if malformed.
+/// Extract the session id from a kHello payload (8- or 24-byte form);
+/// nullopt if malformed.
 std::optional<std::uint64_t> parse_hello(std::span<const std::uint8_t> payload) noexcept;
+
+/// Extract the trace context from an extended kHello payload; nullopt for
+/// the plain 8-byte form or malformed payloads.
+std::optional<WireTraceContext> parse_hello_trace(
+    std::span<const std::uint8_t> payload) noexcept;
 
 /// Write one frame to the socket.
 void send_frame(const Socket& socket, const Frame& frame,

@@ -1,0 +1,125 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace autosens::obs {
+
+Health& Health::global() {
+  static Health instance;
+  return instance;
+}
+
+void Health::set_component(std::string_view name, bool ready, std::string_view detail) {
+  std::lock_guard lock(mutex_);
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    it = components_.emplace(std::string(name), Component{}).first;
+    it->second.name = std::string(name);
+  }
+  it->second.ready = ready;
+  it->second.detail = std::string(detail);
+}
+
+void Health::remove_component(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = components_.find(name);
+  if (it != components_.end()) components_.erase(it);
+}
+
+std::vector<Health::Component> Health::components() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Component> out;
+  out.reserve(components_.size());
+  for (const auto& [name, component] : components_) out.push_back(component);
+  return out;
+}
+
+bool Health::all_ready() const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, component] : components_) {
+    if (!component.ready) return false;
+  }
+  return true;
+}
+
+void Health::clear() {
+  std::lock_guard lock(mutex_);
+  components_.clear();
+}
+
+StatusRegistry& StatusRegistry::global() {
+  static StatusRegistry instance;
+  return instance;
+}
+
+std::uint64_t StatusRegistry::add_section(std::string_view name, Provider provider) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  sections_.push_back(Section{id, std::string(name), std::move(provider)});
+  return id;
+}
+
+void StatusRegistry::remove_section(std::uint64_t id) {
+  std::lock_guard lock(mutex_);
+  sections_.erase(std::remove_if(sections_.begin(), sections_.end(),
+                                 [id](const Section& s) { return s.id == id; }),
+                  sections_.end());
+}
+
+std::vector<std::pair<std::string, std::string>> StatusRegistry::render() const {
+  // Copy the sections under the lock, run the providers outside it: a
+  // provider is free to take its component's own locks (e.g. the collector's
+  // session mutex) without ordering against ours.
+  std::vector<Section> sections;
+  {
+    std::lock_guard lock(mutex_);
+    sections = sections_;
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(sections.size());
+  for (const auto& section : sections) {
+    std::string value;
+    try {
+      value = section.provider();
+    } catch (const std::exception& e) {
+      value = "\"error: " + json_escape(e.what()) + "\"";
+    } catch (...) {
+      value = "\"error\"";
+    }
+    out.emplace_back(section.name, std::move(value));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void StatusRegistry::clear() {
+  std::lock_guard lock(mutex_);
+  sections_.clear();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace autosens::obs

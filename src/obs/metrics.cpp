@@ -6,6 +6,7 @@
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -159,10 +160,22 @@ Histogram& Registry::histogram(std::string_view name, std::string_view help,
   return *entry.histogram;
 }
 
+std::vector<const Registry::Entry*> Registry::sorted_entries_locked() const {
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& entry : entries_) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(), [](const Entry* a, const Entry* b) {
+    if (a->base != b->base) return a->base < b->base;
+    return a->labels < b->labels;
+  });
+  return sorted;
+}
+
 std::vector<Sample> Registry::samples() const {
   std::lock_guard lock(mutex_);
   std::vector<Sample> out;
-  for (const auto& entry : entries_) {
+  for (const Entry* entry_ptr : sorted_entries_locked()) {
+    const Entry& entry = *entry_ptr;
     switch (entry.kind) {
       case Kind::kCounter:
         out.push_back({with_labels(entry.base, entry.labels),
@@ -196,7 +209,8 @@ std::vector<Sample> Registry::samples() const {
 void Registry::write_prometheus(std::ostream& out) const {
   std::lock_guard lock(mutex_);
   std::string last_family;
-  for (const auto& entry : entries_) {
+  for (const Entry* entry_ptr : sorted_entries_locked()) {
+    const Entry& entry = *entry_ptr;
     if (entry.base != last_family) {
       last_family = entry.base;
       if (!entry.help.empty()) out << "# HELP " << entry.base << " " << entry.help << "\n";
@@ -248,7 +262,8 @@ void Registry::write_json(std::ostream& out) const {
   };
   out << "[";
   bool first = true;
-  for (const auto& entry : entries_) {
+  for (const Entry* entry_ptr : sorted_entries_locked()) {
+    const Entry& entry = *entry_ptr;
     if (!first) out << ",";
     first = false;
     out << "\n  {\"name\": \"" << escape(with_labels(entry.base, entry.labels))
@@ -262,10 +277,14 @@ void Registry::write_json(std::ostream& out) const {
             << "}";
         break;
       case Kind::kHistogram: {
+        // One bucket read feeds both "count" and "buckets" so the JSON stays
+        // internally consistent under concurrent observes.
+        const auto counts = entry.histogram->bucket_counts();
+        std::uint64_t total = 0;
+        for (const auto c : counts) total += c;
         out << "\"type\": \"histogram\", \"sum\": "
             << format_value(entry.histogram->sum()) << ", \"count\": "
-            << entry.histogram->count() << ", \"buckets\": [";
-        const auto counts = entry.histogram->bucket_counts();
+            << total << ", \"buckets\": [";
         for (std::size_t i = 0; i < counts.size(); ++i) {
           if (i > 0) out << ", ";
           out << "{\"le\": ";
@@ -284,38 +303,93 @@ void Registry::write_json(std::ostream& out) const {
   out << "\n]\n";
 }
 
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line_number, const std::string& what,
+                             const std::string& context) {
+  throw std::invalid_argument("parse_prometheus: " + what + " on line " +
+                              std::to_string(line_number) + ": " + context);
+}
+
+/// End index (exclusive) of `name[{labels}]`: a bare name runs to the first
+/// space or '{'; a label set is scanned to its matching '}' honoring quoted
+/// values with backslash escapes, so `path="a b"` and `msg="say \"hi\""`
+/// stay part of the name.
+std::size_t scan_name(const std::string& line, std::size_t line_number) {
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != ' ' && line[i] != '{') ++i;
+  if (i == line.size() || line[i] == ' ') return i;
+  ++i;  // consume '{'
+  bool in_quotes = false;
+  for (; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '\\') {
+        if (i + 1 >= line.size()) parse_fail(line_number, "dangling escape", line);
+        ++i;
+      } else if (c == '"') {
+        in_quotes = false;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == '}') {
+      return i + 1;
+    }
+  }
+  parse_fail(line_number, "unterminated label set", line);
+}
+
+}  // namespace
+
 std::vector<Sample> parse_prometheus(std::istream& in) {
   std::vector<Sample> samples;
+  std::set<std::string> seen;
   std::string line;
   std::size_t line_number = 0;
   while (std::getline(in, line)) {
     ++line_number;
     if (line.empty() || line[0] == '#') continue;
-    // A sample is `name[{labels}] value [timestamp]`; the name may contain
-    // a quoted label set with spaces, so split at the first space outside
-    // quotes after the closing brace (labels themselves contain no spaces
-    // in our output, but be permissive: find the last space).
-    const auto space = line.find_last_of(' ');
-    const auto value_pos = line.find_first_not_of(' ', space);
-    if (space == std::string::npos || value_pos == std::string::npos) {
-      throw std::invalid_argument("parse_prometheus: malformed line " +
-                                  std::to_string(line_number) + ": " + line);
-    }
+    // A sample is `name[{labels}] value [timestamp]`.
+    const std::size_t name_end = scan_name(line, line_number);
     Sample sample;
-    sample.name = line.substr(0, space);
-    while (!sample.name.empty() && sample.name.back() == ' ') sample.name.pop_back();
-    const std::string value_text = line.substr(value_pos);
+    sample.name = line.substr(0, name_end);
+    if (sample.name.empty()) parse_fail(line_number, "empty metric name", line);
+    std::size_t pos = line.find_first_not_of(' ', name_end);
+    if (pos == std::string::npos || pos == name_end) {
+      parse_fail(line_number, "missing value", line);
+    }
+    const std::size_t value_end = line.find(' ', pos);
+    const std::string value_text =
+        line.substr(pos, value_end == std::string::npos ? std::string::npos
+                                                        : value_end - pos);
     try {
       std::size_t consumed = 0;
+      // stod handles exponent forms ("1e+06") and the Prometheus specials
+      // ("+Inf", "-Inf", "NaN") via strtod.
       sample.value = std::stod(value_text, &consumed);
       if (consumed != value_text.size()) throw std::invalid_argument(value_text);
     } catch (const std::exception&) {
-      throw std::invalid_argument("parse_prometheus: bad value on line " +
-                                  std::to_string(line_number) + ": " + value_text);
+      parse_fail(line_number, "bad value", value_text);
     }
-    if (sample.name.empty()) {
-      throw std::invalid_argument("parse_prometheus: empty metric name on line " +
-                                  std::to_string(line_number));
+    if (value_end != std::string::npos) {
+      // Optional millisecond timestamp — validated, then discarded.
+      const std::size_t ts_pos = line.find_first_not_of(' ', value_end);
+      if (ts_pos != std::string::npos) {
+        const std::string ts_text = line.substr(ts_pos);
+        try {
+          std::size_t consumed = 0;
+          (void)std::stoll(ts_text, &consumed);
+          if (consumed != ts_text.size() ||
+              ts_text.find(' ') != std::string::npos) {
+            throw std::invalid_argument(ts_text);
+          }
+        } catch (const std::exception&) {
+          parse_fail(line_number, "bad timestamp", ts_text);
+        }
+      }
+    }
+    if (!seen.insert(sample.name).second) {
+      parse_fail(line_number, "duplicate sample for " + sample.name, line);
     }
     samples.push_back(std::move(sample));
   }

@@ -124,8 +124,10 @@ class Registry {
   Histogram& histogram(std::string_view name, std::string_view help = "",
                        std::vector<double> bounds = default_latency_buckets_ms());
 
-  /// Flat list of samples in registration order (histograms expand into
-  /// cumulative _bucket/_sum/_count series as in the text exposition).
+  /// Flat list of samples sorted by (family name, label set) so successive
+  /// snapshots diff cleanly; histograms expand into cumulative
+  /// _bucket/_sum/_count series (buckets in bound order) as in the text
+  /// exposition.
   std::vector<Sample> samples() const;
 
   /// Prometheus text exposition format (# HELP / # TYPE + samples).
@@ -145,6 +147,9 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
   Entry& find_or_create(Kind kind, std::string_view name, std::string_view help);
+  /// Entries ordered by (base, labels); caller must hold mutex_. All export
+  /// paths share this so /metrics, /metrics.json, and samples() agree.
+  std::vector<const Entry*> sorted_entries_locked() const;
 
   mutable std::mutex mutex_;
   std::deque<Entry> entries_;  ///< deque: handles stay put as entries grow.
@@ -154,8 +159,11 @@ class Registry {
 inline Registry& registry() { return Registry::global(); }
 
 /// Parse Prometheus text exposition format back into samples (comment and
-/// blank lines skipped). Throws std::invalid_argument on a malformed sample
-/// line. Round-trips Registry::write_prometheus output.
+/// blank lines skipped). Label values may contain escaped quotes/backslashes
+/// and spaces; values may use exponent notation (`1e+06`, `+Inf`, `NaN`); an
+/// optional trailing integer timestamp is accepted and ignored. Throws
+/// std::invalid_argument on a malformed line or a duplicate metric+label
+/// row. Round-trips Registry::write_prometheus output.
 std::vector<Sample> parse_prometheus(std::istream& in);
 
 }  // namespace autosens::obs

@@ -1,0 +1,161 @@
+#include "obs/sampler.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace autosens::obs {
+namespace {
+
+struct SamplerGauges {
+  Gauge& rss_bytes = registry().gauge(
+      "autosens_process_rss_bytes", "Resident set size (VmRSS)");
+  Gauge& vm_hwm_bytes = registry().gauge(
+      "autosens_process_vm_hwm_bytes", "Peak resident set size (VmHWM)");
+  Gauge& cpu_user_seconds = registry().gauge(
+      "autosens_process_cpu_user_seconds", "CPU time spent in user mode");
+  Gauge& cpu_system_seconds = registry().gauge(
+      "autosens_process_cpu_system_seconds", "CPU time spent in kernel mode");
+  Gauge& open_fds = registry().gauge(
+      "autosens_process_open_fds", "Open file descriptors (includes the sampling fd)");
+  Gauge& threads = registry().gauge(
+      "autosens_process_threads", "OS threads in this process");
+  Gauge& uptime_seconds = registry().gauge(
+      "autosens_process_uptime_seconds", "Seconds since process instrumentation start");
+};
+
+SamplerGauges& gauges() {
+  static SamplerGauges instance;
+  return instance;
+}
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+/// "VmRSS:     1234 kB" → bytes; returns -1 when the key is absent.
+double status_kb_to_bytes(const std::string& status, const std::string& key) {
+  const auto pos = status.find(key + ":");
+  if (pos == std::string::npos) return -1.0;
+  std::istringstream line(status.substr(pos + key.size() + 1));
+  double kb = 0.0;
+  if (!(line >> kb)) return -1.0;
+  return kb * 1024.0;
+}
+
+bool sample_proc_status() {
+  std::ifstream in("/proc/self/status");
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string status = buffer.str();
+  const double rss = status_kb_to_bytes(status, "VmRSS");
+  if (rss >= 0.0) gauges().rss_bytes.set(rss);
+  const double hwm = status_kb_to_bytes(status, "VmHWM");
+  if (hwm >= 0.0) gauges().vm_hwm_bytes.set(hwm);
+  const auto threads_pos = status.find("Threads:");
+  if (threads_pos != std::string::npos) {
+    std::istringstream line(status.substr(threads_pos + 8));
+    double threads = 0.0;
+    if (line >> threads) gauges().threads.set(threads);
+  }
+  return true;
+}
+
+void sample_proc_stat() {
+  std::ifstream in("/proc/self/stat");
+  if (!in) return;
+  std::string stat;
+  std::getline(in, stat);
+  // The comm field is parenthesized and may contain spaces; fields are
+  // counted from after the last ')'. utime is field 14, stime field 15
+  // (1-indexed), i.e. tokens 11 and 12 of the remainder (state = token 0).
+  const auto close = stat.rfind(')');
+  if (close == std::string::npos) return;
+  std::istringstream rest(stat.substr(close + 1));
+  std::string token;
+  unsigned long long utime = 0;
+  unsigned long long stime = 0;
+  for (int i = 0; rest >> token; ++i) {
+    if (i == 11) utime = std::stoull(token);
+    if (i == 12) {
+      stime = std::stoull(token);
+      break;
+    }
+  }
+  const double ticks = static_cast<double>(sysconf(_SC_CLK_TCK));
+  if (ticks <= 0.0) return;
+  gauges().cpu_user_seconds.set(static_cast<double>(utime) / ticks);
+  gauges().cpu_system_seconds.set(static_cast<double>(stime) / ticks);
+}
+
+void sample_fd_count() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return;
+  double count = 0.0;
+  while (const dirent* entry = readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") count += 1.0;
+  }
+  closedir(dir);
+  gauges().open_fds.set(count);
+}
+
+}  // namespace
+
+bool RuntimeSampler::sample_once() {
+  const double uptime =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - process_start())
+          .count();
+  gauges().uptime_seconds.set(uptime);
+  if (!sample_proc_status()) return false;
+  sample_proc_stat();
+  sample_fd_count();
+  return true;
+}
+
+RuntimeSampler::RuntimeSampler() : RuntimeSampler(Options{}) {}
+
+RuntimeSampler::RuntimeSampler(Options options) {
+  process_start();  // Pin the uptime epoch no later than sampler start.
+  sample_once();
+  thread_ = std::thread([this, interval = options.interval_ms] { run(interval); });
+}
+
+RuntimeSampler::~RuntimeSampler() { stop(); }
+
+void RuntimeSampler::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) {
+      if (thread_.joinable()) thread_.join();
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void RuntimeSampler::run(std::uint32_t interval_ms) {
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                     [this] { return stop_; })) {
+      break;
+    }
+    lock.unlock();
+    sample_once();
+    lock.lock();
+  }
+}
+
+}  // namespace autosens::obs

@@ -1,0 +1,49 @@
+// RuntimeSampler: a background thread that periodically reads /proc/self
+// into pre-registered gauges (RSS, VmHWM, CPU user/sys seconds, open fds,
+// thread count, uptime) so every long-running subcommand self-reports
+// resource health through /metrics. Sampling is Linux-only; on platforms
+// without /proc the gauges simply stay at zero.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace autosens::obs {
+
+class RuntimeSampler {
+ public:
+  struct Options {
+    std::uint32_t interval_ms = 1000;  ///< Cadence of background samples.
+  };
+
+  /// Takes one synchronous sample immediately (so a scrape right after
+  /// construction already sees values), then samples every interval_ms on a
+  /// background thread until stop() or destruction. The default constructor
+  /// uses the default cadence (a `= {}` default argument would need Options'
+  /// member initializers before the enclosing class is complete).
+  RuntimeSampler();
+  explicit RuntimeSampler(Options options);
+  ~RuntimeSampler();
+
+  RuntimeSampler(const RuntimeSampler&) = delete;
+  RuntimeSampler& operator=(const RuntimeSampler&) = delete;
+
+  void stop();
+
+  /// One sample into the autosens_process_* gauges. Returns false when
+  /// /proc/self is unavailable. Callable without a running sampler (tests,
+  /// one-shot dumps); gauges only update while obs::enabled().
+  static bool sample_once();
+
+ private:
+  void run(std::uint32_t interval_ms);
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace autosens::obs

@@ -1,0 +1,300 @@
+#include "obs/server.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/health.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+
+#ifndef AUTOSENS_BUILD_TYPE
+#define AUTOSENS_BUILD_TYPE "unknown"
+#endif
+
+namespace autosens::obs {
+namespace {
+
+std::uint64_t monotonic_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+const char* reason_phrase(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string format_double(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+void append_tracez_span(std::ostream& out, const SpanRecord& span) {
+  // Ids carry the process tag in the top byte and can exceed 2^53; emit
+  // them as strings so JSON consumers keep them exact.
+  out << "{\"name\": \"" << json_escape(span.name) << "\", \"id\": \"" << span.id
+      << "\", \"parent\": \"" << span.parent << "\", \"depth\": " << span.depth
+      << ", \"thread\": " << span.thread << ", \"start_us\": " << span.start_us
+      << ", \"duration_us\": " << span.duration_us << ", \"attrs\": {";
+  bool first = true;
+  for (const auto& [key, value] : span.attributes) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << json_escape(key) << "\": \"" << json_escape(value) << "\"";
+  }
+  out << "}}";
+}
+
+/// True for registry samples worth echoing in /statusz "runtime": the simd
+/// dispatch level, thread-pool depth, and the RuntimeSampler gauges.
+bool is_runtime_sample(const std::string& name) {
+  return name.rfind("autosens_simd_level", 0) == 0 ||
+         name.rfind("autosens_pool_", 0) == 0 ||
+         name.rfind("autosens_process_", 0) == 0;
+}
+
+}  // namespace
+
+ObsServer::ObsServer(const ObsServerOptions& options) : options_(options) {
+  std::uint16_t bound = 0;
+  listener_ = net::listen_tcp(options_.port, bound);
+  port_ = bound;
+  start_us_ = monotonic_us();
+  thread_ = std::thread([this] { serve(); });
+}
+
+ObsServer::~ObsServer() { stop(); }
+
+void ObsServer::stop() {
+  if (!stop_.exchange(true)) {
+    // The accept loop wakes within poll_interval_ms and observes the flag.
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void ObsServer::serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto connection = net::accept_with_timeout(listener_, options_.poll_interval_ms);
+    if (!connection.has_value()) continue;
+    try {
+      serve_connection(std::move(*connection));
+    } catch (const std::exception& e) {
+      // A failed scrape must never take the process down.
+      log_debug("obs.server", {{"error", e.what()}});
+    }
+  }
+}
+
+void ObsServer::serve_connection(net::Socket connection) {
+  net::SocketOps& ops = options_.ops != nullptr ? *options_.ops : net::real_socket_ops();
+  std::string request;
+  std::uint8_t buffer[1024];
+  while (request.find("\r\n\r\n") == std::string::npos) {
+    if (request.size() > options_.max_request_bytes) break;
+    const std::int64_t n = ops.recv(connection.fd(), buffer, sizeof(buffer));
+    if (n == 0) return;  // Client went away mid-request.
+    if (n < 0) {
+      if (n == -EINTR || n == -EAGAIN) continue;
+      return;
+    }
+    request.append(reinterpret_cast<const char*>(buffer), static_cast<std::size_t>(n));
+  }
+
+  Response response;
+  const auto line_end = request.find("\r\n");
+  std::istringstream request_line(request.substr(0, line_end));
+  std::string method;
+  std::string target;
+  std::string version;
+  if (!(request_line >> method >> target >> version) ||
+      version.rfind("HTTP/1.", 0) != 0 || request.size() > options_.max_request_bytes) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (method != "GET") {
+    response = {405, "text/plain; charset=utf-8", "only GET is supported\n"};
+  } else {
+    response = handle(target);
+  }
+  requests_.add(1);
+
+  std::ostringstream out;
+  out << "HTTP/1.1 " << response.status << " " << reason_phrase(response.status)
+      << "\r\nContent-Type: " << response.content_type
+      << "\r\nContent-Length: " << response.body.size()
+      << "\r\nConnection: close\r\n\r\n"
+      << response.body;
+  const std::string wire = out.str();
+  net::write_all(connection,
+                 {reinterpret_cast<const std::uint8_t*>(wire.data()), wire.size()}, ops);
+}
+
+ObsServer::Response ObsServer::handle(std::string_view target) const {
+  const auto query_pos = target.find('?');
+  const std::string path(target.substr(0, query_pos));
+  const std::string query(
+      query_pos == std::string_view::npos ? "" : target.substr(query_pos + 1));
+  Registry& reg = options_.registry != nullptr ? *options_.registry : registry();
+
+  if (path == "/metrics") {
+    std::ostringstream out;
+    reg.write_prometheus(out);
+    return {200, "text/plain; version=0.0.4; charset=utf-8", out.str()};
+  }
+
+  if (path == "/metrics.json") {
+    std::ostringstream out;
+    reg.write_json(out);
+    return {200, "application/json", out.str()};
+  }
+
+  if (path == "/healthz") {
+    const auto components = Health::global().components();
+    bool ready = true;
+    std::ostringstream out;
+    out << "{\"components\": {";
+    bool first = true;
+    for (const auto& component : components) {
+      ready = ready && component.ready;
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << json_escape(component.name) << "\": {\"ready\": "
+          << (component.ready ? "true" : "false") << ", \"detail\": \""
+          << json_escape(component.detail) << "\"}";
+    }
+    out << "}, \"status\": \"" << (ready ? "ok" : "unready") << "\"}\n";
+    return {ready ? 200 : 503, "application/json", out.str()};
+  }
+
+  if (path == "/statusz") {
+    Tracer& tracer = Tracer::global();
+    std::ostringstream out;
+    out << "{\"uptime_seconds\": "
+        << format_double(static_cast<double>(monotonic_us() - start_us_) / 1e6)
+        << ", \"pid\": " << ::getpid()
+        << ", \"requests\": " << requests_.get()
+        << ",\n \"build\": {\"compiler\": \"" << json_escape(__VERSION__)
+        << "\", \"type\": \"" << json_escape(AUTOSENS_BUILD_TYPE)
+        << "\", \"cxx\": " << __cplusplus << "}"
+        << ",\n \"metrics_enabled\": " << (enabled() ? "true" : "false")
+        << ",\n \"trace\": {\"enabled\": " << (tracer.enabled() ? "true" : "false")
+        << ", \"trace_id\": \"" << tracer.trace_id()
+        << "\", \"process\": " << static_cast<unsigned>(tracer.process())
+        << ", \"ring_capacity\": " << tracer.ring_capacity() << "}";
+    out << ",\n \"runtime\": {";
+    bool first = true;
+    for (const auto& sample : reg.samples()) {
+      if (!is_runtime_sample(sample.name)) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << json_escape(sample.name) << "\": " << format_double(sample.value);
+    }
+    out << "}";
+    out << ",\n \"health\": {\"ready\": "
+        << (Health::global().all_ready() ? "true" : "false") << "}";
+    out << ",\n \"sections\": {";
+    first = true;
+    for (const auto& [name, value] : StatusRegistry::global().render()) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << json_escape(name) << "\": " << value;
+    }
+    out << "}}\n";
+    return {200, "application/json", out.str()};
+  }
+
+  if (path == "/tracez") {
+    Tracer& tracer = Tracer::global();
+    const auto spans = tracer.recent();
+    if (query.find("format=chrome") != std::string::npos) {
+      std::ostringstream out;
+      tracer.write_chrome_trace(out, spans);
+      return {200, "application/json", out.str()};
+    }
+    std::ostringstream out;
+    out << "{\"enabled\": " << (tracer.enabled() ? "true" : "false")
+        << ", \"spans\": [";
+    bool first = true;
+    for (const auto& span : spans) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n  ";
+      append_tracez_span(out, span);
+    }
+    out << "\n]}\n";
+    return {200, "application/json", out.str()};
+  }
+
+  if (path == "/" || path.empty()) {
+    return {200, "text/plain; charset=utf-8",
+            "autosens introspection endpoints:\n"
+            "  /metrics       Prometheus text exposition\n"
+            "  /metrics.json  registry as JSON\n"
+            "  /healthz       liveness + component readiness\n"
+            "  /statusz       uptime, build info, runtime state\n"
+            "  /tracez        recent spans (?format=chrome)\n"};
+  }
+
+  return {404, "text/plain; charset=utf-8", "not found: " + path + "\n"};
+}
+
+HttpResponse http_get(std::uint16_t port, const std::string& target,
+                      net::SocketOps& ops) {
+  net::Socket connection = net::connect_tcp(port, ops);
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  net::write_all(
+      connection,
+      {reinterpret_cast<const std::uint8_t*>(request.data()), request.size()}, ops);
+
+  std::string raw;
+  std::uint8_t buffer[4096];
+  while (true) {
+    const std::int64_t n = ops.recv(connection.fd(), buffer, sizeof(buffer));
+    if (n == 0) break;
+    if (n < 0) {
+      if (n == -EINTR || n == -EAGAIN) continue;
+      throw net::SocketError("http_get: recv from 127.0.0.1:" + std::to_string(port),
+                             static_cast<int>(-n));
+    }
+    raw.append(reinterpret_cast<const char*>(buffer), static_cast<std::size_t>(n));
+  }
+
+  const auto header_end = raw.find("\r\n\r\n");
+  const auto line_end = raw.find("\r\n");
+  if (header_end == std::string::npos || line_end == std::string::npos) {
+    throw std::runtime_error("http_get: malformed response: " + raw.substr(0, 64));
+  }
+  HttpResponse response;
+  {
+    std::istringstream status_line(raw.substr(0, line_end));
+    std::string version;
+    if (!(status_line >> version >> response.status) ||
+        version.rfind("HTTP/1.", 0) != 0) {
+      throw std::runtime_error("http_get: bad status line: " + raw.substr(0, line_end));
+    }
+  }
+  const std::string headers = raw.substr(line_end, header_end - line_end);
+  const auto content_type = headers.find("Content-Type: ");
+  if (content_type != std::string::npos) {
+    const auto value_start = content_type + 14;
+    const auto value_end = headers.find("\r\n", value_start);
+    response.content_type = headers.substr(value_start, value_end - value_start);
+  }
+  response.body = raw.substr(header_end + 4);
+  return response;
+}
+
+}  // namespace autosens::obs

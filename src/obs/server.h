@@ -1,0 +1,91 @@
+// obs::ObsServer — the live introspection plane: a small dependency-free
+// HTTP/1.1 server (blocking accept loop on its own thread) exposing the
+// metrics registry, component health, process status, and recent trace
+// spans of a running autosens process:
+//
+//   GET /metrics       Prometheus text exposition (sorted, snapshot-consistent)
+//   GET /metrics.json  the same registry as JSON
+//   GET /healthz       liveness + per-component readiness (503 when unready)
+//   GET /statusz       uptime, build info, runtime gauges, status sections
+//   GET /tracez        recent completed spans (JSON; ?format=chrome for
+//                      Chrome trace_event format)
+//
+// All socket I/O goes through net::SocketOps, so the server is
+// fault-injectable with the same seeded FaultPlan machinery as the
+// emitter/collector. One connection is served at a time (scrapes are small
+// and rare); the accept loop polls a stop flag so shutdown is prompt. This
+// listener is deliberately the seed of the always-on analysis service's
+// query front-end (ROADMAP item 3).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "net/socket.h"
+#include "obs/metrics.h"
+
+namespace autosens::obs {
+
+struct ObsServerOptions {
+  std::uint16_t port = 0;          ///< 0 = ephemeral; see ObsServer::port().
+  net::SocketOps* ops = nullptr;   ///< Fault-injection seam; null = real syscalls.
+  Registry* registry = nullptr;    ///< Registry to export; null = the global one.
+  int poll_interval_ms = 100;      ///< Stop-flag poll cadence of the accept loop.
+  std::size_t max_request_bytes = 8192;  ///< Oversized requests get 400.
+};
+
+class ObsServer {
+ public:
+  /// Binds 127.0.0.1:port and starts the serve thread. Throws SocketError
+  /// when the port cannot be bound.
+  explicit ObsServer(const ObsServerOptions& options = {});
+  ~ObsServer();
+
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+  /// The bound port (the ephemeral port when options.port was 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Requests served so far (any status).
+  std::uint64_t requests() const noexcept { return requests_.get(); }
+
+  void stop();
+
+  struct Response {
+    int status = 200;
+    std::string content_type;
+    std::string body;
+  };
+  /// Dispatch `target` (path + optional ?query) through the same handlers
+  /// the socket loop uses — exposed for tests and the encode-only bench.
+  Response handle(std::string_view target) const;
+
+ private:
+  void serve();
+  void serve_connection(net::Socket connection);
+
+  ObsServerOptions options_;
+  net::Socket listener_;
+  std::uint16_t port_ = 0;
+  std::uint64_t start_us_ = 0;
+  std::atomic<bool> stop_{false};
+  RawCounter requests_;
+  std::thread thread_;
+};
+
+/// Minimal loopback HTTP/1.1 GET used by `autosens watch` and the tests.
+/// Throws net::SocketError on transport failure, std::runtime_error on a
+/// malformed response.
+struct HttpResponse {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+HttpResponse http_get(std::uint16_t port, const std::string& target,
+                      net::SocketOps& ops = net::real_socket_ops());
+
+}  // namespace autosens::obs

@@ -56,6 +56,56 @@ void Tracer::set_enabled(bool on) {
 void Tracer::clear() {
   std::lock_guard lock(mutex_);
   spans_.clear();
+  ring_.clear();
+  ring_next_ = 0;
+}
+
+std::vector<SpanRecord> Tracer::recent() const {
+  std::lock_guard lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < ring_capacity_) {
+    out = ring_;
+  } else {
+    // ring_next_ is the oldest slot once the ring has wrapped.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(ring_next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(ring_next_));
+  }
+  return out;
+}
+
+void Tracer::set_ring_capacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  ring_capacity_ = std::max<std::size_t>(capacity, 1);
+  ring_.clear();
+  ring_next_ = 0;
+}
+
+std::size_t Tracer::ring_capacity() const {
+  std::lock_guard lock(mutex_);
+  return ring_capacity_;
+}
+
+void Tracer::set_process(std::uint8_t process) noexcept {
+  process_.store(process, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::ensure_trace_id() {
+  std::uint64_t id = trace_id_.load(std::memory_order_relaxed);
+  if (id != 0) return id;
+  // Any nonzero value unique-enough per run works: the id only groups the
+  // processes of one replay|collect pair. Mix the clock with this process's
+  // tag; CAS so concurrent emitters agree on one id.
+  std::uint64_t fresh = monotonic_ns() ^
+                        (static_cast<std::uint64_t>(process()) << 56) ^
+                        0x9E3779B97F4A7C15ULL;
+  if (fresh == 0) fresh = 1;
+  if (trace_id_.compare_exchange_strong(id, fresh, std::memory_order_relaxed)) {
+    return fresh;
+  }
+  return id;
 }
 
 std::uint64_t Tracer::now_us() const noexcept {
@@ -64,6 +114,12 @@ std::uint64_t Tracer::now_us() const noexcept {
 
 void Tracer::record(SpanRecord&& span) {
   std::lock_guard lock(mutex_);
+  if (ring_.size() < ring_capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[ring_next_] = span;
+    ring_next_ = (ring_next_ + 1) % ring_capacity_;
+  }
   spans_.push_back(std::move(span));
 }
 
@@ -73,7 +129,12 @@ std::vector<SpanRecord> Tracer::snapshot() const {
 }
 
 void Tracer::write_chrome_trace(std::ostream& out) const {
-  const auto spans = snapshot();
+  write_chrome_trace(out, snapshot());
+}
+
+void Tracer::write_chrome_trace(std::ostream& out,
+                                const std::vector<SpanRecord>& spans) const {
+  const auto pid = static_cast<std::uint32_t>(process());
   out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;
   for (const auto& span : spans) {
@@ -81,7 +142,8 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
     first = false;
     out << "\n  {\"name\": \"" << json_escape(span.name)
         << "\", \"cat\": \"autosens\", \"ph\": \"X\", \"ts\": " << span.start_us
-        << ", \"dur\": " << span.duration_us << ", \"pid\": 1, \"tid\": " << span.thread
+        << ", \"dur\": " << span.duration_us << ", \"pid\": " << pid
+        << ", \"tid\": " << span.thread
         << ", \"args\": {\"id\": " << span.id << ", \"parent\": " << span.parent;
     for (const auto& [key, value] : span.attributes) {
       out << ", \"" << json_escape(key) << "\": \"" << json_escape(value) << "\"";
@@ -157,6 +219,15 @@ Span::~Span() {
     latency_ms_->observe(static_cast<double>(record_.duration_us) / 1000.0);
   }
   tracer.record(std::move(record_));
+}
+
+void Span::link_parent(std::uint64_t parent_id) noexcept {
+  if (!active_ || parent_id == 0) return;
+  record_.parent = parent_id;
+}
+
+std::uint64_t current_span_id() noexcept {
+  return t_span_stack.empty() ? 0 : t_span_stack.back();
 }
 
 void Span::attr(std::string_view key, std::string value) {

@@ -54,13 +54,45 @@ class Tracer {
   /// Enabling (re)starts the epoch; spans already open stay inert.
   void set_enabled(bool on);
 
-  /// Drop all collected spans (epoch is kept).
+  /// Drop all collected spans (epoch is kept); also empties the /tracez ring.
   void clear();
 
   std::vector<SpanRecord> snapshot() const;
 
+  /// The most recent completed spans (oldest first), bounded by
+  /// ring_capacity(): the /tracez view. Unlike snapshot() this stays O(1)
+  /// memory in a long-running process.
+  std::vector<SpanRecord> recent() const;
+  /// Resize the /tracez ring (drops spans currently held in it).
+  void set_ring_capacity(std::size_t capacity);
+  std::size_t ring_capacity() const;
+
+  /// Process tag: the Chrome-trace "pid" and the high byte of every span id,
+  /// so ids minted by different processes of one distributed trace never
+  /// collide when their exports are merged. Default 1; set before the first
+  /// span (replay → 1, collect → 2 in the CLI).
+  void set_process(std::uint8_t process) noexcept;
+  std::uint8_t process() const noexcept {
+    return process_.load(std::memory_order_relaxed);
+  }
+
+  /// Distributed-trace id shared by every process of one replay|collect
+  /// pair: the emitter derives one lazily, propagates it in the wire hello,
+  /// and the collector adopts it via set_trace_id(). 0 = none yet.
+  std::uint64_t trace_id() const noexcept {
+    return trace_id_.load(std::memory_order_relaxed);
+  }
+  void set_trace_id(std::uint64_t id) noexcept {
+    trace_id_.store(id, std::memory_order_relaxed);
+  }
+  /// trace_id(), deriving a fresh nonzero id first if none is set yet.
+  std::uint64_t ensure_trace_id();
+
   /// Chrome trace_event JSON ("traceEvents" array of complete "X" events).
   void write_chrome_trace(std::ostream& out) const;
+  /// Same format over an explicit span list (e.g. recent() for /tracez).
+  void write_chrome_trace(std::ostream& out,
+                          const std::vector<SpanRecord>& spans) const;
 
   /// Rollup by (name, depth), ordered by first occurrence.
   std::vector<SpanAggregate> aggregate() const;
@@ -71,14 +103,29 @@ class Tracer {
  private:
   friend class Span;
   void record(SpanRecord&& span);
-  std::uint64_t next_id() noexcept { return ids_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  /// Ids carry the process tag in the top byte (see set_process) so merged
+  /// multi-process traces keep parent links unambiguous.
+  std::uint64_t next_id() noexcept {
+    const std::uint64_t seq = ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return (static_cast<std::uint64_t>(process_.load(std::memory_order_relaxed)) << 56) |
+           (seq & 0x00FFFFFFFFFFFFFFULL);
+  }
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> ids_{0};
   std::atomic<std::uint64_t> epoch_ns_{0};
+  std::atomic<std::uint8_t> process_{1};
+  std::atomic<std::uint64_t> trace_id_{0};
   mutable std::mutex mutex_;
   std::vector<SpanRecord> spans_;
+  std::vector<SpanRecord> ring_;  ///< /tracez: last ring_capacity_ spans.
+  std::size_t ring_capacity_ = 512;
+  std::size_t ring_next_ = 0;  ///< Overwrite slot once ring_ is full.
 };
+
+/// Innermost open span id on the calling thread (0 when none, or when
+/// tracing is disabled). This is the id the emitter stamps onto wire frames.
+std::uint64_t current_span_id() noexcept;
 
 /// RAII span on the global tracer. Construct at stage entry; the destructor
 /// stamps the duration and files the record. When a metrics::Histogram is
@@ -96,6 +143,15 @@ class Span {
   void attr(std::string_view key, std::string value);
   void attr(std::string_view key, std::int64_t value);
   void attr(std::string_view key, double value);
+
+  /// This span's id (0 when inert) — propagate it over the wire so a remote
+  /// span can link_parent() onto it.
+  std::uint64_t id() const noexcept { return active_ ? record_.id : 0; }
+
+  /// Re-parent onto an externally propagated span id (wire trace context):
+  /// the collector links its decode/dedup spans onto the emitter-side span
+  /// that produced the frame. No-op when inert or when parent_id is 0.
+  void link_parent(std::uint64_t parent_id) noexcept;
 
   bool active() const noexcept { return active_; }
 

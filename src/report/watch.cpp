@@ -1,0 +1,90 @@
+#include "report/watch.h"
+
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+namespace autosens::report {
+namespace {
+
+/// Metric family of a sample name (labels stripped).
+std::string base_name(const std::string& name) {
+  const auto brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_counter_name(const std::string& name) {
+  return ends_with(base_name(name), "_total") || ends_with(base_name(name), "_count");
+}
+
+bool is_bucket_series(const std::string& name) {
+  return ends_with(base_name(name), "_bucket");
+}
+
+}  // namespace
+
+std::vector<WatchRow> watch_rows(const std::vector<obs::Sample>& previous,
+                                 const std::vector<obs::Sample>& current,
+                                 double dt_seconds) {
+  std::unordered_map<std::string, double> before;
+  before.reserve(previous.size());
+  for (const auto& sample : previous) before.emplace(sample.name, sample.value);
+
+  std::vector<WatchRow> rows;
+  rows.reserve(current.size());
+  for (const auto& sample : current) {
+    if (is_bucket_series(sample.name)) continue;
+    WatchRow row{.name = sample.name, .value = sample.value, .rate_per_s = {}};
+    if (is_counter_name(sample.name) && dt_seconds > 0.0) {
+      const auto it = before.find(sample.name);
+      if (it != before.end()) {
+        // A restarted process resets its counters; clamp instead of showing
+        // a large negative rate.
+        row.rate_per_s = std::max(0.0, (sample.value - it->second) / dt_seconds);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Table watch_table(const std::vector<WatchRow>& rows, bool hide_zero) {
+  Table table({"metric", "value", "rate/s"});
+  for (const auto& row : rows) {
+    const bool moving = row.rate_per_s.has_value() && *row.rate_per_s > 0.0;
+    if (hide_zero && row.value == 0.0 && !moving) continue;
+    table.add_row({row.name, si_value(row.value),
+                   row.rate_per_s.has_value() ? si_value(*row.rate_per_s) : "-"});
+  }
+  return table;
+}
+
+std::string si_value(double value) {
+  const double magnitude = std::fabs(value);
+  const char* suffix = "";
+  double scaled = value;
+  if (magnitude >= 1e9) {
+    suffix = "G";
+    scaled = value / 1e9;
+  } else if (magnitude >= 1e6) {
+    suffix = "M";
+    scaled = value / 1e6;
+  } else if (magnitude >= 1e3) {
+    suffix = "k";
+    scaled = value / 1e3;
+  }
+  char buffer[64];
+  if (*suffix == '\0' && scaled == std::floor(scaled) && magnitude < 1e3) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", scaled);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f%s", scaled, suffix);
+  }
+  return buffer;
+}
+
+}  // namespace autosens::report

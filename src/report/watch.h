@@ -1,0 +1,40 @@
+// Live metrics watch: joins two /metrics scrapes into top-style rows (level
+// + per-second rate) rendered through report::Table. Powers the `autosens
+// watch <url>` subcommand.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "report/table.h"
+
+namespace autosens::report {
+
+struct WatchRow {
+  std::string name;
+  double value = 0.0;
+  /// Per-second rate for `*_total` counters; absent for gauges and on the
+  /// first scrape (no previous value to diff against).
+  std::optional<double> rate_per_s;
+};
+
+/// Join two scrapes `dt_seconds` apart. `_bucket` histogram series are
+/// dropped (the `_count` rate is the live signal; the full distribution
+/// belongs in /metrics, not a terminal table); counter rates clamp at 0
+/// across process restarts. Rows keep the sorted order of `current`.
+std::vector<WatchRow> watch_rows(const std::vector<obs::Sample>& previous,
+                                 const std::vector<obs::Sample>& current,
+                                 double dt_seconds);
+
+/// Render rows as the watch table (metric / value / per-second rate).
+/// `hide_zero` drops rows whose value and rate are both zero — the live
+/// view shows what is moving, not the whole registry.
+Table watch_table(const std::vector<WatchRow>& rows, bool hide_zero = true);
+
+/// Human scale: 1234567 → "1.23M", 4096 → "4.10k"; small values keep two
+/// decimals ("0.52").
+std::string si_value(double value);
+
+}  // namespace autosens::report

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# End-to-end introspection-plane check over two real processes:
+#
+#   1. `collect` serves in the background with --obs-listen and --trace-out;
+#   2. `replay` ships a generated dataset into it, also tracing;
+#   3. while both run, the collector's live /metrics, /healthz, and /statusz
+#      endpoints are scraped and sanity-checked;
+#   4. the two Chrome trace files must stitch into ONE connected tree
+#      (tools/check_trace_tree.py): emitter spans parent collector spans via
+#      the wire v2 trace context;
+#   5. the collected binlog must hold exactly the generated records.
+#
+# Usage: cli_obs_e2e.sh <autosens_cli> <python3>
+set -euo pipefail
+
+CLI="$1"
+PYTHON="$2"
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+WORK="$(mktemp -d)"
+COLLECT_PID=""
+cleanup() {
+  [[ -n "$COLLECT_PID" ]] && kill "$COLLECT_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+"$CLI" generate --out "$WORK/data.bin" --scale tiny --seed 99 --days 2 >/dev/null
+
+# Collector: ephemeral collect port (printed on stdout) + ephemeral obs port
+# (printed on stderr as "obs: serving http://127.0.0.1:PORT/statusz").
+"$CLI" collect --out "$WORK/collected.bin" --port 0 --expect 1 \
+    --timeout-ms 30000 --obs-listen 0 --trace-out "$WORK/collect_trace.json" \
+    >"$WORK/collect.out" 2>"$WORK/collect.err" &
+COLLECT_PID=$!
+
+port="" obs_port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$WORK/collect.out")"
+  obs_port="$(sed -n 's|^obs: serving http://127\.0\.0\.1:\([0-9]*\)/statusz$|\1|p' \
+      "$WORK/collect.err")"
+  [[ -n "$port" && -n "$obs_port" ]] && break
+  sleep 0.1
+done
+[[ -n "$port" && -n "$obs_port" ]] || {
+  echo "FAIL: collector never announced its ports" >&2
+  cat "$WORK/collect.out" "$WORK/collect.err" >&2
+  exit 1
+}
+
+# Live scrapes against the serving collector, via the CLI's own watch
+# (single-shot) and a raw /healthz + /statusz probe through python.
+"$CLI" watch "127.0.0.1:$obs_port" --count 1 --filter autosens_ \
+    > "$WORK/watch.out"
+grep -q "autosens_" "$WORK/watch.out" || {
+  echo "FAIL: watch rendered no autosens_ metrics" >&2
+  cat "$WORK/watch.out" >&2
+  exit 1
+}
+"$PYTHON" - "$obs_port" <<'EOF'
+import json, sys, urllib.request
+port = sys.argv[1]
+health = json.load(urllib.request.urlopen(f"http://127.0.0.1:{port}/healthz"))
+assert health["status"] == "ok", health
+assert any(name.startswith("collector:") for name in health["components"]), health
+status = json.load(urllib.request.urlopen(f"http://127.0.0.1:{port}/statusz"))
+assert "uptime_seconds" in status and "build" in status, status.keys()
+assert any(name.startswith("collector:") for name in status["sections"]), status
+EOF
+
+"$CLI" replay --in "$WORK/data.bin" --port "$port" --batch 256 \
+    --trace-out "$WORK/replay_trace.json" >"$WORK/replay.out"
+wait "$COLLECT_PID"
+COLLECT_PID=""
+
+grep -q "^replayed " "$WORK/replay.out"
+grep -q "all goodbyes received" "$WORK/collect.out"
+
+# The acceptance criterion: one connected cross-process trace tree.
+"$PYTHON" "$ROOT/tools/check_trace_tree.py" \
+    "$WORK/replay_trace.json" "$WORK/collect_trace.json"
+
+# Exactness: the collected binlog carries every generated record.
+generated="$(sed -n 's/^replayed \([0-9]*\) records.*/\1/p' "$WORK/replay.out")"
+collected="$(sed -n 's/^collected \([0-9]*\) records.*/\1/p' "$WORK/collect.out")"
+[[ "$generated" == "$collected" && -n "$generated" ]] || {
+  echo "FAIL: replayed $generated records but collected $collected" >&2
+  exit 1
+}
+
+echo "PASS: cli obs e2e ($generated records, obs port $obs_port)"

@@ -19,6 +19,9 @@
 #include "net/collector.h"
 #include "net/emitter.h"
 #include "net/fault.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "telemetry/binlog.h"
 #include "telemetry/record.h"
 
@@ -186,6 +189,79 @@ TEST(NetFaultMatrixTest, ExhaustedRetriesAccountLossExactly) {
     EXPECT_EQ(dataset.size(), total_delivered);
     EXPECT_EQ(emitters * kPerEmitter - dataset.size(), total_dropped);
   }
+}
+
+TEST(NetFaultMatrixTest, TraceContextKeepsRecoveryByteIdenticalAndExportsGapMetrics) {
+  // The wire trace extension (span-id frames, 24-byte hellos) must be
+  // invisible to recovery: with tracing ON, every fault class still yields a
+  // dataset byte-identical to the fault-free tracing-OFF baseline. Along the
+  // way the gap metrics the introspection plane exposes must move.
+  constexpr std::size_t kPerEmitter = 240;
+  constexpr std::size_t kEmitters = 2;
+  const auto baseline =
+      dataset_bytes(run_pipeline(kEmitters, kPerEmitter, std::nullopt, 0x7ace));
+
+  obs::set_enabled(true);
+  obs::Tracer::global().set_enabled(true);
+  auto& dedup_hits = obs::registry().counter("autosens_net_dedup_hits_total");
+  auto& resync_bytes = obs::registry().counter("autosens_net_resync_bytes_total");
+  auto& sessions_active = obs::registry().gauge("autosens_net_sessions_active");
+  const auto dedup_before = dedup_hits.value();
+  const auto resync_before = resync_bytes.value();
+
+  for (const auto& matrix_case : kMatrix) {
+    SCOPED_TRACE(matrix_case.name);
+    const auto dataset = run_pipeline(kEmitters, kPerEmitter, matrix_case, 0x7ace);
+    EXPECT_EQ(dataset_bytes(dataset), baseline)
+        << "trace context on the wire must not perturb recovery";
+  }
+
+  // corrupt_frame leaves garbage on the stream: the resync counter must
+  // have moved. Every session said goodbye, so none stays active.
+  EXPECT_GT(resync_bytes.value(), resync_before);
+  EXPECT_DOUBLE_EQ(sessions_active.value(), 0.0);
+
+  // Torn frames never complete, so emitter-side faults alone cannot produce
+  // a duplicate at the decoder. Drive the dedup metric with the exact
+  // double-delivery it guards against: a frame fully delivered on one
+  // connection, then retransmitted verbatim after a reconnect by an emitter
+  // that could not know it had arrived.
+  {
+    const auto records = striped_records(4, 1, 0);
+    const std::vector<ActionRecord> first(records.begin(), records.begin() + 2);
+    const std::vector<ActionRecord> second(records.begin() + 2, records.end());
+    constexpr std::uint64_t kSession = 0xd0dec;
+    const auto frame1 = encode_frame(Frame{.type = FrameType::kData,
+                                           .seq = 1,
+                                           .payload = telemetry::codec::encode_batch(first)});
+    const auto frame2 = encode_frame(Frame{.type = FrameType::kData,
+                                           .seq = 2,
+                                           .payload = telemetry::codec::encode_batch(second)});
+    const auto goodbye =
+        encode_frame(Frame{.type = FrameType::kGoodbye, .seq = 3, .payload = {}});
+    CollectorThread collector(1, CollectorOptions{}, /*timeout_ms=*/5'000);
+    {
+      auto connection = connect_tcp(collector.port());
+      write_all(connection, encode_frame(make_hello(kSession)));
+      write_all(connection, frame1);
+    }  // dies without goodbye: the sender never learns frame1 landed.
+    {
+      auto connection = connect_tcp(collector.port());
+      write_all(connection, encode_frame(make_hello(kSession)));
+      write_all(connection, frame1);  // retransmit — already delivered
+      write_all(connection, frame2);
+      write_all(connection, goodbye);
+    }
+    const auto dataset = collector.join();
+    EXPECT_EQ(dataset.size(), records.size()) << "dedup must drop the duplicate";
+    EXPECT_EQ(collector.stats().duplicate_frames, 1u);
+  }
+  EXPECT_EQ(dedup_hits.value(), dedup_before + 1);
+
+  obs::Tracer::global().set_enabled(false);
+  obs::Tracer::global().clear();
+  obs::Tracer::global().set_trace_id(0);
+  obs::set_enabled(false);
 }
 
 TEST(NetFaultMatrixTest, SoakCombinedFaults) {

@@ -1,0 +1,210 @@
+// Wire-level trace propagation: the kFrameTraceFlag span-id extension, the
+// extended kHello trace context, and the end-to-end emitter → collector
+// stitch that turns two processes' spans into one connected trace tree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/collector.h"
+#include "net/emitter.h"
+#include "net/wire.h"
+#include "obs/trace.h"
+#include "stats/rng.h"
+#include "telemetry/record.h"
+
+namespace autosens::net {
+namespace {
+
+using telemetry::ActionRecord;
+
+std::vector<ActionRecord> make_records(std::size_t n, std::uint64_t seed) {
+  stats::Random random(seed);
+  std::vector<ActionRecord> records;
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += static_cast<std::int64_t>(random.exponential(0.01)) + 1;
+    records.push_back({.time_ms = t,
+                       .user_id = 1 + random.uniform_index(10),
+                       .latency_ms = std::round(random.lognormal(5.0, 0.4) * 100.0) / 100.0,
+                       .action = telemetry::ActionType::kSelectMail,
+                       .user_class = telemetry::UserClass::kBusiness,
+                       .status = telemetry::ActionStatus::kSuccess});
+  }
+  return records;
+}
+
+Frame data_frame(std::uint32_t seq, std::uint64_t span_id) {
+  return Frame{.type = FrameType::kData,
+               .seq = seq,
+               .span_id = span_id,
+               .payload = {1, 2, 3, 4}};
+}
+
+TEST(NetTraceTest, SpanIdRoundTripsThroughDecoder) {
+  constexpr std::uint64_t kSpan = (1ULL << 56) | 0xABCDEF;
+  const auto bytes = encode_frame(data_frame(7, kSpan));
+  // The flag rides bit 7 of the type byte; the 8-byte id sits between the
+  // header and the payload.
+  EXPECT_EQ(bytes[2], static_cast<std::uint8_t>(FrameType::kData) | kFrameTraceFlag);
+  EXPECT_EQ(bytes.size(),
+            kFrameOverheadBytes + kFrameSpanIdBytes + 4 /* payload */);
+
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kData);
+  EXPECT_EQ(frame->seq, 7u);
+  EXPECT_EQ(frame->span_id, kSpan);
+  EXPECT_EQ(frame->payload, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.resyncs(), 0u);
+}
+
+TEST(NetTraceTest, PlainFramesStayByteIdenticalWithoutSpanId) {
+  const auto plain = encode_frame(data_frame(3, 0));
+  EXPECT_EQ(plain[2], static_cast<std::uint8_t>(FrameType::kData));
+  EXPECT_EQ(plain.size(), kFrameOverheadBytes + 4);
+  const auto flagged = encode_frame(data_frame(3, 1));
+  EXPECT_EQ(flagged.size(), plain.size() + kFrameSpanIdBytes);
+}
+
+TEST(NetTraceTest, CorruptSpanIdFailsCrc) {
+  auto bytes = encode_frame(data_frame(9, 0x1122334455667788ULL));
+  bytes[kFrameHeaderBytes + 2] ^= 0xFF;  // inside the span id
+  FrameDecoder decoder;
+  decoder.feed(bytes);
+  EXPECT_FALSE(decoder.next().has_value());
+  // Append a clean frame: the decoder resyncs past the damaged one.
+  decoder.feed(encode_frame(data_frame(10, 0)));
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->seq, 10u);
+  EXPECT_EQ(decoder.resyncs(), 1u);
+  EXPECT_GT(decoder.skipped_bytes(), 0u);
+}
+
+TEST(NetTraceTest, DecoderResyncsAcrossMixedFlaggedFrames) {
+  std::vector<std::uint8_t> stream = {0xDE, 0xAD, 0xBE, 0xEF, kFrameMagic0};
+  const auto flagged = encode_frame(data_frame(1, 42));
+  const auto plain = encode_frame(data_frame(2, 0));
+  stream.insert(stream.end(), flagged.begin(), flagged.end());
+  stream.insert(stream.end(), plain.begin(), plain.end());
+  FrameDecoder decoder;
+  decoder.feed(stream);
+  const auto first = decoder.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->seq, 1u);
+  EXPECT_EQ(first->span_id, 42u);
+  const auto second = decoder.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->seq, 2u);
+  EXPECT_EQ(second->span_id, 0u);
+  EXPECT_EQ(decoder.resyncs(), 1u);
+  EXPECT_EQ(decoder.skipped_bytes(), 5u);
+}
+
+TEST(NetTraceTest, HelloTraceContextRoundTrips) {
+  const auto plain = make_hello(0x1234);
+  EXPECT_EQ(plain.payload.size(), 8u);
+  ASSERT_TRUE(parse_hello(plain.payload).has_value());
+  EXPECT_EQ(*parse_hello(plain.payload), 0x1234u);
+  EXPECT_FALSE(parse_hello_trace(plain.payload).has_value());
+
+  const WireTraceContext context{.trace_id = 0xAABBCCDD, .span_id = (1ULL << 56) | 5};
+  const auto extended = make_hello(0x1234, context);
+  EXPECT_EQ(extended.payload.size(), 24u);
+  ASSERT_TRUE(parse_hello(extended.payload).has_value());
+  EXPECT_EQ(*parse_hello(extended.payload), 0x1234u);
+  const auto parsed = parse_hello_trace(extended.payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_id, context.trace_id);
+  EXPECT_EQ(parsed->span_id, context.span_id);
+
+  EXPECT_FALSE(parse_hello(std::vector<std::uint8_t>(5)).has_value());
+  EXPECT_FALSE(parse_hello_trace(std::vector<std::uint8_t>(16)).has_value());
+}
+
+TEST(NetTraceTest, TracingOffKeepsTheWirePlain) {
+  CollectorThread collector(1);
+  {
+    Emitter emitter(collector.port(), {.batch_size = 64});
+    for (const auto& r : make_records(100, 11)) emitter.record(r);
+    emitter.close();
+  }
+  EXPECT_EQ(collector.join().size(), 100u);
+  EXPECT_TRUE(obs::Tracer::global().snapshot().empty());
+}
+
+TEST(NetTraceTest, EmitterCollectorSpansStitchIntoOneTree) {
+  auto& tracer = obs::Tracer::global();
+  tracer.set_enabled(true);
+  tracer.clear();
+  tracer.set_trace_id(0);
+
+  CollectorThread collector(1);
+  const auto records = make_records(500, 12);
+  {
+    // The CLI's replay command wraps the emit loop in one root span; mirror
+    // that so the whole trace hangs off a single root.
+    obs::Span root("replay");
+    Emitter emitter(collector.port(), {.batch_size = 100});
+    for (const auto& r : records) emitter.record(r);
+    emitter.close();
+  }
+  EXPECT_EQ(collector.join().size(), records.size());
+
+  const auto spans = tracer.snapshot();
+  tracer.set_enabled(false);
+  tracer.clear();
+  const auto found_trace_id = tracer.trace_id();
+  tracer.set_trace_id(0);
+  EXPECT_NE(found_trace_id, 0u) << "emitter must mint a trace id for the hello";
+
+  std::map<std::uint64_t, const obs::SpanRecord*> by_id;
+  std::size_t connects = 0, sends = 0, hellos = 0, decodes = 0;
+  for (const auto& span : spans) by_id.emplace(span.id, &span);
+  for (const auto& span : spans) {
+    if (span.name == "net.connect") ++connects;
+    if (span.name == "net.send_frame") ++sends;
+    if (span.name == "net.hello") ++hellos;
+    if (span.name == "net.decode_frame") ++decodes;
+  }
+  EXPECT_EQ(connects, 1u);
+  // 5 data frames + goodbye (the hello is sent inside connect, not as a
+  // send_frame span; close() finds the pending buffer already flushed).
+  EXPECT_GE(sends, 6u);
+  EXPECT_EQ(hellos, 1u);
+  EXPECT_GE(decodes, 5u);
+
+  // Single connected tree: every span's parent resolves to another recorded
+  // span, except exactly one root ("replay"). In particular the collector's
+  // hello span hangs off the emitter's connect span and every decode span
+  // off the send span that produced its frame — the cross-process links.
+  std::size_t roots = 0;
+  for (const auto& span : spans) {
+    if (span.parent == 0) {
+      ++roots;
+      EXPECT_EQ(span.name, "replay");
+      continue;
+    }
+    EXPECT_TRUE(by_id.count(span.parent))
+        << span.name << " parent " << span.parent << " not in trace";
+  }
+  EXPECT_EQ(roots, 1u);
+  for (const auto& span : spans) {
+    if (span.name == "net.hello") {
+      EXPECT_EQ(by_id.at(span.parent)->name, "net.connect");
+    }
+    if (span.name == "net.decode_frame" || span.name == "net.dedup_drop") {
+      EXPECT_EQ(by_id.at(span.parent)->name, "net.send_frame");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autosens::net

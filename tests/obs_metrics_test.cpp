@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <sstream>
 #include <stdexcept>
@@ -216,6 +217,107 @@ TEST_F(ObsMetricsTest, ParseSkipsCommentsAndRejectsMalformedLines) {
   EXPECT_THROW(parse_prometheus(no_value), std::invalid_argument);
   std::istringstream bad_value("x not-a-number\n");
   EXPECT_THROW(parse_prometheus(bad_value), std::invalid_argument);
+}
+
+TEST_F(ObsMetricsTest, ExportOrderIsSortedRegardlessOfRegistrationOrder) {
+  Registry registry;
+  // Deliberately register out of lexical order, interleaving label sets.
+  registry.counter("zeta_total").inc(1);
+  registry.gauge("alpha{slot=\"9\"}").set(9.0);
+  registry.counter("mid_total{reason=\"b\"}").inc(2);
+  registry.gauge("alpha{slot=\"2\"}").set(2.0);
+  registry.counter("mid_total{reason=\"a\"}").inc(3);
+
+  const auto samples = registry.samples();
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_EQ(samples[0].name, "alpha{slot=\"2\"}");
+  EXPECT_EQ(samples[1].name, "alpha{slot=\"9\"}");
+  EXPECT_EQ(samples[2].name, "mid_total{reason=\"a\"}");
+  EXPECT_EQ(samples[3].name, "mid_total{reason=\"b\"}");
+  EXPECT_EQ(samples[4].name, "zeta_total");
+
+  // The text exposition follows the same order, so families stay contiguous
+  // (one HELP/TYPE header each) and scrapes diff cleanly.
+  std::stringstream text;
+  registry.write_prometheus(text);
+  const auto parsed = parse_prometheus(text);
+  ASSERT_EQ(parsed.size(), samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, samples[i].name) << "sample " << i;
+    EXPECT_DOUBLE_EQ(parsed[i].value, samples[i].value) << "sample " << i;
+  }
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketsStayInBoundOrderWithinSortedExport) {
+  Registry registry;
+  // A ladder whose lexical label order (le="10" < le="2" < le="+Inf" is
+  // wrong two ways) differs from bound order; the sort is per-entry, so
+  // buckets must keep cumulative bound order within the family.
+  auto& histogram = registry.histogram("big_ms", "", {2.0, 10.0});
+  histogram.observe(1.0);
+  histogram.observe(5.0);
+  const auto samples = registry.samples();
+  ASSERT_EQ(samples.size(), 5u);
+  EXPECT_EQ(samples[0].name, "big_ms_bucket{le=\"2\"}");
+  EXPECT_EQ(samples[1].name, "big_ms_bucket{le=\"10\"}");
+  EXPECT_EQ(samples[2].name, "big_ms_bucket{le=\"+Inf\"}");
+}
+
+TEST_F(ObsMetricsTest, ParseHandlesExponentsInfinityAndTimestamps) {
+  std::istringstream in(
+      "big_ms_bucket{le=\"1e+06\"} 2\n"
+      "rate 1.5e-3\n"
+      "ceiling +Inf\n"
+      "stamped 4 1712345678901\n");
+  const auto samples = parse_prometheus(in);
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples[0].name, "big_ms_bucket{le=\"1e+06\"}");
+  EXPECT_DOUBLE_EQ(samples[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(samples[1].value, 1.5e-3);
+  EXPECT_TRUE(std::isinf(samples[2].value));
+  EXPECT_EQ(samples[3].name, "stamped");
+  EXPECT_DOUBLE_EQ(samples[3].value, 4.0);
+}
+
+TEST_F(ObsMetricsTest, ParseHandlesEscapedLabelValues) {
+  std::istringstream in(
+      "odd{path=\"C:\\\\logs\",note=\"say \\\"hi\\\"\"} 1\n");
+  const auto samples = parse_prometheus(in);
+  ASSERT_EQ(samples.size(), 1u);
+  // The name is kept verbatim (escapes intact) so it round-trips; the
+  // crucial part is that the brace scan did not end at the quoted '}'-free
+  // escapes or split on the quoted comma.
+  EXPECT_EQ(samples[0].name, "odd{path=\"C:\\\\logs\",note=\"say \\\"hi\\\"\"}");
+  EXPECT_DOUBLE_EQ(samples[0].value, 1.0);
+}
+
+TEST_F(ObsMetricsTest, ParseRejectsDuplicateAndTruncatedRows) {
+  std::istringstream duplicate("x_total 1\nx_total 2\n");
+  EXPECT_THROW(parse_prometheus(duplicate), std::invalid_argument);
+  // Same family, different labels: not a duplicate.
+  std::istringstream labeled("x_total{a=\"1\"} 1\nx_total{a=\"2\"} 2\n");
+  EXPECT_EQ(parse_prometheus(labeled).size(), 2u);
+
+  std::istringstream unterminated("bad{label=\"oops 1\n");
+  EXPECT_THROW(parse_prometheus(unterminated), std::invalid_argument);
+  std::istringstream dangling_escape("bad{label=\"oops\\\n");
+  EXPECT_THROW(parse_prometheus(dangling_escape), std::invalid_argument);
+  std::istringstream trailing_junk("x 1 2 3\n");
+  EXPECT_THROW(parse_prometheus(trailing_junk), std::invalid_argument);
+}
+
+TEST_F(ObsMetricsTest, JsonHistogramTotalsAreSnapshotConsistent) {
+  Registry registry;
+  auto& histogram = registry.histogram("h_ms", "", {1.0, 10.0});
+  histogram.observe(0.5);
+  histogram.observe(5.0);
+  histogram.observe(50.0);
+  std::ostringstream out;
+  registry.write_json(out);
+  // The +Inf bucket and the count come from one bucket read, so the JSON
+  // never shows count != sum-of-buckets even under concurrent writers.
+  EXPECT_NE(out.str().find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(out.str().find("{\"le\": \"+Inf\", \"count\": 1}"), std::string::npos);
 }
 
 TEST_F(ObsMetricsTest, SamplesExpandHistogramsCumulatively) {

@@ -1,0 +1,297 @@
+// The live introspection plane end to end: every ObsServer endpoint over a
+// real loopback socket, the http_get helper, the RuntimeSampler gauges, a
+// fault-injected scrape, and a live scrape loop racing a concurrent analyze
+// (the scenario the TSan tree replays with instrumentation).
+#include "obs/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "net/fault.h"
+#include "net/socket.h"
+#include "obs/health.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "simulate/generator.h"
+#include "simulate/presets.h"
+#include "telemetry/filter.h"
+#include "telemetry/validate.h"
+
+namespace autosens::obs {
+namespace {
+
+/// Raw HTTP exchange for the request shapes http_get cannot produce
+/// (non-GET methods, malformed request lines). Sends `request` verbatim and
+/// returns everything the server writes back before closing.
+std::string raw_request(std::uint16_t port, const std::string& request) {
+  auto socket = net::connect_tcp(port);
+  net::write_all(socket, {reinterpret_cast<const std::uint8_t*>(request.data()),
+                          request.size()});
+  std::string response;
+  std::uint8_t buffer[2048];
+  auto& ops = net::real_socket_ops();
+  for (;;) {
+    const auto n = ops.recv(socket.fd(), buffer, sizeof(buffer));
+    if (n == -EINTR || n == -EAGAIN) continue;
+    if (n <= 0) break;
+    response.append(reinterpret_cast<const char*>(buffer), static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+TEST(ObsServerTest, MetricsEndpointRoundTripsThroughTheParser) {
+  set_enabled(true);
+  Registry local;
+  local.counter("zeta_total", "late registration").inc(3);
+  local.gauge("alpha_ratio").set(0.25);
+  local.counter("frames_total{kind=\"data\"}").inc(7);
+  local.counter("frames_total{kind=\"ctrl\"}").inc(1);
+  local.histogram("stage_ms", "", {5.0, 50.0}).observe(12.0);
+
+  ObsServer server({.registry = &local});
+  const auto response = http_get(server.port(), "/metrics");
+  set_enabled(false);
+
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  std::istringstream in(response.body);
+  const auto samples = parse_prometheus(in);
+  ASSERT_FALSE(samples.empty());
+  // Sorted export: alpha_ratio before frames_total before stage_ms before
+  // zeta_total, and the scrape parses back to the exact handle values.
+  EXPECT_LT(response.body.find("alpha_ratio"), response.body.find("frames_total"));
+  EXPECT_LT(response.body.find("stage_ms"), response.body.find("zeta_total"));
+  bool saw_data = false, saw_zeta = false;
+  for (const auto& sample : samples) {
+    if (sample.name == "frames_total{kind=\"data\"}") {
+      saw_data = true;
+      EXPECT_EQ(sample.value, 7.0);
+    }
+    if (sample.name == "zeta_total") {
+      saw_zeta = true;
+      EXPECT_EQ(sample.value, 3.0);
+    }
+  }
+  EXPECT_TRUE(saw_data);
+  EXPECT_TRUE(saw_zeta);
+  EXPECT_GE(server.requests(), 1u);
+}
+
+TEST(ObsServerTest, MetricsJsonMirrorsTheRegistry) {
+  set_enabled(true);
+  Registry local;
+  local.counter("scrapes_total").inc(2);
+  local.histogram("lat_ms", "", {1.0}).observe(0.5);
+  ObsServer server({.registry = &local});
+  const auto response = http_get(server.port(), "/metrics.json");
+  set_enabled(false);
+
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "application/json");
+  EXPECT_NE(response.body.find("\"scrapes_total\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"counter\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"buckets\""), std::string::npos);
+}
+
+TEST(ObsServerTest, HealthzTracksComponentReadiness) {
+  Health::global().clear();
+  Registry local;
+  ObsServer server({.registry = &local});
+
+  // No components: trivially live.
+  auto response = http_get(server.port(), "/healthz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"status\": \"ok\""), std::string::npos);
+
+  Health::global().set_component("pipeline", false, "warming up");
+  response = http_get(server.port(), "/healthz");
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("\"ready\": false"), std::string::npos);
+  EXPECT_NE(response.body.find("warming up"), std::string::npos);
+  EXPECT_NE(response.body.find("\"status\": \"unready\""), std::string::npos);
+
+  Health::global().set_component("pipeline", true, "ok");
+  response = http_get(server.port(), "/healthz");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"ready\": true"), std::string::npos);
+  Health::global().clear();
+}
+
+TEST(ObsServerTest, StatuszCarriesBuildRuntimeAndSections) {
+  set_enabled(true);
+  ASSERT_TRUE(RuntimeSampler::sample_once());
+  const auto section =
+      StatusRegistry::global().add_section("collector", [] {
+        return std::string("{\"sessions\": 0}");
+      });
+
+  // The runtime block filters autosens_process_* out of the global registry,
+  // so this server must export the global one.
+  ObsServer server;
+  const auto response = http_get(server.port(), "/statusz");
+  StatusRegistry::global().remove_section(section);
+  set_enabled(false);
+
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "application/json");
+  EXPECT_NE(response.body.find("\"uptime_seconds\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"build\""), std::string::npos);
+  EXPECT_NE(response.body.find("autosens_process_rss_bytes"), std::string::npos);
+  EXPECT_NE(response.body.find("\"collector\": {\"sessions\": 0}"), std::string::npos);
+}
+
+TEST(ObsServerTest, RuntimeSamplerPopulatesProcessGauges) {
+  set_enabled(true);
+  ASSERT_TRUE(RuntimeSampler::sample_once());
+  EXPECT_GT(registry().gauge("autosens_process_rss_bytes").value(), 0.0);
+  EXPECT_GE(registry().gauge("autosens_process_threads").value(), 1.0);
+  EXPECT_GT(registry().gauge("autosens_process_open_fds").value(), 0.0);
+  EXPECT_GE(registry().gauge("autosens_process_vm_hwm_bytes").value(),
+            registry().gauge("autosens_process_rss_bytes").value() * 0.5);
+  set_enabled(false);
+}
+
+TEST(ObsServerTest, TracezExportsRecentSpansInBothFormats) {
+  auto& tracer = Tracer::global();
+  tracer.set_enabled(true);
+  tracer.clear();
+  {
+    Span outer("scrape_me");
+    Span inner("nested");
+  }
+  Registry local;
+  ObsServer server({.registry = &local});
+  const auto json = http_get(server.port(), "/tracez");
+  const auto chrome = http_get(server.port(), "/tracez?format=chrome");
+  tracer.set_enabled(false);
+  tracer.clear();
+
+  EXPECT_EQ(json.status, 200);
+  EXPECT_EQ(json.content_type, "application/json");
+  EXPECT_NE(json.body.find("\"scrape_me\""), std::string::npos);
+  EXPECT_NE(json.body.find("\"nested\""), std::string::npos);
+  EXPECT_EQ(chrome.status, 200);
+  EXPECT_NE(chrome.body.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(chrome.body.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(ObsServerTest, IndexAndErrorPaths) {
+  Registry local;
+  ObsServer server({.registry = &local});
+
+  const auto index = http_get(server.port(), "/");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/metrics"), std::string::npos);
+  EXPECT_NE(index.body.find("/tracez"), std::string::npos);
+
+  const auto missing = http_get(server.port(), "/nope");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_NE(missing.body.find("not found: /nope"), std::string::npos);
+
+  const auto post = raw_request(server.port(), "POST /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos);
+  const auto garbage = raw_request(server.port(), "nonsense\r\n\r\n");
+  EXPECT_NE(garbage.find("400"), std::string::npos);
+  EXPECT_GE(server.requests(), 4u);
+}
+
+TEST(ObsServerTest, HandleDispatchesWithoutASocket) {
+  Registry local;
+  local.counter("direct_total").inc(1);
+  ObsServer server({.registry = &local});
+  const auto response = server.handle("/metrics");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("direct_total"), std::string::npos);
+  EXPECT_EQ(server.handle("/gone").status, 404);
+}
+
+TEST(ObsServerTest, HttpGetRejectsClosedPorts) {
+  std::uint16_t dead_port = 0;
+  {
+    std::uint16_t bound = 0;
+    auto listener = net::listen_tcp(0, bound);
+    dead_port = bound;
+  }  // listener closed; the port is free again.
+  EXPECT_THROW(http_get(dead_port, "/metrics"), net::SocketError);
+}
+
+TEST(ObsServerTest, FaultInjectedScrapeStillServes) {
+  // Short reads and short writes on the server's syscall seam: the request
+  // parser and write_all loops must still deliver a complete scrape.
+  set_enabled(true);
+  Registry local;
+  local.counter("resilient_total").inc(9);
+  net::FaultySocketOps faulty(
+      net::FaultPlan(0x0b5, {{.fault = net::FaultClass::kShortRead, .probability = 0.5},
+                             {.fault = net::FaultClass::kShortWrite, .probability = 0.5}}),
+      net::real_socket_ops(), 0.0);
+  ObsServer server({.ops = &faulty, .registry = &local});
+  for (int i = 0; i < 5; ++i) {
+    const auto response = http_get(server.port(), "/metrics");
+    EXPECT_EQ(response.status, 200);
+    EXPECT_NE(response.body.find("resilient_total 9"), std::string::npos);
+  }
+  set_enabled(false);
+}
+
+TEST(ObsServerTest, LiveScrapeDuringConcurrentAnalyze) {
+  // The acceptance scenario: scrape /metrics, /statusz, and /tracez in a
+  // tight loop while an instrumented analyze runs — every scrape must
+  // succeed and the final one must still parse. The TSan tree replays this
+  // test with instrumentation to prove the registry/tracer/server paths are
+  // race-free.
+  set_enabled(true);
+  Tracer::global().set_enabled(true);
+  Tracer::global().clear();
+  ObsServer server;
+
+  auto generated =
+      simulate::WorkloadGenerator(simulate::paper_config(simulate::Scale::kTiny, 77))
+          .generate();
+  const auto slice = telemetry::validate(generated.dataset)
+                         .dataset.filtered(telemetry::all_of(
+                             {telemetry::by_action(telemetry::ActionType::kSelectMail),
+                              telemetry::by_user_class(telemetry::UserClass::kBusiness)}));
+  ASSERT_GT(slice.size(), 0u);
+
+  std::atomic<bool> done{false};
+  std::thread analyzer([&] {
+    for (int i = 0; i < 2; ++i) {
+      const auto result = core::analyze(slice, core::AutoSensOptions{});
+      EXPECT_GT(result.normalized.size(), 0u);
+    }
+    done.store(true);
+  });
+
+  std::size_t scrapes = 0;
+  std::string last_metrics;
+  while (!done.load() || scrapes < 3) {
+    for (const char* target : {"/metrics", "/statusz", "/tracez"}) {
+      const auto response = http_get(server.port(), target);
+      ASSERT_EQ(response.status, 200) << target;
+      if (std::string(target) == "/metrics") last_metrics = response.body;
+    }
+    ++scrapes;
+    if (scrapes > 200) break;  // analyze wedged; let the join report it.
+  }
+  analyzer.join();
+  Tracer::global().set_enabled(false);
+  Tracer::global().clear();
+  set_enabled(false);
+
+  std::istringstream in(last_metrics);
+  EXPECT_FALSE(parse_prometheus(in).empty());
+  EXPECT_GE(server.requests(), 3u * scrapes);
+}
+
+}  // namespace
+}  // namespace autosens::obs

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdint>
+#include <set>
 #include <sstream>
 #include <thread>
 
+#include "core/parallel.h"
 #include "obs/metrics.h"
 
 namespace autosens::obs {
@@ -141,6 +144,140 @@ TEST_F(ObsTraceTest, ChromeTraceJsonShape) {
   // Balanced and terminated.
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+}
+
+TEST_F(ObsTraceTest, RecentRingKeepsNewestSpansOldestFirst) {
+  Tracer::global().set_ring_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    Span span("span" + std::to_string(i));
+  }
+  const auto recent = Tracer::global().recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].name, "span2");
+  EXPECT_EQ(recent[1].name, "span3");
+  EXPECT_EQ(recent[2].name, "span4");
+  // snapshot() still has all five; the ring only bounds /tracez.
+  EXPECT_EQ(Tracer::global().snapshot().size(), 5u);
+  Tracer::global().set_ring_capacity(512);
+}
+
+TEST_F(ObsTraceTest, ProcessTagSaltsSpanIds) {
+  Tracer::global().set_process(7);
+  std::uint64_t id = 0;
+  {
+    Span span("salted");
+    id = span.id();
+    EXPECT_NE(id, 0u);
+  }
+  EXPECT_EQ(id >> 56, 7u);
+  Tracer::global().set_process(1);
+  {
+    Span span("default");
+    EXPECT_EQ(span.id() >> 56, 1u);
+  }
+}
+
+TEST_F(ObsTraceTest, EnsureTraceIdIsStickyAndNonzero) {
+  Tracer::global().set_trace_id(0);
+  const auto id = Tracer::global().ensure_trace_id();
+  EXPECT_NE(id, 0u);
+  EXPECT_EQ(Tracer::global().ensure_trace_id(), id);
+  Tracer::global().set_trace_id(42);
+  EXPECT_EQ(Tracer::global().ensure_trace_id(), 42u);
+  Tracer::global().set_trace_id(0);
+}
+
+TEST_F(ObsTraceTest, LinkParentOverridesLocalNesting) {
+  constexpr std::uint64_t kRemote = (2ULL << 56) | 99;
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+      inner.link_parent(kRemote);
+      Span untouched("untouched");
+      untouched.link_parent(0);  // no-op
+    }
+  }
+  const auto spans = Tracer::global().snapshot();
+  const auto* outer = find(spans, "outer");
+  const auto* inner = find(spans, "inner");
+  const auto* untouched = find(spans, "untouched");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(untouched, nullptr);
+  EXPECT_EQ(inner->parent, kRemote);
+  // link_parent(0) keeps the local parent (the still-open inner span).
+  EXPECT_EQ(untouched->parent, inner->id);
+  (void)outer;
+}
+
+TEST_F(ObsTraceTest, CurrentSpanIdTracksTheInnermostOpenSpan) {
+  EXPECT_EQ(current_span_id(), 0u);
+  {
+    Span outer("outer");
+    EXPECT_EQ(current_span_id(), outer.id());
+    {
+      Span inner("inner");
+      EXPECT_EQ(current_span_id(), inner.id());
+    }
+    EXPECT_EQ(current_span_id(), outer.id());
+  }
+  EXPECT_EQ(current_span_id(), 0u);
+}
+
+TEST_F(ObsTraceTest, ChromeTraceAcrossThreadPoolThreads) {
+  // Parent on the caller thread, children on pool workers: the exported
+  // trace must carry the process tag as pid and distinct tid values, and
+  // the flame rollup must attribute all chunk time under the region span.
+  constexpr std::size_t kChunks = 4;
+  {
+    Span region("pool_region");
+    core::ThreadPool::shared().run(kChunks, kChunks, [&region](std::size_t chunk) {
+      Span work("pool_chunk");
+      work.link_parent(region.id());
+      work.attr("chunk", static_cast<std::int64_t>(chunk));
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    });
+  }
+  const auto spans = Tracer::global().snapshot();
+  ASSERT_EQ(spans.size(), kChunks + 1);
+  const auto* region = find(spans, "pool_region");
+  ASSERT_NE(region, nullptr);
+  std::set<std::uint64_t> threads;
+  for (const auto& span : spans) {
+    if (span.name != "pool_chunk") continue;
+    EXPECT_EQ(span.parent, region->id);
+    threads.insert(span.thread);
+  }
+  // The caller participates in the region, so at least two distinct thread
+  // indices must show up among the chunk spans (1-CPU machines still spawn
+  // real pool workers — concurrency is requested, not detected).
+  EXPECT_GE(threads.size(), 2u);
+
+  std::ostringstream out;
+  Tracer::global().write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+  for (const auto tid : threads) {
+    EXPECT_NE(json.find("\"tid\": " + std::to_string(tid)), std::string::npos);
+  }
+  EXPECT_NE(json.find("\"parent\": " + std::to_string(region->id)), std::string::npos);
+
+  // Chunks on the caller thread nest under the region (depth 1) while
+  // worker-thread chunks are stack roots (depth 0), so the (name, depth)
+  // rollup may split them — the totals must still account for every chunk.
+  const auto aggregates = Tracer::global().aggregate();
+  std::size_t chunk_count = 0;
+  double chunk_total_ms = 0.0;
+  for (const auto& aggregate : aggregates) {
+    if (aggregate.name == "pool_chunk") {
+      chunk_count += aggregate.count;
+      chunk_total_ms += aggregate.total_ms;
+    }
+  }
+  EXPECT_EQ(chunk_count, kChunks);
+  // Each chunk slept ~2 ms; the rollup total must account for all of them.
+  EXPECT_GE(chunk_total_ms, 1.0 * static_cast<double>(kChunks));
 }
 
 TEST_F(ObsTraceTest, ClearDropsSpans) {

@@ -24,6 +24,8 @@
 //                          [--retries 5] [--backoff-ms 1] [--backoff-max-ms 1000]
 //                          [--drop-on-exhausted]
 //   autosens_cli metrics   --in metrics.txt [--filter substr]
+//   autosens_cli watch     URL [--interval-ms 1000] [--count 0] [--filter s]
+//                          [--all]
 //
 // Every command additionally accepts the observability flags (all off by
 // default):
@@ -31,10 +33,22 @@
 //   --trace-out FILE     write a Chrome trace_event JSON file on exit
 //   --stats              print a per-stage flame summary + metrics to stderr
 //   --log-level LEVEL    quiet | info (default) | debug
+//   --obs-listen SPEC    serve the live introspection plane (/metrics,
+//                        /metrics.json, /healthz, /statusz, /tracez) on
+//                        loopback while the command runs; SPEC is
+//                        [127.0.0.1:]PORT (0 = ephemeral, port printed to
+//                        stderr). Also starts the /proc runtime sampler.
+//
+// `watch` polls a live /metrics endpoint (typically another autosens process
+// started with --obs-listen) and renders a top-style table of levels and
+// per-second counter rates.
 //
 // Input files ending in .bin are read as AutoSens binary logs, anything else
 // as CSV. Every analysis subcommand scrubs the input (successful actions,
 // sane latencies) before running.
+#include <unistd.h>
+
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <filesystem>
@@ -42,7 +56,9 @@
 #include <iostream>
 #include <optional>
 #include <set>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/confidence.h"
@@ -56,10 +72,13 @@
 #include "net/emitter.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/server.h"
 #include "obs/trace.h"
 #include "report/ascii_chart.h"
 #include "report/csvout.h"
 #include "report/table.h"
+#include "report/watch.h"
 #include "simulate/generator.h"
 #include "simulate/presets.h"
 #include "telemetry/binlog.h"
@@ -88,9 +107,12 @@ commands:
   collect    run a telemetry collector server, write a binary log
   replay     stream an existing log to a collector
   metrics    pretty-print a Prometheus metrics snapshot written by --metrics-out
+  watch      poll a live /metrics URL, render a top-style level + rate table
 
 every command also accepts --metrics-out FILE, --trace-out FILE, --stats,
-and --log-level {quiet,info,debug} (all observability is off by default).
+--log-level {quiet,info,debug}, and --obs-listen [127.0.0.1:]PORT, which
+serves /metrics, /metrics.json, /healthz, /statusz, and /tracez on loopback
+while the command runs (all observability is off by default).
 run a command with wrong flags to see its flag list.
 )";
   return 2;
@@ -99,8 +121,58 @@ run a command with wrong flags to see its flag list.
 /// Adds the observability flags accepted by every subcommand to a command's
 /// allow-list.
 std::set<std::string> with_obs(std::set<std::string> allowed) {
-  allowed.insert({"metrics-out", "trace-out", "stats", "log-level"});
+  allowed.insert({"metrics-out", "trace-out", "stats", "log-level", "obs-listen"});
   return allowed;
+}
+
+/// Parses a loopback endpoint spec — [http://][127.0.0.1|localhost:]PORT
+/// with an optional path suffix — into the port. The introspection plane
+/// binds loopback only, so any other host is rejected up front.
+std::uint16_t parse_loopback_port(std::string spec, const std::string& what) {
+  const std::string original = spec;
+  if (spec.starts_with("http://")) spec = spec.substr(7);
+  if (const auto slash = spec.find('/'); slash != std::string::npos) {
+    spec = spec.substr(0, slash);
+  }
+  if (const auto colon = spec.rfind(':'); colon != std::string::npos) {
+    const std::string host = spec.substr(0, colon);
+    if (!host.empty() && host != "127.0.0.1" && host != "localhost") {
+      throw std::invalid_argument(what + ": the introspection plane is loopback-only, got host '" +
+                                  host + "'");
+    }
+    spec = spec.substr(colon + 1);
+  }
+  if (spec.empty() || spec.size() > 5 ||
+      spec.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument(what + ": expected [127.0.0.1:]PORT, got '" + original + "'");
+  }
+  const long port = std::stol(spec);
+  if (port > 65535) {
+    throw std::invalid_argument(what + ": port out of range: " + original);
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+/// The live introspection plane of one CLI run: the /metrics+/statusz HTTP
+/// server plus the /proc runtime sampler, both torn down when the command
+/// body returns (members stop their threads in reverse order).
+struct ObsPlane {
+  std::optional<obs::ObsServer> server;
+  std::optional<obs::RuntimeSampler> sampler;
+};
+
+/// Starts the plane when --obs-listen was given; implies full metrics +
+/// trace instrumentation (an exporter over a disabled registry is useless).
+void start_obs_plane(const cli::Args& args, ObsPlane& plane) {
+  const auto listen = args.get("obs-listen");
+  if (!listen) return;
+  const auto port = parse_loopback_port(*listen, "--obs-listen");
+  obs::set_enabled(true);
+  obs::Tracer::global().set_enabled(true);
+  plane.server.emplace(obs::ObsServerOptions{.port = port});
+  plane.sampler.emplace();
+  // Stderr, like the logs: stdout stays machine-readable.
+  std::cerr << "obs: serving http://127.0.0.1:" << plane.server->port() << "/statusz\n";
 }
 
 /// Turns the instrumentation on before the command runs, driven by flags.
@@ -567,7 +639,12 @@ int cmd_collect(const cli::Args& args) {
 int cmd_replay(const cli::Args& args) {
   args.allow_only(with_obs({"in", "port", "batch", "threads", "retries", "backoff-ms",
                             "backoff-max-ms", "drop-on-exhausted"}));
+  // One root span over the whole command — load, connect, emit loop — so
+  // every local span and, via the wire trace context, the collector's spans
+  // in the peer process hang off a single trace tree.
+  obs::Span replay_span("replay");
   const auto dataset = load(args.require("in"), ingest_options_from_flags(args));
+  replay_span.attr("records", static_cast<std::int64_t>(dataset.size()));
   net::EmitterOptions options;
   options.batch_size = static_cast<std::size_t>(args.get_int("batch", 1024));
   options.retry.max_attempts = static_cast<std::size_t>(args.get_int("retries", 5));
@@ -612,6 +689,47 @@ int cmd_metrics(const cli::Args& args) {
   return 0;
 }
 
+int cmd_watch(const std::string& url, const cli::Args& args) {
+  args.allow_only(with_obs({"interval-ms", "count", "filter", "all"}));
+  const std::uint16_t port = parse_loopback_port(url, "watch URL");
+  const auto interval_ms = args.get_int("interval-ms", 1000);
+  if (interval_ms <= 0) throw std::invalid_argument("--interval-ms must be > 0");
+  const auto count = args.get_int("count", 0);  // 0 = until interrupted
+  const std::string filter = args.get_or("filter", "");
+  // Only a real terminal gets the clear-screen top-style refresh; piped
+  // output gets one table per scrape.
+  const bool tty = ::isatty(STDOUT_FILENO) != 0;
+
+  std::vector<obs::Sample> previous;
+  auto last_scrape = std::chrono::steady_clock::now();
+  for (std::int64_t scrape = 0; count == 0 || scrape < count; ++scrape) {
+    if (scrape > 0) std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    const auto response = obs::http_get(port, "/metrics");
+    if (response.status != 200) {
+      throw std::runtime_error("scrape failed: HTTP " + std::to_string(response.status));
+    }
+    std::istringstream body(response.body);
+    auto samples = obs::parse_prometheus(body);
+    const auto now = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(now - last_scrape).count();
+    last_scrape = now;
+
+    auto rows = report::watch_rows(previous, samples, scrape == 0 ? 0.0 : dt);
+    if (!filter.empty()) {
+      std::erase_if(rows, [&filter](const report::WatchRow& row) {
+        return row.name.find(filter) == std::string::npos;
+      });
+    }
+    if (tty && count != 1) std::cout << "\x1b[2J\x1b[H";
+    std::cout << "autosens watch 127.0.0.1:" << port << "  scrape " << (scrape + 1) << "  ("
+              << samples.size() << " samples, " << rows.size() << " matched)\n";
+    report::watch_table(rows, !args.has("all")).print(std::cout);
+    std::cout << std::flush;
+    previous = std::move(samples);
+  }
+  return 0;
+}
+
 int dispatch(const std::string& command, const cli::Args& args) {
   if (command == "generate") return cmd_generate(args);
   if (command == "analyze") return cmd_analyze(args);
@@ -633,9 +751,28 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
+    // `watch <url>` takes a positional URL, unlike every other subcommand.
+    if (command == "watch") {
+      if (argc < 3 || std::string(argv[2]).starts_with("--")) {
+        std::cerr << "usage: autosens_cli watch URL [--interval-ms N] [--count N] "
+                     "[--filter substr] [--all]\n";
+        return 2;
+      }
+      const cli::Args args(argc, argv, 3, {"all", "stats"});
+      setup_observability(args);
+      const int code = cmd_watch(argv[2], args);
+      finish_observability(args);
+      return code;
+    }
     const cli::Args args(argc, argv, 2,
                          {"no-normalize", "mc", "confidence", "stats", "drop-on-exhausted"});
     setup_observability(args);
+    // Cross-process traces: the collector side salts its span ids with a
+    // distinct process tag so emitter and collector spans from a replay |
+    // collect pair never collide under the shared trace id.
+    if (command == "collect") obs::Tracer::global().set_process(2);
+    ObsPlane plane;
+    start_obs_plane(args, plane);
     const int code = dispatch(command, args);
     finish_observability(args);
     return code;

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Verify that Chrome trace files from cooperating processes form ONE tree.
+
+Usage: check_trace_tree.py replay_trace.json collect_trace.json [more.json...]
+
+The wire v2 trace extension promises that a `replay | collect` pair exports
+spans that stitch into a single connected trace: the emitter stamps its
+send/connect span ids into the frames and the hello, and the collector links
+its decode/hello/dedup spans onto those remote ids. This checker merges the
+per-process trace_event files and enforces exactly that contract:
+
+  * every file contributes at least one complete ("ph": "X") span event;
+  * the files carry distinct pids (the per-process tracer tags);
+  * span ids are globally unique across the files (the pid salt in the top
+    byte is what makes this possible);
+  * exactly one span has no parent (the replay-side root), and every other
+    span's parent id resolves to a recorded span — i.e. the merged graph is
+    one connected tree, not a forest;
+  * at least one edge crosses processes (a child whose parent lives under a
+    different pid), which is the stitch itself.
+
+Exits 0 quietly-ish on success, 1 with a diagnostic on any violation.
+"""
+
+import json
+import sys
+
+
+def load_spans(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    events = document.get("traceEvents", [])
+    spans = []
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args", {})
+        if "id" not in args:
+            continue
+        spans.append(
+            {
+                "name": event.get("name", "?"),
+                "pid": event.get("pid"),
+                "id": int(args["id"]),
+                "parent": int(args.get("parent", 0)),
+                "file": path,
+            }
+        )
+    return spans
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+
+    per_file = {path: load_spans(path) for path in argv[1:]}
+    for path, spans in per_file.items():
+        if not spans:
+            print(f"FAIL: {path} contains no complete spans", file=sys.stderr)
+            return 1
+
+    merged = [span for spans in per_file.values() for span in spans]
+    pids = {span["pid"] for span in merged}
+    if len(pids) < len(per_file):
+        print(f"FAIL: expected a distinct pid per process, got {sorted(pids)}",
+              file=sys.stderr)
+        return 1
+
+    by_id = {}
+    for span in merged:
+        if span["id"] in by_id:
+            other = by_id[span["id"]]
+            print(f"FAIL: span id {span['id']} duplicated between "
+                  f"{other['file']} and {span['file']}", file=sys.stderr)
+            return 1
+        by_id[span["id"]] = span
+
+    roots = [span for span in merged if span["parent"] == 0]
+    if len(roots) != 1:
+        names = [(span["name"], span["file"]) for span in roots]
+        print(f"FAIL: expected exactly one root span, got {len(roots)}: {names}",
+              file=sys.stderr)
+        return 1
+
+    cross_edges = 0
+    for span in merged:
+        if span["parent"] == 0:
+            continue
+        parent = by_id.get(span["parent"])
+        if parent is None:
+            print(f"FAIL: {span['name']} (id {span['id']}, {span['file']}) has "
+                  f"unresolved parent {span['parent']}", file=sys.stderr)
+            return 1
+        if parent["pid"] != span["pid"]:
+            cross_edges += 1
+    if cross_edges == 0:
+        print("FAIL: no cross-process edges — the traces are two local trees, "
+              "not one stitched one", file=sys.stderr)
+        return 1
+
+    print(f"OK: {len(merged)} spans across {len(per_file)} processes form one "
+          f"tree rooted at '{roots[0]['name']}' with {cross_edges} "
+          f"cross-process edges")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

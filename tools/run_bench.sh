@@ -3,6 +3,9 @@
 # as google-benchmark JSON in the repo root:
 #   BENCH_parallel.json — --threads scaling of the parallel execution layer
 #   BENCH_obs.json      — observability overhead (disabled / metrics / +trace)
+#                         plus the /metrics scrape cost (encode-only and the
+#                         full loopback HTTP round trip on a ~1k-series
+#                         registry)
 #   BENCH_columnar.json — columnar data-plane kernels (column access, the
 #                         index-view day-block bootstrap, the confidence
 #                         replicate loop)
@@ -64,7 +67,7 @@ run_filter 'Threads' "$OUT"
 run_filter 'BM_Kernel' "$KERNELS_OUT" \
   --benchmark_repetitions=15 \
   --benchmark_report_aggregates_only=false
-run_filter 'ObsAnalyzeOverhead' "$OBS_OUT"
+run_filter 'ObsAnalyzeOverhead|ObsScrape' "$OBS_OUT"
 # The prechange_* context entries freeze the pre-columnar Release baseline
 # (AoS dataset, copying resample) measured on the same fig3-scale dataset,
 # so the before/after story travels with the JSON.

@@ -6,8 +6,10 @@
 #
 # Each tree runs the net, parallel, obs, and simd ctest labels (the
 # fault-injection matrix, the wire fuzz corpus, the emitter/collector
-# pipeline, the parallel execution layer, the metrics registry, and the
-# runtime-dispatched SIMD kernels with their scalar-vs-vector golden suite) —
+# pipeline, the parallel execution layer, the metrics registry, the
+# introspection HTTP server scraped live under a concurrent analyze, the
+# wire trace propagation suite, and the runtime-dispatched SIMD kernels with
+# their scalar-vs-vector golden suite) —
 # the code where memory-safety and data-race bugs would actually live. Pass
 # --soak to also run the slow-labelled soak tests (ctest -C soak -L slow) in
 # each tree.
@@ -34,9 +36,9 @@ done
 
 # The test executables behind the net/parallel/obs/simd ctest labels.
 targets=(wire_test net_pipeline_test fault_test wire_fuzz_test
-         net_fault_matrix_test parallel_test parallel_determinism_test
-         obs_metrics_test obs_trace_test obs_log_test
-         simd_kernels_test simd_dispatch_test)
+         net_fault_matrix_test net_trace_test parallel_test
+         parallel_determinism_test obs_metrics_test obs_trace_test
+         obs_log_test obs_server_test simd_kernels_test simd_dispatch_test)
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
