@@ -1,0 +1,89 @@
+// Lock-free single-producer / single-consumer bounded ring queue: the
+// handoff primitive between a CollectorShard's event loop (producer) and the
+// dataset spine thread (consumer). One shard owns the producer side of its
+// queue, the spine owns the consumer side of every queue — never more than
+// one thread on either end, which is what makes the two-index design safe.
+//
+// Memory ordering is the classic SPSC pair: the producer publishes a slot
+// with a release store of tail_, the consumer acquires it before reading the
+// slot (and vice versa for head_ on the pop side). Both sides keep a cached
+// copy of the opposite index so the hot path usually touches only its own
+// cache line; the shared atomics live on separate cache lines to prevent
+// producer/consumer false sharing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace autosens::core {
+
+// Fixed 64 rather than std::hardware_destructive_interference_size: the
+// standard constant is flagged by GCC as ABI-unstable across tuning flags
+// (-Winterference-size under -Werror), and 64 is correct for every target
+// this builds on.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Bounded SPSC FIFO of move-constructible T. Capacity is rounded up to a
+/// power of two; the queue holds at most `capacity` elements (one slot is
+/// never wasted — indices are free-running and wrap via masking).
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t rounded = 1;
+    while (rounded < capacity) rounded <<= 1;
+    mask_ = rounded - 1;
+    slots_.resize(rounded);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. Returns false when the queue is full.
+  bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the queue is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy, callable from any thread (for depth gauges).
+  std::size_t size_approx() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+  bool empty_approx() const noexcept { return size_approx() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(kCacheLineBytes) std::atomic<std::size_t> head_{0};  ///< Next pop index.
+  alignas(kCacheLineBytes) std::size_t cached_tail_ = 0;       ///< Consumer's view of tail_.
+  alignas(kCacheLineBytes) std::atomic<std::size_t> tail_{0};  ///< Next push index.
+  alignas(kCacheLineBytes) std::size_t cached_head_ = 0;       ///< Producer's view of head_.
+};
+
+}  // namespace autosens::core

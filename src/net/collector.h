@@ -1,27 +1,45 @@
 // Telemetry collector: the "server side" of the paper's measurement path.
-// Accepts loopback TCP connections from emitters, decodes record frames, and
-// accumulates them into a Dataset (the analysis input). Single-threaded,
-// poll()-driven; runs either inline (serve_until_goodbye) or on a background
-// thread via CollectorThread.
+// Million-emitter fan-in edition: ingestion is split across N CollectorShard
+// event loops (edge-triggered epoll over nonblocking sockets, one shard per
+// core), each feeding decoded frame batches over a lock-free SPSC queue to a
+// single spine thread — the caller of serve_until_goodbye — which owns every
+// cross-connection decision: session binding, exactly-once (session, seq)
+// dedup, record decode, Dataset splice, goodbye credit. Accept load is
+// sharded by the kernel via SO_REUSEPORT listeners (one per shard); when
+// reuseport_accept is off, shard 0 owns the only listener and deals accepted
+// fds round-robin to its siblings.
 //
-// Resilience: per-connection errors never kill the serve loop. Damaged
-// bytes are scanned past to the next valid frame (FrameDecoder resync,
-// bounded by max_resync_bytes); retransmitted frames are dropped by
-// (session, seq) so emitter retries stay exactly-once; reconnects of the
-// same session are folded into one logical stream (with bounded
-// accounting); silent connections can be cut by a per-connection read
-// deadline; and an idle timeout ends the loop with the partial Dataset
-// intact plus counters that say exactly what was lost on the way.
+// Transports: TCP (stream framing, per-connection FrameDecoder reassembly)
+// or UDP (wire-v2 frames packed into datagrams, each opening with a kHello
+// whose seq is the per-session datagram number; recvmmsg-batched ingest).
+// UDP delivery is lossy by contract, so the dedup state doubles as loss
+// accounting: per-session gap tracking (highest seq + bounded missing set)
+// accepts late/reordered arrivals exactly once, and whatever is still
+// missing when the session finalizes is exported as
+// autosens_net_udp_lost_total — exact, per-session loss.
+//
+// Resilience semantics are inherited from the poll-era collector (preserved
+// as net/collector_poll.h, which doubles as the benchmark baseline and the
+// fault-matrix oracle): per-connection errors never kill the serve loop,
+// damaged bytes are resynced past with bounded budgets, retransmits dedup,
+// reconnects fold into one logical session stream regardless of which shard
+// they land on, silent connections are cut by the shard's event-loop timer,
+// and an idle timeout ends the loop with the partial Dataset intact.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "core/spsc.h"
+#include "net/shard.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
 #include "telemetry/dataset.h"
@@ -47,10 +65,15 @@ struct CollectorStats {
   std::size_t session_reconnects = 0;   ///< Hellos for an already-seen session.
   std::size_t deadline_drops = 0;       ///< Connections cut by read deadline.
   std::size_t interrupted_connections = 0;  ///< Session EOF without goodbye.
+  // UDP transport only:
+  std::size_t udp_datagrams = 0;            ///< Datagrams accepted (valid hello).
+  std::size_t udp_rejected = 0;             ///< Datagrams discarded whole.
+  std::size_t udp_duplicate_datagrams = 0;  ///< Datagram-seq dedup hits.
+  std::size_t udp_lost = 0;  ///< Datagram gaps still open at session finalize.
 };
 
 /// Collector configuration beyond the bind port; all defaults reproduce the
-/// permissive seed-era behaviour.
+/// permissive seed-era behaviour with a single shard.
 struct CollectorOptions {
   std::uint16_t port = 0;     ///< 0 = ephemeral.
   int read_deadline_ms = -1;  ///< Drop a connection silent this long (-1 = never).
@@ -60,17 +83,32 @@ struct CollectorOptions {
   std::size_t max_session_reconnects = 1024;
   /// Syscall surface for reads; nullptr = real syscalls (fault injection).
   SocketOps* ops = nullptr;
+  /// Ingest event loops. Each shard is one thread with its own epoll set.
+  std::size_t shards = 1;
+  Transport transport = Transport::kTcp;
+  /// TCP accept sharding: true = one SO_REUSEPORT listener per shard
+  /// (kernel load balancing); false = shard 0 accepts and hands fds
+  /// round-robin to the others (portable fallback).
+  bool reuseport_accept = true;
+  /// SO_RCVBUF for UDP sockets (0 = kernel default). Loopback bursts at
+  /// 10k-session fan-in overflow default buffers, which shows up as loss.
+  int rcvbuf_bytes = 0;
+  std::size_t recvmmsg_batch = 32;  ///< Datagrams per recvmmsg call.
+  /// Per-session cap on tracked sequence gaps (frame- and datagram-level).
+  /// Gaps past the cap are treated as permanently lost.
+  std::size_t max_tracked_gaps = 4096;
 };
 
-/// Synchronous collector over an already-listening socket. Serves any number
-/// of concurrent emitter connections with a single poll() loop — reads may
-/// interleave arbitrarily across clients; frames are reassembled per
-/// connection (wire::FrameDecoder).
+/// Sharded collector. The public surface (and the semantics the tests pin)
+/// is unchanged from the poll era: construct, let emitters connect, call
+/// serve_until_goodbye, take the dataset.
 class Collector {
  public:
-  /// Binds 127.0.0.1:port (0 = ephemeral). Registers itself with the obs
-  /// health registry and publishes a per-session /statusz section; both are
-  /// withdrawn on destruction.
+  /// Binds listeners and starts the shard threads (ingest begins
+  /// immediately; events buffer in the shard queues until
+  /// serve_until_goodbye drains them). Registers itself with the obs health
+  /// registry and publishes a /statusz section (counters, per-session
+  /// state, per-shard state); both are withdrawn on destruction.
   explicit Collector(std::uint16_t port = 0) : Collector(CollectorOptions{.port = port}) {}
   explicit Collector(const CollectorOptions& options);
   ~Collector();
@@ -80,33 +118,46 @@ class Collector {
 
   std::uint16_t port() const noexcept { return port_; }
 
-  /// Serve until `expected_goodbyes` sessions (or sessionless connections)
-  /// have sent kGoodbye, or until `timeout_ms` elapses with no socket
-  /// activity at all (whichever first). Returns true if all goodbyes
-  /// arrived. Malformed or error-ing connections are dropped (their
-  /// already-decoded records are kept) and counted in
-  /// stats().dropped_connections; the idle-timeout outcome is exported as
-  /// the autosens_collector_idle_timeout_outcome gauge.
+  /// Run the spine until `expected_goodbyes` sessions (or sessionless
+  /// connections) have sent kGoodbye, or until `timeout_ms` elapses with no
+  /// ingest activity at all (whichever first). Returns true if all
+  /// goodbyes arrived. On return, UDP sessions are finalized: outstanding
+  /// datagram gaps are counted into autosens_net_udp_lost_total.
   bool serve_until_goodbye(std::size_t expected_goodbyes, int timeout_ms = 5000);
 
   const telemetry::Dataset& dataset() const noexcept { return dataset_; }
   telemetry::Dataset take_dataset();
   /// Graceful degradation: persist a time-sorted copy of whatever has been
   /// collected so far as a binary log (without consuming the dataset).
-  /// Returns the number of records written.
+  /// Logs per-session open gap counts. Returns the records written.
   std::size_t checkpoint(const std::string& path) const;
   /// Snapshot of the counters. Safe concurrently with the serving thread:
   /// every cell is an ungated relaxed atomic (obs::RawCounter).
   CollectorStats stats() const noexcept;
+  /// Per-shard counters (index == shard number).
+  std::vector<ShardStats> shard_stats() const;
 
  private:
-  struct Connection;
-  /// Per-session state, stable across that session's reconnects.
+  /// Per-session spine state, stable across reconnects and shard moves.
   struct Session {
-    std::uint32_t last_seq = 0;  ///< Highest frame seq applied.
+    std::uint32_t last_seq = 0;       ///< Highest frame seq applied.
+    std::set<std::uint32_t> missing;  ///< Frame seqs below last_seq not yet seen.
+    std::size_t gap_overflow = 0;     ///< Gaps dropped past max_tracked_gaps.
+    std::uint32_t dg_last = 0;        ///< Highest datagram seq accepted (UDP).
+    std::set<std::uint32_t> dg_missing;  ///< Datagram gaps (UDP loss-to-be).
+    std::size_t dg_overflow = 0;
     bool said_goodbye = false;
+    bool finalized = false;  ///< Loss already counted for this session.
     std::size_t connections_seen = 0;
     std::uint64_t trace_span = 0;  ///< Emitter connect span from the hello.
+  };
+
+  /// Spine-side view of one shard connection stream.
+  struct ConnState {
+    std::uint64_t session_id = 0;
+    bool saw_goodbye = false;
+    bool received_bytes = false;
+    bool dead = false;  ///< Malformed: ignore all further frames.
   };
 
   /// The live counters behind stats(). RawCounter (not registry Counter):
@@ -128,27 +179,46 @@ class Collector {
     obs::RawCounter session_reconnects;
     obs::RawCounter deadline_drops;
     obs::RawCounter interrupted_connections;
+    obs::RawCounter udp_datagrams;
+    obs::RawCounter udp_rejected;
+    obs::RawCounter udp_duplicate_datagrams;
+    obs::RawCounter udp_lost;
   };
 
-  /// Drain complete frames from one connection; returns the number of
-  /// newly-credited goodbye frames (0 or 1). Sets connection.malformed
-  /// when the stream must be dropped (undecodable payload, resync budget
-  /// exhausted, reconnect budget exhausted).
-  std::size_t drain_frames(Connection& connection);
+  /// Apply one shard event on the spine; returns newly-credited goodbyes.
+  std::size_t apply_event(ShardEvent& event);
+  std::size_t apply_tcp_frames(ShardEvent& event);
+  std::size_t apply_udp_frames(ShardEvent& event);
+  /// Frame-seq dedup with gap tracking. Returns true when the frame is new
+  /// (apply it); false for duplicates. Caller holds sessions_mutex_.
+  bool accept_seq(Session& session, std::uint32_t seq);
+  /// One data/flush/goodbye frame against its session; returns goodbyes
+  /// credited (0/1). Sets *dead when the stream must be dropped.
+  std::size_t apply_frame(const Frame& frame, Session* session,
+                          std::uint64_t session_id, bool& saw_goodbye, bool* dead);
+  /// Count outstanding datagram gaps of every unfinalized session.
+  void finalize_udp_sessions();
 
-  /// The JSON value of this collector's /statusz section (port, counters,
-  /// per-session state). Takes sessions_mutex_.
   std::string status_json() const;
 
-  Socket listener_;
-  std::uint16_t port_ = 0;
   CollectorOptions options_;
-  SocketOps* ops_ = nullptr;
+  std::uint16_t port_ = 0;
   telemetry::Dataset dataset_;
-  /// Guards sessions_: the serve thread mutates it in drain_frames while
-  /// the obs HTTP thread reads it through the /statusz section provider.
+
+  /// One queue per shard: each stays single-producer (the shard thread) /
+  /// single-consumer (the spine).
+  std::vector<std::unique_ptr<SpscQueue<ShardEvent>>> event_queues_;
+  std::vector<std::unique_ptr<CollectorShard>> shards_;
+  std::vector<obs::Counter*> shard_records_metrics_;  ///< {shard="i"} mirrors.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+
+  /// Guards sessions_: the spine mutates it while the obs HTTP thread
+  /// reads it through the /statusz section provider.
   mutable std::mutex sessions_mutex_;
   std::unordered_map<std::uint64_t, Session> sessions_;
+  /// Keyed by (shard << 32 | conn serial); spine-thread only.
+  std::unordered_map<std::uint64_t, ConnState> conns_;
   AtomicStats stats_;
   std::uint64_t status_section_id_ = 0;
   std::string health_name_;

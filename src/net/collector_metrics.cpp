@@ -1,0 +1,10 @@
+#include "net/collector_metrics.h"
+
+namespace autosens::net {
+
+CollectorMetrics& collector_metrics() {
+  static CollectorMetrics handles;
+  return handles;
+}
+
+}  // namespace autosens::net

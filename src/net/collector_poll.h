@@ -1,0 +1,139 @@
+// The original single-threaded poll()-driven collector, preserved verbatim
+// when `Collector` (net/collector.h) became the sharded epoll implementation.
+// Two reasons to keep it alive:
+//   1. Benchmark baseline — BM_Net* measures the sharded loop against this
+//      loop on identical workloads, so the speedup claim is reproducible.
+//   2. Correctness oracle — the fault-matrix tests assert the sharded
+//      collector's dataset is byte-identical to this one's under every
+//      injected failure class.
+// Same CollectorOptions / CollectorStats as the sharded collector (sharding
+// fields are ignored). Health component name is "poll-collector:PORT" so the
+// two can coexist in one process without colliding in /healthz.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/collector.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "telemetry/dataset.h"
+
+namespace autosens::net {
+
+/// Synchronous collector over an already-listening socket. Serves any number
+/// of concurrent emitter connections with a single poll() loop — reads may
+/// interleave arbitrarily across clients; frames are reassembled per
+/// connection (wire::FrameDecoder).
+class PollCollector {
+ public:
+  explicit PollCollector(std::uint16_t port = 0)
+      : PollCollector(CollectorOptions{.port = port}) {}
+  explicit PollCollector(const CollectorOptions& options);
+  ~PollCollector();
+
+  PollCollector(const PollCollector&) = delete;
+  PollCollector& operator=(const PollCollector&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Serve until `expected_goodbyes` sessions (or sessionless connections)
+  /// have sent kGoodbye, or until `timeout_ms` elapses with no socket
+  /// activity at all (whichever first). Returns true if all goodbyes
+  /// arrived.
+  bool serve_until_goodbye(std::size_t expected_goodbyes, int timeout_ms = 5000);
+
+  const telemetry::Dataset& dataset() const noexcept { return dataset_; }
+  telemetry::Dataset take_dataset();
+  /// Persist a time-sorted copy of what has been collected so far.
+  std::size_t checkpoint(const std::string& path) const;
+  /// Snapshot of the counters; safe concurrently with the serving thread.
+  CollectorStats stats() const noexcept;
+
+ private:
+  struct Connection;
+  /// Per-session state, stable across that session's reconnects.
+  struct Session {
+    std::uint32_t last_seq = 0;  ///< Highest frame seq applied.
+    bool said_goodbye = false;
+    std::size_t connections_seen = 0;
+    std::uint64_t trace_span = 0;  ///< Emitter connect span from the hello.
+  };
+
+  /// The live counters behind stats(). RawCounter (not registry Counter):
+  /// these are functional collector state, counted even when the obs layer
+  /// is disabled; the registry mirrors them via global gated counters.
+  struct AtomicStats {
+    obs::RawCounter connections;
+    obs::RawCounter frames;
+    obs::RawCounter records;
+    obs::RawCounter flushes;
+    obs::RawCounter dropped_connections;
+    obs::RawCounter bytes;
+    obs::RawCounter backpressure_reads;
+    obs::RawCounter resyncs;
+    obs::RawCounter resync_bytes;
+    obs::RawCounter duplicate_frames;
+    obs::RawCounter sessions;
+    obs::RawCounter sessions_closed;  ///< Sessions whose goodbye was credited.
+    obs::RawCounter session_reconnects;
+    obs::RawCounter deadline_drops;
+    obs::RawCounter interrupted_connections;
+  };
+
+  /// Drain complete frames from one connection; returns the number of
+  /// newly-credited goodbye frames (0 or 1).
+  std::size_t drain_frames(Connection& connection);
+
+  /// The JSON value of this collector's /statusz section.
+  std::string status_json() const;
+
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  CollectorOptions options_;
+  SocketOps* ops_ = nullptr;
+  telemetry::Dataset dataset_;
+  /// Guards sessions_: the serve thread mutates it in drain_frames while
+  /// the obs HTTP thread reads it through the /statusz section provider.
+  mutable std::mutex sessions_mutex_;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+  AtomicStats stats_;
+  std::uint64_t status_section_id_ = 0;
+  std::string health_name_;
+};
+
+/// Runs a PollCollector on a background thread; join() returns the dataset.
+class PollCollectorThread {
+ public:
+  explicit PollCollectorThread(std::size_t expected_goodbyes, std::uint16_t port = 0)
+      : PollCollectorThread(expected_goodbyes, CollectorOptions{.port = port}) {}
+  PollCollectorThread(std::size_t expected_goodbyes, const CollectorOptions& options,
+                      int timeout_ms = 30'000);
+  ~PollCollectorThread();
+
+  PollCollectorThread(const PollCollectorThread&) = delete;
+  PollCollectorThread& operator=(const PollCollectorThread&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Wait for the collector to finish and take its dataset + stats.
+  telemetry::Dataset join();
+  CollectorStats stats() const;
+  /// True when serve_until_goodbye saw every expected goodbye (valid after
+  /// join()).
+  bool complete() const noexcept { return complete_.load(std::memory_order_acquire); }
+
+ private:
+  PollCollector collector_;
+  std::uint16_t port_;
+  std::thread thread_;
+  std::atomic<bool> done_{false};
+  std::atomic<bool> complete_{false};
+  mutable std::mutex mutex_;
+};
+
+}  // namespace autosens::net

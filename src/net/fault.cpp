@@ -1,5 +1,7 @@
 #include "net/fault.h"
 
+#include <sys/socket.h>
+
 #include <cerrno>
 #include <cmath>
 
@@ -15,6 +17,7 @@ FaultPlan::FaultPlan(std::uint64_t seed, std::vector<FaultSpec> specs) : seed_(s
     state.skip_ops = spec.skip_ops;
     state.max_injections = spec.max_injections;
     state.latency_ms = spec.latency_ms;
+    state.storm_len = spec.storm_len;
   }
 }
 
@@ -40,20 +43,41 @@ std::uint32_t FaultPlan::latency_ms() const noexcept {
   return classes_[static_cast<std::size_t>(FaultClass::kLatency)].latency_ms;
 }
 
+std::size_t FaultPlan::storm_len() const noexcept {
+  return classes_[static_cast<std::size_t>(FaultClass::kEagainStorm)].storm_len;
+}
+
 std::size_t FaultPlan::total_injected() const noexcept {
   std::size_t total = 0;
   for (const auto count : injected_) total += count;
   return total;
 }
 
+bool FaultySocketOps::storm_step_locked() noexcept {
+  if (storm_remaining_ > 0) {
+    --storm_remaining_;
+    return true;
+  }
+  if (plan_.fire(FaultClass::kEagainStorm)) {
+    const std::size_t len = plan_.storm_len();
+    storm_remaining_ = len > 0 ? len - 1 : 0;
+    return true;
+  }
+  return false;
+}
+
 int FaultySocketOps::connect_tcp_fd(std::uint16_t port) noexcept {
-  if (plan_.fire(FaultClass::kLatency)) base_.sleep_ms(plan_.latency_ms());
-  if (plan_.fire(FaultClass::kConnectRefused)) return -ECONNREFUSED;
+  {
+    std::lock_guard lock(mutex_);
+    if (plan_.fire(FaultClass::kLatency)) base_.sleep_ms(plan_.latency_ms());
+    if (plan_.fire(FaultClass::kConnectRefused)) return -ECONNREFUSED;
+  }
   return base_.connect_tcp_fd(port);
 }
 
 std::int64_t FaultySocketOps::send(int fd, const std::uint8_t* data,
                                    std::size_t len) noexcept {
+  std::unique_lock lock(mutex_);
   if (plan_.fire(FaultClass::kLatency)) base_.sleep_ms(plan_.latency_ms());
   if (plan_.fire(FaultClass::kEagain)) return -EAGAIN;
   if (plan_.fire(FaultClass::kDisconnect)) {
@@ -82,22 +106,102 @@ std::int64_t FaultySocketOps::send(int fd, const std::uint8_t* data,
   if (plan_.fire(FaultClass::kShortWrite) && len > 1) {
     return base_.send(fd, data, 1 + len / 2);
   }
+  lock.unlock();
   return base_.send(fd, data, len);
 }
 
 std::int64_t FaultySocketOps::recv(int fd, std::uint8_t* data, std::size_t len) noexcept {
+  std::unique_lock lock(mutex_);
   if (plan_.fire(FaultClass::kLatency)) base_.sleep_ms(plan_.latency_ms());
   if (plan_.fire(FaultClass::kEagain)) return -EAGAIN;
+  if (storm_step_locked()) return -EAGAIN;
   if (plan_.fire(FaultClass::kShortRead) && len > 1) {
     return base_.recv(fd, data, 1 + len / 2);
   }
+  lock.unlock();
   return base_.recv(fd, data, len);
 }
 
 void FaultySocketOps::sleep_ms(std::uint32_t ms) noexcept {
-  slept_ms_ += ms;
-  const double scaled = static_cast<double>(ms) * sleep_scale_;
+  double scaled;
+  {
+    std::lock_guard lock(mutex_);
+    slept_ms_ += ms;
+    scaled = static_cast<double>(ms) * sleep_scale_;
+  }
   base_.sleep_ms(static_cast<std::uint32_t>(std::lround(scaled)));
+}
+
+int FaultySocketOps::accept4_fd(int listen_fd) noexcept {
+  {
+    std::lock_guard lock(mutex_);
+    if (plan_.fire(FaultClass::kEagain)) return -EAGAIN;
+    if (storm_step_locked()) return -EAGAIN;
+    if (plan_.fire(FaultClass::kConnectRefused)) return -ECONNABORTED;
+  }
+  return base_.accept4_fd(listen_fd);
+}
+
+int FaultySocketOps::epoll_wait(int epoll_fd, struct epoll_event* events, int max_events,
+                                int timeout_ms) noexcept {
+  {
+    std::lock_guard lock(mutex_);
+    // A storm at the wait site models spurious wakeups: report "nothing
+    // ready" (0) without consuming the real readiness, so the loop must
+    // tolerate wakeups that deliver no events.
+    if (storm_step_locked()) return 0;
+  }
+  return base_.epoll_wait(epoll_fd, events, max_events, timeout_ms);
+}
+
+int FaultySocketOps::recvmmsg(int fd, struct mmsghdr* msgs, unsigned count) noexcept {
+  {
+    std::lock_guard lock(mutex_);
+    if (plan_.fire(FaultClass::kLatency)) base_.sleep_ms(plan_.latency_ms());
+    if (plan_.fire(FaultClass::kEagain)) return -EAGAIN;
+    if (storm_step_locked()) return -EAGAIN;
+  }
+  const int n = base_.recvmmsg(fd, msgs, count);
+  if (n <= 0) return n;
+  std::lock_guard lock(mutex_);
+  for (int i = 0; i < n; ++i) {
+    auto& msg = msgs[static_cast<unsigned>(i)];
+    const std::size_t len = msg.msg_len;
+    if (len == 0 || msg.msg_hdr.msg_iovlen == 0) continue;
+    auto* bytes = static_cast<std::uint8_t*>(msg.msg_hdr.msg_iov[0].iov_base);
+    if (plan_.fire(FaultClass::kCorrupt)) {
+      const std::size_t bit = (len * 8) / 2;
+      bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    if (plan_.fire(FaultClass::kShortRead) && len > 1) {
+      msg.msg_len = static_cast<unsigned>(1 + len / 2);
+    }
+  }
+  return n;
+}
+
+int FaultySocketOps::sendmmsg(int fd, struct mmsghdr* msgs, unsigned count) noexcept {
+  {
+    std::lock_guard lock(mutex_);
+    if (plan_.fire(FaultClass::kLatency)) base_.sleep_ms(plan_.latency_ms());
+    if (plan_.fire(FaultClass::kEagain)) return -EAGAIN;
+    if (plan_.fire(FaultClass::kShortWrite) && count > 1) {
+      // Partial batch: only the first half of the datagrams reach the wire
+      // this call; the caller's resume loop must send the rest.
+      count = count / 2;
+    }
+    if (plan_.fire(FaultClass::kCorrupt) && count > 0 &&
+        msgs[0].msg_hdr.msg_iovlen > 0 && msgs[0].msg_hdr.msg_iov[0].iov_len > 0) {
+      // Flip one bit in the first datagram of the batch before it ships:
+      // the receiver CRC-rejects it, turning the datagram into accounted
+      // loss (or a gap filled by a retransmit pass).
+      auto* bytes = static_cast<std::uint8_t*>(msgs[0].msg_hdr.msg_iov[0].iov_base);
+      const std::size_t len = msgs[0].msg_hdr.msg_iov[0].iov_len;
+      const std::size_t bit = (len * 8) / 2;
+      bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+  return base_.sendmmsg(fd, msgs, count);
 }
 
 }  // namespace autosens::net

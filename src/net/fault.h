@@ -20,6 +20,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <vector>
 
 #include "net/socket.h"
@@ -37,8 +38,13 @@ enum class FaultClass : std::uint8_t {
   kCorrupt,             ///< send flips one bit on the wire, then -EIO, so the
                         ///< sender knows to retransmit; the receiver must
                         ///< CRC-reject and resync past the damaged frame.
+  kEagainStorm,         ///< A burst of consecutive -EAGAINs from recv /
+                        ///< recvmmsg / epoll_wait. Edge-triggered loops that
+                        ///< trust a single EAGAIN as "drained" lose the edge
+                        ///< and stall; the shard's bounded re-poll list is
+                        ///< what this class exists to exercise.
 };
-inline constexpr std::size_t kFaultClassCount = 7;
+inline constexpr std::size_t kFaultClassCount = 8;
 
 /// When and how often one fault class fires. `probability` is evaluated
 /// against a counter-seeded draw per eligible operation, so "0.25" means a
@@ -49,6 +55,7 @@ struct FaultSpec {
   std::size_t skip_ops = 0;  ///< Eligible ops to leave untouched first.
   std::size_t max_injections = std::numeric_limits<std::size_t>::max();
   std::uint32_t latency_ms = 0;  ///< kLatency only.
+  std::size_t storm_len = 4;     ///< kEagainStorm: consecutive EAGAINs per burst.
 };
 
 /// Seeded schedule of faults. fire() is the only mutator; it advances the
@@ -66,6 +73,9 @@ class FaultPlan {
   /// Latency to inject when kLatency fires (0 when unconfigured).
   std::uint32_t latency_ms() const noexcept;
 
+  /// Burst length when kEagainStorm fires (0 when unconfigured).
+  std::size_t storm_len() const noexcept;
+
   std::size_t injected(FaultClass fault) const noexcept {
     return injected_[static_cast<std::size_t>(fault)];
   }
@@ -78,6 +88,7 @@ class FaultPlan {
     std::size_t skip_ops = 0;
     std::size_t max_injections = 0;
     std::uint32_t latency_ms = 0;
+    std::size_t storm_len = 0;
     std::size_t ops_seen = 0;
   };
 
@@ -90,6 +101,12 @@ class FaultPlan {
 /// real syscalls. `sleep_scale` compresses backoff waits (0 disables real
 /// sleeping entirely) while still accounting them in slept_ms(), so retry
 /// tests assert exponential backoff without paying for it in wall clock.
+///
+/// Thread-safe: one FaultySocketOps may serve all shards of a sharded
+/// collector, so the plan state is guarded by an internal mutex. The fired
+/// *set* of (class, op index) decisions stays a pure function of the seed;
+/// which shard's operation lands on which index depends on scheduling —
+/// recovery must be exact under any placement, which is the point.
 class FaultySocketOps final : public SocketOps {
  public:
   explicit FaultySocketOps(FaultPlan plan, SocketOps& base = real_socket_ops(),
@@ -100,16 +117,32 @@ class FaultySocketOps final : public SocketOps {
   std::int64_t send(int fd, const std::uint8_t* data, std::size_t len) noexcept override;
   std::int64_t recv(int fd, std::uint8_t* data, std::size_t len) noexcept override;
   void sleep_ms(std::uint32_t ms) noexcept override;
+  int accept4_fd(int listen_fd) noexcept override;
+  int epoll_wait(int epoll_fd, struct epoll_event* events, int max_events,
+                 int timeout_ms) noexcept override;
+  /// Per received datagram: kCorrupt flips one bit, kShortRead truncates —
+  /// both turn the datagram into CRC-rejected garbage the decoder must
+  /// account. kEagain/kEagainStorm stall the whole call.
+  int recvmmsg(int fd, struct mmsghdr* msgs, unsigned count) noexcept override;
+  /// kEagain stalls; kDisconnect/kCorrupt/kShortWrite drop a prefix of the
+  /// batch (sendmmsg's partial-send contract), modelling datagram loss.
+  int sendmmsg(int fd, struct mmsghdr* msgs, unsigned count) noexcept override;
 
   const FaultPlan& plan() const noexcept { return plan_; }
   /// Total milliseconds callers asked to sleep (before sleep_scale).
   std::uint64_t slept_ms() const noexcept { return slept_ms_; }
 
  private:
+  /// True while an EAGAIN burst is in flight (consumes one storm step).
+  /// Caller must hold mutex_.
+  bool storm_step_locked() noexcept;
+
+  mutable std::mutex mutex_;  ///< Guards plan_, storm_remaining_, slept_ms_.
   FaultPlan plan_;
   SocketOps& base_;
   double sleep_scale_;
   std::uint64_t slept_ms_ = 0;
+  std::size_t storm_remaining_ = 0;
 };
 
 }  // namespace autosens::net

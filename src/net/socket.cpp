@@ -1,9 +1,11 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -92,6 +94,31 @@ void SocketOps::sleep_ms(std::uint32_t ms) noexcept {
   if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
+int SocketOps::accept4_fd(int listen_fd) noexcept {
+  const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  return fd >= 0 ? fd : -errno;
+}
+
+int SocketOps::epoll_wait(int epoll_fd, struct epoll_event* events, int max_events,
+                          int timeout_ms) noexcept {
+  const int n = ::epoll_wait(epoll_fd, events, max_events, timeout_ms);
+  return n >= 0 ? n : -errno;
+}
+
+int SocketOps::recvmmsg(int fd, struct mmsghdr* msgs, unsigned count) noexcept {
+  const int n = ::recvmmsg(fd, msgs, count, MSG_DONTWAIT, nullptr);
+  return n >= 0 ? n : -errno;
+}
+
+int SocketOps::sendmmsg(int fd, struct mmsghdr* msgs, unsigned count) noexcept {
+  const int n = ::sendmmsg(fd, msgs, count, 0);
+  return n >= 0 ? n : -errno;
+}
+
+int SocketOps::setsockopt_int(int fd, int level, int option, int value) noexcept {
+  return ::setsockopt(fd, level, option, &value, sizeof value) == 0 ? 0 : -errno;
+}
+
 SocketOps& real_socket_ops() noexcept {
   static SocketOps ops;
   return ops;
@@ -122,6 +149,84 @@ Socket listen_tcp(std::uint16_t port, std::uint16_t& bound_port, int backlog) {
   }
   bound_port = ntohs(bound.sin_port);
   return sock;
+}
+
+Socket listen_tcp_reuseport(std::uint16_t port, std::uint16_t& bound_port, int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) throw SocketError("socket()", errno);
+
+  const int enable = 1;
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable) < 0) {
+    throw SocketError("setsockopt(SO_REUSEADDR)", errno);
+  }
+  if (::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEPORT, &enable, sizeof enable) < 0) {
+    throw SocketError("setsockopt(SO_REUSEPORT)", errno);
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    throw SocketError("bind(127.0.0.1:" + std::to_string(port) + ", SO_REUSEPORT)",
+                      errno);
+  }
+  if (::listen(sock.fd(), backlog) < 0) throw SocketError("listen()", errno);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    throw SocketError("getsockname()", errno);
+  }
+  bound_port = ntohs(bound.sin_port);
+  return sock;
+}
+
+Socket bind_udp(std::uint16_t port, std::uint16_t& bound_port, bool reuseport) {
+  Socket sock(::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) throw SocketError("socket(SOCK_DGRAM)", errno);
+
+  const int enable = 1;
+  if (reuseport &&
+      ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEPORT, &enable, sizeof enable) < 0) {
+    throw SocketError("setsockopt(SO_REUSEPORT)", errno);
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    throw SocketError("bind(udp 127.0.0.1:" + std::to_string(port) + ")", errno);
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    throw SocketError("getsockname()", errno);
+  }
+  bound_port = ntohs(bound.sin_port);
+  return sock;
+}
+
+Socket connect_udp(std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0));
+  if (!sock.valid()) throw SocketError("socket(SOCK_DGRAM)", errno);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    throw SocketError("connect(udp 127.0.0.1:" + std::to_string(port) + ")", errno);
+  }
+  return sock;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw SocketError("fcntl(O_NONBLOCK)", errno);
+  }
 }
 
 Socket connect_tcp(std::uint16_t port, SocketOps& ops) {

@@ -11,6 +11,9 @@
 #include <span>
 #include <string>
 
+struct epoll_event;
+struct mmsghdr;
+
 namespace autosens::net {
 
 /// Owning file-descriptor handle. Move-only; closes on destruction.
@@ -80,6 +83,30 @@ class SocketOps {
   /// Sleep used by retry backoff; overridable so tests can compress or
   /// record the waits instead of paying them in wall-clock time.
   virtual void sleep_ms(std::uint32_t ms) noexcept;
+
+  // --- Nonblocking / batched surface used by the sharded collector and the
+  // --- UDP transport. All go through the seam so FaultySocketOps can drive
+  // --- the edge-triggered event loops through every failure mode.
+
+  /// accept4(2) with SOCK_NONBLOCK. Returns the accepted fd or -errno
+  /// (-EAGAIN when no connection is pending on a nonblocking listener).
+  virtual int accept4_fd(int listen_fd) noexcept;
+
+  /// epoll_wait(2). Returns the ready count (0 = timeout) or -errno.
+  virtual int epoll_wait(int epoll_fd, struct epoll_event* events, int max_events,
+                         int timeout_ms) noexcept;
+
+  /// recvmmsg(2) with MSG_DONTWAIT. Returns datagrams received or -errno
+  /// (-EAGAIN when the socket is drained).
+  virtual int recvmmsg(int fd, struct mmsghdr* msgs, unsigned count) noexcept;
+
+  /// sendmmsg(2). Returns datagrams sent (possibly fewer than `count`) or
+  /// -errno.
+  virtual int sendmmsg(int fd, struct mmsghdr* msgs, unsigned count) noexcept;
+
+  /// setsockopt(2) for int-valued options (SO_RCVBUF, SO_SNDBUF, ...).
+  /// Returns 0 or -errno.
+  virtual int setsockopt_int(int fd, int level, int option, int value) noexcept;
 };
 
 /// The pass-through SocketOps singleton (plain syscalls).
@@ -87,7 +114,29 @@ SocketOps& real_socket_ops() noexcept;
 
 /// Create a TCP listener bound to 127.0.0.1:port (port 0 = ephemeral).
 /// Returns the socket; the bound port is written to `bound_port`.
-Socket listen_tcp(std::uint16_t port, std::uint16_t& bound_port, int backlog = 16);
+/// The backlog matches listen_tcp_reuseport's: under the saturation bench's
+/// 64-way connect bursts a small backlog overflows and every overflowed
+/// connect stalls on a ~1s SYN retransmit, so the bench would measure kernel
+/// timers instead of the serving loop.
+Socket listen_tcp(std::uint16_t port, std::uint16_t& bound_port, int backlog = 128);
+
+/// Like listen_tcp, but nonblocking and with SO_REUSEPORT, so N collector
+/// shards can each own a listener on the same port and let the kernel shard
+/// the accept queue. Throws SocketError if SO_REUSEPORT is unsupported
+/// (callers fall back to shared-accept handoff).
+Socket listen_tcp_reuseport(std::uint16_t port, std::uint16_t& bound_port,
+                            int backlog = 128);
+
+/// Create a nonblocking UDP socket bound to 127.0.0.1:port (0 = ephemeral),
+/// with SO_REUSEPORT when `reuseport` so several shards can share the port.
+Socket bind_udp(std::uint16_t port, std::uint16_t& bound_port, bool reuseport = false);
+
+/// Create an unbound (ephemeral source port) UDP socket "connected" to
+/// 127.0.0.1:port so plain send(2)/sendmmsg(2) address it implicitly.
+Socket connect_udp(std::uint16_t port);
+
+/// Set O_NONBLOCK on an fd. Throws SocketError on failure.
+void set_nonblocking(int fd);
 
 /// Blocking connect to 127.0.0.1:port through `ops`.
 Socket connect_tcp(std::uint16_t port, SocketOps& ops = real_socket_ops());

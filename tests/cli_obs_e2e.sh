@@ -28,7 +28,7 @@ trap cleanup EXIT
 
 # Collector: ephemeral collect port (printed on stdout) + ephemeral obs port
 # (printed on stderr as "obs: serving http://127.0.0.1:PORT/statusz").
-"$CLI" collect --out "$WORK/collected.bin" --port 0 --expect 1 \
+"$CLI" collect --out "$WORK/collected.bin" --port 0 --expect 1 --shards 2 \
     --timeout-ms 30000 --obs-listen 0 --trace-out "$WORK/collect_trace.json" \
     >"$WORK/collect.out" 2>"$WORK/collect.err" &
 COLLECT_PID=$!
@@ -65,6 +65,15 @@ assert any(name.startswith("collector:") for name in health["components"]), heal
 status = json.load(urllib.request.urlopen(f"http://127.0.0.1:{port}/statusz"))
 assert "uptime_seconds" in status and "build" in status, status.keys()
 assert any(name.startswith("collector:") for name in status["sections"]), status
+# The sharded collector's section must carry a per-shard breakdown matching
+# the --shards 2 it was started with.
+section = next(v for k, v in status["sections"].items() if k.startswith("collector:"))
+shards = section["shards"]
+assert len(shards) == 2, shards
+for i, shard in enumerate(shards):
+    assert shard["shard"] == i, shards
+    for key in ("connections", "epoll_wakeups", "queue_depth"):
+        assert key in shard, shard
 EOF
 
 "$CLI" replay --in "$WORK/data.bin" --port "$port" --batch 256 \

@@ -1,0 +1,254 @@
+// UDP transport: datagram framing, exact loss accounting, datagram-level
+// dedup, reorder tolerance, multi-shard ingest.
+//
+// The contract under test (net/udp.h + the collector's datagram gap
+// tracker): every datagram opens with a kHello whose seq is the per-session
+// datagram number; the collector accepts each datagram exactly once, tracks
+// gaps, and whatever is still missing when the session finalizes is
+// exported as udp_lost — *exact* loss, not an estimate. The emitter's
+// close-time retransmit pass means datagram loss shows up in the loss
+// counter but (single losses) not in the Dataset.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "net/collector.h"
+#include "net/socket.h"
+#include "net/udp.h"
+#include "net/wire.h"
+#include "telemetry/binlog.h"
+#include "telemetry/record.h"
+
+namespace autosens::net {
+namespace {
+
+using telemetry::ActionRecord;
+
+std::vector<ActionRecord> striped_records(std::size_t per_emitter, std::size_t emitters,
+                                          std::size_t t) {
+  std::vector<ActionRecord> records;
+  records.reserve(per_emitter);
+  for (std::size_t i = 0; i < per_emitter; ++i) {
+    const auto k = i * emitters + t;
+    records.push_back({.time_ms = static_cast<std::int64_t>(k + 1),
+                       .user_id = 1 + k % 7,
+                       .latency_ms = 1.0 + 0.01 * static_cast<double>(k % 1000),
+                       .action = telemetry::ActionType::kSearch,
+                       .user_class = telemetry::UserClass::kConsumer,
+                       .status = telemetry::ActionStatus::kSuccess});
+  }
+  return records;
+}
+
+CollectorOptions udp_options(std::size_t shards = 1) {
+  CollectorOptions options;
+  options.transport = Transport::kUdp;
+  options.shards = shards;
+  options.rcvbuf_bytes = 1 << 20;  // Loopback bursts overflow default buffers.
+  return options;
+}
+
+TEST(NetUdpTest, HappyPathDeliversEveryRecord) {
+  constexpr std::size_t kEmitters = 3;
+  constexpr std::size_t kPerEmitter = 400;
+  CollectorThread collector(kEmitters, udp_options(), /*timeout_ms=*/10'000);
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kEmitters; ++t) {
+    threads.emplace_back([&, t] {
+      UdpEmitterOptions options;
+      options.batch_size = 64;
+      options.session_id = 0xbeef00 + t;
+      UdpEmitter emitter(collector.port(), options);
+      for (const auto& r : striped_records(kPerEmitter, kEmitters, t)) emitter.record(r);
+      emitter.close();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto dataset = collector.join();
+  EXPECT_TRUE(collector.complete());
+  EXPECT_EQ(dataset.size(), kEmitters * kPerEmitter);
+
+  const auto stats = collector.stats();
+  EXPECT_EQ(stats.sessions, kEmitters);
+  EXPECT_EQ(stats.sessions_active, 0u);
+  EXPECT_GT(stats.udp_datagrams, 0u);
+  EXPECT_EQ(stats.udp_lost, 0u) << "loopback with tuned rcvbuf must not lose";
+  // Dataset order is canonical time-sort: striped time_ms means strictly
+  // increasing across the whole dataset.
+  for (std::size_t i = 1; i < dataset.size(); ++i) {
+    ASSERT_LT(dataset[i - 1].time_ms, dataset[i].time_ms);
+  }
+}
+
+TEST(NetUdpTest, SeededDropPlanIsAccountedExactly) {
+  // drop_datagrams silently withholds listed datagram numbers from the
+  // kernel: deterministic loss. The collector owes us exactly that many in
+  // udp_lost — and the close-time retransmit pass (fresh datagrams, same
+  // frame seqs) still delivers every record.
+  constexpr std::size_t kPerEmitter = 300;
+  const std::vector<std::uint32_t> plan{2, 3, 5};
+
+  CollectorThread collector(1, udp_options(), /*timeout_ms=*/10'000);
+  UdpEmitterOptions options;
+  options.batch_size = 25;
+  options.max_datagram_bytes = 256;  // One frame per datagram: the plan's
+                                     // numbers all land in the first pass, and
+                                     // each retransmit copy rides a distinct
+                                     // datagram outside the plan.
+  options.session_id = 0xd70b;
+  options.drop_datagrams = plan;
+  UdpEmitter emitter(collector.port(), options);
+  for (const auto& r : striped_records(kPerEmitter, 1, 0)) emitter.record(r);
+  emitter.close();
+  EXPECT_EQ(emitter.planned_drops(), plan.size())
+      << "every planned datagram number must have been consumed";
+
+  const auto dataset = collector.join();
+  EXPECT_TRUE(collector.complete());
+  const auto stats = collector.stats();
+  EXPECT_EQ(stats.udp_lost, plan.size())
+      << "gap accounting must equal the seeded drop plan exactly";
+  EXPECT_EQ(dataset.size(), kPerEmitter)
+      << "the retransmit pass must cover single-copy losses";
+  EXPECT_GT(stats.duplicate_frames, 0u)
+      << "retransmitted frames that did arrive twice dedup by seq";
+}
+
+TEST(NetUdpTest, DropPlanWithoutRetransmitLosesDataButAccountsIt) {
+  // With the reliability pass off, planned drops become real record loss —
+  // but the accounting still knows exactly how many datagrams died.
+  constexpr std::size_t kPerEmitter = 300;
+  const std::vector<std::uint32_t> plan{2, 4};
+
+  CollectorThread collector(1, udp_options(), /*timeout_ms=*/10'000);
+  UdpEmitterOptions options;
+  options.batch_size = 25;
+  options.max_datagram_bytes = 256;  // One frame per datagram (see above); the
+                                     // goodbye's datagram number stays clear of
+                                     // the plan.
+  options.session_id = 0xd70c;
+  options.drop_datagrams = plan;
+  options.final_retransmit = false;
+  UdpEmitter emitter(collector.port(), options);
+  for (const auto& r : striped_records(kPerEmitter, 1, 0)) emitter.record(r);
+  emitter.close();
+  EXPECT_EQ(emitter.planned_drops(), plan.size());
+
+  const auto dataset = collector.join();
+  EXPECT_TRUE(collector.complete());
+  EXPECT_EQ(collector.stats().udp_lost, plan.size());
+  EXPECT_LT(dataset.size(), kPerEmitter) << "without retransmit the records die";
+}
+
+TEST(NetUdpTest, DuplicateGoodbyeDatagramsCollapse) {
+  // goodbye_copies ships the same goodbye datagram bytes N times (same
+  // datagram seq): the datagram dedup must collapse the extras, crediting
+  // the session's goodbye exactly once.
+  CollectorThread collector(1, udp_options(), /*timeout_ms=*/10'000);
+  UdpEmitterOptions options;
+  options.batch_size = 16;
+  options.session_id = 0xd0b1e;
+  options.goodbye_copies = 3;
+  options.final_retransmit = false;
+  UdpEmitter emitter(collector.port(), options);
+  for (const auto& r : striped_records(64, 1, 0)) emitter.record(r);
+  emitter.close();
+
+  const auto dataset = collector.join();
+  EXPECT_TRUE(collector.complete());
+  const auto stats = collector.stats();
+  EXPECT_EQ(dataset.size(), 64u);
+  EXPECT_EQ(stats.udp_duplicate_datagrams, options.goodbye_copies - 1)
+      << "extra goodbye copies must dedup at datagram level";
+  EXPECT_EQ(stats.sessions, 1u);
+  EXPECT_EQ(stats.sessions_active, 0u) << "goodbye credited exactly once";
+}
+
+TEST(NetUdpTest, ReorderedDatagramsAssembleExactlyWithNoFalseLoss) {
+  // Hand-built datagrams sent out of order: the gap tracker must hold the
+  // early arrivals' gaps open, fill them when the stragglers land, and end
+  // with zero loss and a complete, time-sorted dataset.
+  constexpr std::uint64_t kSession = 0x0e0de4;
+  const auto records = striped_records(40, 1, 0);
+
+  // Datagram i (1-based) carries records [10*(i-1), 10*i) as one data frame.
+  std::vector<std::vector<std::uint8_t>> datagrams;
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    Frame hello = make_hello(kSession);
+    hello.seq = i;
+    auto bytes = encode_frame(hello);
+    const std::vector<ActionRecord> slice(records.begin() + 10 * (i - 1),
+                                          records.begin() + 10 * i);
+    const auto data = encode_frame(Frame{.type = FrameType::kData,
+                                         .seq = i,
+                                         .payload = telemetry::codec::encode_batch(slice)});
+    bytes.insert(bytes.end(), data.begin(), data.end());
+    datagrams.push_back(std::move(bytes));
+  }
+  Frame goodbye_hello = make_hello(kSession);
+  goodbye_hello.seq = 5;
+  auto goodbye_datagram = encode_frame(goodbye_hello);
+  const auto goodbye =
+      encode_frame(Frame{.type = FrameType::kGoodbye, .seq = 5, .payload = {}});
+  goodbye_datagram.insert(goodbye_datagram.end(), goodbye.begin(), goodbye.end());
+
+  CollectorThread collector(1, udp_options(), /*timeout_ms=*/10'000);
+  {
+    auto socket = connect_udp(collector.port());
+    auto& ops = real_socket_ops();
+    // Worst-case shuffle: the highest data datagram first, then the rest,
+    // goodbye last (goodbye-last is the emitter's contract too).
+    for (const std::uint32_t i : {3u, 1u, 4u, 2u}) {
+      const auto& d = datagrams[i - 1];
+      ASSERT_EQ(ops.send(socket.fd(), d.data(), d.size()),
+                static_cast<std::int64_t>(d.size()));
+    }
+    ASSERT_EQ(ops.send(socket.fd(), goodbye_datagram.data(), goodbye_datagram.size()),
+              static_cast<std::int64_t>(goodbye_datagram.size()));
+  }
+
+  const auto dataset = collector.join();
+  EXPECT_TRUE(collector.complete());
+  const auto stats = collector.stats();
+  EXPECT_EQ(dataset.size(), records.size()) << "every reordered datagram applied";
+  EXPECT_EQ(stats.udp_lost, 0u) << "filled gaps must not be counted as loss";
+  EXPECT_EQ(stats.udp_duplicate_datagrams, 0u);
+  for (std::size_t i = 1; i < dataset.size(); ++i) {
+    ASSERT_LT(dataset[i - 1].time_ms, dataset[i].time_ms);
+  }
+}
+
+TEST(NetUdpTest, MultiShardIngestStaysExact) {
+  // SO_REUSEPORT UDP sharding: each connected emitter socket hashes to one
+  // shard socket, so per-session datagram order is preserved per source.
+  constexpr std::size_t kShards = 2;
+  constexpr std::size_t kEmitters = 4;
+  constexpr std::size_t kPerEmitter = 300;
+  CollectorThread collector(kEmitters, udp_options(kShards), /*timeout_ms=*/10'000);
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kEmitters; ++t) {
+    threads.emplace_back([&, t] {
+      UdpEmitterOptions options;
+      options.batch_size = 50;
+      options.session_id = 0xabba00 + t;
+      UdpEmitter emitter(collector.port(), options);
+      for (const auto& r : striped_records(kPerEmitter, kEmitters, t)) emitter.record(r);
+      emitter.close();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto dataset = collector.join();
+  EXPECT_TRUE(collector.complete());
+  EXPECT_EQ(dataset.size(), kEmitters * kPerEmitter);
+  const auto stats = collector.stats();
+  EXPECT_EQ(stats.sessions, kEmitters);
+  EXPECT_EQ(stats.udp_lost, 0u);
+}
+
+}  // namespace
+}  // namespace autosens::net

@@ -20,9 +20,13 @@
 //   autosens_cli collect   --out log.bin [--port 0] [--expect 1]
 //                          [--timeout-ms 30000] [--read-deadline-ms -1]
 //                          [--max-resync-bytes 1048576] [--checkpoint FILE]
+//                          [--shards 1] [--transport tcp|udp] [--rcvbuf BYTES]
 //   autosens_cli replay    --in log.bin --port PORT [--batch 1024]
 //                          [--retries 5] [--backoff-ms 1] [--backoff-max-ms 1000]
-//                          [--drop-on-exhausted]
+//                          [--drop-on-exhausted] [--transport tcp|udp]
+//   autosens_cli loadgen   --port PORT [--sessions 64] [--records 1024]
+//                          [--concurrency 16] [--batch 256] [--transport tcp|udp]
+//                          [--seed 42]
 //   autosens_cli metrics   --in metrics.txt [--filter substr]
 //   autosens_cli watch     URL [--interval-ms 1000] [--count 0] [--filter s]
 //                          [--all]
@@ -48,6 +52,7 @@
 // sane latencies) before running.
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -70,6 +75,7 @@
 #include "core/slices.h"
 #include "net/collector.h"
 #include "net/emitter.h"
+#include "net/udp.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/sampler.h"
@@ -106,6 +112,7 @@ commands:
   alpha      time-of-day and weekday/weekend activity factors (paper Fig 8)
   collect    run a telemetry collector server, write a binary log
   replay     stream an existing log to a collector
+  loadgen    drive synthetic emitter sessions at a collector (tcp or udp)
   metrics    pretty-print a Prometheus metrics snapshot written by --metrics-out
   watch      poll a live /metrics URL, render a top-style level + rate table
 
@@ -598,15 +605,31 @@ int cmd_alpha(const cli::Args& args) {
   return 0;
 }
 
+/// --transport tcp|udp (shared by collect, replay, loadgen).
+net::Transport parse_transport(const cli::Args& args) {
+  const std::string transport = args.get_or("transport", "tcp");
+  if (transport == "tcp") return net::Transport::kTcp;
+  if (transport == "udp") return net::Transport::kUdp;
+  throw std::invalid_argument("--transport must be tcp or udp, got: " + transport);
+}
+
 int cmd_collect(const cli::Args& args) {
   args.allow_only(with_obs({"out", "port", "expect", "timeout-ms", "read-deadline-ms",
-                            "max-resync-bytes", "checkpoint"}));
+                            "max-resync-bytes", "checkpoint", "shards", "transport",
+                            "rcvbuf"}));
   const std::string out = args.require("out");
   net::CollectorOptions options;
   options.port = static_cast<std::uint16_t>(args.get_int("port", 0));
   options.read_deadline_ms = static_cast<int>(args.get_int("read-deadline-ms", -1));
   options.max_resync_bytes =
       static_cast<std::size_t>(args.get_int("max-resync-bytes", 1 << 20));
+  options.shards = static_cast<std::size_t>(args.get_int("shards", 1));
+  options.transport = parse_transport(args);
+  // UDP defaults to a large receive buffer (capped by net.core.rmem_max):
+  // emitters send unpaced bursts, and the system default (~200 KB) drops
+  // most of a burst before the collector ever sees it.
+  options.rcvbuf_bytes = static_cast<std::size_t>(args.get_int(
+      "rcvbuf", options.transport == net::Transport::kUdp ? (1 << 22) : 0));
   net::Collector collector(options);
   std::cout << "listening on 127.0.0.1:" << collector.port() << "\n" << std::flush;
   const bool complete = collector.serve_until_goodbye(
@@ -631,6 +654,11 @@ int cmd_collect(const cli::Args& args) {
               << stats.session_reconnects << " reconnects, " << stats.deadline_drops
               << " deadline drops\n";
   }
+  if (options.transport == net::Transport::kUdp) {
+    std::cout << "udp: " << stats.udp_datagrams << " datagrams, " << stats.udp_lost
+              << " lost, " << stats.udp_duplicate_datagrams << " duplicates, "
+              << stats.udp_rejected << " rejected\n";
+  }
   telemetry::write_binlog_file(out, dataset);
   std::cout << "wrote " << out << "\n";
   return complete ? 0 : 1;
@@ -638,13 +666,24 @@ int cmd_collect(const cli::Args& args) {
 
 int cmd_replay(const cli::Args& args) {
   args.allow_only(with_obs({"in", "port", "batch", "threads", "retries", "backoff-ms",
-                            "backoff-max-ms", "drop-on-exhausted"}));
+                            "backoff-max-ms", "drop-on-exhausted", "transport"}));
   // One root span over the whole command — load, connect, emit loop — so
   // every local span and, via the wire trace context, the collector's spans
   // in the peer process hang off a single trace tree.
   obs::Span replay_span("replay");
   const auto dataset = load(args.require("in"), ingest_options_from_flags(args));
   replay_span.attr("records", static_cast<std::int64_t>(dataset.size()));
+  if (parse_transport(args) == net::Transport::kUdp) {
+    net::UdpEmitterOptions options;
+    options.batch_size = static_cast<std::size_t>(args.get_int("batch", 1024));
+    net::UdpEmitter emitter(static_cast<std::uint16_t>(args.get_int("port", 0)), options);
+    for (std::size_t i = 0; i < dataset.size(); ++i) emitter.record(dataset[i]);
+    emitter.close();
+    std::cout << "replayed " << emitter.sent_records() << " records in "
+              << emitter.sent_frames() << " frames\n";
+    std::cout << "udp: " << emitter.sent_datagrams() << " datagrams sent\n";
+    return 0;
+  }
   net::EmitterOptions options;
   options.batch_size = static_cast<std::size_t>(args.get_int("batch", 1024));
   options.retry.max_attempts = static_cast<std::size_t>(args.get_int("retries", 5));
@@ -667,6 +706,77 @@ int cmd_replay(const cli::Args& args) {
               << stats.dropped_records << " records dropped after exhaustion\n";
   }
   return stats.dropped_records == 0 ? 0 : 1;
+}
+
+int cmd_loadgen(const cli::Args& args) {
+  // Synthetic fan-in driver for the sharded collector: --sessions emitter
+  // sessions, each shipping --records synthetic records, at most
+  // --concurrency in flight at once (a bounded client pool working through a
+  // larger session population, like the saturation bench). Pairs with
+  // `collect --expect SESSIONS [--shards N] [--transport udp]`.
+  args.allow_only(with_obs(
+      {"port", "sessions", "records", "concurrency", "batch", "transport", "seed"}));
+  const auto port = static_cast<std::uint16_t>(args.get_int("port", 0));
+  const auto sessions = static_cast<std::size_t>(args.get_int("sessions", 64));
+  const auto per_session = static_cast<std::size_t>(args.get_int("records", 1024));
+  const auto concurrency =
+      std::min(sessions, static_cast<std::size_t>(args.get_int("concurrency", 16)));
+  const auto batch = static_cast<std::size_t>(args.get_int("batch", 256));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const bool udp = parse_transport(args) == net::Transport::kUdp;
+  if (port == 0) throw std::invalid_argument("loadgen requires --port");
+
+  // One shared record batch: loadgen measures the collector's fan-in, not
+  // record variety; time_ms stays unique so the merged dataset sorts stably.
+  std::vector<telemetry::ActionRecord> records;
+  records.reserve(per_session);
+  for (std::size_t i = 0; i < per_session; ++i) {
+    records.push_back({.time_ms = static_cast<std::int64_t>(i + 1),
+                       .user_id = 1 + (seed + i) % 997,
+                       .latency_ms = 1.0 + 0.01 * static_cast<double>((seed + i) % 1000),
+                       .action = telemetry::ActionType::kSearch,
+                       .user_class = telemetry::UserClass::kConsumer,
+                       .status = telemetry::ActionStatus::kSuccess});
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> sent{0};
+  std::vector<std::thread> pool;
+  pool.reserve(concurrency);
+  for (std::size_t t = 0; t < concurrency; ++t) {
+    pool.emplace_back([&] {
+      for (std::size_t s = next.fetch_add(1); s < sessions; s = next.fetch_add(1)) {
+        if (udp) {
+          net::UdpEmitterOptions options;
+          options.batch_size = batch;
+          options.session_id = seed * 1'000'003 + s + 1;
+          net::UdpEmitter emitter(port, options);
+          for (const auto& r : records) emitter.record(r);
+          emitter.close();
+          sent.fetch_add(emitter.sent_records());
+        } else {
+          net::EmitterOptions options;
+          options.batch_size = batch;
+          options.session_id = seed * 1'000'003 + s + 1;
+          net::Emitter emitter(port, options);
+          for (const auto& r : records) emitter.record(r);
+          emitter.close();
+          sent.fetch_add(emitter.sent_records());
+        }
+      }
+    });
+  }
+  for (auto& thread : pool) thread.join();
+  const auto elapsed = std::chrono::duration<double>(std::chrono::steady_clock::now() - start);
+  const double rate = elapsed.count() > 0.0
+                          ? static_cast<double>(sent.load()) / elapsed.count()
+                          : 0.0;
+  std::cout << "loadgen: " << sent.load() << " records over " << sessions << " "
+            << (udp ? "udp" : "tcp") << " sessions in "
+            << static_cast<std::int64_t>(elapsed.count() * 1000.0) << " ms ("
+            << static_cast<std::int64_t>(rate) << " records/s)\n";
+  return 0;
 }
 
 int cmd_metrics(const cli::Args& args) {
@@ -740,6 +850,7 @@ int dispatch(const std::string& command, const cli::Args& args) {
   if (command == "alpha") return cmd_alpha(args);
   if (command == "collect") return cmd_collect(args);
   if (command == "replay") return cmd_replay(args);
+  if (command == "loadgen") return cmd_loadgen(args);
   if (command == "metrics") return cmd_metrics(args);
   std::cerr << "unknown command: " << command << "\n";
   return usage();

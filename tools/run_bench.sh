@@ -18,6 +18,11 @@
 #                         per-repetition samples so the robust regression gate
 #                         (tools/check_bench_regression.py) can filter
 #                         scheduler spikes instead of gating on a raw mean
+#   BENCH_net.json      — the collector fan-in saturation sweep (records/s vs
+#                         session count, 1→10k): poll() baseline vs the
+#                         sharded epoll collector (1/2/4 shards) vs the
+#                         batched UDP transport, with per-repetition samples
+#                         on the gated 1k-session rows
 #
 # The script configures and builds its own Release tree (default:
 # <repo>/build-bench) instead of reusing the dev build — benchmark numbers
@@ -25,16 +30,25 @@
 # recorded "library_build_type": "debug" for exactly that reason.
 #
 # Usage: tools/run_bench.sh [build-dir] [parallel-out] [obs-out] [columnar-out]
-#        [ingest-out] [kernels-out]
+#        [ingest-out] [kernels-out] [net-out]
+#        tools/run_bench.sh net  — rerun only the net sweep into BENCH_net.json
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+only_net=0
+if [[ "${1:-}" == "net" ]]; then
+  only_net=1
+  shift
+fi
+
 BUILD="${1:-$ROOT/build-bench}"
 OUT="${2:-$ROOT/BENCH_parallel.json}"
 OBS_OUT="${3:-$ROOT/BENCH_obs.json}"
 COLUMNAR_OUT="${4:-$ROOT/BENCH_columnar.json}"
 INGEST_OUT="${5:-$ROOT/BENCH_ingest.json}"
 KERNELS_OUT="${6:-$ROOT/BENCH_kernels.json}"
+NET_OUT="${7:-$ROOT/BENCH_net.json}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target micro_kernels -j "$(nproc)" >/dev/null
@@ -61,6 +75,20 @@ run_filter() {
   echo "wrote $out"
 }
 
+# The fan-in sweep runs with 5 repetitions throughout: the gate only reads
+# the 1k-session rows, but one uniform run keeps the JSON self-consistent
+# and gives every row a distribution for the checker's spike filter.
+run_net() {
+  run_filter 'BM_Net' "$NET_OUT" \
+    --benchmark_repetitions=5 \
+    --benchmark_report_aggregates_only=false
+}
+
+if [[ "$only_net" -eq 1 ]]; then
+  run_net
+  exit 0
+fi
+
 run_filter 'Threads' "$OUT"
 # Per-repetition samples (not just aggregates) give the regression checker a
 # distribution to run its outlier filter and robust statistic over.
@@ -81,3 +109,5 @@ run_filter 'DatasetColumns|DayBlockResample|ConfidenceReplicates' "$COLUMNAR_OUT
   --benchmark_context=postchange_analyze_once_ms=38.4 \
   --benchmark_context=postchange_day_block_resample_ms_per_rep=0.003 \
   --benchmark_context=postchange_confidence50_ms_best_of_3=1549.5
+
+run_net

@@ -36,7 +36,8 @@ done
 
 # The test executables behind the net/parallel/obs/simd ctest labels.
 targets=(wire_test net_pipeline_test fault_test wire_fuzz_test
-         net_fault_matrix_test net_trace_test parallel_test
+         net_fault_matrix_test net_trace_test spsc_test net_shard_test
+         net_udp_test parallel_test
          parallel_determinism_test obs_metrics_test obs_trace_test
          obs_log_test obs_server_test simd_kernels_test simd_dispatch_test)
 
