@@ -11,6 +11,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <span>
 #include <sstream>
@@ -25,6 +26,7 @@
 #include "core/pipeline.h"
 #include "core/simd.h"
 #include "core/slices.h"
+#include "core/store_analyze.h"
 #include "net/collector.h"
 #include "net/collector_poll.h"
 #include "net/emitter.h"
@@ -44,6 +46,8 @@
 #include "telemetry/csv.h"
 #include "telemetry/jsonl.h"
 #include "telemetry/filter.h"
+#include "telemetry/store/store.h"
+#include "telemetry/store/writer.h"
 #include "telemetry/validate.h"
 
 namespace {
@@ -1077,6 +1081,72 @@ void BM_NetUdp(benchmark::State& state) {
 }
 BENCHMARK(BM_NetUdp)->ArgsProduct({{1, 64, 1024, 10'000}, {1, 4}})
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Out-of-core store (BENCH_store.json): full-store streaming scan throughput
+// (bytes/s over the raw row payload) and the windowed analyze wall-clock,
+// store-streamed vs the same windows filtered out of the in-memory dataset.
+// Run with --benchmark_repetitions=5 for the regression gate's spike filter.
+
+/// The shared 1M-record dataset spilled to an ASL3 store once per process.
+const std::string& bench_store_dir() {
+  static const std::string dir = [] {
+    const auto path = std::filesystem::temp_directory_path() / "autosens_bench_store";
+    std::filesystem::remove_all(path);
+    telemetry::store::build_store(million_record_dataset(), path.string());
+    return path.string();
+  }();
+  return dir;
+}
+
+/// Sequential scan of every partition into the biased latency histogram —
+/// the store's streaming read throughput with decode + CRC on the hot path.
+void BM_StoreScan(benchmark::State& state) {
+  const auto store = telemetry::store::StoredDataset::open(bench_store_dir());
+  const core::AutoSensOptions options;
+  for (auto _ : state) {
+    auto histogram = core::scan_biased_histogram(store, options);
+    benchmark::DoNotOptimize(histogram.total_weight());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(store.raw_bytes()));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(store.rows()));
+}
+BENCHMARK(BM_StoreScan)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Windowed analysis over the whole time range (7-day windows over 14 days).
+/// Arg(0): in-memory baseline — windows filtered out of the resident dataset.
+/// Arg(1): the out-of-core path — windows loaded from pruned partitions.
+void BM_StoreAnalyze(benchmark::State& state) {
+  const bool streamed = state.range(0) == 1;
+  const auto store = telemetry::store::StoredDataset::open(bench_store_dir());
+  const auto& dataset = million_record_dataset();
+  const core::AutoSensOptions options;
+  core::StoreStreamOptions stream;
+  stream.window_ms = 7 * telemetry::kMillisPerDay;
+  stream.scrub = false;  // Both sides analyze the raw windows.
+  for (auto _ : state) {
+    std::size_t records = 0;
+    if (streamed) {
+      core::analyze_store_windows(store, options, stream,
+                                  [&](const core::StoreWindowResult& w) { records += w.records; });
+    } else {
+      for (std::int64_t begin = store.min_time_ms(); begin <= store.max_time_ms();
+           begin += stream.window_ms) {
+        const std::int64_t end = begin + stream.window_ms;
+        const auto window = dataset.filtered([&](const telemetry::ActionRecord& r) {
+          return r.time_ms >= begin && r.time_ms < end;
+        });
+        auto result = core::analyze(window, options);
+        benchmark::DoNotOptimize(result.normalized.data());
+        records += window.size();
+      }
+    }
+    if (records != dataset.size()) state.SkipWithError("window tiling lost records");
+  }
+  state.SetLabel(streamed ? "store_windows" : "in_memory_windows");
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(dataset.size()));
+}
+BENCHMARK(BM_StoreAnalyze)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_EndToEndAnalysis(benchmark::State& state) {
   auto config = simulate::paper_config(simulate::Scale::kTiny, 9);

@@ -122,6 +122,15 @@ bool RuntimeSampler::sample_once() {
   return true;
 }
 
+std::uint64_t RuntimeSampler::peak_rss_bytes() {
+  std::ifstream in("/proc/self/status");
+  if (!in) return 0;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const double hwm = status_kb_to_bytes(buffer.str(), "VmHWM");
+  return hwm < 0.0 ? 0 : static_cast<std::uint64_t>(hwm);
+}
+
 RuntimeSampler::RuntimeSampler() : RuntimeSampler(Options{}) {}
 
 RuntimeSampler::RuntimeSampler(Options options) {

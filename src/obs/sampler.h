@@ -37,6 +37,12 @@ class RuntimeSampler {
   /// one-shot dumps); gauges only update while obs::enabled().
   static bool sample_once();
 
+  /// Peak resident set size (VmHWM) of this process in bytes, read directly
+  /// from /proc/self/status — independent of obs::enabled(), so bounded-RSS
+  /// assertions (the store soak test) don't need the registry on. Returns 0
+  /// when /proc is unavailable.
+  static std::uint64_t peak_rss_bytes();
+
  private:
   void run(std::uint32_t interval_ms);
 

@@ -212,12 +212,18 @@ std::vector<std::uint8_t> encode_batch(std::span<const ActionRecord> records) {
 }
 
 std::vector<ActionRecord> decode_batch(std::span<const std::uint8_t> payload) {
+  std::vector<ActionRecord> records;
+  decode_batch_into(payload, records);
+  return records;
+}
+
+void decode_batch_into(std::span<const std::uint8_t> payload, std::vector<ActionRecord>& records) {
+  records.clear();
   std::size_t offset = 0;
   std::uint64_t count = 0;
   if (!get_varint(payload, offset, count)) {
     throw std::runtime_error("decode_batch: truncated count");
   }
-  std::vector<ActionRecord> records;
   // `count` is attacker-controlled; every record needs >= 6 payload bytes
   // (three varints + three enum bytes), so clamp the reserve to that bound
   // rather than letting a bogus huge count throw bad_alloc instead of the
@@ -255,7 +261,6 @@ std::vector<ActionRecord> decode_batch(std::span<const std::uint8_t> payload) {
   if (offset != payload.size()) {
     throw std::runtime_error("decode_batch: trailing bytes in payload");
   }
-  return records;
 }
 
 }  // namespace codec
@@ -295,33 +300,6 @@ void append_block(std::vector<std::uint8_t>& out, const void* src, std::size_t b
   out.insert(out.end(), p, p + bytes);
 }
 
-/// One frame located by the serial envelope walk: cheap header reads only,
-/// no payload bytes touched yet.
-struct FrameView {
-  std::size_t payload_offset = 0;
-  std::size_t payload_len = 0;
-  std::uint32_t crc = 0;
-};
-
-std::vector<FrameView> walk_frames(std::span<const std::uint8_t> data) {
-  std::vector<FrameView> frames;
-  std::size_t offset = 4;  // past magic
-  while (offset < data.size()) {
-    if (data.size() - offset < 4) {
-      throw std::runtime_error("read_binlog: truncated frame header");
-    }
-    const std::uint32_t len = load_u32(data, offset);
-    offset += 4;
-    if (data.size() - offset < len) throw std::runtime_error("read_binlog: truncated payload");
-    const std::size_t payload_offset = offset;
-    offset += len;
-    if (data.size() - offset < 4) throw std::runtime_error("read_binlog: truncated crc");
-    frames.push_back({payload_offset, len, load_u32(data, offset)});
-    offset += 4;
-  }
-  return frames;
-}
-
 /// ASL2: validate frame geometry serially (varint count + fixed block
 /// sizes), prefix-sum destination offsets, then CRC + memcpy every frame's
 /// column blocks straight into its precomputed slice of the output columns
@@ -329,7 +307,8 @@ std::vector<FrameView> walk_frames(std::span<const std::uint8_t> data) {
 /// result is identical for every thread count; a corrupt frame throws and
 /// the pool rethrows the lowest frame's error deterministically.
 Dataset read_binlog_v2(std::span<const std::uint8_t> data,
-                       const std::vector<FrameView>& frames, const IngestOptions& options) {
+                       const std::vector<BinlogFrameView>& frames,
+                       const IngestOptions& options) {
   struct FramePlan {
     std::size_t blocks_offset = 0;  ///< Offset of the time block in the payload.
     std::size_t count = 0;
@@ -408,43 +387,90 @@ Dataset read_binlog_v2(std::span<const std::uint8_t> data,
   return dataset;
 }
 
-/// ASL1 (legacy row format): decode frames in parallel into per-frame
-/// record batches, then append in frame order.
+/// ASL1 (legacy row format): decode frames over the fixed chunk grid, one
+/// record-batch scratch vector and one column shard per CHUNK — the scratch
+/// is reused across every frame a chunk decodes, so the per-frame vector
+/// churn the ingest profile showed is gone. Shards concatenate in chunk
+/// order (= frame order), so the record sequence — and after the stable
+/// sort, the dataset — is byte-identical to the per-frame implementation
+/// for every thread count.
 Dataset read_binlog_v1(std::span<const std::uint8_t> data,
-                       const std::vector<FrameView>& frames, const IngestOptions& options) {
-  std::vector<std::vector<ActionRecord>> decoded(frames.size());
-  core::parallel_for_items(frames.size(), options.threads, [&](std::size_t i) {
-    const auto payload = data.subspan(frames[i].payload_offset, frames[i].payload_len);
-    if (codec::crc32(payload) != frames[i].crc) {
-      throw std::runtime_error("read_binlog: crc mismatch");
-    }
-    decoded[i] = codec::decode_batch(payload);
-  });
-  std::size_t total = 0;
-  for (const auto& batch : decoded) total += batch.size();
+                       const std::vector<BinlogFrameView>& frames,
+                       const IngestOptions& options) {
+  const core::ChunkGrid grid = core::make_chunk_grid(frames.size(), /*min_per_chunk=*/1);
+  std::vector<detail::ColumnShard> shards(grid.chunks);
+  core::parallel_for(frames.size(), options.threads, /*min_per_chunk=*/1,
+                     [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+                       std::vector<ActionRecord> scratch;
+                       detail::ColumnShard& shard = shards[chunk];
+                       for (std::size_t i = begin; i < end; ++i) {
+                         const auto payload =
+                             data.subspan(frames[i].payload_offset, frames[i].payload_len);
+                         if (codec::crc32(payload) != frames[i].crc) {
+                           throw std::runtime_error("read_binlog: crc mismatch");
+                         }
+                         codec::decode_batch_into(payload, scratch);
+                         shard.reserve(shard.size() + scratch.size());
+                         for (const auto& r : scratch) shard.push(r);
+                       }
+                     });
   Dataset dataset;
-  dataset.reserve(total);
-  for (const auto& batch : decoded) {
-    for (const auto& r : batch) dataset.add(r);
-  }
+  std::vector<IngestError> errors;  // ASL1 frames never produce line errors.
+  detail::concat_shards(shards, 1, dataset, errors);
   dataset.sort_by_time();
   return dataset;
 }
 
 }  // namespace
 
-void write_binlog(std::ostream& out, const Dataset& dataset, std::size_t batch_size) {
-  if (batch_size == 0) throw std::invalid_argument("write_binlog: batch_size must be nonzero");
+BinlogVersion binlog_version(std::span<const std::uint8_t> data) {
+  if (data.size() < 4) throw std::runtime_error("read_binlog: bad magic");
+  const std::array<char, 4> magic = {static_cast<char>(data[0]), static_cast<char>(data[1]),
+                                     static_cast<char>(data[2]), static_cast<char>(data[3])};
+  if (magic == kMagicV1) return BinlogVersion::kV1;
+  if (magic == kMagicV2) return BinlogVersion::kV2;
+  throw std::runtime_error("read_binlog: bad magic");
+}
+
+std::vector<BinlogFrameView> walk_binlog_frames(std::span<const std::uint8_t> data) {
+  std::vector<BinlogFrameView> frames;
+  std::size_t offset = 4;  // past magic
+  while (offset < data.size()) {
+    if (data.size() - offset < 4) {
+      throw std::runtime_error("read_binlog: truncated frame header");
+    }
+    const std::uint32_t len = load_u32(data, offset);
+    offset += 4;
+    if (data.size() - offset < len) throw std::runtime_error("read_binlog: truncated payload");
+    const std::size_t payload_offset = offset;
+    offset += len;
+    if (data.size() - offset < 4) throw std::runtime_error("read_binlog: truncated crc");
+    frames.push_back({payload_offset, len, load_u32(data, offset)});
+    offset += 4;
+  }
+  return frames;
+}
+
+void write_binlog_header(std::ostream& out) {
   out.write(kMagicV2.data(), kMagicV2.size());
-  const auto times = dataset.times();
-  const auto latencies = dataset.latencies();
-  const auto user_ids = dataset.user_ids();
-  const auto actions = dataset.actions();
-  const auto user_classes = dataset.user_classes();
-  const auto statuses = dataset.statuses();
+  if (!out) throw std::runtime_error("write_binlog: stream write failed");
+}
+
+void write_binlog_frames(std::ostream& out, std::span<const std::int64_t> times,
+                         std::span<const double> latencies,
+                         std::span<const std::uint64_t> user_ids,
+                         std::span<const ActionType> actions,
+                         std::span<const UserClass> user_classes,
+                         std::span<const ActionStatus> statuses, std::size_t batch_size) {
+  if (batch_size == 0) throw std::invalid_argument("write_binlog: batch_size must be nonzero");
+  const std::size_t size = times.size();
+  if (latencies.size() != size || user_ids.size() != size || actions.size() != size ||
+      user_classes.size() != size || statuses.size() != size) {
+    throw std::invalid_argument("write_binlog: column length mismatch");
+  }
   std::vector<std::uint8_t> payload;
-  for (std::size_t start = 0; start < dataset.size(); start += batch_size) {
-    const std::size_t count = std::min(batch_size, dataset.size() - start);
+  for (std::size_t start = 0; start < size; start += batch_size) {
+    const std::size_t count = std::min(batch_size, size - start);
     payload.clear();
     payload.reserve(10 + count * kV2RecordBytes);
     codec::put_varint(payload, count);
@@ -460,6 +486,13 @@ void write_binlog(std::ostream& out, const Dataset& dataset, std::size_t batch_s
     put_u32(out, codec::crc32(payload));
   }
   if (!out) throw std::runtime_error("write_binlog: stream write failed");
+}
+
+void write_binlog(std::ostream& out, const Dataset& dataset, std::size_t batch_size) {
+  write_binlog_header(out);
+  write_binlog_frames(out, dataset.times(), dataset.latencies(), dataset.user_ids(),
+                      dataset.actions(), dataset.user_classes(), dataset.statuses(),
+                      batch_size);
 }
 
 void write_binlog_file(const std::string& path, const Dataset& dataset, std::size_t batch_size) {
@@ -489,15 +522,10 @@ void write_binlog_v1(std::ostream& out, const Dataset& dataset, std::size_t batc
 }
 
 Dataset read_binlog_buffer(std::span<const std::uint8_t> data, const IngestOptions& options) {
-  if (data.size() < 4) throw std::runtime_error("read_binlog: bad magic");
-  const std::array<char, 4> magic = {static_cast<char>(data[0]), static_cast<char>(data[1]),
-                                     static_cast<char>(data[2]), static_cast<char>(data[3])};
-  if (magic != kMagicV1 && magic != kMagicV2) {
-    throw std::runtime_error("read_binlog: bad magic");
-  }
-  const auto frames = walk_frames(data);
-  return magic == kMagicV2 ? read_binlog_v2(data, frames, options)
-                           : read_binlog_v1(data, frames, options);
+  const BinlogVersion version = binlog_version(data);
+  const auto frames = walk_binlog_frames(data);
+  return version == BinlogVersion::kV2 ? read_binlog_v2(data, frames, options)
+                                       : read_binlog_v1(data, frames, options);
 }
 
 Dataset read_binlog(std::istream& in, const IngestOptions& options) {

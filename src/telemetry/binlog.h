@@ -57,8 +57,47 @@ std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
 std::vector<std::uint8_t> encode_batch(std::span<const ActionRecord> records);
 /// Throws std::runtime_error on malformed payloads.
 std::vector<ActionRecord> decode_batch(std::span<const std::uint8_t> payload);
+/// decode_batch into a caller-owned buffer: `out` is cleared but keeps its
+/// capacity, so frame loops reuse one allocation across frames instead of
+/// constructing a fresh vector per frame.
+void decode_batch_into(std::span<const std::uint8_t> payload, std::vector<ActionRecord>& out);
 
 }  // namespace codec
+
+/// One frame of a binlog image located by the envelope walk: payload bounds
+/// plus the recorded CRC — no payload bytes touched yet.
+struct BinlogFrameView {
+  std::size_t payload_offset = 0;
+  std::size_t payload_len = 0;
+  std::uint32_t crc = 0;
+};
+
+enum class BinlogVersion { kV1, kV2 };
+
+/// Classify a binlog image by its magic. Throws std::runtime_error on bad
+/// magic or a buffer too short to hold one.
+BinlogVersion binlog_version(std::span<const std::uint8_t> data);
+
+/// Walk the frame envelopes of a binlog image (cheap header-only pass,
+/// magic already validated via binlog_version). Throws std::runtime_error
+/// on truncation. Public for the ASL3 store converter, which streams frames
+/// through a StoreWriter without ever materializing a Dataset.
+std::vector<BinlogFrameView> walk_binlog_frames(std::span<const std::uint8_t> data);
+
+/// Write the 4-byte ASL2 magic (the other streaming half of write_binlog).
+void write_binlog_header(std::ostream& out);
+
+/// The streaming half of write_binlog: append ASL2 frames (no magic) for
+/// the given column slices, `batch_size` records per frame. All spans must
+/// be the same length. Lets callers that produce columns incrementally (the
+/// store exporter) emit one binlog from many column slices.
+void write_binlog_frames(std::ostream& out, std::span<const std::int64_t> times,
+                         std::span<const double> latencies,
+                         std::span<const std::uint64_t> user_ids,
+                         std::span<const ActionType> actions,
+                         std::span<const UserClass> user_classes,
+                         std::span<const ActionStatus> statuses,
+                         std::size_t batch_size = 4096);
 
 /// Write `dataset` as an ASL2 columnar binary log, batching `batch_size`
 /// records per frame. Column blocks are copied straight out of the SoA

@@ -1,0 +1,22 @@
+// Serialization of the ASL3 partition footer and store MANIFEST. Both are
+// varint/zigzag streams framed as magic + payload + CRC-32(payload); decode
+// throws std::runtime_error on bad magic, CRC mismatch, truncation, or
+// trailing bytes — like every other checksummed format in this tree, errors
+// are never silent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "telemetry/store/format.h"
+
+namespace autosens::telemetry::store {
+
+std::vector<std::uint8_t> encode_footer(const PartitionFooter& footer);
+PartitionFooter decode_footer(std::span<const std::uint8_t> data);
+
+std::vector<std::uint8_t> encode_manifest(std::span<const PartitionInfo> partitions);
+std::vector<PartitionInfo> decode_manifest(std::span<const std::uint8_t> data);
+
+}  // namespace autosens::telemetry::store

@@ -132,6 +132,23 @@ TEST(CodecTest, BatchPreservesSubCentLatencyResolution) {
   EXPECT_DOUBLE_EQ(decoded[0].latency_ms, 123.45);
 }
 
+TEST(CodecTest, DecodeBatchIntoReusesScratchAcrossCalls) {
+  // The ingest hot loop decodes every frame into one scratch vector; the
+  // reused buffer must produce the same records as the allocating overload
+  // and keep its capacity once grown.
+  std::vector<ActionRecord> scratch;
+  for (const std::size_t n : {500u, 100u, 300u}) {
+    const Dataset dataset = random_dataset(n, 7 + n);
+    const auto payload = codec::encode_batch(dataset.records());
+    codec::decode_batch_into(payload, scratch);
+    const auto fresh = codec::decode_batch(payload);
+    ASSERT_EQ(scratch.size(), n);
+    ASSERT_EQ(scratch, fresh);
+  }
+  // Capacity from the 500-record call survived the smaller decodes.
+  EXPECT_GE(scratch.capacity(), 500u);
+}
+
 TEST(CodecTest, EmptyBatchRoundtrip) {
   const auto payload = codec::encode_batch({});
   EXPECT_TRUE(codec::decode_batch(payload).empty());

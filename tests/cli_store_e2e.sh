@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# End-to-end check of the `store` subcommands against one generated dataset:
+#
+#   1. `store build` spills a generated binlog into an ASL3 directory;
+#   2. `store info` must render the partition manifest table (per-partition
+#      rows/time range/compression) plus the summary line;
+#   3. `store analyze` streams windowed preference curves off the store;
+#   4. `store export` -> `store build` must reproduce every partition file
+#      byte-for-byte (the round-trip golden property).
+#
+# Usage: cli_store_e2e.sh <autosens_cli>
+set -euo pipefail
+
+CLI="$1"
+WORK="$(mktemp -d)"
+cleanup() { rm -rf "$WORK"; }
+trap cleanup EXIT
+
+"$CLI" generate --out "$WORK/data.bin" --scale tiny --seed 42 --days 3 >/dev/null
+
+# Small partitions/blocks so the tiny dataset still yields several shards.
+"$CLI" store build --in "$WORK/data.bin" --out "$WORK/store" \
+    --partition-rows 4096 --block-rows 512 > "$WORK/build.out"
+grep -Eq '^wrote [0-9]+ rows in [0-9]+ partitions to ' "$WORK/build.out" || {
+  echo "FAIL: store build did not report rows/partitions" >&2
+  cat "$WORK/build.out" >&2
+  exit 1
+}
+rows="$(sed -n 's/^wrote \([0-9]*\) rows in .*/\1/p' "$WORK/build.out")"
+[[ -f "$WORK/store/MANIFEST" ]] || { echo "FAIL: no MANIFEST written" >&2; exit 1; }
+
+# The partition manifest table: every header column, at least one partition
+# row (day-000000 shard 0), and a summary whose row count matches the build.
+"$CLI" store info --in "$WORK/store" > "$WORK/info.out"
+for column in partition day rows "time range (ms)" "raw MiB" "stored MiB" ratio; do
+  grep -q "$column" "$WORK/info.out" || {
+    echo "FAIL: store info table lacks column '$column'" >&2
+    cat "$WORK/info.out" >&2
+    exit 1
+  }
+done
+grep -q 'day-000000\.0' "$WORK/info.out" || {
+  echo "FAIL: store info lists no day-000000.0 partition" >&2
+  cat "$WORK/info.out" >&2
+  exit 1
+}
+grep -Eq "^[0-9]+ partitions, $rows rows, " "$WORK/info.out" || {
+  echo "FAIL: store info summary disagrees with build ($rows rows)" >&2
+  cat "$WORK/info.out" >&2
+  exit 1
+}
+
+# Windowed analysis straight off the store.
+"$CLI" store analyze --in "$WORK/store" --window-days 2 > "$WORK/analyze.out"
+grep -q 'NLP@500' "$WORK/analyze.out"
+grep -Eq '^[0-9]+ windows, ' "$WORK/analyze.out" || {
+  echo "FAIL: store analyze produced no summary" >&2
+  cat "$WORK/analyze.out" >&2
+  exit 1
+}
+
+# Round trip: export the store to a binlog, rebuild, compare byte-for-byte.
+"$CLI" store export --in "$WORK/store" --out "$WORK/back.bin" --batch 1000 \
+    > "$WORK/export.out"
+grep -Eq "^exported $rows rows to " "$WORK/export.out"
+"$CLI" store build --in "$WORK/back.bin" --out "$WORK/store2" \
+    --partition-rows 4096 --block-rows 512 >/dev/null
+diff -rq "$WORK/store" "$WORK/store2" >/dev/null || {
+  echo "FAIL: rebuilt store differs from the original" >&2
+  diff -rq "$WORK/store" "$WORK/store2" >&2 || true
+  exit 1
+}
+
+echo "PASS: cli store e2e ($rows rows)"

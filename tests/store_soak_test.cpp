@@ -1,0 +1,136 @@
+// Opt-in soak proving the out-of-core contract end to end: build an ASL3
+// store whose raw footprint is at least 10× an RSS budget, stream the
+// windowed analysis over the whole range, and assert the process peak RSS
+// (VmHWM, via RuntimeSampler::peak_rss_bytes) stayed inside the budget.
+// Gated on AUTOSENS_SOAK=1 like the net fault-matrix soak; the budget is
+// tunable through AUTOSENS_STORE_SOAK_BUDGET_MB (default 512).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/store_analyze.h"
+#include "obs/sampler.h"
+#include "telemetry/clock.h"
+#include "telemetry/record.h"
+#include "telemetry/store/store.h"
+#include "telemetry/store/writer.h"
+
+namespace autosens {
+namespace {
+
+using telemetry::kMillisPerDay;
+
+bool soak_enabled() {
+  const char* value = std::getenv("AUTOSENS_SOAK");
+  return value != nullptr && std::string_view(value) == "1";
+}
+
+std::uint64_t budget_mb_from_env() {
+  if (const char* value = std::getenv("AUTOSENS_STORE_SOAK_BUDGET_MB")) {
+    const std::uint64_t parsed = std::strtoull(value, nullptr, 10);
+    if (parsed > 0) return parsed;
+  }
+  return 512;
+}
+
+TEST(StoreSoakTest, BoundedRssOverTenfoldBudget) {
+  if (!soak_enabled()) GTEST_SKIP() << "set AUTOSENS_SOAK=1 to run the store soak";
+  const std::uint64_t baseline = obs::RuntimeSampler::peak_rss_bytes();
+  if (baseline == 0) GTEST_SKIP() << "VmHWM not available on this platform";
+
+  std::uint64_t budget = budget_mb_from_env() << 20;
+  if (baseline > budget / 2) {
+    // The runtime already ate most of the budget before any store work
+    // (sanitizer builds, generous allocators). Rebase so the bound still
+    // measures the streaming path, and say so.
+    budget = baseline * 4;
+    std::fprintf(stderr, "store_soak: baseline peak RSS %.1f MiB, raising budget to %.1f MiB\n",
+                 static_cast<double>(baseline) / 1048576.0,
+                 static_cast<double>(budget) / 1048576.0);
+  }
+
+  // Size the dataset off the final budget: raw bytes >= 10x budget.
+  const std::uint64_t target_raw = 10 * budget;
+  const std::uint64_t total_rows =
+      (target_raw + telemetry::store::kRowBytes - 1) / telemetry::store::kRowBytes;
+
+  const auto dir = std::filesystem::path(::testing::TempDir()) / "store_soak";
+  std::filesystem::remove_all(dir);
+
+  // Synthetic arithmetic rows (the simulator is far too slow at this scale):
+  // one record every 100 ms, ~864k rows/day, appended in 1M-row batches so
+  // the generator itself stays O(batch).
+  constexpr std::int64_t kGapMs = 100;
+  constexpr std::size_t kBatch = std::size_t{1} << 20;
+  {
+    telemetry::store::StoreWriter writer(dir);
+    std::vector<std::int64_t> times(kBatch);
+    std::vector<double> latencies(kBatch);
+    std::vector<std::uint64_t> users(kBatch);
+    std::vector<telemetry::ActionType> actions(kBatch);
+    std::vector<telemetry::UserClass> classes(kBatch);
+    std::vector<telemetry::ActionStatus> statuses(kBatch);
+    std::uint64_t row = 0;
+    while (row < total_rows) {
+      const std::size_t count = std::min<std::uint64_t>(kBatch, total_rows - row);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::uint64_t r = row + i;
+        times[i] = static_cast<std::int64_t>(r) * kGapMs;
+        latencies[i] = 100.0 + static_cast<double>((r * 97) % 2400);
+        users[i] = r % 100'000;
+        actions[i] = static_cast<telemetry::ActionType>(r % telemetry::kActionTypeCount);
+        classes[i] = static_cast<telemetry::UserClass>(r % telemetry::kUserClassCount);
+        statuses[i] = telemetry::ActionStatus::kSuccess;
+      }
+      writer.append_columns({times.data(), count}, {latencies.data(), count},
+                            {users.data(), count}, {actions.data(), count},
+                            {classes.data(), count}, {statuses.data(), count});
+      row += count;
+    }
+    writer.finish();
+  }
+
+  const auto store = telemetry::store::StoredDataset::open(dir.string());
+  ASSERT_EQ(store.rows(), total_rows);
+  ASSERT_GE(store.raw_bytes(), target_raw);
+  std::fprintf(stderr, "store_soak: %llu rows, %.1f GiB raw, %.1f GiB stored, %zu partitions\n",
+               static_cast<unsigned long long>(store.rows()),
+               static_cast<double>(store.raw_bytes()) / (1024.0 * 1024.0 * 1024.0),
+               static_cast<double>(store.stored_bytes()) / (1024.0 * 1024.0 * 1024.0),
+               store.partitions().size());
+
+  core::AutoSensOptions options;
+  options.threads = 1;
+  core::StoreStreamOptions stream;
+  stream.window_ms = 3 * kMillisPerDay;
+  stream.scrub = false;  // Rows are synthetic and already clean.
+
+  std::uint64_t analyzed_rows = 0;
+  std::size_t windows = 0;
+  std::size_t windows_with_curve = 0;
+  core::analyze_store_windows(store, options, stream, [&](const core::StoreWindowResult& w) {
+    analyzed_rows += w.records;
+    ++windows;
+    if (w.preference.has_value()) ++windows_with_curve;
+  });
+  EXPECT_EQ(analyzed_rows, total_rows);
+  EXPECT_GT(windows, 1u);
+  EXPECT_EQ(windows_with_curve, windows);
+
+  const std::uint64_t peak = obs::RuntimeSampler::peak_rss_bytes();
+  std::fprintf(stderr, "store_soak: peak RSS %.1f MiB (budget %.1f MiB, raw %.1fx budget)\n",
+               static_cast<double>(peak) / 1048576.0, static_cast<double>(budget) / 1048576.0,
+               static_cast<double>(store.raw_bytes()) / static_cast<double>(budget));
+  EXPECT_LE(peak, budget) << "windowed analysis exceeded the RSS budget";
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace autosens

@@ -30,6 +30,18 @@
 //   autosens_cli metrics   --in metrics.txt [--filter substr]
 //   autosens_cli watch     URL [--interval-ms 1000] [--count 0] [--filter s]
 //                          [--all]
+//   autosens_cli store build   --in log.{csv,jsonl,bin} --out STORE_DIR
+//                              [--partition-rows N] [--block-rows N]
+//                              [--no-compress] [--threads N]
+//   autosens_cli store info    --in STORE_DIR
+//   autosens_cli store export  --in STORE_DIR --out log.bin [--batch 4096]
+//   autosens_cli store analyze --in STORE_DIR [--window-days 7] [--action A]
+//                              [--class C] [--ref 300] [--no-normalize] [--mc]
+//                              [--confidence] [--replicates N] [--threads N]
+//
+// `store` converts telemetry into an ASL3 partitioned columnar directory and
+// analyzes it window-by-window with O(window) memory — the out-of-core path
+// for datasets larger than RAM (DESIGN.md §6e).
 //
 // Every command additionally accepts the observability flags (all off by
 // default):
@@ -73,6 +85,7 @@
 #include "core/pipeline.h"
 #include "core/sensitivity.h"
 #include "core/slices.h"
+#include "core/store_analyze.h"
 #include "net/collector.h"
 #include "net/emitter.h"
 #include "net/udp.h"
@@ -89,6 +102,8 @@
 #include "simulate/presets.h"
 #include "telemetry/binlog.h"
 #include "telemetry/csv.h"
+#include "telemetry/store/store.h"
+#include "telemetry/store/writer.h"
 #include "telemetry/jsonl.h"
 #include "telemetry/filter.h"
 #include "telemetry/validate.h"
@@ -115,6 +130,7 @@ commands:
   loadgen    drive synthetic emitter sessions at a collector (tcp or udp)
   metrics    pretty-print a Prometheus metrics snapshot written by --metrics-out
   watch      poll a live /metrics URL, render a top-style level + rate table
+  store      out-of-core partitioned columnar store (build|info|export|analyze)
 
 every command also accepts --metrics-out FILE, --trace-out FILE, --stats,
 --log-level {quiet,info,debug}, and --obs-listen [127.0.0.1:]PORT, which
@@ -840,6 +856,153 @@ int cmd_watch(const std::string& url, const cli::Args& args) {
   return 0;
 }
 
+int store_usage() {
+  std::cerr << "usage: autosens_cli store <build|info|export|analyze> [flags]\n"
+               "  build   --in log.{csv,jsonl,bin} --out STORE_DIR [--partition-rows N]\n"
+               "          [--block-rows N] [--no-compress] [--threads N]\n"
+               "  info    --in STORE_DIR\n"
+               "  export  --in STORE_DIR --out log.bin [--batch 4096]\n"
+               "  analyze --in STORE_DIR [--window-days 7] [--action A] [--class C]\n"
+               "          [--ref 300] [--no-normalize] [--mc] [--confidence]\n"
+               "          [--replicates N] [--threads N]\n";
+  return 2;
+}
+
+std::string mib(std::uint64_t bytes) {
+  return report::Table::num(static_cast<double>(bytes) / (1024.0 * 1024.0), 2);
+}
+
+int cmd_store_build(const cli::Args& args) {
+  args.allow_only(with_obs(
+      {"in", "out", "partition-rows", "block-rows", "no-compress", "threads"}));
+  const std::string in = args.require("in");
+  const std::string out = args.require("out");
+  telemetry::store::StoreOptions options;
+  options.partition_rows = static_cast<std::uint64_t>(
+      args.get_int("partition-rows", static_cast<std::int64_t>(options.partition_rows)));
+  options.block_rows =
+      static_cast<std::uint32_t>(args.get_int("block-rows", options.block_rows));
+  options.compress = !args.has("no-compress");
+
+  obs::Span span("store_build");
+  span.attr("in", in);
+  std::uint64_t rows = 0;
+  if (in.ends_with(".bin")) {
+    // Sorted binlogs stream through O(partition) memory.
+    rows = telemetry::store::build_store_from_binlog(in, out, options,
+                                                     ingest_options_from_flags(args));
+  } else {
+    auto dataset = load(in, ingest_options_from_flags(args));
+    dataset.sort_by_time();
+    telemetry::store::build_store(dataset, out, options);
+    rows = dataset.size();
+  }
+  span.attr("rows", static_cast<std::int64_t>(rows));
+  const auto store = telemetry::store::StoredDataset::open(out);
+  std::cout << "wrote " << rows << " rows in " << store.partitions().size()
+            << " partitions to " << out << " (" << mib(store.raw_bytes()) << " MiB raw, "
+            << mib(store.stored_bytes()) << " MiB stored)\n";
+  return 0;
+}
+
+int cmd_store_info(const cli::Args& args) {
+  args.allow_only(with_obs({"in"}));
+  const auto store = telemetry::store::StoredDataset::open(args.require("in"));
+  report::Table table(
+      {"partition", "day", "rows", "time range (ms)", "raw MiB", "stored MiB", "ratio"});
+  for (const auto& p : store.partitions()) {
+    const double ratio = p.raw_bytes > 0
+                             ? static_cast<double>(p.stored_bytes) /
+                                   static_cast<double>(p.raw_bytes)
+                             : 0.0;
+    std::string range = std::to_string(p.min_time_ms);
+    range += "..";
+    range += std::to_string(p.max_time_ms);
+    table.add_row({p.dir_name, std::to_string(p.day), std::to_string(p.rows),
+                   std::move(range), mib(p.raw_bytes), mib(p.stored_bytes),
+                   report::Table::num(ratio, 3)});
+  }
+  table.print(std::cout);
+  const double ratio = store.raw_bytes() > 0
+                           ? static_cast<double>(store.stored_bytes()) /
+                                 static_cast<double>(store.raw_bytes())
+                           : 0.0;
+  std::cout << store.partitions().size() << " partitions, " << store.rows() << " rows, "
+            << mib(store.raw_bytes()) << " MiB raw, " << mib(store.stored_bytes())
+            << " MiB stored (ratio " << report::Table::num(ratio, 3) << ")\n";
+  return 0;
+}
+
+int cmd_store_export(const cli::Args& args) {
+  args.allow_only(with_obs({"in", "out", "batch"}));
+  const auto store = telemetry::store::StoredDataset::open(args.require("in"));
+  const std::string out = args.require("out");
+  obs::Span span("store_export");
+  telemetry::store::export_binlog(store, out,
+                                  static_cast<std::size_t>(args.get_int("batch", 4096)));
+  std::cout << "exported " << store.rows() << " rows to " << out << "\n";
+  return 0;
+}
+
+int cmd_store_analyze(const cli::Args& args) {
+  args.allow_only(with_obs({"in", "window-days", "action", "class", "ref", "bin",
+                            "max-latency", "no-normalize", "mc", "confidence", "replicates",
+                            "threads"}));
+  const auto store = telemetry::store::StoredDataset::open(args.require("in"));
+  const auto options = options_from_flags(args);
+
+  core::StoreStreamOptions stream;
+  const auto window_days = args.get_int("window-days", 7);
+  if (window_days <= 0) throw std::invalid_argument("--window-days must be positive");
+  stream.window_ms = window_days * telemetry::kMillisPerDay;
+  if (const auto action = args.get("action")) {
+    stream.action = telemetry::parse_action_type(*action);
+    if (!stream.action) throw std::invalid_argument("unknown action type: " + *action);
+  }
+  if (const auto user_class = args.get("class")) {
+    stream.user_class = telemetry::parse_user_class(*user_class);
+    if (!stream.user_class) throw std::invalid_argument("unknown user class: " + *user_class);
+  }
+  stream.with_confidence = args.has("confidence");
+  stream.confidence.replicates = static_cast<std::size_t>(args.get_int("replicates", 50));
+  stream.probe_latencies = {500.0, 750.0, 1000.0, 1500.0, 2000.0};
+
+  obs::Span span("store_analyze");
+  report::Table table({"window (day)", "records", "scanned", "pruned", "NLP@500",
+                       "NLP@1000", "NLP@2000"});
+  std::size_t windows = 0;
+  std::uint64_t bytes_read = 0;
+  const auto nlp_at = [](const std::optional<core::PreferenceResult>& preference,
+                         double latency) -> std::string {
+    if (!preference.has_value() || !preference->covers(latency)) return "-";
+    return report::Table::num(preference->at(latency));
+  };
+  core::analyze_store_windows(store, options, stream, [&](const core::StoreWindowResult& w) {
+    ++windows;
+    bytes_read += w.bytes_read;
+    std::string window = std::to_string(telemetry::day_index(w.begin_ms));
+    window += "..";
+    window += std::to_string(telemetry::day_index(w.end_ms - 1));
+    table.add_row({std::move(window), std::to_string(w.records),
+                   std::to_string(w.partitions_scanned), std::to_string(w.partitions_pruned),
+                   nlp_at(w.preference, 500.0), nlp_at(w.preference, 1000.0),
+                   nlp_at(w.preference, 2000.0)});
+  });
+  table.print(std::cout);
+  std::cout << windows << " windows, " << mib(bytes_read) << " MiB read of "
+            << mib(store.stored_bytes()) << " MiB stored\n";
+  return 0;
+}
+
+int cmd_store(const std::string& verb, const cli::Args& args) {
+  if (verb == "build") return cmd_store_build(args);
+  if (verb == "info") return cmd_store_info(args);
+  if (verb == "export") return cmd_store_export(args);
+  if (verb == "analyze") return cmd_store_analyze(args);
+  std::cerr << "unknown store verb: " << verb << "\n";
+  return store_usage();
+}
+
 int dispatch(const std::string& command, const cli::Args& args) {
   if (command == "generate") return cmd_generate(args);
   if (command == "analyze") return cmd_analyze(args);
@@ -872,6 +1035,18 @@ int main(int argc, char** argv) {
       const cli::Args args(argc, argv, 3, {"all", "stats"});
       setup_observability(args);
       const int code = cmd_watch(argv[2], args);
+      finish_observability(args);
+      return code;
+    }
+    // `store <verb>` takes a positional verb, like watch's URL.
+    if (command == "store") {
+      if (argc < 3 || std::string(argv[2]).starts_with("--")) return store_usage();
+      const cli::Args args(argc, argv, 3,
+                           {"no-normalize", "no-compress", "mc", "confidence", "stats"});
+      setup_observability(args);
+      ObsPlane plane;
+      start_obs_plane(args, plane);
+      const int code = cmd_store(argv[2], args);
       finish_observability(args);
       return code;
     }

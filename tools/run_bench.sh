@@ -23,6 +23,10 @@
 #                         sharded epoll collector (1/2/4 shards) vs the
 #                         batched UDP transport, with per-repetition samples
 #                         on the gated 1k-session rows
+#   BENCH_store.json    — the out-of-core ASL3 store: full-store streaming
+#                         scan (raw bytes/s through decode + CRC) and the
+#                         windowed analyze wall-clock, store-streamed (Arg 1)
+#                         vs the in-memory window baseline (Arg 0)
 #
 # The script configures and builds its own Release tree (default:
 # <repo>/build-bench) instead of reusing the dev build — benchmark numbers
@@ -30,7 +34,7 @@
 # recorded "library_build_type": "debug" for exactly that reason.
 #
 # Usage: tools/run_bench.sh [build-dir] [parallel-out] [obs-out] [columnar-out]
-#        [ingest-out] [kernels-out] [net-out]
+#        [ingest-out] [kernels-out] [net-out] [store-out]
 #        tools/run_bench.sh net  — rerun only the net sweep into BENCH_net.json
 set -euo pipefail
 
@@ -49,6 +53,7 @@ COLUMNAR_OUT="${4:-$ROOT/BENCH_columnar.json}"
 INGEST_OUT="${5:-$ROOT/BENCH_ingest.json}"
 KERNELS_OUT="${6:-$ROOT/BENCH_kernels.json}"
 NET_OUT="${7:-$ROOT/BENCH_net.json}"
+STORE_OUT="${8:-$ROOT/BENCH_store.json}"
 
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target micro_kernels -j "$(nproc)" >/dev/null
@@ -109,5 +114,10 @@ run_filter 'DatasetColumns|DayBlockResample|ConfidenceReplicates' "$COLUMNAR_OUT
   --benchmark_context=postchange_analyze_once_ms=38.4 \
   --benchmark_context=postchange_day_block_resample_ms_per_rep=0.003 \
   --benchmark_context=postchange_confidence50_ms_best_of_3=1549.5
+# Disk + mmap timings wobble; per-repetition samples feed the store gate's
+# median, like the net sweep.
+run_filter 'BM_Store' "$STORE_OUT" \
+  --benchmark_repetitions=5 \
+  --benchmark_report_aggregates_only=false
 
 run_net
